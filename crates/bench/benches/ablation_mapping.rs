@@ -1,0 +1,51 @@
+//! Ablation: address-mapping policy (DESIGN.md §5). MCR gains should
+//! survive the mapping choice; absolute performance shifts with
+//! row-buffer locality preserved by each policy.
+
+use mcr_bench::{avg, header, single_len, timed};
+use mcr_dram::experiments::Outcome;
+use mcr_dram::{MappingKind, McrMode, Mechanisms, System, SystemConfig};
+
+fn run(name: &str, mapping: MappingKind, mode: McrMode, len: usize) -> mcr_dram::RunReport {
+    let cfg = SystemConfig::single_core(name, len)
+        .with_mode(mode)
+        .with_mechanisms(if mode.is_off() {
+            Mechanisms::none()
+        } else {
+            Mechanisms::all()
+        })
+        .with_mapping(mapping);
+    System::build(&cfg).run()
+}
+
+fn main() {
+    timed("ablation_mapping", || {
+        header(
+            "Ablation",
+            "address mapping: page-interleave vs permutation vs bit-reversal",
+        );
+        let len = single_len() / 2;
+        let probes = ["libq", "comm1", "mummer", "stream"];
+        for mapping in [
+            MappingKind::PageInterleave,
+            MappingKind::Permutation,
+            MappingKind::BitReversal,
+        ] {
+            let mut reds = Vec::new();
+            let mut hit_rates = Vec::new();
+            for name in probes {
+                let base = run(name, mapping, McrMode::off(), len);
+                let mcr = run(name, mapping, McrMode::headline(), len);
+                reds.push(Outcome::versus(name, &base, &mcr).exec_reduction);
+                hit_rates.push(base.controller.row_hit_rate());
+            }
+            println!(
+                "{mapping:?}: baseline row-hit rate {:.2}, avg MCR exec reduction {:+.1}%",
+                avg(&hit_rates),
+                avg(&reds)
+            );
+        }
+        println!();
+        println!("expected: MCR improves execution time under every mapping policy.");
+    });
+}

@@ -1,0 +1,57 @@
+//! Ablation: rank power-down (paper Sec. 6.4 — "increased idle time by
+//! Early-Precharge and/or Refresh-Skipping can enable MCR-DRAM to operate
+//! in low-power mode for long time"). Compares background energy and EDP
+//! with power-down management off vs on, for baseline DRAM and for
+//! MCR-DRAM with Refresh-Skipping (mode [2/4x]).
+
+use mcr_bench::{header, single_len, timed};
+use mcr_dram::experiments::reduction_pct;
+use mcr_dram::{McrMode, Mechanisms, System, SystemConfig};
+
+fn run(name: &str, mode: McrMode, powerdown: Option<u32>, len: usize) -> mcr_dram::RunReport {
+    let mut cfg = SystemConfig::single_core(name, len)
+        .with_mode(mode)
+        .with_mechanisms(if mode.is_off() {
+            Mechanisms::none()
+        } else {
+            Mechanisms::all()
+        });
+    if let Some(t) = powerdown {
+        cfg = cfg.with_powerdown(t);
+    }
+    System::build(&cfg).run()
+}
+
+fn main() {
+    timed("ablation_powerdown", || {
+        header(
+            "Ablation",
+            "rank power-down: background energy with CKE management off/on",
+        );
+        let len = single_len() / 2;
+        // A low-MPKI workload has the idle windows power-down exploits.
+        let probes = ["black", "face", "swapt"];
+        println!(
+            "{:<8} {:<14} {:>16} {:>16} {:>12}",
+            "wload", "config", "background pJ", "total pJ", "EDP red."
+        );
+        for name in probes {
+            for (label, mode) in [("baseline", McrMode::off()), ("2/4x MCR", McrMode::new(2, 4, 1.0).unwrap())] {
+                let off = run(name, mode, None, len);
+                let on = run(name, mode, Some(60), len);
+                println!(
+                    "{name:<8} {label:<14} {:>7.0} -> {:>6.0} {:>7.0} -> {:>6.0} {:>11.1}%",
+                    off.energy.background_pj,
+                    on.energy.background_pj,
+                    off.energy.total_pj(),
+                    on.energy.total_pj(),
+                    reduction_pct(off.edp, on.edp),
+                );
+            }
+        }
+        println!();
+        println!("expected: power-down cuts background energy everywhere; the MCR");
+        println!("          configuration gains at least as much because Early-");
+        println!("          Precharge and Refresh-Skipping lengthen idle windows.");
+    });
+}

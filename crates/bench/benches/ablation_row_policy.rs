@@ -1,0 +1,58 @@
+//! Ablation: open-page vs closed-page row-buffer policy (DESIGN.md §5).
+//! MCR's Early-Access benefit applies to every ACTIVATE, so closed-page
+//! systems — which activate on every access — should benefit *more* from
+//! MCR in relative terms, while open-page wins absolutely on row-local
+//! workloads.
+
+use mcr_bench::{avg, header, single_len, timed};
+use mcr_dram::experiments::Outcome;
+use mcr_dram::{McrMode, Mechanisms, System, SystemConfig};
+use mem_controller::RowPolicy;
+
+fn run(name: &str, rp: RowPolicy, mode: McrMode, len: usize) -> mcr_dram::RunReport {
+    let cfg = SystemConfig::single_core(name, len)
+        .with_mode(mode)
+        .with_mechanisms(if mode.is_off() {
+            Mechanisms::none()
+        } else {
+            Mechanisms::all()
+        })
+        .with_row_policy(rp);
+    System::build(&cfg).run()
+}
+
+fn main() {
+    timed("ablation_row_policy", || {
+        header("Ablation", "row-buffer policy: open-page vs closed-page");
+        let len = single_len() / 2;
+        let probes = ["libq", "leslie", "mummer", "tigr", "comm1"];
+        println!(
+            "{:<10} {:>16} {:>16} {:>14} {:>14}",
+            "workload", "open base lat", "closed base lat", "open MCR red.", "closed MCR red."
+        );
+        let mut open_red = Vec::new();
+        let mut closed_red = Vec::new();
+        for name in probes {
+            let ob = run(name, RowPolicy::Open, McrMode::off(), len);
+            let om = run(name, RowPolicy::Open, McrMode::headline(), len);
+            let cb = run(name, RowPolicy::Closed, McrMode::off(), len);
+            let cm = run(name, RowPolicy::Closed, McrMode::headline(), len);
+            let o = Outcome::versus(name, &ob, &om).latency_reduction;
+            let c = Outcome::versus(name, &cb, &cm).latency_reduction;
+            open_red.push(o);
+            closed_red.push(c);
+            println!(
+                "{name:<10} {:>16.1} {:>16.1} {:>13.1}% {:>13.1}%",
+                ob.avg_read_latency, cb.avg_read_latency, o, c
+            );
+        }
+        println!();
+        println!(
+            "avg MCR read-latency reduction: open {:+.1}%, closed {:+.1}%",
+            avg(&open_red),
+            avg(&closed_red)
+        );
+        println!("expected: closed-page activates on every access, so its relative");
+        println!("          gain from Early-Access is at least as large.");
+    });
+}

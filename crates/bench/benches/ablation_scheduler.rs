@@ -1,0 +1,60 @@
+//! Ablation: do MCR gains survive the scheduler choice? (DESIGN.md §5)
+//! FR-FCFS (paper baseline) vs strict FCFS.
+
+use mcr_bench::{avg, header, single_len, timed};
+use mcr_dram::experiments::{reduction_pct, Outcome};
+use mcr_dram::{McrMode, Mechanisms, System, SystemConfig};
+use mem_controller::SchedulerKind;
+
+fn run(name: &str, sched: SchedulerKind, mode: McrMode, len: usize) -> mcr_dram::RunReport {
+    let cfg = SystemConfig::single_core(name, len)
+        .with_mode(mode)
+        .with_mechanisms(if mode.is_off() {
+            Mechanisms::none()
+        } else {
+            Mechanisms::all()
+        })
+        .with_scheduler(sched);
+    System::build(&cfg).run()
+}
+
+fn main() {
+    timed("ablation_scheduler", || {
+        header(
+            "Ablation",
+            "MCR gains under FR-FCFS vs FCFS scheduling",
+        );
+        let len = single_len() / 2;
+        let probes = ["libq", "leslie", "mummer", "comm1", "stream"];
+        for sched in [SchedulerKind::FrFcfs, SchedulerKind::Fcfs] {
+            let mut gains = Vec::new();
+            let mut base_lats = Vec::new();
+            for name in probes {
+                let base = run(name, sched, McrMode::off(), len);
+                let mcr = run(name, sched, McrMode::headline(), len);
+                gains.push(Outcome::versus(name, &base, &mcr).exec_reduction);
+                base_lats.push(base.avg_read_latency);
+            }
+            println!(
+                "{sched:?}: avg MCR exec reduction {:+.1}% (baseline read-lat {:.1} cycles)",
+                avg(&gains),
+                avg(&base_lats)
+            );
+        }
+        // FR-FCFS itself vs FCFS on the baseline, for context.
+        let mut fr_gain = Vec::new();
+        for name in probes {
+            let fcfs = run(name, SchedulerKind::Fcfs, McrMode::off(), len);
+            let fr = run(name, SchedulerKind::FrFcfs, McrMode::off(), len);
+            fr_gain.push(reduction_pct(
+                fcfs.exec_cpu_cycles as f64,
+                fr.exec_cpu_cycles as f64,
+            ));
+        }
+        println!(
+            "context: FR-FCFS beats FCFS on the baseline by {:+.1}% exec on average",
+            avg(&fr_gain)
+        );
+        println!("expected: MCR's advantage persists under both schedulers.");
+    });
+}

@@ -1,0 +1,45 @@
+//! Ablation: refresh-counter wiring (DESIGN.md §5). The K-to-N-1-K wiring
+//! is what makes the aggressive Early-Precharge targets safe; with K-to-K
+//! wiring the worst-case per-MCR interval doubles (2x) or more (4x) and
+//! the allowed tRAS relaxation shrinks accordingly. This bench quantifies
+//! both the interval and the resulting timing headroom.
+
+use circuit_model::{CircuitParams, LeakageModel, TimingSolver};
+use dram_device::{max_refresh_interval_ms, RefreshWiring};
+use mcr_bench::{header, timed};
+
+fn main() {
+    timed("ablation_wiring", || {
+        header(
+            "Ablation",
+            "wiring method -> worst-case refresh interval -> allowed restore target",
+        );
+        let p = CircuitParams::calibrated();
+        let solver = TimingSolver::new(p);
+        let leak = LeakageModel::new(p);
+        println!(
+            "{:<10} {:<12} {:>16} {:>18} {:>14}",
+            "wiring", "mode", "worst ms", "min restore V", "tRAS safe?"
+        );
+        for k in [2u32, 4] {
+            for wiring in [RefreshWiring::Reversed, RefreshWiring::Direct] {
+                let worst = max_refresh_interval_ms(15, wiring, k as u64, 64.0);
+                let needed_v = leak.min_restore_v(worst);
+                // The M=K restore target assumes the uniform 64/K interval.
+                let target = solver.restore_target_v(k);
+                let safe = leak.survives(target, worst);
+                println!(
+                    "{:<10} {:<12} {:>16.1} {:>18.3} {:>14}",
+                    format!("{wiring:?}"),
+                    format!("{k}/{k}x"),
+                    worst,
+                    needed_v,
+                    if safe { "yes" } else { "NO" },
+                );
+            }
+        }
+        println!();
+        println!("expected: Reversed is safe for every mode; Direct breaks the");
+        println!("          {0}/{0}x Early-Precharge targets (the paper's Sec. 4.3).", 2);
+    });
+}

@@ -1,0 +1,50 @@
+//! Fig. 10: bitline voltage after ACTIVATE (a) and cell voltage during
+//! restore (b) for 1x/2x/4x MCRs, as ASCII series from the circuit model.
+
+use circuit_model::{cell_restore_waveform, sense_waveform, CircuitParams, TimingSolver};
+use mcr_bench::{header, timed};
+
+fn series(points: &[(f64, f64)]) -> String {
+    points
+        .iter()
+        .map(|(t, v)| format!("({t:>4.1} ns, {v:.3} V)"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    timed("fig10", || {
+        let p = CircuitParams::calibrated();
+        let s = TimingSolver::new(p);
+
+        header("Fig. 10(a)", "bitline voltage after ACTIVATE (sampled)");
+        println!("accessible voltage = {:.3} V", p.v_access());
+        for k in [1u32, 2, 4] {
+            let w = sense_waveform(&p, k, 16.0, 2.0);
+            let pts: Vec<(f64, f64)> = w.iter().map(|q| (q.t_ns, q.v)).collect();
+            println!("K={k}: {}", series(&pts));
+            println!(
+                "   -> reaches accessible voltage at {:.2} ns (tRCD)",
+                s.t_rcd_ns(k)
+            );
+        }
+        println!("paper tRCD: 13.75 / 9.94 / 6.90 ns for 1x / 2x / 4x.");
+
+        header("Fig. 10(b)", "cell voltage during restore (sampled)");
+        for k in [1u32, 2, 4] {
+            let w = cell_restore_waveform(&p, k, 48.0, 8.0);
+            let pts: Vec<(f64, f64)> = w.iter().map(|q| (q.t_ns, q.v)).collect();
+            println!("K={k}: {}", series(&pts));
+        }
+        println!("restore targets (leakage-relaxed):");
+        for (m, k) in [(1u32, 1u32), (2, 2), (4, 4)] {
+            println!(
+                "  {m}/{k}x: target {:.3} V -> tRAS {:.2} ns (paper {:.2})",
+                s.restore_target_v(m),
+                s.t_ras_ns(m, k),
+                circuit_model::PaperTable3::t_ras_ns(m, k)
+            );
+        }
+        println!("shape check: high-K starts higher but restores slower (crossover).");
+    });
+}

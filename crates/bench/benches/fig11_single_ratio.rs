@@ -1,0 +1,67 @@
+//! Fig. 11: single-core execution-time and read-latency reduction vs the
+//! MCR-to-total-row ratio (modes [2/2x] and [4/4x]; Early-Access +
+//! Early-Precharge only, as in the paper).
+
+use mcr_bench::{avg, csv_out, header, single_len, timed};
+use mcr_dram::experiments::{baseline_single, run_single, Outcome};
+use mcr_dram::{McrMode, Mechanisms, ResultTable};
+use trace_gen::single_core_workloads;
+
+fn main() {
+    timed("fig11", || {
+        let len = single_len();
+        header(
+            "Fig. 11",
+            "single-core reduction vs MCR ratio (EA+EP only, no FR/RS)",
+        );
+        let ratios = [0.25, 0.5, 1.0];
+        let modes = [(2u32, 2u32), (4, 4)];
+        println!(
+            "{:<12} {}",
+            "workload",
+            modes
+                .iter()
+                .flat_map(|(m, k)| ratios.iter().map(move |r| format!("{m}/{k}x@{r:<4}")))
+                .map(|s| format!("{s:>12}"))
+                .collect::<String>()
+        );
+        let mut per_config_exec: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        let mut per_config_lat: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        let mut table = ResultTable::new("fig11 single-core ratio sweep");
+        for w in single_core_workloads() {
+            let base = baseline_single(w.name, len);
+            let mut cells = String::new();
+            for (ci, (m, k)) in modes.iter().enumerate() {
+                for (ri, ratio) in ratios.iter().enumerate() {
+                    let mode = McrMode::new(*m, *k, *ratio).unwrap();
+                    let r = run_single(w.name, mode, Mechanisms::access_only(), 0.0, len);
+                    let o = Outcome::versus(w.name, &base, &r);
+                    let idx = ci * 3 + ri;
+                    per_config_exec[idx].push(o.exec_reduction);
+                    per_config_lat[idx].push(o.latency_reduction);
+                    cells.push_str(&format!("{:>11.1}%", o.exec_reduction));
+                    table.push(Outcome {
+                        label: format!("{}@{m}/{k}x@{ratio}", w.name),
+                        ..o
+                    });
+                }
+            }
+            println!("{:<12} {cells}", w.name);
+        }
+        println!();
+        println!("averages (exec-time reduction %):");
+        for (ci, (m, k)) in modes.iter().enumerate() {
+            for (ri, ratio) in ratios.iter().enumerate() {
+                println!(
+                    "  mode [{m}/{k}x] ratio {ratio}: exec {:+.1}%  read-lat {:+.1}%",
+                    avg(&per_config_exec[ci * 3 + ri]),
+                    avg(&per_config_lat[ci * 3 + ri]),
+                );
+            }
+        }
+        println!();
+        println!("paper: mode [4/4x]@1.0 avg 7.9% exec / 12.5% read-latency;");
+        println!("       mode [2/2x]@1.0 avg 5.7% / 8.5%; [2/2x]@1.0 beats [4/4x]@0.5.");
+        csv_out("fig11_single_ratio", &table);
+    });
+}

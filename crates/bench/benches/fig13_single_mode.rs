@@ -1,0 +1,41 @@
+//! Fig. 13: single-core MCR-mode analysis — M/Kx × L%reg with 10 %
+//! pseudo page allocation (Fast-Refresh and Refresh-Skipping active).
+
+use mcr_bench::{avg, header, single_len, timed};
+use mcr_dram::experiments::{baseline_single, run_single, Outcome};
+use mcr_dram::{McrMode, Mechanisms};
+use trace_gen::single_core_workloads;
+
+fn main() {
+    timed("fig13", || {
+        let len = single_len();
+        header(
+            "Fig. 13",
+            "single-core MCR-mode analysis (10% allocation, FR+RS on)",
+        );
+        let mks = [(4u32, 4u32), (2, 4), (1, 4), (2, 2), (1, 2)];
+        let regs = [0.25, 0.5, 0.75];
+        let mut rows = Vec::new();
+        let workloads = single_core_workloads();
+        for (m, k) in mks {
+            for reg in regs {
+                let mode = McrMode::new(m, k, reg).unwrap();
+                let mut execs = Vec::new();
+                for w in &workloads {
+                    let base = baseline_single(w.name, len);
+                    let r = run_single(w.name, mode, Mechanisms::all(), 0.10, len);
+                    execs.push(Outcome::versus(w.name, &base, &r).exec_reduction);
+                }
+                rows.push((mode.to_string(), avg(&execs)));
+            }
+        }
+        println!("{:<18} {:>18}", "mode", "avg exec reduction");
+        for (label, v) in &rows {
+            println!("{label:<18} {v:>17.1}%");
+        }
+        println!();
+        println!("paper: more Refresh-Skipping for the same Kx lowers the improvement");
+        println!("       at 4 GB; [2/4x/75%reg] ~= [4/4x/75%reg] with 66.3% of its");
+        println!("       refresh power.");
+    });
+}

@@ -1,0 +1,56 @@
+//! Fig. 14: multi-core (quad-core, 16 GB) reduction vs MCR ratio
+//! (EA+EP only), over the 14 multi-programmed mixes + 2 MT workloads.
+
+use mcr_bench::{avg, header, multi_len, timed};
+use mcr_dram::experiments::{baseline_multi, run_multi, weighted_speedup, Outcome};
+use mcr_dram::{McrMode, Mechanisms};
+use trace_gen::{multi_programmed_mixes, multi_threaded_group};
+
+fn main() {
+    timed("fig14", || {
+        let len = multi_len();
+        header("Fig. 14", "multi-core reduction vs MCR ratio (EA+EP only)");
+        let ratios = [0.25, 0.5, 1.0];
+        let modes = [(2u32, 2u32), (4, 4)];
+        let mut mixes = multi_programmed_mixes(2015);
+        mixes.extend(multi_threaded_group());
+        let mut exec: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        let mut lat: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        let mut ws_headline = Vec::new();
+        for mix in &mixes {
+            let base = baseline_multi(mix, len);
+            let mut cells = String::new();
+            for (ci, (m, k)) in modes.iter().enumerate() {
+                for (ri, ratio) in ratios.iter().enumerate() {
+                    let mode = McrMode::new(*m, *k, *ratio).unwrap();
+                    let r = run_multi(mix, mode, Mechanisms::access_only(), 0.0, len);
+                    let o = Outcome::versus(mix.name, &base, &r);
+                    exec[ci * 3 + ri].push(o.exec_reduction);
+                    lat[ci * 3 + ri].push(o.latency_reduction);
+                    cells.push_str(&format!("{:>9.1}%", o.exec_reduction));
+                    if (*m, *k, *ratio) == (4, 4, 1.0) {
+                        ws_headline.push(weighted_speedup(&base, &r));
+                    }
+                }
+            }
+            println!("{:<12} {cells}", mix.name);
+        }
+        println!();
+        for (ci, (m, k)) in modes.iter().enumerate() {
+            for (ri, ratio) in ratios.iter().enumerate() {
+                println!(
+                    "mode [{m}/{k}x] ratio {ratio}: avg exec {:+.1}%  read-lat {:+.1}%",
+                    avg(&exec[ci * 3 + ri]),
+                    avg(&lat[ci * 3 + ri]),
+                );
+            }
+        }
+        println!();
+        println!(
+            "weighted speedup at [4/4x]@1.0: {:.3} over 4 cores (4.0 = no change)",
+            avg(&ws_headline)
+        );
+        println!("paper: mode [4/4x]@1.0 avg 10.3% exec / 10.2% read-latency;");
+        println!("       trends mirror the single-core results.");
+    });
+}

@@ -1,0 +1,38 @@
+//! Fig. 16: multi-core MCR-mode analysis (10 % allocation; FR + RS on;
+//! the 16 GB configuration where refresh effects are larger).
+
+use mcr_bench::{avg, header, multi_len, timed};
+use mcr_dram::experiments::{baseline_multi, run_multi, Outcome};
+use mcr_dram::{McrMode, Mechanisms};
+use trace_gen::{multi_programmed_mixes, multi_threaded_group};
+
+fn main() {
+    timed("fig16", || {
+        let len = multi_len();
+        header(
+            "Fig. 16",
+            "multi-core MCR-mode analysis (10% allocation, FR+RS on, 16 GB)",
+        );
+        let mks = [(4u32, 4u32), (2, 4), (2, 2)];
+        let regs = [0.25, 0.5, 0.75];
+        let mut mixes = multi_programmed_mixes(2015);
+        mixes.extend(multi_threaded_group());
+        println!("{:<18} {:>18}", "mode", "avg exec reduction");
+        for (m, k) in mks {
+            for reg in regs {
+                let mode = McrMode::new(m, k, reg).unwrap();
+                let mut execs = Vec::new();
+                for mix in &mixes {
+                    let base = baseline_multi(mix, len);
+                    let r = run_multi(mix, mode, Mechanisms::all(), 0.10, len);
+                    execs.push(Outcome::versus(mix.name, &base, &r).exec_reduction);
+                }
+                println!("{:<18} {:>17.1}%", mode.to_string(), avg(&execs));
+            }
+        }
+        println!();
+        println!("paper: L%reg differences are larger than single-core because");
+        println!("       Fast-Refresh/Refresh-Skipping matter more at 16 GB;");
+        println!("       [2/4x/75%reg] can beat [4/4x/75%reg].");
+    });
+}

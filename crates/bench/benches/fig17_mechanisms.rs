@@ -1,0 +1,69 @@
+//! Fig. 17: mechanism ablation — case 1 (EA), case 2 (EA+EP),
+//! case 3 (+FR), case 4 (+FR+RS with mode 2/4x), at mode [100%reg],
+//! for both single-core and multi-core systems.
+
+use mcr_bench::{avg, header, multi_len, single_len, timed};
+use mcr_dram::experiments::{
+    baseline_multi, baseline_single, run_multi, run_single, Outcome,
+};
+use mcr_dram::{McrMode, Mechanisms};
+use trace_gen::{multi_programmed_mixes, single_core_workloads};
+
+fn case_mode(case: u32) -> McrMode {
+    if case == 4 {
+        McrMode::new(2, 4, 1.0).unwrap() // Refresh-Skipping needs M < K
+    } else {
+        McrMode::headline()
+    }
+}
+
+fn main() {
+    timed("fig17", || {
+        header(
+            "Fig. 17",
+            "mechanism ablation at [100%reg] (case1 EA, case2 +EP, case3 +FR, case4 +RS)",
+        );
+        let slen = single_len();
+        println!("--- (a) single-core ---");
+        let mut single_avgs = Vec::new();
+        for case in 1..=4u32 {
+            let mech = Mechanisms::fig17_case(case);
+            let mode = case_mode(case);
+            let mut execs = Vec::new();
+            for w in single_core_workloads() {
+                let base = baseline_single(w.name, slen);
+                let r = run_single(w.name, mode, mech, 0.0, slen);
+                execs.push(Outcome::versus(w.name, &base, &r).exec_reduction);
+            }
+            let a = avg(&execs);
+            single_avgs.push(a);
+            println!("case {case}: avg exec reduction {a:+.1}%");
+        }
+        let norm = single_avgs[2].max(1e-9);
+        println!(
+            "normalized to case 3: {:?}",
+            single_avgs
+                .iter()
+                .map(|v| format!("{:.2}", v / norm))
+                .collect::<Vec<_>>()
+        );
+
+        println!("--- (b) multi-core ---");
+        let mlen = multi_len();
+        let mixes = multi_programmed_mixes(2015);
+        for case in 1..=4u32 {
+            let mech = Mechanisms::fig17_case(case);
+            let mode = case_mode(case);
+            let mut execs = Vec::new();
+            for mix in mixes.iter().take(6) {
+                let base = baseline_multi(mix, mlen);
+                let r = run_multi(mix, mode, mech, 0.0, mlen);
+                execs.push(Outcome::versus(mix.name, &base, &r).exec_reduction);
+            }
+            println!("case {case}: avg exec reduction {:+.1}%", avg(&execs));
+        }
+        println!();
+        println!("paper: EA and EP dominate the gains; at 4 GB case 4 loses a little");
+        println!("       to case 2 (Refresh-Skipping raises tRAS), at 16 GB it helps.");
+    });
+}

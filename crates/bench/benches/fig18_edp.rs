@@ -1,0 +1,49 @@
+//! Fig. 18: EDP improvement per MCR mode at [100%reg], single-core and
+//! multi-core.
+
+use mcr_bench::{avg, csv_out, header, multi_len, single_len, timed};
+use mcr_dram::experiments::{
+    baseline_multi, baseline_single, run_multi, run_single, Outcome,
+};
+use mcr_dram::{McrMode, Mechanisms, ResultTable};
+use trace_gen::{multi_programmed_mixes, single_core_workloads};
+
+const MODES: [(u32, u32); 4] = [(2, 2), (1, 2), (4, 4), (2, 4)];
+
+fn main() {
+    timed("fig18", || {
+        header("Fig. 18", "EDP improvement per mode at [100%reg]");
+        let slen = single_len();
+        let mut table = ResultTable::new("fig18 EDP per mode");
+        println!("--- (a) single-core ---");
+        for (m, k) in MODES {
+            let mode = McrMode::new(m, k, 1.0).unwrap();
+            let mut edps = Vec::new();
+            for w in single_core_workloads() {
+                let base = baseline_single(w.name, slen);
+                let r = run_single(w.name, mode, Mechanisms::all(), 0.0, slen);
+                let o = Outcome::versus(format!("{}@{mode}", w.name), &base, &r);
+                edps.push(o.edp_reduction);
+                table.push(o);
+            }
+            println!("mode {}: avg EDP reduction {:+.1}%", mode, avg(&edps));
+        }
+        println!("--- (b) multi-core ---");
+        let mlen = multi_len();
+        let mixes = multi_programmed_mixes(2015);
+        for (m, k) in MODES {
+            let mode = McrMode::new(m, k, 1.0).unwrap();
+            let mut edps = Vec::new();
+            for mix in mixes.iter().take(8) {
+                let base = baseline_multi(mix, mlen);
+                let r = run_multi(mix, mode, Mechanisms::all(), 0.0, mlen);
+                edps.push(Outcome::versus(mix.name, &base, &r).edp_reduction);
+            }
+            println!("mode {}: avg EDP reduction {:+.1}%", mode, avg(&edps));
+        }
+        println!();
+        println!("paper: mode [4/4x/100%reg] is best — 14.1% single-core and");
+        println!("       23.2% multi-core EDP reduction; [2/4x] trails [4/4x].");
+        csv_out("fig18_edp", &table);
+    });
+}

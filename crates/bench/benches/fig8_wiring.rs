@@ -1,0 +1,34 @@
+//! Fig. 8: the two refresh-counter wiring methods and the refresh row
+//! addresses they generate, plus the worst-case per-MCR refresh interval.
+
+use dram_device::{max_refresh_interval_ms, refresh_schedule, RefreshWiring};
+use mcr_bench::{header, timed};
+
+fn main() {
+    timed("fig8", || {
+        header("Fig. 8", "refresh row addresses under K-to-K vs K-to-N-1-K wiring");
+        println!("3-bit example (as printed in the paper):");
+        let direct = refresh_schedule(3, RefreshWiring::Direct);
+        let reversed = refresh_schedule(3, RefreshWiring::Reversed);
+        println!("  (b) K to K     : {direct:?}");
+        println!("  (c) K to N-1-K : {reversed:?}");
+        println!();
+        println!("max refresh interval for the identical MCR (ms / 64 ms sweep):");
+        println!("{:<8} {:>12} {:>14}", "K", "K-to-K", "K-to-N-1-K");
+        for k in [1u64, 2, 4] {
+            let d = max_refresh_interval_ms(3, RefreshWiring::Direct, k, 64.0);
+            let r = max_refresh_interval_ms(3, RefreshWiring::Reversed, k, 64.0);
+            println!("{k:<8} {d:>12.0} {r:>14.0}");
+        }
+        println!();
+        println!("paper: (b) 56 ms for 2x / 40 ms for 4x; (c) 32 ms / 16 ms.");
+        println!();
+        println!("full-size counter (15 row bits, the 4 GB configuration):");
+        for k in [2u64, 4] {
+            let d = max_refresh_interval_ms(15, RefreshWiring::Direct, k, 64.0);
+            let r = max_refresh_interval_ms(15, RefreshWiring::Reversed, k, 64.0);
+            println!("  K={k}: direct {d:.3} ms, reversed {r:.3} ms (uniform 64/K = {:.0} ms)",
+                64.0 / k as f64);
+        }
+    });
+}

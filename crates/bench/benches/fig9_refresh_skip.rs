@@ -1,0 +1,43 @@
+//! Fig. 9: REFRESH / Skip patterns per M/4x Refresh-Skipping ratio, as
+//! produced by the real MCR policy driving the refresh scheduler.
+
+use dram_device::Geometry;
+use mcr_bench::{header, timed};
+use mcr_dram::{McrMode, McrPolicy, Mechanisms};
+use mem_controller::{DevicePolicy, RefreshAction};
+
+fn main() {
+    timed("fig9", || {
+        header(
+            "Fig. 9",
+            "REFRESH commands for the same MCR per Refresh-Skipping ratio (M/4x)",
+        );
+        let g = Geometry::single_core_4gb();
+        for m in [4u32, 2, 1] {
+            let mode = McrMode::new(m, 4, 1.0).unwrap();
+            let mut policy = McrPolicy::for_geometry(mode, Mechanisms::all(), &g);
+            // Sample the 4 per-sweep visits of MCR group 0: with the
+            // reversed wiring these occur at counter values j << 13
+            // (15 row bits, K = 4).
+            let sweep = 1u64 << 15;
+            let mut pattern = Vec::new();
+            for c in 0..sweep {
+                let action = policy.refresh_action(0, 0 /* row in group 0 */);
+                let visit_boundary = sweep / 4;
+                if c % visit_boundary == 0 {
+                    pattern.push(match action {
+                        RefreshAction::Skip => "S",
+                        _ => "REF",
+                    });
+                }
+            }
+            println!(
+                "mode [{m}/4x]: {}   (each row refreshed every {:.0} ms)",
+                pattern.join(" "),
+                mode.refresh_interval_ms()
+            );
+        }
+        println!();
+        println!("paper: 4/4x = REF REF REF REF; 2/4x alternates REF/S; 1/4x = REF S S S.");
+    });
+}

@@ -1,0 +1,41 @@
+//! Table 3: timing constraints of every MCR mode, from the analytical
+//! circuit model, next to the paper's published values.
+
+use circuit_model::{calibrate, CircuitParams, PaperTable3, TimingSolver};
+use mcr_bench::{header, timed, vs};
+
+fn main() {
+    timed("table3", || {
+        header("Table 3", "tRCD / tRAS / tRFC per MCR mode (circuit model vs paper)");
+        let fit = calibrate(CircuitParams::calibrated());
+        println!(
+            "calibration: max tRCD err {:.2}%, max tRAS err {:.2}%",
+            fit.max_rcd_err * 100.0,
+            fit.max_ras_err * 100.0
+        );
+        let s = TimingSolver::new(fit.params);
+        println!(
+            "{:<8} {:<24} {:<24} {:<26} {:<26}",
+            "mode", "tRCD ns", "tRAS ns", "tRFC 1Gb ns", "tRFC 4Gb ns"
+        );
+        for (m, k) in PaperTable3::modes() {
+            println!(
+                "{:<8} {:<24} {:<24} {:<26} {:<26}",
+                format!("{m}/{k}x"),
+                vs(s.t_rcd_ns(k), PaperTable3::t_rcd_ns(k)),
+                vs(s.t_ras_ns(m, k), PaperTable3::t_ras_ns(m, k)),
+                vs(s.t_rfc_ns(m, k, 110.0), PaperTable3::t_rfc_1gb_ns(m, k)),
+                vs(s.t_rfc_ns(m, k, 260.0), PaperTable3::t_rfc_4gb_ns(m, k)),
+            );
+        }
+        println!();
+        println!("canonical constants used by the system simulator (cycles @ 1.25 ns):");
+        let table = mcr_dram::McrTimingTable::paper(mcr_dram::DeviceClass::OneGb);
+        for e in table.entries() {
+            println!(
+                "  {}/{}x: tRCD {:>2}ck  tRAS {:>2}ck  tRFC {:>3}ck",
+                e.m, e.k, e.row.t_rcd, e.row.t_ras, e.t_rfc
+            );
+        }
+    });
+}

@@ -1,0 +1,105 @@
+//! Charge-leakage model and data-integrity checks (paper Fig. 1, Sec. 3.3).
+
+use crate::params::CircuitParams;
+
+/// Worst-case linear leakage model: the voltage droop over an interval is
+/// proportional to the interval length (the paper's footnote 4 assumption).
+///
+/// ```
+/// use circuit_model::{CircuitParams, LeakageModel};
+///
+/// let params = CircuitParams::calibrated();
+/// let leak = LeakageModel::new(params);
+/// // Halving the refresh interval halves the worst-case droop,
+/// // which is exactly the slack Early-Precharge spends.
+/// assert_eq!(leak.droop_v(64.0), 2.0 * leak.droop_v(32.0));
+/// assert!(leak.survives(params.v_full, 64.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageModel {
+    params: CircuitParams,
+}
+
+impl LeakageModel {
+    /// Model over the given parameters.
+    pub fn new(params: CircuitParams) -> Self {
+        LeakageModel { params }
+    }
+
+    /// Worst-case voltage droop (V) over `interval_ms`.
+    pub fn droop_v(&self, interval_ms: f64) -> f64 {
+        self.params.d64 * interval_ms / self.params.retention_ms
+    }
+
+    /// The data-retention voltage: the lowest cell voltage that still reads
+    /// as data '1'. Defined so that a fully-restored normal row survives a
+    /// full retention window.
+    pub fn retention_v(&self) -> f64 {
+        self.params.v_full - self.params.d64
+    }
+
+    /// Checks data integrity: a cell restored to `restored_v` and left for
+    /// `interval_ms` must stay at or above the retention voltage.
+    pub fn survives(&self, restored_v: f64, interval_ms: f64) -> bool {
+        restored_v - self.droop_v(interval_ms) >= self.retention_v() - 1e-12
+    }
+
+    /// The minimum restore voltage that survives `interval_ms` of leakage.
+    pub fn min_restore_v(&self, interval_ms: f64) -> f64 {
+        self.retention_v() + self.droop_v(interval_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::TimingSolver;
+
+    fn model() -> LeakageModel {
+        LeakageModel::new(CircuitParams::calibrated())
+    }
+
+    #[test]
+    fn droop_is_linear_in_interval() {
+        let m = model();
+        assert!((m.droop_v(64.0) - 2.0 * m.droop_v(32.0)).abs() < 1e-12);
+        assert!((m.droop_v(64.0) - 4.0 * m.droop_v(16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_restore_survives_full_window() {
+        let m = model();
+        let p = CircuitParams::calibrated();
+        assert!(m.survives(p.v_full, 64.0));
+        assert!(!m.survives(p.v_full - 0.01, 64.0));
+    }
+
+    #[test]
+    fn paper_sec33_example_shape() {
+        // Sec. 3.3: cells restored to a lower voltage survive when the
+        // refresh interval halves. Our calibrated d64 plays the same role
+        // as the paper's illustrative 0.2·VDD.
+        let m = model();
+        let p = CircuitParams::calibrated();
+        let early_precharge_v = p.v_full - p.d64 / 2.0;
+        assert!(m.survives(early_precharge_v, 32.0));
+        assert!(!m.survives(early_precharge_v, 64.0));
+    }
+
+    #[test]
+    fn every_solver_mode_maintains_integrity() {
+        // The restore target the solver uses for M/Kx must survive the
+        // uniform 64/M ms refresh interval delivered by reversed wiring.
+        let p = CircuitParams::calibrated();
+        let s = TimingSolver::new(p);
+        let m = model();
+        for (mm, kk) in crate::PaperTable3::modes() {
+            let target = s.restore_target_v(mm);
+            let interval = 64.0 / mm as f64;
+            assert!(
+                m.survives(target, interval),
+                "mode {mm}/{kk}x: restore {target} does not survive {interval} ms"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Circuit model parameters.
+
+/// Parameters of the analytical cell/bitline model.
+///
+/// Capacitances are representative of a 55 nm DDR3 process (cell ≈ 24 fF,
+/// bitline ≈ 120 fF); the time constants come from calibrating the model
+/// against the paper's published Table 3 (see [`crate::calibrate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Cell capacitance (fF).
+    pub c_cell_ff: f64,
+    /// Bitline capacitance (fF).
+    pub c_bit_ff: f64,
+    /// Sense-amplifier regeneration time constant (ns).
+    pub tau_sense_ns: f64,
+    /// Fixed overhead before sensing begins: wordline rise + charge
+    /// sharing (ns).
+    pub t_sense_overhead_ns: f64,
+    /// Accessible-voltage margin above VDD/2 a bitline must reach before a
+    /// column command may latch correct data (V).
+    pub v_access_margin: f64,
+    /// Restore time constant for a single cell (ns).
+    pub tau_restore_ns: f64,
+    /// Per-extra-clone slowdown of the restore tail: the K-cell time
+    /// constant is `tau_restore_ns * (1 + restore_beta * (K-1))`.
+    pub restore_beta: f64,
+    /// Offset from ACTIVATE to the start of the restore phase (ns).
+    pub t_restore_offset_ns: f64,
+    /// Voltage counted as "fully restored" for a normal row (V). Slightly
+    /// below VDD because the exponential tail never closes.
+    pub v_full: f64,
+    /// Worst-case leakage droop over one full 64 ms retention window (V).
+    pub d64: f64,
+    /// Retention window (ms); 64 per JEDEC at normal temperature.
+    pub retention_ms: f64,
+}
+
+impl CircuitParams {
+    /// Parameters calibrated against the paper's Table 3 (see the fit test
+    /// in `crates/circuit-model/src/calibrate.rs`).
+    pub fn calibrated() -> Self {
+        CircuitParams {
+            vdd: 1.5,
+            c_cell_ff: 24.0,
+            c_bit_ff: 120.0,
+            tau_sense_ns: 6.9692,
+            t_sense_overhead_ns: 5.8744,
+            v_access_margin: 0.375,
+            tau_restore_ns: 7.9484,
+            restore_beta: 0.2766,
+            t_restore_offset_ns: 8.9844,
+            v_full: 1.48,
+            d64: 0.30,
+            retention_ms: 64.0,
+        }
+    }
+
+    /// Calibrated parameters at high temperature: leakage roughly doubles,
+    /// so JEDEC halves the retention window to 32 ms (paper Sec. 2.3).
+    /// The per-window worst-case droop spec (`d64`) is unchanged — the
+    /// faster leakage is exactly what the shorter window compensates for.
+    pub fn calibrated_high_temp() -> Self {
+        CircuitParams {
+            retention_ms: 32.0,
+            ..Self::calibrated()
+        }
+    }
+
+    /// Charge-sharing voltage ΔV for `k` clone cells on the bitline, given
+    /// the stored cell voltage `v_cell` (V). Equation (1) of the paper
+    /// generalized to K cells.
+    pub fn delta_v(&self, k: u32, v_cell: f64) -> f64 {
+        let kc = k as f64 * self.c_cell_ff;
+        (v_cell - self.vdd / 2.0) * kc / (kc + self.c_bit_ff)
+    }
+
+    /// ΔV for a freshly-restored data '1' ( `v_cell = v_full` ).
+    pub fn delta_v_full(&self, k: u32) -> f64 {
+        self.delta_v(k, self.v_full)
+    }
+
+    /// The bitline voltage a column command requires (`VDD/2 + margin`).
+    pub fn v_access(&self) -> f64 {
+        self.vdd / 2.0 + self.v_access_margin
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_v_grows_with_k() {
+        let p = CircuitParams::calibrated();
+        let d1 = p.delta_v_full(1);
+        let d2 = p.delta_v_full(2);
+        let d4 = p.delta_v_full(4);
+        assert!(d1 > 0.0);
+        assert!(d2 > d1);
+        assert!(d4 > d2);
+        // Sub-linear growth: doubling K less than doubles ΔV.
+        assert!(d2 < 2.0 * d1);
+    }
+
+    #[test]
+    fn delta_v_matches_equation_1() {
+        let p = CircuitParams::calibrated();
+        // ΔV = (V-VDD/2) * C/(C+Cbit): 24/(24+120) = 1/6 of the swing.
+        let swing = p.v_full - p.vdd / 2.0;
+        assert!((p.delta_v_full(1) - swing / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaked_cell_shares_less_charge() {
+        let p = CircuitParams::calibrated();
+        assert!(p.delta_v(1, p.v_full - p.d64) < p.delta_v_full(1));
+    }
+}

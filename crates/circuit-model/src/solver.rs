@@ -1,0 +1,184 @@
+//! Timing solver: waveform equations → tRCD / tRAS / tRFC per MCR mode.
+
+use crate::params::CircuitParams;
+
+/// The timing constants the solver produces for one `M/Kx` mode, in ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McrTimingNs {
+    /// Refresh operations per MCR per retention window.
+    pub m: u32,
+    /// Rows per MCR.
+    pub k: u32,
+    /// ACTIVATE → column command.
+    pub t_rcd: f64,
+    /// ACTIVATE → PRECHARGE.
+    pub t_ras: f64,
+    /// REFRESH busy time, 1 Gb-class device.
+    pub t_rfc_1gb: f64,
+    /// REFRESH busy time, 4 Gb-class device.
+    pub t_rfc_4gb: f64,
+}
+
+/// Solves the analytical waveforms for DRAM timing constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSolver {
+    params: CircuitParams,
+}
+
+impl TimingSolver {
+    /// Solver over the given circuit parameters.
+    pub fn new(params: CircuitParams) -> Self {
+        TimingSolver { params }
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// Sensing model: the bitline differential regenerates exponentially
+    /// from ΔV, so the time for the bitline to reach the accessible voltage
+    /// is `overhead + τ · ln(margin / ΔV)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn t_rcd_ns(&self, k: u32) -> f64 {
+        assert!(k > 0, "K must be positive");
+        let p = &self.params;
+        let dv = p.delta_v_full(k);
+        p.t_sense_overhead_ns + p.tau_sense_ns * (p.v_access_margin / dv).ln().max(0.0)
+    }
+
+    /// Restore-phase start voltage for a Kx activation: the cell tracks the
+    /// bitline, which starts at `VDD/2 + ΔV(K)` — higher for larger K,
+    /// matching Fig. 10(b)'s initial ordering.
+    pub fn restore_start_v(&self, k: u32) -> f64 {
+        self.params.vdd / 2.0 + self.params.delta_v_full(k)
+    }
+
+    /// Restore time constant for K clone cells sharing one sense amp.
+    pub fn restore_tau_ns(&self, k: u32) -> f64 {
+        self.params.tau_restore_ns * (1.0 + self.params.restore_beta * (k as f64 - 1.0))
+    }
+
+    /// The cell voltage a mode `M/Kx` restore must reach.
+    ///
+    /// A normal row must be restored to `v_full` so that after a worst-case
+    /// 64 ms of leakage it still holds `v_full - d64` (the data-retention
+    /// voltage). A Kx MCR refreshed M times per window leaks only `d64/M`
+    /// between refreshes, so restoring to `v_full - d64·(1 - 1/M)` keeps
+    /// the same worst-case margin (Sec. 3.3 of the paper).
+    pub fn restore_target_v(&self, m: u32) -> f64 {
+        assert!(m > 0, "M must be positive");
+        let p = &self.params;
+        p.v_full - p.d64 * (1.0 - 1.0 / m as f64)
+    }
+
+    /// `tRAS` for mode `M/Kx`: time for the slow exponential restore of K
+    /// cells to reach the (leakage-relaxed) target voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > k` (an MCR cannot be refreshed more often than its
+    /// row count allows without extra REFRESH commands) or `m == 0`.
+    pub fn t_ras_ns(&self, m: u32, k: u32) -> f64 {
+        assert!(m >= 1 && m <= k, "need 1 <= M <= K (paper Table 1)");
+        let p = &self.params;
+        let v0 = self.restore_start_v(k);
+        let target = self.restore_target_v(m);
+        let tau = self.restore_tau_ns(k);
+        let gap0 = p.vdd - v0;
+        let gap_t = (p.vdd - target).max(1e-6);
+        p.t_restore_offset_ns + tau * (gap0 / gap_t).ln().max(0.0)
+    }
+
+    /// `tRFC` for mode `M/Kx`, derived from the refresh row-cycle time in
+    /// DDR3-1600 clocks: `tRFC(mode) = tRFC(1x) · (ck(tRAS) + ck(tRP)) /
+    /// (ck(tRAS_1x) + ck(tRP))`. This rule reproduces every tRFC entry of
+    /// Table 3 exactly when fed the published tRAS values.
+    pub fn t_rfc_ns(&self, m: u32, k: u32, base_trfc_ns: f64) -> f64 {
+        let ck = |ns: f64| (ns / 1.25).ceil();
+        let t_rp_ck = ck(13.75);
+        let base_cycle = ck(self.t_ras_ns(1, 1)) + t_rp_ck;
+        let mode_cycle = ck(self.t_ras_ns(m, k)) + t_rp_ck;
+        base_trfc_ns * mode_cycle / base_cycle
+    }
+
+    /// Full timing row for mode `M/Kx`.
+    pub fn solve(&self, m: u32, k: u32) -> McrTimingNs {
+        McrTimingNs {
+            m,
+            k,
+            t_rcd: self.t_rcd_ns(k),
+            t_ras: self.t_ras_ns(m, k),
+            t_rfc_1gb: self.t_rfc_ns(m, k, 110.0),
+            t_rfc_4gb: self.t_rfc_ns(m, k, 260.0),
+        }
+    }
+
+    /// Timing rows for all six Table 3 modes.
+    pub fn solve_table3(&self) -> Vec<McrTimingNs> {
+        crate::PaperTable3::modes()
+            .iter()
+            .map(|&(m, k)| self.solve(m, k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> TimingSolver {
+        TimingSolver::new(CircuitParams::calibrated())
+    }
+
+    #[test]
+    fn trcd_monotonically_improves_with_k() {
+        let s = solver();
+        assert!(s.t_rcd_ns(2) < s.t_rcd_ns(1));
+        assert!(s.t_rcd_ns(4) < s.t_rcd_ns(2));
+    }
+
+    #[test]
+    fn tras_orderings_match_paper() {
+        let s = solver();
+        // Full-restore Kx modes are SLOWER than a normal row…
+        assert!(s.t_ras_ns(1, 2) > s.t_ras_ns(1, 1));
+        assert!(s.t_ras_ns(1, 4) > s.t_ras_ns(1, 2));
+        // …while leakage-relaxed modes are faster.
+        assert!(s.t_ras_ns(2, 2) < s.t_ras_ns(1, 1));
+        assert!(s.t_ras_ns(4, 4) < s.t_ras_ns(2, 4));
+        assert!(s.t_ras_ns(2, 4) < s.t_ras_ns(1, 4));
+    }
+
+    #[test]
+    fn restore_start_ordering_matches_fig10b() {
+        let s = solver();
+        assert!(s.restore_start_v(4) > s.restore_start_v(2));
+        assert!(s.restore_start_v(2) > s.restore_start_v(1));
+        // But the tail is slower for larger K.
+        assert!(s.restore_tau_ns(4) > s.restore_tau_ns(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= M <= K")]
+    fn m_cannot_exceed_k() {
+        solver().t_ras_ns(4, 2);
+    }
+
+    #[test]
+    fn trfc_rule_reproduces_table3_from_published_tras() {
+        // Feed the published tRAS through the cycle-count rule and compare
+        // against the published tRFC (this isolates the rule from the
+        // analytic tRAS fit).
+        let ck = |ns: f64| (ns / 1.25).ceil();
+        for (m, k) in crate::PaperTable3::modes() {
+            let mode_cycle = ck(crate::PaperTable3::t_ras_ns(m, k)) + 11.0;
+            let got = 110.0 * mode_cycle / 39.0;
+            let want = crate::PaperTable3::t_rfc_1gb_ns(m, k);
+            assert!((got - want).abs() < 0.05, "mode {m}/{k}x: {got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! `mcr-sim` — command-line driver for the MCR-DRAM full-system simulator.
+//!
+//! ```text
+//! mcr-sim --workload libq --mode 4/4x/100 --len 100000
+//! mcr-sim --mix mix03 --mode 2/4x/75 --alloc 0.1 --len 20000
+//! mcr-sim --workload comm2 --mode 4/4x/50 --row-cache 4 --csv
+//! mcr-sim --list
+//! ```
+//!
+//! Always prints the baseline (conventional DRAM) next to the requested
+//! configuration so the reductions are immediately visible.
+
+use mcr_dram::experiments::Outcome;
+use mcr_dram::{McrMode, Mechanisms, RowCacheConfig, RunReport, System, SystemConfig};
+use std::process::ExitCode;
+use trace_gen::{all_workloads, multi_programmed_mixes, multi_threaded_group, workload};
+
+#[derive(Debug)]
+struct Args {
+    workload: Option<String>,
+    mix: Option<String>,
+    mode: McrMode,
+    len: usize,
+    alloc: f64,
+    row_cache: Option<u32>,
+    seed: u64,
+    csv: bool,
+    mechanisms: Mechanisms,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: mcr-sim [--workload NAME | --mix NAME] [options]\n\
+         \n\
+         options:\n\
+           --mode M/Kx/L     MCR mode, e.g. 4/4x/100 (default: off)\n\
+           --len N           memory operations per core (default 50000)\n\
+           --alloc F         profile-based allocation ratio 0..1 (default 0)\n\
+           --row-cache T     manage MCR region as a cache, promote threshold T\n\
+           --mechanisms CASE fig17 case 1-4 (default: all on)\n\
+           --seed N          RNG seed (default 2015)\n\
+           --csv             emit one CSV line instead of the report\n\
+           --list            list workloads and mixes and exit"
+    );
+}
+
+fn parse_mode(text: &str) -> Option<McrMode> {
+    if text == "off" {
+        return Some(McrMode::off());
+    }
+    // M/Kx/L, e.g. "2/4x/75".
+    let mut parts = text.split('/');
+    let m: u32 = parts.next()?.parse().ok()?;
+    let k: u32 = parts.next()?.strip_suffix('x')?.parse().ok()?;
+    let l: f64 = parts.next()?.parse().ok()?;
+    McrMode::new(m, k, l / 100.0).ok()
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        workload: None,
+        mix: None,
+        mode: McrMode::off(),
+        len: 50_000,
+        alloc: 0.0,
+        row_cache: None,
+        seed: 2015,
+        csv: false,
+        mechanisms: Mechanisms::all(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--list" => {
+                println!("single-core workloads:");
+                for w in all_workloads() {
+                    println!(
+                        "  {:<12} {:?}, {:.0} MPKI{}",
+                        w.name,
+                        w.suite,
+                        w.mpki,
+                        if w.multi_threaded { " (MT, quad-core only)" } else { "" }
+                    );
+                }
+                println!("mixes: mix01..mix14, MT-fluid, MT-canneal");
+                return Ok(None);
+            }
+            "--workload" => args.workload = Some(value("--workload")?),
+            "--mix" => args.mix = Some(value("--mix")?),
+            "--mode" => {
+                let v = value("--mode")?;
+                args.mode =
+                    parse_mode(&v).ok_or_else(|| format!("bad mode {v:?} (want M/Kx/L or off)"))?;
+            }
+            "--len" => {
+                args.len = value("--len")?
+                    .parse()
+                    .map_err(|e| format!("bad --len: {e}"))?
+            }
+            "--alloc" => {
+                args.alloc = value("--alloc")?
+                    .parse()
+                    .map_err(|e| format!("bad --alloc: {e}"))?
+            }
+            "--row-cache" => {
+                args.row_cache = Some(
+                    value("--row-cache")?
+                        .parse()
+                        .map_err(|e| format!("bad --row-cache: {e}"))?,
+                )
+            }
+            "--mechanisms" => {
+                let case: u32 = value("--mechanisms")?
+                    .parse()
+                    .map_err(|e| format!("bad --mechanisms: {e}"))?;
+                if !(1..=4).contains(&case) {
+                    return Err("mechanisms case must be 1-4".into());
+                }
+                args.mechanisms = Mechanisms::fig17_case(case);
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--csv" => args.csv = true,
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.workload.is_none() && args.mix.is_none() {
+        return Err("need --workload or --mix (or --list)".into());
+    }
+    if args.workload.is_some() && args.mix.is_some() {
+        return Err("--workload and --mix are mutually exclusive".into());
+    }
+    Ok(Some(args))
+}
+
+fn build_config(a: &Args) -> Result<SystemConfig, String> {
+    let mut cfg = if let Some(name) = &a.workload {
+        workload(name).ok_or_else(|| format!("unknown workload {name:?} (try --list)"))?;
+        SystemConfig::single_core(name, a.len)
+    } else {
+        let name = a.mix.as_deref().expect("checked by parse_args");
+        let mut pool = multi_programmed_mixes(2015);
+        pool.extend(multi_threaded_group());
+        let mix = pool
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| format!("unknown mix {name:?} (mix01..mix14, MT-*)"))?;
+        SystemConfig::multi_core_mix(mix, a.len)
+    };
+    cfg = cfg
+        .with_mode(a.mode)
+        .with_mechanisms(a.mechanisms)
+        .with_alloc_ratio(a.alloc)
+        .with_seed(a.seed);
+    if let Some(threshold) = a.row_cache {
+        cfg = cfg.with_row_cache(RowCacheConfig {
+            promote_threshold: threshold,
+        });
+    }
+    Ok(cfg)
+}
+
+fn print_report(label: &str, r: &RunReport) {
+    println!(
+        "{label:<22} exec {:>11} cpu-cycles | read-lat {:>6.2} | EDP {:.4e} J*s | hits {:.2}",
+        r.exec_cpu_cycles,
+        r.avg_read_latency,
+        r.edp,
+        r.controller.row_hit_rate(),
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match build_config(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut base_cfg = cfg.clone();
+    base_cfg.mode = McrMode::off();
+    base_cfg.region_map = None;
+    base_cfg.mechanisms = Mechanisms::none();
+    base_cfg.alloc_ratio = 0.0;
+    base_cfg.row_cache = None;
+
+    let base = System::build(&base_cfg).run();
+    let run = System::build(&cfg).run();
+    let target = args.workload.clone().or(args.mix.clone()).expect("target set");
+    let o = Outcome::versus(&target, &base, &run);
+
+    if args.csv {
+        println!("target,mode,exec_reduction_pct,latency_reduction_pct,edp_reduction_pct");
+        println!(
+            "{target},{},{:.4},{:.4},{:.4}",
+            args.mode, o.exec_reduction, o.latency_reduction, o.edp_reduction
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!("target: {target}, {} memory ops/core, seed {}", args.len, args.seed);
+    print_report("baseline [off]", &base);
+    print_report(&format!("MCR {}", args.mode), &run);
+    println!();
+    println!(
+        "reductions: exec {:+.2}%  read-latency {:+.2}%  EDP {:+.2}%",
+        o.exec_reduction, o.latency_reduction, o.edp_reduction
+    );
+    println!(
+        "refresh: {} normal, {} fast, {} skipped | usable capacity {:.0}%",
+        run.controller.refresh.normal,
+        run.controller.refresh.fast,
+        run.controller.refresh.skipped,
+        args.mode.usable_capacity() * 100.0
+    );
+    if let Some(c) = run.cache {
+        println!(
+            "row cache: {} hits, {} misses, {} promotions, {} evictions",
+            c.hits, c.misses, c.promotions, c.evictions
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,386 @@
+//! MCRs as a hardware-managed row cache (paper Sec. 7, "Low Latency Rows
+//! Used as Caches").
+//!
+//! Instead of statically allocating hot pages into MCR frames with OS
+//! support (Sec. 4.4), the controller can manage the MCR region as a
+//! *cache* of the normal rows in the same bank, the way TL-DRAM uses its
+//! near segment: a normal row that proves hot is copied into a free (or
+//! victim) MCR frame, and subsequent accesses are redirected there and
+//! enjoy the MCR timing.
+//!
+//! Copies are intra-bank row-to-row transfers. We charge them as one read
+//! of the source plus one write of the destination cache line stream
+//! (injected as sentinel requests through the regular queues), which is a
+//! conservative stand-in for a RowClone-style back-to-back-activate copy.
+//!
+//! The directory is write-through-*into the frame*: while a row is cached,
+//! reads and writes both go to the frame, so eviction must copy the frame
+//! back to the home row before the frame can be reused.
+
+use crate::layout::RegionMap;
+use dram_device::{DramAddress, Geometry};
+use std::collections::{HashMap, VecDeque};
+
+/// Key identifying a bank.
+type BankKey = (u8, u8, u8);
+
+/// Configuration of the MCR row cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCacheConfig {
+    /// Accesses a normal row must accumulate before being promoted into
+    /// an MCR frame.
+    pub promote_threshold: u32,
+}
+
+impl Default for RowCacheConfig {
+    fn default() -> Self {
+        RowCacheConfig {
+            promote_threshold: 8,
+        }
+    }
+}
+
+/// Row-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowCacheStats {
+    /// Accesses redirected to an MCR frame.
+    pub hits: u64,
+    /// Accesses to uncached normal rows.
+    pub misses: u64,
+    /// Rows copied into MCR frames.
+    pub promotions: u64,
+    /// Frames reclaimed (with copy-back of the cached row).
+    pub evictions: u64,
+}
+
+/// A copy the cache requests from the memory system (modelled as a
+/// sentinel read of `from` plus a sentinel write of `to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowCopy {
+    /// Source coordinates (row granularity; column 0 by convention).
+    pub from: DramAddress,
+    /// Destination coordinates.
+    pub to: DramAddress,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Row is cached: access the returned coordinates instead.
+    Hit(DramAddress),
+    /// Row is not cached (and not promoted this time).
+    Miss,
+    /// Row was just promoted: access the returned frame coordinates, and
+    /// perform the listed copies (eviction copy-back first, if any).
+    Promoted {
+        /// Redirected coordinates.
+        redirect: DramAddress,
+        /// Copies the memory system must perform.
+        copies: Vec<RowCopy>,
+    },
+}
+
+/// Per-bank frame bookkeeping.
+#[derive(Debug)]
+struct BankFrames {
+    /// Frames with no resident row, available immediately.
+    free: Vec<u64>,
+    /// Frames in LRU order (front = least recent) with their resident row.
+    lru: VecDeque<(u64, u64)>, // (frame, home_row)
+}
+
+/// The MCR row-cache directory (one per memory controller).
+///
+/// ```
+/// use dram_device::{DramAddress, Geometry};
+/// use mcr_dram::{CacheOutcome, McrMode, RegionMap, RowCache, RowCacheConfig};
+///
+/// let geometry = Geometry::single_core_4gb();
+/// let regions = RegionMap::single(McrMode::new(4, 4, 0.5).unwrap());
+/// let mut cache = RowCache::new(geometry, regions, RowCacheConfig { promote_threshold: 2 });
+/// let hot = DramAddress { row: 7, ..DramAddress::default() };
+/// assert_eq!(cache.access(hot), CacheOutcome::Miss); // first touch counts
+/// match cache.access(hot) {                          // second touch promotes
+///     CacheOutcome::Promoted { redirect, .. } => assert_ne!(redirect.row, 7),
+///     other => panic!("expected promotion, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct RowCache {
+    config: RowCacheConfig,
+    geometry: Geometry,
+    regions: RegionMap,
+    /// (bank, home_row) → frame holding it.
+    dir: HashMap<(BankKey, u64), u64>,
+    /// Access counts of not-yet-promoted normal rows.
+    counts: HashMap<(BankKey, u64), u32>,
+    frames: HashMap<BankKey, BankFrames>,
+    stats: RowCacheStats,
+}
+
+impl RowCache {
+    /// A cache whose frames are the MCR region of `regions` (first rows of
+    /// each clone group).
+    pub fn new(geometry: Geometry, regions: RegionMap, config: RowCacheConfig) -> Self {
+        RowCache {
+            config,
+            geometry,
+            regions,
+            dir: HashMap::new(),
+            counts: HashMap::new(),
+            frames: HashMap::new(),
+            stats: RowCacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RowCacheStats {
+        self.stats
+    }
+
+    /// Number of rows currently cached.
+    pub fn resident(&self) -> usize {
+        self.dir.len()
+    }
+
+    fn bank_frames(&mut self, key: BankKey) -> &mut BankFrames {
+        let geometry = self.geometry;
+        let regions = &self.regions;
+        self.frames.entry(key).or_insert_with(|| {
+            let mut free = Vec::new();
+            for region in regions.regions() {
+                free.extend(region.allocatable_frames(geometry.rows_per_bank));
+            }
+            // Hand out hottest-tier frames last so pop() takes them first.
+            BankFrames {
+                free,
+                lru: VecDeque::new(),
+            }
+        })
+    }
+
+    /// Looks up (and updates) the cache for an access to `dram`.
+    ///
+    /// Rows already inside the MCR region are not cacheable (they *are*
+    /// the cache) and always miss through unchanged.
+    pub fn access(&mut self, dram: DramAddress) -> CacheOutcome {
+        if self.regions.is_off() || self.regions.classify(dram.row).is_some() {
+            return CacheOutcome::Miss;
+        }
+        let key = (dram.channel, dram.rank, dram.bank);
+        // Already cached?
+        if let Some(&frame) = self.dir.get(&(key, dram.row)) {
+            self.stats.hits += 1;
+            let bf = self.bank_frames(key);
+            if let Some(pos) = bf.lru.iter().position(|&(f, _)| f == frame) {
+                let entry = bf.lru.remove(pos).expect("position just found");
+                bf.lru.push_back(entry);
+            }
+            return CacheOutcome::Hit(DramAddress {
+                row: frame,
+                ..dram
+            });
+        }
+        // Count toward promotion.
+        self.stats.misses += 1;
+        let count = self.counts.entry((key, dram.row)).or_insert(0);
+        *count += 1;
+        if *count < self.config.promote_threshold {
+            return CacheOutcome::Miss;
+        }
+        self.counts.remove(&(key, dram.row));
+        // Find a frame: free list first, else evict LRU.
+        let mut copies = Vec::new();
+        let bf = self.bank_frames(key);
+        let frame = match bf.free.pop() {
+            Some(f) => f,
+            None => match bf.lru.pop_front() {
+                Some((f, old_row)) => {
+                    copies.push(RowCopy {
+                        from: DramAddress { row: f, col: 0, ..dram },
+                        to: DramAddress {
+                            row: old_row,
+                            col: 0,
+                            ..dram
+                        },
+                    });
+                    self.dir.remove(&(key, old_row));
+                    self.stats.evictions += 1;
+                    f
+                }
+                None => return CacheOutcome::Miss, // no frames at all
+            },
+        };
+        copies.push(RowCopy {
+            from: DramAddress { col: 0, ..dram },
+            to: DramAddress {
+                row: frame,
+                col: 0,
+                ..dram
+            },
+        });
+        self.dir.insert((key, dram.row), frame);
+        self.bank_frames(key).lru.push_back((frame, dram.row));
+        self.stats.promotions += 1;
+        CacheOutcome::Promoted {
+            redirect: DramAddress { row: frame, ..dram },
+            copies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::McrMode;
+
+    fn cache(threshold: u32) -> RowCache {
+        let g = Geometry::tiny(); // 64 rows/bank, sub-array logic still 512
+        // With 64 rows per bank and a 512-row sub-array model, use a
+        // full-region 4x map scaled to the tiny geometry instead:
+        let regions = RegionMap::single(McrMode::new(4, 4, 1.0).unwrap());
+        RowCache::new(
+            g,
+            regions,
+            RowCacheConfig {
+                promote_threshold: threshold,
+            },
+        )
+    }
+
+    fn big_cache(threshold: u32, l: f64) -> RowCache {
+        let g = Geometry::single_core_4gb();
+        RowCache::new(
+            g,
+            RegionMap::single(McrMode::new(4, 4, l).unwrap()),
+            RowCacheConfig {
+                promote_threshold: threshold,
+            },
+        )
+    }
+
+    fn addr(row: u64) -> DramAddress {
+        DramAddress {
+            row,
+            ..DramAddress::default()
+        }
+    }
+
+    #[test]
+    fn promotion_after_threshold() {
+        let mut c = big_cache(3, 0.5);
+        // Row 10 is a normal row (bottom half of the sub-array).
+        assert_eq!(c.access(addr(10)), CacheOutcome::Miss);
+        assert_eq!(c.access(addr(10)), CacheOutcome::Miss);
+        match c.access(addr(10)) {
+            CacheOutcome::Promoted { redirect, copies } => {
+                assert_ne!(redirect.row, 10);
+                assert_eq!(copies.len(), 1);
+                assert_eq!(copies[0].from.row, 10);
+                assert_eq!(copies[0].to.row, redirect.row);
+                // The frame is in the MCR region and group-aligned.
+                assert!(redirect.row % 512 >= 256);
+                assert_eq!(redirect.row % 4, 0);
+            }
+            other => panic!("expected promotion, got {other:?}"),
+        }
+        // Subsequent accesses hit.
+        assert!(matches!(c.access(addr(10)), CacheOutcome::Hit(_)));
+        assert_eq!(c.stats().promotions, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn mcr_region_rows_pass_through() {
+        let mut c = big_cache(1, 0.5);
+        // Row 300 lies in the MCR region: never cached.
+        for _ in 0..5 {
+            assert_eq!(c.access(addr(300)), CacheOutcome::Miss);
+        }
+        assert_eq!(c.stats().promotions, 0);
+    }
+
+    #[test]
+    fn eviction_copies_back_lru_resident() {
+        let g = Geometry::tiny();
+        // Tiny region: rows 508..512 of each "sub-array" — tiny banks have
+        // 64 rows, so craft a region map over the full space with 4x mode
+        // and rely on frames_per_bank = 16. Use threshold 1 to promote on
+        // first touch and overflow the 16 frames.
+        let regions = RegionMap::single(McrMode::new(4, 4, 1.0).unwrap());
+        let mut c = RowCache::new(g, regions, RowCacheConfig { promote_threshold: 1 });
+        // All rows are MCR rows with a 100% region... so instead check the
+        // pass-through rule holds for them:
+        assert_eq!(c.access(addr(5)), CacheOutcome::Miss);
+
+        // For real eviction behavior use the 4 GB geometry with 25% region
+        // and exhaust one bank's frames with *normal* rows (region rows —
+        // sub-array-local index >= 384 — pass through uncached).
+        let mut c = big_cache(1, 0.25);
+        let frames_per_bank = 64 * 32; // 64 sub-arrays × (128 region rows / 4)
+        let normal_rows = (0u64..32768).filter(|r| r % 512 < 384);
+        let mut promoted = 0usize;
+        for row in normal_rows.take(frames_per_bank + 3) {
+            match c.access(addr(row)) {
+                CacheOutcome::Promoted { copies, .. } => {
+                    promoted += 1;
+                    if promoted <= frames_per_bank {
+                        assert_eq!(copies.len(), 1, "no eviction while frames free");
+                    } else {
+                        assert_eq!(copies.len(), 2, "eviction requires copy-back");
+                        // Copy-back destination is a normal (home) row.
+                        assert!(copies[0].to.row % 512 < 384);
+                    }
+                }
+                CacheOutcome::Miss => panic!("threshold 1 must promote row {row}"),
+                CacheOutcome::Hit(_) => panic!("fresh row cannot hit"),
+            }
+        }
+        assert_eq!(c.stats().evictions, 3);
+        assert_eq!(c.resident(), frames_per_bank);
+    }
+
+    #[test]
+    fn hits_refresh_lru_position() {
+        let mut c = big_cache(1, 0.25);
+        let frames_per_bank = 64 * 32;
+        // Fill the bank with normal rows.
+        let fill: Vec<u64> = (0u64..32768)
+            .filter(|r| r % 512 < 384)
+            .take(frames_per_bank)
+            .collect();
+        for &row in &fill {
+            c.access(addr(row));
+        }
+        // Touch the first-promoted row (the LRU candidate) to refresh it.
+        assert!(matches!(c.access(addr(fill[0])), CacheOutcome::Hit(_)));
+        // Promote one more normal row: the victim must NOT be fill[0].
+        let fresh = (0u64..32768)
+            .filter(|r| r % 512 < 384)
+            .nth(frames_per_bank)
+            .unwrap();
+        match c.access(addr(fresh)) {
+            CacheOutcome::Promoted { copies, .. } => {
+                assert_eq!(copies.len(), 2);
+                assert_ne!(copies[0].to.row, fill[0], "just-used row is not LRU");
+            }
+            other => panic!("expected promotion, got {other:?}"),
+        }
+        assert!(matches!(c.access(addr(fill[0])), CacheOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn off_region_disables_cache() {
+        let g = Geometry::single_core_4gb();
+        let mut c = RowCache::new(
+            g,
+            RegionMap::single(McrMode::off()),
+            RowCacheConfig::default(),
+        );
+        for _ in 0..100 {
+            assert_eq!(c.access(addr(1)), CacheOutcome::Miss);
+        }
+        assert_eq!(c.stats().promotions, 0);
+        let _ = cache(1); // exercise the tiny constructor too
+    }
+}

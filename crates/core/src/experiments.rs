@@ -1,0 +1,310 @@
+//! Reusable experiment runners for the paper's evaluation figures.
+//!
+//! Each bench in `crates/bench/benches` composes these helpers into the
+//! sweep the corresponding figure reports. Keeping the runners here (and
+//! unit-testing them at small scale) lets integration tests assert the
+//! qualitative shapes without duplicating harness code.
+
+use crate::mechanisms::Mechanisms;
+use crate::mode::McrMode;
+use crate::system::{RunReport, System, SystemConfig};
+use trace_gen::Mix;
+
+/// Percentage reduction of `new` relative to `base` (positive = better).
+pub fn reduction_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - new) / base * 100.0
+    }
+}
+
+/// Side-by-side outcome of an MCR configuration against its baseline.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Label (workload or mix name).
+    pub label: String,
+    /// Execution-time reduction (%) vs baseline.
+    pub exec_reduction: f64,
+    /// Read-latency reduction (%) vs baseline.
+    pub latency_reduction: f64,
+    /// EDP reduction (%) vs baseline.
+    pub edp_reduction: f64,
+}
+
+impl Outcome {
+    /// Computes the three headline reductions from two reports.
+    pub fn versus(label: impl Into<String>, base: &RunReport, new: &RunReport) -> Self {
+        Outcome {
+            label: label.into(),
+            exec_reduction: reduction_pct(base.exec_cpu_cycles as f64, new.exec_cpu_cycles as f64),
+            latency_reduction: reduction_pct(base.avg_read_latency, new.avg_read_latency),
+            edp_reduction: reduction_pct(base.edp, new.edp),
+        }
+    }
+}
+
+/// Arithmetic mean of a metric over outcomes.
+pub fn mean(outcomes: &[Outcome], f: impl Fn(&Outcome) -> f64) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+}
+
+/// Weighted speedup of `new` over `base`: `Σ_i T_base,i / T_new,i` over
+/// cores — the standard multi-programmed throughput metric. Equals the
+/// core count when nothing changed; larger is better.
+///
+/// # Panics
+///
+/// Panics if the two reports have different core counts.
+pub fn weighted_speedup(base: &RunReport, new: &RunReport) -> f64 {
+    assert_eq!(
+        base.per_core_cpu_cycles.len(),
+        new.per_core_cpu_cycles.len(),
+        "core counts differ"
+    );
+    base.per_core_cpu_cycles
+        .iter()
+        .zip(&new.per_core_cpu_cycles)
+        .map(|(&b, &n)| b as f64 / n.max(1) as f64)
+        .sum()
+}
+
+/// Fairness of a multi-core run: min over cores of per-core speedup
+/// divided by max (1.0 = perfectly uniform benefit).
+pub fn fairness(base: &RunReport, new: &RunReport) -> f64 {
+    let speedups: Vec<f64> = base
+        .per_core_cpu_cycles
+        .iter()
+        .zip(&new.per_core_cpu_cycles)
+        .map(|(&b, &n)| b as f64 / n.max(1) as f64)
+        .collect();
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().copied().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        0.0
+    } else {
+        min / max
+    }
+}
+
+/// Runs one single-core configuration.
+pub fn run_single(
+    name: &str,
+    mode: McrMode,
+    mechanisms: Mechanisms,
+    alloc_ratio: f64,
+    trace_len: usize,
+) -> RunReport {
+    let cfg = SystemConfig::single_core(name, trace_len)
+        .with_mode(mode)
+        .with_mechanisms(mechanisms)
+        .with_alloc_ratio(alloc_ratio);
+    System::build(&cfg).run()
+}
+
+/// Runs one quad-core configuration.
+pub fn run_multi(
+    mix: &Mix,
+    mode: McrMode,
+    mechanisms: Mechanisms,
+    alloc_ratio: f64,
+    trace_len: usize,
+) -> RunReport {
+    let cfg = SystemConfig::multi_core_mix(mix, trace_len)
+        .with_mode(mode)
+        .with_mechanisms(mechanisms)
+        .with_alloc_ratio(alloc_ratio);
+    System::build(&cfg).run()
+}
+
+/// Single-core baseline (conventional DRAM) for a workload.
+pub fn baseline_single(name: &str, trace_len: usize) -> RunReport {
+    run_single(name, McrMode::off(), Mechanisms::none(), 0.0, trace_len)
+}
+
+/// Quad-core baseline for a mix.
+pub fn baseline_multi(mix: &Mix, trace_len: usize) -> RunReport {
+    run_multi(mix, McrMode::off(), Mechanisms::none(), 0.0, trace_len)
+}
+
+/// Summary of a metric over several seeds: mean plus min/max spread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedSpread {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl SeedSpread {
+    fn of(xs: &[f64]) -> Self {
+        let mean = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        SeedSpread {
+            mean,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the observed range (a cheap error bar).
+    pub fn half_range(&self) -> f64 {
+        (self.max - self.min) / 2.0
+    }
+}
+
+/// Runs one single-core configuration under several seeds and reports the
+/// spread of the execution-time reduction — the error bar for any claim a
+/// bench makes. Deterministic per seed.
+pub fn seed_sweep_single(
+    name: &str,
+    mode: McrMode,
+    mechanisms: Mechanisms,
+    alloc_ratio: f64,
+    trace_len: usize,
+    seeds: &[u64],
+) -> SeedSpread {
+    let reductions: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            let base = System::build(&SystemConfig::single_core(name, trace_len).with_seed(seed))
+                .run();
+            let cfg = SystemConfig::single_core(name, trace_len)
+                .with_mode(mode)
+                .with_mechanisms(mechanisms)
+                .with_alloc_ratio(alloc_ratio)
+                .with_seed(seed);
+            let r = System::build(&cfg).run();
+            reduction_pct(base.exec_cpu_cycles as f64, r.exec_cpu_cycles as f64)
+        })
+        .collect();
+    SeedSpread::of(&reductions)
+}
+
+/// The MCR-ratio sweep of Fig. 11/14: mode `[M/Kx]` with the region knob
+/// standing in for the "MCR to total row ratio"; Early-Access and
+/// Early-Precharge only, no allocation (the paper's setup for this
+/// figure).
+pub fn ratio_point(
+    name: &str,
+    m: u32,
+    k: u32,
+    ratio: f64,
+    trace_len: usize,
+) -> (RunReport, RunReport) {
+    let base = baseline_single(name, trace_len);
+    let mode = McrMode::new(m, k, ratio).expect("valid mode");
+    let mcr = run_single(name, mode, Mechanisms::access_only(), 0.0, trace_len);
+    (base, mcr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_gen::multi_programmed_mixes;
+
+    const LEN: usize = 5_000;
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(reduction_pct(100.0, 90.0), 10.0);
+        assert_eq!(reduction_pct(0.0, 50.0), 0.0);
+        assert!(reduction_pct(100.0, 110.0) < 0.0);
+    }
+
+    #[test]
+    fn ratio_point_improves_latency_at_full_region() {
+        let (base, mcr) = ratio_point("libq", 4, 4, 1.0, LEN);
+        let o = Outcome::versus("libq", &base, &mcr);
+        assert!(
+            o.latency_reduction > 0.0,
+            "4/4x full region should cut read latency, got {:+.2}%",
+            o.latency_reduction
+        );
+    }
+
+    #[test]
+    fn higher_k_does_not_lose_to_lower_k_at_same_ratio() {
+        // Paper Fig. 11: mode [4/4x] beats [2/2x] at equal MCR ratio.
+        let (base, m22) = ratio_point("leslie", 2, 2, 1.0, LEN);
+        let (_, m44) = ratio_point("leslie", 4, 4, 1.0, LEN);
+        let o22 = Outcome::versus("2/2x", &base, &m22);
+        let o44 = Outcome::versus("4/4x", &base, &m44);
+        assert!(
+            o44.latency_reduction >= o22.latency_reduction - 0.5,
+            "4/4x {:.2}% vs 2/2x {:.2}%",
+            o44.latency_reduction,
+            o22.latency_reduction
+        );
+    }
+
+    #[test]
+    fn multi_core_runner_works() {
+        let mix = &multi_programmed_mixes(2015)[0];
+        let base = baseline_multi(mix, 800);
+        let mcr = run_multi(mix, McrMode::headline(), Mechanisms::all(), 0.0, 800);
+        let o = Outcome::versus(mix.name, &base, &mcr);
+        // Smoke: metrics exist; shape assertions live in the benches where
+        // trace lengths are realistic.
+        assert!(o.exec_reduction.abs() < 100.0);
+    }
+
+    #[test]
+    fn seed_sweep_reports_tight_spread_for_real_effects() {
+        let spread = seed_sweep_single(
+            "libq",
+            McrMode::headline(),
+            Mechanisms::all(),
+            0.0,
+            6_000,
+            &[1, 2, 3],
+        );
+        assert!(spread.mean > 0.0, "MCR effect must survive seed changes");
+        assert!(spread.min <= spread.mean && spread.mean <= spread.max);
+        assert!(
+            spread.half_range() < spread.mean,
+            "effect ({:.2}%) should exceed seed noise (+/-{:.2}%)",
+            spread.mean,
+            spread.half_range()
+        );
+    }
+
+    #[test]
+    fn weighted_speedup_and_fairness() {
+        let mix = &multi_programmed_mixes(2015)[0];
+        let base = baseline_multi(mix, 1_200);
+        let mcr = run_multi(mix, McrMode::headline(), Mechanisms::all(), 0.0, 1_200);
+        let ws = weighted_speedup(&base, &mcr);
+        // 4 cores, all at least slightly faster: 4.0 <= ws < 8.
+        assert!((3.9..8.0).contains(&ws), "weighted speedup {ws}");
+        let f = fairness(&base, &mcr);
+        assert!(f > 0.5 && f <= 1.0, "fairness {f}");
+        // Identity check.
+        assert!((weighted_speedup(&base, &base) - 4.0).abs() < 1e-12);
+        assert!((fairness(&base, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_helper() {
+        let outs = vec![
+            Outcome {
+                label: "a".into(),
+                exec_reduction: 10.0,
+                latency_reduction: 0.0,
+                edp_reduction: 0.0,
+            },
+            Outcome {
+                label: "b".into(),
+                exec_reduction: 20.0,
+                latency_reduction: 0.0,
+                edp_reduction: 0.0,
+            },
+        ];
+        assert_eq!(mean(&outs, |o| o.exec_reduction), 15.0);
+        assert_eq!(mean(&[], |o| o.exec_reduction), 0.0);
+    }
+}

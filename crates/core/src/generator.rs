@@ -1,0 +1,191 @@
+//! The MCR generator: the peripheral-region address path of Fig. 7.
+//!
+//! A DRAM row decoder drives each wordline from N internal address lines,
+//! where the m-th input is wired to either the true (`A_m`) or the
+//! complement (`/A_m`) line. Driving *both* `A_m` and `/A_m` high for the
+//! low `log2 K` bits makes every wordline whose upper bits match rise
+//! together — K rows become one logical row at the cost of a few dozen
+//! gates between the address buffer and the internal address lines, all in
+//! the peripheral region (no bank modification).
+//!
+//! [`McrGenerator`] models exactly that pipeline: *MCR detector* (1–2
+//! address-MSB compare per the `L%reg` configuration) followed by the
+//! *address changer* (force the low bits of both rails high).
+
+use crate::layout::McrLayout;
+use crate::mode::McrMode;
+use std::fmt;
+
+/// The internal row address after the MCR generator: either a single row
+/// (normal) or an MCR covering `k` consecutive rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum McrAddress {
+    /// Normal row: exactly one wordline rises.
+    Normal(u64),
+    /// MCR: all `k` wordlines starting at `base` rise together.
+    Mcr {
+        /// First row of the clone group (low `log2 K` bits are zero).
+        base: u64,
+        /// Number of wordlines raised.
+        k: u32,
+    },
+}
+
+impl McrAddress {
+    /// All rows turned on by this internal address.
+    pub fn rows(&self) -> Vec<u64> {
+        match *self {
+            McrAddress::Normal(r) => vec![r],
+            McrAddress::Mcr { base, k } => (base..base + k as u64).collect(),
+        }
+    }
+
+    /// Number of wordlines raised.
+    pub fn wordlines(&self) -> u32 {
+        match *self {
+            McrAddress::Normal(_) => 1,
+            McrAddress::Mcr { k, .. } => k,
+        }
+    }
+}
+
+impl fmt::Display for McrAddress {
+    /// Prints MCR addresses in the paper's `X` notation: ignored LSBs show
+    /// as `X` (e.g. MCR address `00XX` for rows 0000–0011).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            McrAddress::Normal(r) => write!(f, "{r:04b}"),
+            McrAddress::Mcr { base, k } => {
+                let xs = k.trailing_zeros() as usize;
+                let bits = format!("{:04b}", base >> xs);
+                write!(f, "{}{}", &bits[xs.min(bits.len())..], "X".repeat(xs))
+            }
+        }
+    }
+}
+
+/// The MCR generator: detector + address changer, reconfigured whenever
+/// the MCR-mode Mode Register is rewritten (MRS command).
+///
+/// ```
+/// use mcr_dram::{McrGenerator, McrMode};
+///
+/// let generator = McrGenerator::new(McrMode::headline()); // [4/4x/100%reg]
+/// let mcr = generator.translate(0b0010);
+/// assert_eq!(mcr.rows(), vec![0, 1, 2, 3]);   // all four clones rise
+/// assert_eq!(mcr.to_string(), "00XX");        // the paper's X notation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McrGenerator {
+    layout: McrLayout,
+}
+
+impl McrGenerator {
+    /// Generator for the given mode.
+    pub fn new(mode: McrMode) -> Self {
+        McrGenerator {
+            layout: McrLayout::new(mode),
+        }
+    }
+
+    /// Models the MRS command that reprograms the MCR-mode Mode Register:
+    /// the generator latches the new configuration (Sec. 4.1).
+    pub fn reprogram(&mut self, mode: McrMode) {
+        self.layout = McrLayout::new(mode);
+    }
+
+    /// The active layout.
+    pub fn layout(&self) -> &McrLayout {
+        &self.layout
+    }
+
+    /// The MCR detector: is this row in an MCR under the current mode?
+    pub fn detect(&self, row: u64) -> bool {
+        !self.layout.mode().is_off() && self.layout.is_mcr_row(row)
+    }
+
+    /// The full address path: detector then address changer.
+    ///
+    /// For an MCR row the low `log2 K` bits of both internal rails go
+    /// high, so the returned address names all K clone rows.
+    pub fn translate(&self, row: u64) -> McrAddress {
+        if self.detect(row) {
+            McrAddress::Mcr {
+                base: self.layout.group_base(row),
+                k: self.layout.mode().k(),
+            }
+        } else {
+            McrAddress::Normal(row)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(m: u32, k: u32, l: f64) -> McrGenerator {
+        McrGenerator::new(McrMode::new(m, k, l).unwrap())
+    }
+
+    #[test]
+    fn paper_example_4bit_2x() {
+        // Paper Sec. 4.2: internal address A2 A1 A0 = 001 with the low bit
+        // forced on both rails drives wordlines 000 and 001 (MCR 00X).
+        let g = gen(2, 2, 1.0);
+        let a = g.translate(0b001);
+        assert_eq!(a, McrAddress::Mcr { base: 0b000, k: 2 });
+        assert_eq!(a.rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn paper_example_4x_mcr_address_00xx() {
+        // MCR address 00XX = rows 0000, 0001, 0010, 0011.
+        let g = gen(4, 4, 1.0);
+        let a = g.translate(0b0010);
+        assert_eq!(a.rows(), vec![0, 1, 2, 3]);
+        assert_eq!(a.to_string(), "00XX");
+        assert_eq!(a.wordlines(), 4);
+    }
+
+    #[test]
+    fn normal_rows_pass_through() {
+        // With 50% region, lower-half rows stay normal.
+        let g = gen(2, 2, 0.5);
+        let a = g.translate(3);
+        assert_eq!(a, McrAddress::Normal(3));
+        assert_eq!(a.wordlines(), 1);
+        // Upper-half rows become MCRs.
+        assert_eq!(
+            g.translate(300),
+            McrAddress::Mcr { base: 300, k: 2 }
+        );
+    }
+
+    #[test]
+    fn mode_off_never_detects() {
+        let g = McrGenerator::new(McrMode::off());
+        assert!((0..1024).all(|r| !g.detect(r)));
+    }
+
+    #[test]
+    fn reprogram_models_mrs() {
+        let mut g = gen(4, 4, 1.0);
+        assert_eq!(g.translate(5).wordlines(), 4);
+        g.reprogram(McrMode::new(2, 2, 1.0).unwrap());
+        assert_eq!(g.translate(5).wordlines(), 2);
+        g.reprogram(McrMode::off());
+        assert_eq!(g.translate(5).wordlines(), 1);
+    }
+
+    #[test]
+    fn translate_is_idempotent_on_group_members() {
+        // Every row of a group translates to the same MCR address.
+        let g = gen(4, 4, 1.0);
+        let base = g.translate(8);
+        for r in 8..12 {
+            assert_eq!(g.translate(r), base);
+        }
+        assert_ne!(g.translate(12), base);
+    }
+}

@@ -1,0 +1,379 @@
+//! MCR row layout within each sub-array (paper Sec. 4.1–4.2, Fig. 6).
+//!
+//! When MCR-mode is on, the MCRs occupy the rows of each 512-row sub-array
+//! whose intra-sub-array address MSBs are all ones — e.g. with mode
+//! `[50%reg]` a row is in an MCR iff its `A8` bit is 1, with `[25%reg]`
+//! iff `A8 A7 = 11` (the paper's MCR-detector examples). Those are the rows
+//! physically nearest the sense amplifiers in the paper's floorplan; what
+//! matters architecturally is that membership is decidable from one or two
+//! address bits.
+
+use crate::mode::McrMode;
+
+/// Rows per sub-array (the paper's mat is a 512 × 512 cell array).
+pub const SUBARRAY_ROWS: u64 = 512;
+
+/// Decides MCR membership, group identity, and capacity accounting for a
+/// given mode over a bank's rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McrLayout {
+    mode: McrMode,
+    /// Number of MCR rows per sub-array (multiple of K, power-of-two-ish
+    /// fraction of 512 selected by address MSBs).
+    region_rows: u64,
+}
+
+impl McrLayout {
+    /// Layout for `mode`.
+    ///
+    /// The region fraction is quantized to an address-MSB-decidable number
+    /// of rows (a multiple of K no larger than `L·512`).
+    pub fn new(mode: McrMode) -> Self {
+        let k = mode.k() as u64;
+        let raw = (mode.region() * SUBARRAY_ROWS as f64).round() as u64;
+        let region_rows = if mode.is_off() { 0 } else { raw / k * k };
+        McrLayout { mode, region_rows }
+    }
+
+    /// The mode this layout realizes.
+    pub fn mode(&self) -> McrMode {
+        self.mode
+    }
+
+    /// MCR rows per sub-array.
+    pub fn region_rows(&self) -> u64 {
+        self.region_rows
+    }
+
+    /// True when `row` (bank-local index) belongs to an MCR.
+    ///
+    /// Rows at the top of each sub-array's address range are MCR rows
+    /// (`A8 = 1` for 50 %, `A8 A7 = 11` for 25 %, …).
+    pub fn is_mcr_row(&self, row: u64) -> bool {
+        (row % SUBARRAY_ROWS) >= SUBARRAY_ROWS - self.region_rows
+    }
+
+    /// The MCR group a row belongs to: its row index with the low
+    /// `log2 K` bits cleared (the paper's `X`-suffixed MCR address).
+    /// Meaningful only when [`McrLayout::is_mcr_row`] holds.
+    pub fn group_base(&self, row: u64) -> u64 {
+        row & !(self.mode.k() as u64 - 1)
+    }
+
+    /// True when `row` is the first (page-allocatable) row of its group —
+    /// the data-collision rule of Sec. 4.4 allocates pages only here.
+    pub fn is_first_in_group(&self, row: u64) -> bool {
+        row.is_multiple_of(self.mode.k() as u64)
+    }
+
+    /// Iterator over the page-allocatable MCR frames (first row of each
+    /// group) of a bank with `rows_per_bank` rows, in ascending order.
+    pub fn allocatable_frames(&self, rows_per_bank: u64) -> impl Iterator<Item = u64> + '_ {
+        let k = self.mode.k() as u64;
+        (0..rows_per_bank)
+            .filter(move |&r| self.is_mcr_row(r) && r % k == 0)
+    }
+
+    /// Number of page-allocatable MCR frames per bank.
+    pub fn frames_per_bank(&self, rows_per_bank: u64) -> u64 {
+        let subarrays = rows_per_bank / SUBARRAY_ROWS;
+        subarrays * self.region_rows / self.mode.k() as u64
+    }
+
+    /// Fraction of all rows that are MCR rows (after quantization).
+    pub fn region_fraction(&self) -> f64 {
+        self.region_rows as f64 / SUBARRAY_ROWS as f64
+    }
+}
+
+/// A contiguous MCR region within each sub-array: rows whose sub-array-
+/// local index falls in `[start, end)` form `(end-start)/K` clone groups
+/// of the region's mode.
+///
+/// [`McrLayout`] is the common single-region case (one region anchored at
+/// the top of the sub-array); `Region` is the building block that also
+/// expresses the paper's "Combination of 2x and 4x MCR" (Sec. 4.4), where
+/// a 4x region for the hottest pages sits above a 2x region for
+/// moderately hot pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    start: u64,
+    end: u64,
+    mode: McrMode,
+}
+
+impl Region {
+    /// Region covering sub-array-local rows `[start, end)` with `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end <= 512`, both bounds are multiples of
+    /// the mode's K, and the mode is not off.
+    pub fn new(start: u64, end: u64, mode: McrMode) -> Self {
+        assert!(!mode.is_off(), "a region needs an MCR mode");
+        let k = mode.k() as u64;
+        assert!(start < end && end <= SUBARRAY_ROWS, "bad bounds {start}..{end}");
+        assert!(start.is_multiple_of(k) && end.is_multiple_of(k), "bounds must be K-aligned");
+        Region { start, end, mode }
+    }
+
+    /// The region's mode.
+    pub fn mode(&self) -> McrMode {
+        self.mode
+    }
+
+    /// Rows covered per sub-array.
+    pub fn rows_per_subarray(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when `row` (bank-local) falls inside this region.
+    pub fn contains(&self, row: u64) -> bool {
+        let s = row % SUBARRAY_ROWS;
+        s >= self.start && s < self.end
+    }
+
+    /// First row of the clone group containing `row`.
+    pub fn group_base(&self, row: u64) -> u64 {
+        row & !(self.mode.k() as u64 - 1)
+    }
+
+    /// True when `row` is the page-allocatable first row of its group.
+    pub fn is_first_in_group(&self, row: u64) -> bool {
+        row.is_multiple_of(self.mode.k() as u64)
+    }
+
+    /// Page-allocatable frames (first row per group) across a bank.
+    pub fn allocatable_frames(&self, rows_per_bank: u64) -> impl Iterator<Item = u64> + '_ {
+        let k = self.mode.k() as u64;
+        (0..rows_per_bank).filter(move |&r| self.contains(r) && r % k == 0)
+    }
+}
+
+/// An ordered set of disjoint MCR regions per sub-array, hottest tier
+/// first. Rows not covered by any region are normal rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Single-region map equivalent to [`McrLayout::new`] (region anchored
+    /// at the top of each sub-array). Off modes produce an empty map.
+    pub fn single(mode: McrMode) -> Self {
+        let layout = McrLayout::new(mode);
+        if mode.is_off() || layout.region_rows() == 0 {
+            return RegionMap { regions: Vec::new() };
+        }
+        RegionMap {
+            regions: vec![Region::new(
+                SUBARRAY_ROWS - layout.region_rows(),
+                SUBARRAY_ROWS,
+                mode,
+            )],
+        }
+    }
+
+    /// The paper's combined configuration: a 4x region (mode `m4/4x`)
+    /// occupying the top `frac4` of each sub-array for the hottest pages,
+    /// stacked above a 2x region (mode `m2/2x`) covering the next `frac2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions don't fit in one sub-array or a mode is
+    /// invalid.
+    pub fn combined(m4: u32, frac4: f64, m2: u32, frac2: f64) -> Self {
+        assert!(frac4 > 0.0 && frac2 > 0.0 && frac4 + frac2 <= 1.0);
+        let mode4 = McrMode::new(m4, 4, frac4).expect("valid 4x mode");
+        let mode2 = McrMode::new(m2, 2, frac2).expect("valid 2x mode");
+        let rows4 = ((frac4 * SUBARRAY_ROWS as f64).round() as u64) / 4 * 4;
+        let rows2 = ((frac2 * SUBARRAY_ROWS as f64).round() as u64) / 2 * 2;
+        let top4 = SUBARRAY_ROWS - rows4;
+        let top2 = top4 - rows2;
+        RegionMap {
+            regions: vec![
+                Region::new(top4, SUBARRAY_ROWS, mode4),
+                Region::new(top2, top4, mode2),
+            ],
+        }
+    }
+
+    /// The regions, hottest tier first.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// True when no rows are MCR rows (conventional DRAM).
+    pub fn is_off(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The region (and its tier index) containing `row`, if any.
+    pub fn classify(&self, row: u64) -> Option<(usize, &Region)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.contains(row))
+    }
+
+    /// Fraction of all rows covered by MCR regions.
+    pub fn region_fraction(&self) -> f64 {
+        self.regions
+            .iter()
+            .map(|r| r.rows_per_subarray() as f64)
+            .sum::<f64>()
+            / SUBARRAY_ROWS as f64
+    }
+}
+
+#[cfg(test)]
+mod region_tests {
+    use super::*;
+
+    #[test]
+    fn single_map_matches_mcr_layout() {
+        let mode = McrMode::new(2, 2, 0.5).unwrap();
+        let layout = McrLayout::new(mode);
+        let map = RegionMap::single(mode);
+        for row in 0..4096u64 {
+            assert_eq!(layout.is_mcr_row(row), map.classify(row).is_some(), "row {row}");
+        }
+        assert_eq!(map.region_fraction(), layout.region_fraction());
+    }
+
+    #[test]
+    fn off_mode_is_empty_map() {
+        assert!(RegionMap::single(McrMode::off()).is_off());
+        assert!(RegionMap::single(McrMode::off()).classify(511).is_none());
+    }
+
+    #[test]
+    fn combined_partitions_subarray() {
+        // 4x over the top quarter, 2x over the next quarter.
+        let map = RegionMap::combined(4, 0.25, 2, 0.25);
+        assert_eq!(map.regions().len(), 2);
+        for row in 0..SUBARRAY_ROWS {
+            match map.classify(row) {
+                Some((0, r)) => {
+                    assert!(row >= 384, "4x tier at the top, got row {row}");
+                    assert_eq!(r.mode().k(), 4);
+                }
+                Some((1, r)) => {
+                    assert!((256..384).contains(&row), "2x tier next, got row {row}");
+                    assert_eq!(r.mode().k(), 2);
+                }
+                None => assert!(row < 256, "bottom half stays normal, row {row}"),
+                Some((i, _)) => panic!("unexpected tier {i}"),
+            }
+        }
+        assert!((map.region_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_bounds_validated() {
+        let m = McrMode::new(4, 4, 1.0).unwrap();
+        assert!(std::panic::catch_unwind(|| Region::new(1, 9, m)).is_err()); // unaligned
+        assert!(std::panic::catch_unwind(|| Region::new(0, 0, m)).is_err());
+        assert!(std::panic::catch_unwind(|| Region::new(0, 516, m)).is_err());
+    }
+
+    #[test]
+    fn combined_frames_are_disjoint() {
+        let map = RegionMap::combined(4, 0.25, 2, 0.25);
+        let f4: Vec<u64> = map.regions()[0].allocatable_frames(1024).collect();
+        let f2: Vec<u64> = map.regions()[1].allocatable_frames(1024).collect();
+        assert!(!f4.is_empty() && !f2.is_empty());
+        for f in &f4 {
+            assert!(!f2.contains(f));
+        }
+        // 2 sub-arrays: 32 four-x frames (128 rows / 4), 64 two-x frames.
+        assert_eq!(f4.len(), 2 * 32);
+        assert_eq!(f2.len(), 2 * 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(m: u32, k: u32, l: f64) -> McrLayout {
+        McrLayout::new(McrMode::new(m, k, l).unwrap())
+    }
+
+    #[test]
+    fn off_mode_has_no_mcr_rows() {
+        let l = McrLayout::new(McrMode::off());
+        assert!((0..2048).all(|r| !l.is_mcr_row(r)));
+        assert_eq!(l.frames_per_bank(32768), 0);
+    }
+
+    #[test]
+    fn fifty_percent_region_is_a8() {
+        // Paper: with [50%reg], MCR rows have A8 = 1 (intra-sub-array).
+        let l = layout(2, 2, 0.5);
+        for row in 0..2048u64 {
+            let a8 = (row % SUBARRAY_ROWS) >> 8 & 1;
+            assert_eq!(l.is_mcr_row(row), a8 == 1, "row {row}");
+        }
+    }
+
+    #[test]
+    fn twentyfive_percent_region_is_a8_a7() {
+        let l = layout(4, 4, 0.25);
+        for row in 0..2048u64 {
+            let sub = row % SUBARRAY_ROWS;
+            let a8a7 = (sub >> 8 & 1 == 1) && (sub >> 7 & 1 == 1);
+            assert_eq!(l.is_mcr_row(row), a8a7, "row {row}");
+        }
+    }
+
+    #[test]
+    fn full_region_covers_everything() {
+        let l = layout(4, 4, 1.0);
+        assert!((0..4096).all(|r| l.is_mcr_row(r)));
+        assert_eq!(l.region_fraction(), 1.0);
+    }
+
+    #[test]
+    fn group_base_clears_lsbs() {
+        let l = layout(4, 4, 1.0);
+        assert_eq!(l.group_base(0b0111), 0b0100);
+        assert_eq!(l.group_base(0b0100), 0b0100);
+        assert!(l.is_first_in_group(0b0100));
+        assert!(!l.is_first_in_group(0b0101));
+        let l2 = layout(2, 2, 1.0);
+        assert_eq!(l2.group_base(0b0111), 0b0110);
+    }
+
+    #[test]
+    fn frames_per_bank_counts_groups() {
+        // 32768 rows = 64 sub-arrays; 50% region = 256 rows; 2x -> 128
+        // frames per sub-array.
+        let l = layout(2, 2, 0.5);
+        assert_eq!(l.frames_per_bank(32768), 64 * 128);
+        let l4 = layout(4, 4, 1.0);
+        assert_eq!(l4.frames_per_bank(32768), 32768 / 4);
+        // Enumeration agrees with the closed form.
+        assert_eq!(
+            l.allocatable_frames(2048).count() as u64,
+            l.frames_per_bank(2048)
+        );
+    }
+
+    #[test]
+    fn allocatable_frames_are_first_rows_in_region() {
+        let l = layout(4, 4, 0.5);
+        for f in l.allocatable_frames(1024) {
+            assert!(l.is_mcr_row(f));
+            assert!(l.is_first_in_group(f));
+        }
+    }
+
+    #[test]
+    fn region_quantizes_to_k_multiple() {
+        // 30 % of 512 = 153.6 -> 153 rounds to 152 for K=4.
+        let l = layout(4, 4, 0.3);
+        assert_eq!(l.region_rows() % 4, 0);
+        assert!(l.region_rows() as f64 <= 0.3 * 512.0 + 4.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Individual on/off switches for the paper's three latency mechanisms
+//! plus Refresh-Skipping (the ablation axes of Fig. 17).
+
+/// Which MCR mechanisms are enabled.
+///
+/// Fig. 17's four cases map to:
+///
+/// | case | early_access | early_precharge | fast_refresh | refresh_skipping |
+/// |------|--------------|-----------------|--------------|------------------|
+/// | 1    | ✓            |                 |              |                  |
+/// | 2    | ✓            | ✓               |              |                  |
+/// | 3    | ✓            | ✓               | ✓            |                  |
+/// | 4    | ✓            | ✓               | ✓            | ✓                |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mechanisms {
+    /// Early-Access: reduced `tRCD` for MCR activations.
+    pub early_access: bool,
+    /// Early-Precharge: reduced `tRAS` for MCR activations.
+    pub early_precharge: bool,
+    /// Fast-Refresh: reduced `tRFC` for refresh slots targeting MCR rows.
+    pub fast_refresh: bool,
+    /// Refresh-Skipping: issue only M of each MCR's K refresh slots.
+    pub refresh_skipping: bool,
+}
+
+impl Mechanisms {
+    /// Everything on (the full proposal; Fig. 17 case 4 when `M < K`).
+    pub fn all() -> Self {
+        Mechanisms {
+            early_access: true,
+            early_precharge: true,
+            fast_refresh: true,
+            refresh_skipping: true,
+        }
+    }
+
+    /// Everything off (indistinguishable from baseline DRAM).
+    pub fn none() -> Self {
+        Mechanisms {
+            early_access: false,
+            early_precharge: false,
+            fast_refresh: false,
+            refresh_skipping: false,
+        }
+    }
+
+    /// Early-Access and Early-Precharge only — the configuration used for
+    /// the MCR-ratio sweeps (Fig. 11/14) and Fig. 17 case 2.
+    pub fn access_only() -> Self {
+        Mechanisms {
+            early_access: true,
+            early_precharge: true,
+            fast_refresh: false,
+            refresh_skipping: false,
+        }
+    }
+
+    /// Fig. 17's numbered case (1–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics for cases outside 1–4.
+    pub fn fig17_case(case: u32) -> Self {
+        match case {
+            1 => Mechanisms {
+                early_access: true,
+                ..Self::none()
+            },
+            2 => Self::access_only(),
+            3 => Mechanisms {
+                fast_refresh: true,
+                ..Self::access_only()
+            },
+            4 => Self::all(),
+            _ => panic!("Fig. 17 has cases 1-4, got {case}"),
+        }
+    }
+}
+
+impl Default for Mechanisms {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_cases_nest() {
+        let c1 = Mechanisms::fig17_case(1);
+        let c2 = Mechanisms::fig17_case(2);
+        let c3 = Mechanisms::fig17_case(3);
+        let c4 = Mechanisms::fig17_case(4);
+        assert!(c1.early_access && !c1.early_precharge);
+        assert!(c2.early_precharge && !c2.fast_refresh);
+        assert!(c3.fast_refresh && !c3.refresh_skipping);
+        assert_eq!(c4, Mechanisms::all());
+    }
+
+    #[test]
+    #[should_panic(expected = "cases 1-4")]
+    fn case_bounds() {
+        Mechanisms::fig17_case(5);
+    }
+}

@@ -1,0 +1,234 @@
+//! The `[M/Kx/L%reg]` MCR-mode vocabulary (paper Table 1).
+
+use std::error::Error;
+use std::fmt;
+
+/// Invalid MCR-mode configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModeError {
+    /// K must be 1, 2 or 4 (the paper evaluates these; K must be a power
+    /// of two for the address-changer trick to work).
+    BadK(u32),
+    /// M must satisfy `1 ≤ M ≤ K` (Table 1).
+    BadM {
+        /// Offending M.
+        m: u32,
+        /// K it was paired with.
+        k: u32,
+    },
+    /// The region fraction must lie in `(0, 1]`.
+    BadRegion(f64),
+}
+
+impl fmt::Display for ModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModeError::BadK(k) => write!(f, "K must be 1, 2 or 4, got {k}"),
+            ModeError::BadM { m, k } => write!(f, "M must satisfy 1 <= M <= K, got {m}/{k}x"),
+            ModeError::BadRegion(l) => write!(f, "region fraction must be in (0, 1], got {l}"),
+        }
+    }
+}
+
+impl Error for ModeError {}
+
+/// An MCR-mode configuration `[M/Kx/L%reg]`.
+///
+/// * `K` — rows per Multiple Clone Row,
+/// * `M` — refresh operations each MCR receives per 64 ms retention
+///   window (`M < K` is Refresh-Skipping),
+/// * `L` — fraction of each sub-array's rows allocated to MCRs.
+///
+/// The mode with `K = 1` is conventional DRAM (MCR-mode off).
+///
+/// ```
+/// use mcr_dram::McrMode;
+///
+/// # fn main() -> Result<(), mcr_dram::ModeError> {
+/// let mode = McrMode::new(2, 4, 0.75)?; // paper notation [2/4x/75%reg]
+/// assert_eq!(mode.to_string(), "[2/4x/75%reg]");
+/// assert_eq!(mode.skip_period(), 2);          // every other slot skipped
+/// assert_eq!(mode.refresh_interval_ms(), 32.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McrMode {
+    m: u32,
+    k: u32,
+    region: f64,
+}
+
+impl McrMode {
+    /// Builds a mode `[m/kx/(region·100)%reg]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModeError`] when `k ∉ {1, 2, 4}`, `m ∉ [1, k]`, or
+    /// `region ∉ (0, 1]`.
+    pub fn new(m: u32, k: u32, region: f64) -> Result<Self, ModeError> {
+        if !matches!(k, 1 | 2 | 4) {
+            return Err(ModeError::BadK(k));
+        }
+        if m < 1 || m > k {
+            return Err(ModeError::BadM { m, k });
+        }
+        if !(region > 0.0 && region <= 1.0) {
+            return Err(ModeError::BadRegion(region));
+        }
+        Ok(McrMode { m, k, region })
+    }
+
+    /// Conventional DRAM: MCR-mode off.
+    pub fn off() -> Self {
+        McrMode {
+            m: 1,
+            k: 1,
+            region: 1.0,
+        }
+    }
+
+    /// The paper's headline mode `[4/4x/100%reg]`.
+    pub fn headline() -> Self {
+        McrMode {
+            m: 4,
+            k: 4,
+            region: 1.0,
+        }
+    }
+
+    /// Refreshes per MCR per retention window (M).
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Rows per MCR (K).
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// MCR-region fraction of each sub-array (L).
+    pub fn region(&self) -> f64 {
+        self.region
+    }
+
+    /// True when this mode behaves exactly like conventional DRAM.
+    pub fn is_off(&self) -> bool {
+        self.k == 1
+    }
+
+    /// `K / M`: every how-many refresh slots of an MCR one REFRESH is
+    /// actually issued (1 = no skipping).
+    pub fn skip_period(&self) -> u32 {
+        self.k / self.m
+    }
+
+    /// Usable capacity fraction when only the first row of each MCR holds
+    /// data (Sec. 4.4 data-collision rule): `1 - L·(K-1)/K`.
+    pub fn usable_capacity(&self) -> f64 {
+        1.0 - self.region * (self.k as f64 - 1.0) / self.k as f64
+    }
+
+    /// Worst-case refresh interval (ms) for a row in an MCR of this mode,
+    /// assuming the K-to-N-1-K wiring's uniform visiting order.
+    pub fn refresh_interval_ms(&self) -> f64 {
+        64.0 / self.m as f64
+    }
+
+    /// A relaxation of this mode with smaller K (Sec. 4.4 "Dynamic Change
+    /// of MCR-Mode"), or `None` when already off.
+    pub fn relaxed(&self) -> Option<McrMode> {
+        match self.k {
+            4 => Some(McrMode {
+                m: self.m.min(2),
+                k: 2,
+                region: self.region,
+            }),
+            2 => Some(McrMode::off()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for McrMode {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl fmt::Display for McrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_off() {
+            f.write_str("[off]")
+        } else {
+            write!(
+                f,
+                "[{}/{}x/{}%reg]",
+                self.m,
+                self.k,
+                (self.region * 100.0).round() as u32
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_validation() {
+        assert!(McrMode::new(4, 4, 1.0).is_ok());
+        assert!(McrMode::new(1, 2, 0.5).is_ok());
+        assert_eq!(McrMode::new(2, 3, 1.0).unwrap_err(), ModeError::BadK(3));
+        assert_eq!(
+            McrMode::new(3, 2, 1.0).unwrap_err(),
+            ModeError::BadM { m: 3, k: 2 }
+        );
+        assert_eq!(
+            McrMode::new(0, 2, 1.0).unwrap_err(),
+            ModeError::BadM { m: 0, k: 2 }
+        );
+        assert_eq!(
+            McrMode::new(1, 1, 0.0).unwrap_err(),
+            ModeError::BadRegion(0.0)
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(McrMode::new(2, 4, 0.75).unwrap().to_string(), "[2/4x/75%reg]");
+        assert_eq!(McrMode::off().to_string(), "[off]");
+        assert_eq!(McrMode::headline().to_string(), "[4/4x/100%reg]");
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        // 4x over everything: quarter of the DRAM usable.
+        assert!((McrMode::headline().usable_capacity() - 0.25).abs() < 1e-12);
+        // 2x over half the rows: 1 - 0.5/2 = 0.75.
+        let m = McrMode::new(2, 2, 0.5).unwrap();
+        assert!((m.usable_capacity() - 0.75).abs() < 1e-12);
+        assert_eq!(McrMode::off().usable_capacity(), 1.0);
+    }
+
+    #[test]
+    fn skip_period_and_interval() {
+        let m24 = McrMode::new(2, 4, 1.0).unwrap();
+        assert_eq!(m24.skip_period(), 2);
+        assert_eq!(m24.refresh_interval_ms(), 32.0);
+        assert_eq!(McrMode::headline().skip_period(), 1);
+        assert_eq!(McrMode::headline().refresh_interval_ms(), 16.0);
+    }
+
+    #[test]
+    fn relaxation_chain() {
+        let m = McrMode::headline();
+        let r = m.relaxed().unwrap();
+        assert_eq!(r.k(), 2);
+        assert_eq!(r.m(), 2);
+        let off = r.relaxed().unwrap();
+        assert!(off.is_off());
+        assert!(off.relaxed().is_none());
+    }
+}

@@ -1,0 +1,633 @@
+//! Full-system simulation: cores + controller + MCR-DRAM + power.
+
+use crate::alloc::RowRemapper;
+use crate::cache::{CacheOutcome, RowCache, RowCacheConfig, RowCacheStats};
+use crate::layout::RegionMap;
+use crate::mechanisms::Mechanisms;
+use crate::mode::McrMode;
+use crate::policy::McrPolicy;
+use cpu_model::{Core, CoreParams, RequestSink, TraceRecord, CPU_PER_MEM_CYCLE};
+use dram_device::{Cycle, Geometry, PhysAddr, RefreshWiring, TimingSet, T_CK_NS};
+use dram_power::{edp, EnergyBreakdown, PowerParams};
+use mem_controller::{
+    AddressMapper, BitReversal, ControllerConfig, ControllerStats, MemoryController,
+    PageInterleave, PermutationInterleave, RowPolicy, SchedulerKind,
+};
+use trace_gen::{hot_rows, workload, TraceGenerator, WorkloadProfile, ROW_BYTES};
+
+/// Sample length used when profiling a workload for hot rows.
+const PROFILE_SAMPLE: usize = 60_000;
+
+/// Configuration of one full-system run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Memory-system shape (selects 4 GB or 16 GB per the paper).
+    pub geometry: Geometry,
+    /// MCR mode `[M/Kx/L%reg]`.
+    pub mode: McrMode,
+    /// Overrides `mode` with an explicit multi-tier region map (the
+    /// paper's combined 2x + 4x configuration) when set.
+    pub region_map: Option<RegionMap>,
+    /// Which MCR mechanisms are active.
+    pub mechanisms: Mechanisms,
+    /// One workload profile per core.
+    pub workloads: Vec<WorkloadProfile>,
+    /// Memory operations per core trace.
+    pub trace_len: usize,
+    /// Pseudo profile-based page allocation: fraction of each workload's
+    /// footprint (hottest first) remapped into MCR frames. `0.0` disables
+    /// allocation (the MCR-ratio experiments of Fig. 11/14).
+    pub alloc_ratio: f64,
+    /// Request scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+    /// Address mapping policy.
+    pub mapping: MappingKind,
+    /// Refresh-counter wiring (paper proposes `Reversed`).
+    pub wiring: RefreshWiring,
+    /// Rank power-down after this many idle cycles (`None` = never; the
+    /// paper's Sec. 6.4 notes Early-Precharge/Refresh-Skipping lengthen
+    /// the idle windows this exploits).
+    pub powerdown_idle_threshold: Option<u32>,
+    /// Multi-threaded workloads: all cores walk ONE address space instead
+    /// of private per-core slices (set by [`SystemConfig::multi_core_mix`]
+    /// for the `MT-*` workloads).
+    pub shared_address_space: bool,
+    /// Manage the MCR region as a hardware row cache of the normal rows
+    /// (paper Sec. 7) instead of relying on static page allocation.
+    /// Mutually exclusive with `alloc_ratio > 0`.
+    pub row_cache: Option<RowCacheConfig>,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// Address-mapping policy selector for [`SystemConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingKind {
+    /// Page interleaving (the paper's baseline).
+    #[default]
+    PageInterleave,
+    /// Permutation-based interleaving (Zhang et al., MICRO '00).
+    Permutation,
+    /// Bit-reversal row mapping (Shao & Davis, SCOPES '05).
+    BitReversal,
+}
+
+impl SystemConfig {
+    /// The paper's single-core setup (4 GB) for a named MSC workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not an MSC workload.
+    pub fn single_core(name: &str, trace_len: usize) -> Self {
+        let w = workload(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        SystemConfig {
+            geometry: Geometry::single_core_4gb(),
+            mode: McrMode::off(),
+            region_map: None,
+            mechanisms: Mechanisms::all(),
+            workloads: vec![*w],
+            trace_len,
+            alloc_ratio: 0.0,
+            scheduler: SchedulerKind::FrFcfs,
+            row_policy: RowPolicy::Open,
+            mapping: MappingKind::PageInterleave,
+            wiring: RefreshWiring::Reversed,
+            powerdown_idle_threshold: None,
+            shared_address_space: false,
+            row_cache: None,
+            seed: 2015,
+        }
+    }
+
+    /// The paper's quad-core setup for a [`trace_gen::Mix`], honoring its
+    /// shared-address-space flag (multi-threaded `MT-*` workloads share
+    /// one footprint; multi-programmed mixes get private slices).
+    pub fn multi_core_mix(mix: &trace_gen::Mix, trace_len: usize) -> Self {
+        SystemConfig {
+            shared_address_space: mix.shared_address_space,
+            ..Self::multi_core(mix.cores, trace_len)
+        }
+    }
+
+    /// The paper's quad-core setup (16 GB) for four workload profiles.
+    pub fn multi_core(workloads: [&WorkloadProfile; 4], trace_len: usize) -> Self {
+        SystemConfig {
+            geometry: Geometry::multi_core_16gb(),
+            mode: McrMode::off(),
+            region_map: None,
+            mechanisms: Mechanisms::all(),
+            workloads: workloads.iter().map(|w| **w).collect(),
+            trace_len,
+            alloc_ratio: 0.0,
+            scheduler: SchedulerKind::FrFcfs,
+            row_policy: RowPolicy::Open,
+            mapping: MappingKind::PageInterleave,
+            wiring: RefreshWiring::Reversed,
+            powerdown_idle_threshold: None,
+            shared_address_space: false,
+            row_cache: None,
+            seed: 2015,
+        }
+    }
+
+    /// Sets the MCR mode.
+    pub fn with_mode(mut self, mode: McrMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Uses the combined 2x + 4x configuration of Sec. 4.4: mode `m4/4x`
+    /// over the top `frac4` of each sub-array and `m2/2x` over the next
+    /// `frac2`, with hot pages allocated 4x-first.
+    pub fn with_combined_regions(mut self, m4: u32, frac4: f64, m2: u32, frac2: f64) -> Self {
+        self.region_map = Some(RegionMap::combined(m4, frac4, m2, frac2));
+        self
+    }
+
+    /// Sets the mechanism switches.
+    pub fn with_mechanisms(mut self, mechanisms: Mechanisms) -> Self {
+        self.mechanisms = mechanisms;
+        self
+    }
+
+    /// Sets the pseudo profile-based allocation ratio.
+    pub fn with_alloc_ratio(mut self, ratio: f64) -> Self {
+        self.alloc_ratio = ratio;
+        self
+    }
+
+    /// Sets the scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the refresh-counter wiring.
+    pub fn with_wiring(mut self, wiring: RefreshWiring) -> Self {
+        self.wiring = wiring;
+        self
+    }
+
+    /// Sets the row-buffer policy.
+    pub fn with_row_policy(mut self, row_policy: RowPolicy) -> Self {
+        self.row_policy = row_policy;
+        self
+    }
+
+    /// Sets the address-mapping policy.
+    pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Enables rank power-down after `threshold` idle cycles.
+    pub fn with_powerdown(mut self, threshold: u32) -> Self {
+        self.powerdown_idle_threshold = Some(threshold);
+        self
+    }
+
+    /// Manages the MCR region as a hardware row cache (paper Sec. 7).
+    pub fn with_row_cache(mut self, cache: RowCacheConfig) -> Self {
+        self.row_cache = Some(cache);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-core base byte offset: each core of a multi-programmed mix gets
+    /// a private slice of the physical address space; threads of a
+    /// multi-threaded workload share one.
+    fn core_base(&self, core: usize) -> u64 {
+        if self.shared_address_space {
+            0
+        } else {
+            self.geometry.capacity_bytes() / self.workloads.len().max(1) as u64 * core as u64
+        }
+    }
+
+    fn make_mapper(&self) -> Box<dyn AddressMapper> {
+        match self.mapping {
+            MappingKind::PageInterleave => Box::new(PageInterleave::new(self.geometry)),
+            MappingKind::Permutation => Box::new(PermutationInterleave::new(self.geometry)),
+            MappingKind::BitReversal => Box::new(BitReversal::new(self.geometry)),
+        }
+    }
+}
+
+/// End-of-run metrics.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// CPU cycle at which the last core retired its final instruction —
+    /// the paper's execution-time metric.
+    pub exec_cpu_cycles: u64,
+    /// Per-core completion cycles (CPU domain).
+    pub per_core_cpu_cycles: Vec<u64>,
+    /// Memory cycles simulated (through write drain).
+    pub total_mem_cycles: Cycle,
+    /// Reads completed.
+    pub reads_done: u64,
+    /// Mean read latency in memory cycles (enqueue → data).
+    pub avg_read_latency: f64,
+    /// Controller statistics snapshot.
+    pub controller: ControllerStats,
+    /// Total DRAM energy.
+    pub energy: EnergyBreakdown,
+    /// Energy-delay product (J·s) over the execution time.
+    pub edp: f64,
+    /// Instructions committed across all cores.
+    pub instructions: u64,
+    /// Row-cache statistics (`Some` only when the row cache is enabled).
+    pub cache: Option<RowCacheStats>,
+    /// Mean read latency per core, in memory cycles (0.0 for cores that
+    /// issued no reads).
+    pub per_core_read_latency: Vec<f64>,
+}
+
+impl RunReport {
+    /// Execution time in nanoseconds.
+    pub fn exec_ns(&self) -> f64 {
+        self.exec_cpu_cycles as f64 / CPU_PER_MEM_CYCLE as f64 * T_CK_NS
+    }
+}
+
+/// A ready-to-run full system.
+///
+/// Drive it either with [`System::run`] (to completion) or incrementally
+/// with [`System::step`], which allows runtime MCR-mode changes via
+/// [`System::reconfigure`] between steps.
+pub struct System {
+    cores: Vec<Core<Box<dyn Iterator<Item = TraceRecord>>>>,
+    controller: MemoryController,
+    mem_now: Cycle,
+    active_regions: RegionMap,
+    cache: Option<RowCache>,
+    mapper: Box<dyn AddressMapper>,
+    /// Per-core (latency sum, completed reads) for fairness analysis.
+    per_core_reads: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("controller", &self.controller)
+            .finish()
+    }
+}
+
+/// Core id used for cache-copy traffic; its completions are dropped.
+const COPY_CORE: u32 = u32::MAX;
+
+struct CtlSink<'a> {
+    ctl: &'a mut MemoryController,
+    cache: Option<&'a mut RowCache>,
+    mapper: &'a dyn AddressMapper,
+}
+
+impl CtlSink<'_> {
+    /// Cache lookup + copy-traffic injection; returns the (possibly
+    /// redirected) physical address to access.
+    fn route(&mut self, addr: PhysAddr) -> PhysAddr {
+        let Some(cache) = self.cache.as_deref_mut() else {
+            return addr;
+        };
+        match cache.access(self.mapper.decode(addr)) {
+            CacheOutcome::Miss => addr,
+            CacheOutcome::Hit(redirect) => self.mapper.encode(&redirect),
+            CacheOutcome::Promoted { redirect, copies } => {
+                // Charge the row copies as sentinel traffic through the
+                // regular queues (best effort: full queues under-charge).
+                for copy in copies {
+                    let from = self.mapper.encode(&copy.from);
+                    let to = self.mapper.encode(&copy.to);
+                    let _ = self.ctl.enqueue_read(COPY_CORE, from);
+                    let _ = self.ctl.enqueue_write(COPY_CORE, to);
+                }
+                self.mapper.encode(&redirect)
+            }
+        }
+    }
+}
+
+impl RequestSink for CtlSink<'_> {
+    fn try_read(&mut self, core_id: u32, addr: PhysAddr) -> Option<u64> {
+        let routed = self.route(addr);
+        self.ctl.enqueue_read(core_id, routed)
+    }
+
+    fn try_write(&mut self, core_id: u32, addr: PhysAddr) -> bool {
+        let routed = self.route(addr);
+        self.ctl.enqueue_write(core_id, routed)
+    }
+}
+
+impl System {
+    /// Builds cores, traces (with profile-based allocation applied),
+    /// controller and device from a configuration.
+    pub fn build(config: &SystemConfig) -> Self {
+        let geometry = config.geometry;
+        let timing = TimingSet::ddr3_1600(geometry.rows_per_bank);
+        let regions = config
+            .region_map
+            .clone()
+            .unwrap_or_else(|| RegionMap::single(config.mode));
+        let table = crate::timing::McrTimingTable::paper(
+            crate::timing::DeviceClass::for_rows_per_bank(geometry.rows_per_bank),
+        );
+        let policy = McrPolicy::from_regions(
+            regions.clone(),
+            config.mechanisms,
+            &table,
+            geometry.ranks,
+            geometry.row_bits(),
+        );
+        let ctl_config = ControllerConfig {
+            scheduler: config.scheduler,
+            row_policy: config.row_policy,
+            wiring: config.wiring,
+            powerdown_idle_threshold: config.powerdown_idle_threshold,
+            ..ControllerConfig::msc_default()
+        };
+        let controller = MemoryController::new(
+            geometry,
+            timing,
+            ctl_config,
+            config.make_mapper(),
+            Box::new(policy),
+        );
+
+        let cores = config
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let base = config.core_base(i);
+                let seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37);
+                let gen = TraceGenerator::new(w, seed, base).take(config.trace_len);
+                let trace: Box<dyn Iterator<Item = TraceRecord>> = if config.alloc_ratio > 0.0
+                    && !regions.is_off()
+                {
+                    let top_n = (w.footprint_rows as f64 * config.alloc_ratio).round() as usize;
+                    let base_frame = base / ROW_BYTES;
+                    let hot: Vec<u64> = hot_rows(w, seed, PROFILE_SAMPLE, top_n)
+                        .into_iter()
+                        .map(|r| r + base_frame)
+                        .collect();
+                    let mapper = config.make_mapper();
+                    let remap = RowRemapper::profile_based_regions(
+                        &hot,
+                        &regions,
+                        mapper.as_ref(),
+                        &geometry,
+                    );
+                    Box::new(gen.map(move |mut r| {
+                        r.addr = remap.remap_phys(r.addr, mapper.as_ref());
+                        r
+                    }))
+                } else {
+                    Box::new(gen)
+                };
+                Core::new(i as u32, CoreParams::msc_default(), trace)
+            })
+            .collect();
+
+        let cache = config.row_cache.map(|cache_cfg| {
+            assert!(
+                config.alloc_ratio == 0.0,
+                "row cache and static page allocation are mutually exclusive"
+            );
+            RowCache::new(geometry, regions.clone(), cache_cfg)
+        });
+        let n_cores = config.workloads.len();
+        System {
+            cores,
+            controller,
+            mem_now: 0,
+            active_regions: regions,
+            cache,
+            mapper: config.make_mapper(),
+            per_core_reads: vec![(0, 0); n_cores],
+        }
+    }
+
+    /// Row-cache statistics (when the row cache is enabled).
+    pub fn cache_stats(&self) -> Option<RowCacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// True when every core retired its trace and the controller drained.
+    pub fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.done()) && self.controller.idle()
+    }
+
+    /// Current simulation time in memory cycles.
+    pub fn now(&self) -> Cycle {
+        self.mem_now
+    }
+
+    /// Advances the simulation by up to `cycles` memory cycles, stopping
+    /// early when everything is done. Returns `true` when done.
+    pub fn step(&mut self, cycles: Cycle) -> bool {
+        let until = self.mem_now + cycles;
+        while self.mem_now < until {
+            if self.done() {
+                return true;
+            }
+            for c in self.controller.tick(self.mem_now) {
+                if c.core_id == COPY_CORE {
+                    continue; // cache-copy traffic; nobody waits on it
+                }
+                let slot = &mut self.per_core_reads[c.core_id as usize];
+                slot.0 += c.latency;
+                slot.1 += 1;
+                self.cores[c.core_id as usize]
+                    .complete_read(c.token, c.ready_at * CPU_PER_MEM_CYCLE);
+            }
+            for sub in 0..CPU_PER_MEM_CYCLE {
+                let cpu_now = self.mem_now * CPU_PER_MEM_CYCLE + sub;
+                let mut sink = CtlSink {
+                    ctl: &mut self.controller,
+                    cache: self.cache.as_mut(),
+                    mapper: self.mapper.as_ref(),
+                };
+                for core in &mut self.cores {
+                    if !core.done() {
+                        core.cycle(cpu_now, &mut sink);
+                    }
+                }
+            }
+            self.mem_now += 1;
+        }
+        self.done()
+    }
+
+    /// Runtime MCR-mode change (the MRS command of Sec. 4.1/4.4): swaps
+    /// the active mode between [`System::step`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the change could collide with live data — the new mode
+    /// must be a *relaxation* (K not growing, per Table 2) of the current
+    /// hottest tier. Tightening changes require page migration, which the
+    /// paper (and this simulator) leaves to the OS.
+    pub fn reconfigure(&mut self, mode: McrMode) {
+        let new = RegionMap::single(mode);
+        let old_k = self
+            .active_regions
+            .regions()
+            .iter()
+            .map(|r| r.mode().k())
+            .max()
+            .unwrap_or(1);
+        assert!(
+            mode.k() <= old_k,
+            "mode change {old_k}x -> {}x is not a relaxation (Table 2)",
+            mode.k()
+        );
+        let policy = self
+            .controller
+            .policy_mut()
+            .as_any_mut()
+            .downcast_mut::<McrPolicy>()
+            .expect("System always installs an McrPolicy");
+        policy.reprogram(new.clone());
+        self.active_regions = new;
+    }
+
+    /// Runs to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds a generous cycle bound (indicates
+    /// a scheduling deadlock — a simulator bug, not a configuration error).
+    pub fn run(mut self) -> RunReport {
+        // Generous: even a fully serialized run needs < ~tRC cycles per
+        // memory op; anything past this is a wedge, not a slow workload.
+        let cap: u64 = 500_000_000;
+        while !self.step(100_000) {
+            assert!(self.mem_now < cap, "simulation wedged at cycle {}", self.mem_now);
+        }
+        self.report()
+    }
+
+    /// Finalizes counters and produces the report (for incremental
+    /// drivers that used [`System::step`]; [`System::run`] calls it).
+    pub fn report(mut self) -> RunReport {
+        let mem_now = self.mem_now;
+        self.controller.finish(mem_now);
+
+        let per_core: Vec<u64> = self.cores.iter().map(|c| c.stats().done_cycle).collect();
+        let exec_cpu_cycles = per_core.iter().copied().max().unwrap_or(0);
+        let instructions = self.cores.iter().map(|c| c.stats().committed).sum();
+        let controller = self.controller.stats();
+        let timing = TimingSet::ddr3_1600(self.controller.geometry().rows_per_bank);
+        let power = PowerParams::ddr3_1600(&timing);
+        let mut energy = EnergyBreakdown::default();
+        for chan in self.controller.channels() {
+            for rank in 0..chan.geometry().ranks {
+                energy.merge(&EnergyBreakdown::for_rank(
+                    &power,
+                    &chan.rank(rank).counters,
+                    mem_now,
+                ));
+            }
+        }
+        let exec_mem_cycles = exec_cpu_cycles / CPU_PER_MEM_CYCLE;
+        let cache = self.cache.as_ref().map(|c| c.stats());
+        let per_core_read_latency = self
+            .per_core_reads
+            .iter()
+            .map(|&(sum, n)| if n == 0 { 0.0 } else { sum as f64 / n as f64 })
+            .collect();
+        RunReport {
+            exec_cpu_cycles,
+            per_core_cpu_cycles: per_core,
+            total_mem_cycles: mem_now,
+            reads_done: controller.reads_done,
+            avg_read_latency: controller.avg_read_latency(),
+            edp: edp(energy.total_pj(), exec_mem_cycles.max(1), T_CK_NS),
+            energy,
+            controller,
+            instructions,
+            cache,
+            per_core_read_latency,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_single_core_completes() {
+        let cfg = SystemConfig::single_core("black", 2_000);
+        let r = System::build(&cfg).run();
+        assert!(r.exec_cpu_cycles > 0);
+        assert!(r.reads_done > 0);
+        assert!(r.avg_read_latency > 0.0);
+        assert!(r.energy.total_pj() > 0.0);
+        assert!(r.instructions >= 2_000);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = SystemConfig::single_core("ferret", 1_500);
+        let a = System::build(&cfg).run();
+        let b = System::build(&cfg).run();
+        assert_eq!(a.exec_cpu_cycles, b.exec_cpu_cycles);
+        assert_eq!(a.reads_done, b.reads_done);
+        assert_eq!(a.controller.row_hits, b.controller.row_hits);
+    }
+
+    #[test]
+    fn headline_mode_beats_baseline() {
+        let base = SystemConfig::single_core("libq", 6_000);
+        let mcr = base.clone().with_mode(McrMode::headline());
+        let rb = System::build(&base).run();
+        let rm = System::build(&mcr).run();
+        assert!(
+            rm.exec_cpu_cycles < rb.exec_cpu_cycles,
+            "MCR {} vs baseline {}",
+            rm.exec_cpu_cycles,
+            rb.exec_cpu_cycles
+        );
+        assert!(rm.avg_read_latency < rb.avg_read_latency);
+    }
+
+    #[test]
+    fn multi_core_completes() {
+        let mixes = trace_gen::multi_programmed_mixes(2015);
+        let cfg = SystemConfig::multi_core(
+            [
+                mixes[0].cores[0],
+                mixes[0].cores[1],
+                mixes[0].cores[2],
+                mixes[0].cores[3],
+            ],
+            1_000,
+        );
+        let r = System::build(&cfg).run();
+        assert_eq!(r.per_core_cpu_cycles.len(), 4);
+        assert!(r.per_core_cpu_cycles.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn allocation_increases_mcr_benefit_for_partial_region() {
+        let len = 6_000;
+        let mode = McrMode::new(4, 4, 0.5).unwrap();
+        let none = SystemConfig::single_core("comm2", len).with_mode(mode);
+        let alloc = none.clone().with_alloc_ratio(0.10);
+        let r0 = System::build(&none).run();
+        let r1 = System::build(&alloc).run();
+        // With hot rows steered into MCR frames, latency should not worsen.
+        assert!(r1.avg_read_latency <= r0.avg_read_latency * 1.02);
+    }
+}

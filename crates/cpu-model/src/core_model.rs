@@ -1,0 +1,353 @@
+//! The ROB-based core model.
+
+use crate::stats::CoreStats;
+use crate::trace::TraceRecord;
+use dram_device::{PhysAddr, ReqKind};
+use std::collections::{HashMap, VecDeque};
+
+/// Completion sentinel for reads still waiting on DRAM.
+const PENDING: u64 = u64::MAX;
+
+/// Core microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: usize,
+    /// Instructions fetched per CPU cycle.
+    pub fetch_width: u32,
+    /// Instructions retired per CPU cycle.
+    pub retire_width: u32,
+    /// Fetch-to-complete latency of non-memory instructions (CPU cycles).
+    pub pipeline_depth: u32,
+}
+
+impl CoreParams {
+    /// The MSC/USIMM defaults used by the paper (Table 4).
+    pub fn msc_default() -> Self {
+        CoreParams {
+            rob_size: 128,
+            fetch_width: 4,
+            retire_width: 2,
+            pipeline_depth: 10,
+        }
+    }
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        Self::msc_default()
+    }
+}
+
+/// The memory system as seen by a core.
+///
+/// `try_read`/`try_write` may refuse a request (typically because the
+/// corresponding controller queue is full); the core then stalls fetch and
+/// retries on a later cycle. A successful `try_read` returns a token the
+/// memory system echoes back through [`Core::complete_read`].
+pub trait RequestSink {
+    /// Attempts to enqueue a read. Returns a completion token on success.
+    fn try_read(&mut self, core_id: u32, addr: PhysAddr) -> Option<u64>;
+    /// Attempts to enqueue a write. Returns `true` on success.
+    fn try_write(&mut self, core_id: u32, addr: PhysAddr) -> bool;
+}
+
+/// What the fetch stage is currently working through.
+#[derive(Debug, Clone, Copy)]
+enum FetchState {
+    /// Need to pull the next trace record.
+    NextRecord,
+    /// Fetching the `gap` non-memory instructions of the current record.
+    Gap { left: u32, kind: ReqKind, addr: PhysAddr },
+    /// Gap done; the memory operation itself is next.
+    MemOp { kind: ReqKind, addr: PhysAddr },
+    /// Trace exhausted.
+    Drained,
+}
+
+/// A single trace-driven core.
+///
+/// Generic over the trace iterator so synthetic generators stream records
+/// lazily without materializing whole traces.
+#[derive(Debug)]
+pub struct Core<T> {
+    id: u32,
+    params: CoreParams,
+    trace: T,
+    fetch: FetchState,
+    /// Completion CPU-cycle per in-flight instruction, in fetch order.
+    rob: VecDeque<u64>,
+    /// Sequence number of `rob[0]`.
+    head_seq: u64,
+    /// Sequence number the next fetched instruction will get.
+    next_seq: u64,
+    /// Sink-minted read tokens → ROB sequence numbers.
+    inflight: HashMap<u64, u64>,
+    stats: CoreStats,
+}
+
+impl<T: Iterator<Item = TraceRecord>> Core<T> {
+    /// A core with the given id and parameters, reading from `trace`.
+    pub fn new(id: u32, params: CoreParams, trace: T) -> Self {
+        Core {
+            id,
+            params,
+            trace,
+            fetch: FetchState::NextRecord,
+            rob: VecDeque::with_capacity(params.rob_size),
+            head_seq: 0,
+            next_seq: 0,
+            inflight: HashMap::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core id (passed to the [`RequestSink`]).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// True when the trace is exhausted and every instruction has retired.
+    pub fn done(&self) -> bool {
+        matches!(self.fetch, FetchState::Drained) && self.rob.is_empty()
+    }
+
+    /// Number of instructions currently in the ROB.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Marks the read with token `token` as completing at CPU cycle
+    /// `ready_at` (data has arrived from DRAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token does not refer to an in-flight read.
+    pub fn complete_read(&mut self, token: u64, ready_at: u64) {
+        let seq = self
+            .inflight
+            .remove(&token)
+            .expect("token does not name an in-flight read of this core");
+        let idx = seq
+            .checked_sub(self.head_seq)
+            .expect("read retired before completing") as usize;
+        let slot = self.rob.get_mut(idx).expect("token beyond ROB tail");
+        assert_eq!(*slot, PENDING, "ROB slot is not a pending read");
+        *slot = ready_at;
+    }
+
+    /// Advances the core by one CPU cycle: retire, then fetch.
+    ///
+    /// `now` must increase by exactly 1 between calls for stall accounting
+    /// to be meaningful (the model does not enforce it).
+    pub fn cycle(&mut self, now: u64, mem: &mut impl RequestSink) {
+        self.retire(now);
+        self.fetch_stage(now, mem);
+        if self.done() && self.stats.done_cycle == 0 {
+            self.stats.done_cycle = now;
+        }
+    }
+
+    fn retire(&mut self, now: u64) {
+        for _ in 0..self.params.retire_width {
+            match self.rob.front() {
+                Some(&t) if t <= now => {
+                    self.rob.pop_front();
+                    self.head_seq += 1;
+                    self.stats.committed += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn fetch_stage(&mut self, now: u64, mem: &mut impl RequestSink) {
+        let complete_at = now + self.params.pipeline_depth as u64;
+        let mut budget = self.params.fetch_width;
+        while budget > 0 {
+            if self.rob.len() >= self.params.rob_size {
+                self.stats.rob_stall_cycles += 1;
+                return;
+            }
+            match self.fetch {
+                FetchState::Drained => return,
+                FetchState::NextRecord => match self.trace.next() {
+                    None => {
+                        self.fetch = FetchState::Drained;
+                        return;
+                    }
+                    Some(rec) => {
+                        self.fetch = if rec.gap > 0 {
+                            FetchState::Gap {
+                                left: rec.gap,
+                                kind: rec.kind,
+                                addr: rec.addr,
+                            }
+                        } else {
+                            FetchState::MemOp {
+                                kind: rec.kind,
+                                addr: rec.addr,
+                            }
+                        };
+                    }
+                },
+                FetchState::Gap { left, kind, addr } => {
+                    self.rob.push_back(complete_at);
+                    self.next_seq += 1;
+                    budget -= 1;
+                    self.fetch = if left > 1 {
+                        FetchState::Gap {
+                            left: left - 1,
+                            kind,
+                            addr,
+                        }
+                    } else {
+                        FetchState::MemOp { kind, addr }
+                    };
+                }
+                FetchState::MemOp { kind, addr } => {
+                    match kind {
+                        ReqKind::Read => match mem.try_read(self.id, addr) {
+                            Some(token) => {
+                                self.inflight.insert(token, self.next_seq);
+                                self.rob.push_back(PENDING);
+                                self.next_seq += 1;
+                                self.stats.reads_issued += 1;
+                                budget -= 1;
+                                self.fetch = FetchState::NextRecord;
+                            }
+                            None => {
+                                self.stats.queue_stall_cycles += 1;
+                                return;
+                            }
+                        },
+                        ReqKind::Write => {
+                            if mem.try_write(self.id, addr) {
+                                self.rob.push_back(complete_at);
+                                self.next_seq += 1;
+                                self.stats.writes_issued += 1;
+                                budget -= 1;
+                                self.fetch = FetchState::NextRecord;
+                            } else {
+                                self.stats.queue_stall_cycles += 1;
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of reads issued to the memory system and not yet completed.
+    pub fn inflight_reads(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instant::InstantMemory;
+    use dram_device::PhysAddr;
+
+    fn run_to_completion<T: Iterator<Item = TraceRecord>>(
+        core: &mut Core<T>,
+        mem: &mut InstantMemory,
+        max_cycles: u64,
+    ) -> u64 {
+        let mut now = 0;
+        while !core.done() {
+            assert!(now < max_cycles, "did not finish in {max_cycles} cycles");
+            mem.deliver(now, core);
+            core.cycle(now, mem);
+            now += 1;
+        }
+        core.stats().done_cycle
+    }
+
+    #[test]
+    fn retire_width_bounds_throughput() {
+        // 100 non-memory instructions, no memory ops: retire 2/cycle.
+        let trace = vec![TraceRecord::new(99, ReqKind::Write, PhysAddr(0))];
+        let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
+        let mut mem = InstantMemory::new(0);
+        let done = run_to_completion(&mut core, &mut mem, 10_000);
+        assert_eq!(core.stats().committed, 100);
+        // 100 instructions at 2/cycle >= 50 cycles, plus pipeline fill.
+        assert!((50..80).contains(&done), "done at {done}");
+    }
+
+    #[test]
+    fn read_latency_stalls_retirement() {
+        let trace = vec![
+            TraceRecord::new(0, ReqKind::Read, PhysAddr(0)),
+            TraceRecord::new(0, ReqKind::Read, PhysAddr(64)),
+        ];
+        let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
+        let mut slow = InstantMemory::new(500);
+        let done = run_to_completion(&mut core, &mut slow, 100_000);
+        // Both reads issue immediately (independent), so they overlap:
+        // completion at ~500, not ~1000.
+        assert!((500..600).contains(&done), "done at {done}");
+        assert_eq!(core.stats().reads_issued, 2);
+    }
+
+    #[test]
+    fn rob_fills_under_long_latency() {
+        // More independent reads than ROB slots: occupancy caps at 128.
+        let trace: Vec<TraceRecord> = (0..200)
+            .map(|i| TraceRecord::new(0, ReqKind::Read, PhysAddr(i * 64)))
+            .collect();
+        let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
+        let mut slow = InstantMemory::new(10_000);
+        let mut now = 0;
+        let mut max_occ = 0;
+        while !core.done() && now < 50_000 {
+            slow.deliver(now, &mut core);
+            core.cycle(now, &mut slow);
+            max_occ = max_occ.max(core.rob_occupancy());
+            now += 1;
+        }
+        assert_eq!(max_occ, 128);
+    }
+
+    #[test]
+    fn refused_writes_stall_fetch() {
+        struct NoWrites;
+        impl RequestSink for NoWrites {
+            fn try_read(&mut self, _: u32, _: PhysAddr) -> Option<u64> {
+                None
+            }
+            fn try_write(&mut self, _: u32, _: PhysAddr) -> bool {
+                false
+            }
+        }
+        let trace = vec![TraceRecord::new(0, ReqKind::Write, PhysAddr(0))];
+        let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
+        let mut mem = NoWrites;
+        for now in 0..10 {
+            core.cycle(now, &mut mem);
+        }
+        assert!(!core.done());
+        assert_eq!(core.stats().writes_issued, 0);
+        assert!(core.stats().queue_stall_cycles >= 9);
+    }
+
+    #[test]
+    fn done_cycle_recorded_once() {
+        let trace = vec![TraceRecord::new(1, ReqKind::Write, PhysAddr(0))];
+        let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
+        let mut mem = InstantMemory::new(0);
+        let done = run_to_completion(&mut core, &mut mem, 1000);
+        for now in done + 1..done + 10 {
+            core.cycle(now, &mut mem);
+        }
+        assert_eq!(core.stats().done_cycle, done);
+    }
+}

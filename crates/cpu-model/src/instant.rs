@@ -1,0 +1,84 @@
+//! A toy memory system with fixed latency, for tests and examples.
+
+use crate::core_model::{Core, RequestSink};
+use crate::trace::TraceRecord;
+use dram_device::PhysAddr;
+use std::collections::VecDeque;
+
+/// A [`RequestSink`] that accepts every request and completes reads after a
+/// fixed number of CPU cycles. Useful for unit tests and as the simplest
+/// possible example of wiring a [`Core`] to a memory system.
+///
+/// Drive it by calling [`InstantMemory::deliver`] with the current cycle
+/// *before* `Core::cycle` each cycle; requests issued during `Core::cycle`
+/// are timestamped with the cycle of the most recent `deliver` call.
+#[derive(Debug, Clone, Default)]
+pub struct InstantMemory {
+    latency: u64,
+    now: u64,
+    next_token: u64,
+    pending: VecDeque<(u64, u64)>, // (ready_at, token), FIFO by issue
+}
+
+impl InstantMemory {
+    /// Memory that completes every read `latency` CPU cycles after issue.
+    pub fn new(latency: u64) -> Self {
+        InstantMemory {
+            latency,
+            ..Default::default()
+        }
+    }
+
+    /// Advances the clock to `now` and delivers all due completions.
+    pub fn deliver<T: Iterator<Item = TraceRecord>>(&mut self, now: u64, core: &mut Core<T>) {
+        self.now = now;
+        while let Some(&(ready, token)) = self.pending.front() {
+            if ready > now {
+                break;
+            }
+            self.pending.pop_front();
+            core.complete_read(token, ready);
+        }
+    }
+
+    /// Number of reads issued so far.
+    pub fn issued(&self) -> u64 {
+        self.next_token
+    }
+}
+
+impl RequestSink for InstantMemory {
+    fn try_read(&mut self, _core_id: u32, _addr: PhysAddr) -> Option<u64> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.push_back((self.now + self.latency, token));
+        Some(token)
+    }
+
+    fn try_write(&mut self, _core_id: u32, _addr: PhysAddr) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::CoreParams;
+    use dram_device::ReqKind;
+
+    #[test]
+    fn completes_after_latency() {
+        let trace = vec![TraceRecord::new(0, ReqKind::Read, PhysAddr(0))];
+        let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
+        let mut mem = InstantMemory::new(25);
+        let mut now = 0;
+        while !core.done() {
+            mem.deliver(now, &mut core);
+            core.cycle(now, &mut mem);
+            now += 1;
+            assert!(now < 1000);
+        }
+        assert!(core.stats().done_cycle >= 25);
+        assert_eq!(mem.issued(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Trace record format.
+
+use dram_device::{PhysAddr, ReqKind};
+use std::fmt;
+
+/// One memory operation in a workload trace, preceded by `gap` non-memory
+/// instructions (the USIMM/MSC trace convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Non-memory instructions fetched before this memory operation.
+    pub gap: u32,
+    /// Read (blocks retirement until serviced) or write (fire-and-forget).
+    pub kind: ReqKind,
+    /// Physical byte address accessed (cache-line aligned by convention).
+    pub addr: PhysAddr,
+}
+
+impl TraceRecord {
+    /// Builds a record.
+    pub fn new(gap: u32, kind: ReqKind, addr: PhysAddr) -> Self {
+        TraceRecord { gap, kind, addr }
+    }
+
+    /// Total instructions this record contributes (gap + the memory op).
+    pub fn instructions(&self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.gap, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_msc_style() {
+        let r = TraceRecord::new(7, ReqKind::Write, PhysAddr(0x1000));
+        assert_eq!(r.to_string(), "7 W 0x1000");
+        assert_eq!(r.instructions(), 8);
+    }
+}

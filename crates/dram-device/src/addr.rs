@@ -1,0 +1,195 @@
+//! Physical addresses and DRAM geometry.
+
+use std::fmt;
+
+/// A byte-granular physical address as seen by the memory controller.
+///
+/// Newtype so trace generators, the CPU model, and address-mapping policies
+/// cannot confuse physical addresses with decoded DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+/// Decoded DRAM coordinates of one cache-line-sized access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramAddress {
+    /// Channel index.
+    pub channel: u8,
+    /// Rank index within the channel.
+    pub rank: u8,
+    /// Bank index within the rank.
+    pub bank: u8,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (cache-line slot) index within the row.
+    pub col: u32,
+}
+
+impl fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/bk{}/row{}/col{}",
+            self.channel, self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+/// Shape of the memory system.
+///
+/// The paper's baseline (Table 4): 1 channel, 2 ranks/channel, 8 banks/rank,
+/// 128 cache lines per row, 64 B cache lines, and 32 768 rows/bank (4 GB,
+/// single-core) or 131 072 rows/bank (16 GB, multi-core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Number of independent channels.
+    pub channels: u8,
+    /// Ranks per channel.
+    pub ranks: u8,
+    /// Banks per rank.
+    pub banks: u8,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Cache lines per row.
+    pub cols_per_row: u32,
+    /// Bytes per cache line.
+    pub line_bytes: u32,
+}
+
+impl Geometry {
+    /// The paper's 4 GB single-core configuration.
+    pub fn single_core_4gb() -> Self {
+        Geometry {
+            channels: 1,
+            ranks: 2,
+            banks: 8,
+            rows_per_bank: 32_768,
+            cols_per_row: 128,
+            line_bytes: 64,
+        }
+    }
+
+    /// The paper's 16 GB multi-core configuration.
+    pub fn multi_core_16gb() -> Self {
+        Geometry {
+            rows_per_bank: 131_072,
+            ..Self::single_core_4gb()
+        }
+    }
+
+    /// A deliberately tiny geometry for fast unit tests.
+    pub fn tiny() -> Self {
+        Geometry {
+            channels: 1,
+            ranks: 1,
+            banks: 2,
+            rows_per_bank: 64,
+            cols_per_row: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels as u64
+            * self.ranks as u64
+            * self.banks as u64
+            * self.rows_per_bank
+            * self.cols_per_row as u64
+            * self.line_bytes as u64
+    }
+
+    /// Bytes in one row (the DRAM "page" size).
+    pub fn row_bytes(&self) -> u64 {
+        self.cols_per_row as u64 * self.line_bytes as u64
+    }
+
+    /// Number of row-address bits (`log2(rows_per_bank)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_bank` is not a power of two.
+    pub fn row_bits(&self) -> u32 {
+        assert!(
+            self.rows_per_bank.is_power_of_two(),
+            "rows_per_bank must be a power of two"
+        );
+        self.rows_per_bank.trailing_zeros()
+    }
+
+    /// Checks that a decoded address is inside this geometry.
+    pub fn contains(&self, a: &DramAddress) -> bool {
+        a.channel < self.channels
+            && a.rank < self.ranks
+            && a.bank < self.banks
+            && a.row < self.rows_per_bank
+            && a.col < self.cols_per_row
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self::single_core_4gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities() {
+        assert_eq!(Geometry::single_core_4gb().capacity_bytes(), 4 << 30);
+        assert_eq!(Geometry::multi_core_16gb().capacity_bytes(), 16 << 30);
+    }
+
+    #[test]
+    fn row_bits_and_bytes() {
+        let g = Geometry::single_core_4gb();
+        assert_eq!(g.row_bits(), 15);
+        assert_eq!(g.row_bytes(), 8192);
+        assert_eq!(Geometry::multi_core_16gb().row_bits(), 17);
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let g = Geometry::tiny();
+        assert!(g.contains(&DramAddress {
+            channel: 0,
+            rank: 0,
+            bank: 1,
+            row: 63,
+            col: 7,
+        }));
+        assert!(!g.contains(&DramAddress {
+            channel: 0,
+            rank: 1,
+            bank: 0,
+            row: 0,
+            col: 0,
+        }));
+        assert!(!g.contains(&DramAddress {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 64,
+            col: 0,
+        }));
+    }
+
+    #[test]
+    fn phys_addr_display_is_hex() {
+        assert_eq!(PhysAddr(0xdead).to_string(), "0xdead");
+    }
+}

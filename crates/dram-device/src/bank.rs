@@ -1,0 +1,324 @@
+//! Per-bank DRAM state machine.
+//!
+//! A bank tracks its open row plus the earliest-legal-cycle registers for
+//! each same-bank timing constraint. Cross-bank (rank/channel) constraints
+//! live in [`crate::channel`].
+
+use crate::error::TimingError;
+use crate::timing::{Cycle, RowTiming, TimingSet};
+
+/// Coarse lifecycle phase of a bank, for inspection and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankPhase {
+    /// All wordlines low, bitlines precharged; ready for ACTIVATE.
+    Idle,
+    /// A row is latched in the row buffer (possibly still restoring).
+    Active,
+}
+
+/// One DRAM bank: the open-row register and same-bank timing windows.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle an ACTIVATE may be issued (tRP / tRC / tRFC driven).
+    next_act: Cycle,
+    /// Earliest cycle a READ/WRITE may be issued (tRCD driven).
+    next_cas: Cycle,
+    /// Earliest cycle a PRECHARGE may be issued (tRAS / tRTP / tWR driven).
+    next_pre: Cycle,
+    /// Cycle of the last ACTIVATE (for tRC bookkeeping and stats).
+    last_act: Cycle,
+    /// Row-timing the open row was activated with (None when idle).
+    open_timing: Option<RowTiming>,
+}
+
+impl Bank {
+    /// A freshly-precharged bank with no pending constraints.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            next_act: 0,
+            next_cas: 0,
+            next_pre: 0,
+            last_act: 0,
+            open_timing: None,
+        }
+    }
+
+    /// The currently-open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> BankPhase {
+        if self.open_row.is_some() {
+            BankPhase::Active
+        } else {
+            BankPhase::Idle
+        }
+    }
+
+    /// Earliest cycle at which an ACTIVATE is legal (same-bank constraints
+    /// only; the rank may impose tRRD/tFAW on top).
+    pub fn next_activate_cycle(&self) -> Cycle {
+        self.next_act
+    }
+
+    /// Earliest cycle at which a READ/WRITE is legal (tRCD).
+    pub fn next_cas_cycle(&self) -> Cycle {
+        self.next_cas
+    }
+
+    /// Earliest cycle at which a PRECHARGE is legal.
+    pub fn next_precharge_cycle(&self) -> Cycle {
+        self.next_pre
+    }
+
+    /// Cycle of the most recent ACTIVATE.
+    pub fn last_activate_cycle(&self) -> Cycle {
+        self.last_act
+    }
+
+    /// Issues an ACTIVATE at `now` with per-row timing `rt`.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::BankOpen`] if a row is already open, or
+    /// [`TimingError::TooEarly`] if tRP/tRC has not elapsed.
+    pub fn activate(
+        &mut self,
+        row: u64,
+        now: Cycle,
+        rt: RowTiming,
+        ts: &TimingSet,
+    ) -> Result<(), TimingError> {
+        if let Some(open) = self.open_row {
+            return Err(TimingError::BankOpen(open));
+        }
+        if now < self.next_act {
+            return Err(TimingError::TooEarly {
+                constraint: "tRP/tRC",
+                ready_at: self.next_act,
+            });
+        }
+        self.open_row = Some(row);
+        self.open_timing = Some(rt);
+        self.last_act = now;
+        self.next_cas = now + rt.t_rcd as Cycle;
+        self.next_pre = now + rt.t_ras as Cycle;
+        // tRC to the *next* activate is enforced via precharge: the row must
+        // be precharged (>= tRAS) and tRP must elapse, so next_act is set on
+        // precharge. A direct ACT->ACT lower bound guards against bugs:
+        self.next_act = now + (rt.t_ras + ts.t_rp) as Cycle;
+        Ok(())
+    }
+
+    /// Issues a column READ at `now`. Returns nothing; data-bus scheduling
+    /// is the channel's job.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::BankClosed`], [`TimingError::RowMismatch`] or
+    /// [`TimingError::TooEarly`] (tRCD).
+    pub fn read(&mut self, row: u64, now: Cycle, ts: &TimingSet) -> Result<(), TimingError> {
+        self.check_cas(row, now)?;
+        // READ -> PRECHARGE: tRTP.
+        self.next_pre = self.next_pre.max(now + ts.t_rtp as Cycle);
+        Ok(())
+    }
+
+    /// Issues a column WRITE at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bank::read`].
+    pub fn write(&mut self, row: u64, now: Cycle, ts: &TimingSet) -> Result<(), TimingError> {
+        self.check_cas(row, now)?;
+        // WRITE -> PRECHARGE: data end (CWL + burst) plus write recovery.
+        let write_end = now + (ts.cwl + ts.burst_cycles) as Cycle;
+        self.next_pre = self.next_pre.max(write_end + ts.t_wr as Cycle);
+        Ok(())
+    }
+
+    /// Issues a PRECHARGE at `now`, closing the open row.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::BankClosed`] or [`TimingError::TooEarly`]
+    /// (tRAS/tRTP/tWR).
+    pub fn precharge(&mut self, now: Cycle, ts: &TimingSet) -> Result<(), TimingError> {
+        if self.open_row.is_none() {
+            return Err(TimingError::BankClosed);
+        }
+        if now < self.next_pre {
+            return Err(TimingError::TooEarly {
+                constraint: "tRAS/tRTP/tWR",
+                ready_at: self.next_pre,
+            });
+        }
+        self.open_row = None;
+        self.open_timing = None;
+        self.next_act = now + ts.t_rp as Cycle;
+        Ok(())
+    }
+
+    /// Auto-precharge (the RDA/WRA command suffix): the bank closes itself
+    /// at the earliest cycle every precharge constraint allows, without a
+    /// separate PRECHARGE command on the bus.
+    ///
+    /// Returns the effective precharge cycle. The open row is cleared
+    /// immediately (no further CAS may target it) and the next ACTIVATE
+    /// becomes legal `tRP` after the effective precharge.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingError::BankClosed`] when no row is open.
+    pub fn auto_precharge(&mut self, now: Cycle, ts: &TimingSet) -> Result<Cycle, TimingError> {
+        if self.open_row.is_none() {
+            return Err(TimingError::BankClosed);
+        }
+        let pre_at = self.next_pre.max(now);
+        self.open_row = None;
+        self.open_timing = None;
+        self.next_act = pre_at + ts.t_rp as Cycle;
+        Ok(pre_at)
+    }
+
+    /// Blocks the bank until `until` (used by rank-level REFRESH, which
+    /// occupies every bank for tRFC).
+    pub fn block_until(&mut self, until: Cycle) {
+        self.next_act = self.next_act.max(until);
+    }
+
+    fn check_cas(&mut self, row: u64, now: Cycle) -> Result<(), TimingError> {
+        let open = self.open_row.ok_or(TimingError::BankClosed)?;
+        if open != row {
+            return Err(TimingError::RowMismatch {
+                open,
+                requested: row,
+            });
+        }
+        if now < self.next_cas {
+            return Err(TimingError::TooEarly {
+                constraint: "tRCD",
+                ready_at: self.next_cas,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> TimingSet {
+        TimingSet::default()
+    }
+
+    #[test]
+    fn activate_then_read_respects_trcd() {
+        let mut b = Bank::new();
+        b.activate(5, 100, RowTiming::baseline(), &ts()).unwrap();
+        assert_eq!(b.open_row(), Some(5));
+        let err = b.read(5, 105, &ts()).unwrap_err();
+        assert_eq!(
+            err,
+            TimingError::TooEarly {
+                constraint: "tRCD",
+                ready_at: 111
+            }
+        );
+        b.read(5, 111, &ts()).unwrap();
+    }
+
+    #[test]
+    fn relaxed_class_allows_earlier_read() {
+        let mut b = Bank::new();
+        // 4x MCR timing from Table 3: tRCD 6.90 ns -> 6 cycles.
+        let mcr = RowTiming::from_ns(6.90, 20.0);
+        b.activate(5, 100, mcr, &ts()).unwrap();
+        b.read(5, 106, &ts()).unwrap();
+    }
+
+    #[test]
+    fn precharge_waits_for_tras() {
+        let mut b = Bank::new();
+        b.activate(5, 0, RowTiming::baseline(), &ts()).unwrap();
+        assert!(matches!(
+            b.precharge(10, &ts()),
+            Err(TimingError::TooEarly { .. })
+        ));
+        b.precharge(28, &ts()).unwrap();
+        assert_eq!(b.phase(), BankPhase::Idle);
+        // tRP before the next activate.
+        assert!(matches!(
+            b.activate(6, 30, RowTiming::baseline(), &ts()),
+            Err(TimingError::TooEarly { .. })
+        ));
+        b.activate(6, 39, RowTiming::baseline(), &ts()).unwrap();
+    }
+
+    #[test]
+    fn early_precharge_class_shortens_tras() {
+        let mut b = Bank::new();
+        // 4/4x MCR: tRAS 20 ns -> 16 cycles.
+        b.activate(5, 0, RowTiming::from_ns(6.90, 20.0), &ts())
+            .unwrap();
+        b.precharge(16, &ts()).unwrap();
+    }
+
+    #[test]
+    fn read_pushes_precharge_by_trtp() {
+        let mut b = Bank::new();
+        b.activate(5, 0, RowTiming::baseline(), &ts()).unwrap();
+        b.read(5, 27, &ts()).unwrap();
+        // tRTP=6 from the read at 27 -> 33, later than tRAS=28.
+        assert_eq!(b.next_precharge_cycle(), 33);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut b = Bank::new();
+        b.activate(5, 0, RowTiming::baseline(), &ts()).unwrap();
+        b.write(5, 11, &ts()).unwrap();
+        // write end = 11 + 8 + 4 = 23; +tWR 12 => 35.
+        assert_eq!(b.next_precharge_cycle(), 35);
+    }
+
+    #[test]
+    fn wrong_row_and_closed_bank_are_rejected() {
+        let mut b = Bank::new();
+        assert_eq!(b.read(1, 0, &ts()).unwrap_err(), TimingError::BankClosed);
+        b.activate(2, 0, RowTiming::baseline(), &ts()).unwrap();
+        assert_eq!(
+            b.read(1, 50, &ts()).unwrap_err(),
+            TimingError::RowMismatch {
+                open: 2,
+                requested: 1
+            }
+        );
+        assert_eq!(
+            b.activate(3, 50, RowTiming::baseline(), &ts()).unwrap_err(),
+            TimingError::BankOpen(2)
+        );
+    }
+
+    #[test]
+    fn block_until_defers_activation() {
+        let mut b = Bank::new();
+        b.block_until(500);
+        assert!(matches!(
+            b.activate(0, 499, RowTiming::baseline(), &ts()),
+            Err(TimingError::TooEarly { .. })
+        ));
+        b.activate(0, 500, RowTiming::baseline(), &ts()).unwrap();
+    }
+}

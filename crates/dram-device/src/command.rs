@@ -1,0 +1,105 @@
+//! DRAM command and request vocabulary.
+
+use crate::addr::DramAddress;
+use crate::timing::{Cycle, RowTimingClass};
+use std::fmt;
+
+/// Whether a memory request reads or writes a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Load: the requesting instruction blocks retirement until data returns.
+    Read,
+    /// Store: fire-and-forget from the core's perspective (write buffered).
+    Write,
+}
+
+impl fmt::Display for ReqKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReqKind::Read => f.write_str("R"),
+            ReqKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// The kind of a DRAM bus command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Open a row in a bank (load it into the row buffer).
+    Activate,
+    /// Column read from the open row.
+    Read,
+    /// Column write into the open row.
+    Write,
+    /// Close the open row of one bank.
+    Precharge,
+    /// Refresh a batch of rows in every bank of a rank.
+    Refresh,
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Read => "RD",
+            CommandKind::Write => "WR",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully-specified DRAM command as placed on the command bus.
+///
+/// This is primarily a trace/debug artifact: the scheduler calls the typed
+/// methods on [`crate::Channel`] directly, but records `Command` values so
+/// tests and tools can audit issued sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Command {
+    /// Command kind.
+    pub kind: CommandKind,
+    /// Target coordinates (for `Refresh`, only `rank` is meaningful).
+    pub addr: DramAddress,
+    /// Issue cycle.
+    pub cycle: Cycle,
+    /// Row timing class used (meaningful for `Activate`).
+    pub class: RowTimingClass,
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} {}", self.cycle, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_is_informative() {
+        let c = Command {
+            kind: CommandKind::Activate,
+            addr: DramAddress {
+                channel: 0,
+                rank: 1,
+                bank: 3,
+                row: 42,
+                col: 0,
+            },
+            cycle: 100,
+            class: RowTimingClass(2),
+        };
+        let s = c.to_string();
+        assert!(s.contains("ACT"));
+        assert!(s.contains("row42"));
+        assert!(s.contains("@100"));
+    }
+
+    #[test]
+    fn req_kind_display() {
+        assert_eq!(ReqKind::Read.to_string(), "R");
+        assert_eq!(ReqKind::Write.to_string(), "W");
+    }
+}

@@ -1,0 +1,135 @@
+//! Activity counters consumed by the power model.
+
+use crate::timing::Cycle;
+
+/// Per-rank command and residency statistics.
+///
+/// The IDD-based power model (crate `dram-power`) needs command counts plus
+/// how long the rank spent with at least one bank active versus all banks
+/// precharged. Residency is integrated lazily: [`ActivityCounters::observe`]
+/// is called whenever the active-bank count changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// READ commands issued.
+    pub reads: u64,
+    /// WRITE commands issued.
+    pub writes: u64,
+    /// REFRESH commands issued.
+    pub refreshes: u64,
+    /// Sum over refresh commands of the tRFC each occupied (cycles); lets
+    /// the power model credit Fast-Refresh's shorter busy window.
+    pub refresh_busy_cycles: u64,
+    /// Cycles with >= 1 bank active (row open) in the rank.
+    pub active_cycles: u64,
+    /// Extra wordlines raised beyond one per ACTIVATE (K-1 for a Kx MCR
+    /// activation); drives the small extra wordline-drive energy.
+    pub extra_wordlines: u64,
+    /// Per-activate restore truncation credit, in cycles: sum over
+    /// activations of (baseline tRAS - actual tRAS class used). Early-
+    /// Precharge energy savings scale with this.
+    pub restore_truncation_cycles: u64,
+    /// Cycles spent in precharge power-down (CKE low): drawing IDD2P
+    /// instead of IDD2N.
+    pub powerdown_cycles: u64,
+    last_observed: Cycle,
+    active_banks: u32,
+}
+
+impl ActivityCounters {
+    /// New, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Integrates residency up to `now` and records a change in the number
+    /// of active banks (`delta` of +1 on activate, -1 on precharge, etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `now` moves backwards or the active-bank
+    /// count would go negative.
+    pub fn observe(&mut self, now: Cycle, delta: i32) {
+        debug_assert!(now >= self.last_observed, "time went backwards");
+        let span = now.saturating_sub(self.last_observed);
+        if self.active_banks > 0 {
+            self.active_cycles += span;
+        }
+        self.last_observed = now;
+        let next = self.active_banks as i64 + delta as i64;
+        debug_assert!(next >= 0, "active bank count underflow");
+        self.active_banks = next.max(0) as u32;
+    }
+
+    /// Finalizes residency integration at the end of simulation.
+    pub fn finish(&mut self, now: Cycle) {
+        self.observe(now, 0);
+    }
+
+    /// Number of banks currently counted as active.
+    pub fn active_banks(&self) -> u32 {
+        self.active_banks
+    }
+
+    /// Cycles with every bank precharged, given the total elapsed cycles.
+    pub fn idle_cycles(&self, total: Cycle) -> Cycle {
+        total.saturating_sub(self.active_cycles)
+    }
+
+    /// Sums counters from another rank/channel (for system-level totals).
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.refresh_busy_cycles += other.refresh_busy_cycles;
+        self.active_cycles += other.active_cycles;
+        self.extra_wordlines += other.extra_wordlines;
+        self.restore_truncation_cycles += other.restore_truncation_cycles;
+        self.powerdown_cycles += other.powerdown_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residency_integrates_piecewise() {
+        let mut c = ActivityCounters::new();
+        c.observe(10, 1); // bank opens at 10
+        c.observe(30, 1); // second bank at 30
+        c.observe(50, -1);
+        c.observe(70, -1); // all closed at 70
+        c.finish(100);
+        assert_eq!(c.active_cycles, 60); // 10..70
+        assert_eq!(c.idle_cycles(100), 40);
+        assert_eq!(c.active_banks(), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = ActivityCounters {
+            activates: 1,
+            reads: 2,
+            active_cycles: 5,
+            ..Default::default()
+        };
+        let b = ActivityCounters {
+            activates: 3,
+            reads: 4,
+            active_cycles: 7,
+            extra_wordlines: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.activates, 4);
+        assert_eq!(a.reads, 6);
+        assert_eq!(a.active_cycles, 12);
+        assert_eq!(a.extra_wordlines, 9);
+    }
+}

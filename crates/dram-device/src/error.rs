@@ -1,0 +1,78 @@
+//! Timing-violation errors returned by the device model.
+
+use crate::timing::Cycle;
+use std::error::Error;
+use std::fmt;
+
+/// Why a command could not legally be issued at the requested cycle.
+///
+/// The scheduler normally consults `can_*`/`next_*` queries first, so these
+/// errors indicate controller bugs; returning them (instead of panicking)
+/// lets property tests drive the state machine with arbitrary command
+/// sequences and assert that illegal ones are rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingError {
+    /// The bank has no open row (READ/WRITE/PRECHARGE need one).
+    BankClosed,
+    /// The bank already has an open row (ACTIVATE needs it closed), with the
+    /// open row id.
+    BankOpen(u64),
+    /// The open row differs from the one addressed.
+    RowMismatch {
+        /// Row currently latched in the row buffer.
+        open: u64,
+        /// Row the command addressed.
+        requested: u64,
+    },
+    /// A timing constraint window has not elapsed; legal at `ready_at`.
+    TooEarly {
+        /// Name of the violated constraint (e.g. `"tRCD"`).
+        constraint: &'static str,
+        /// First cycle at which the command becomes legal.
+        ready_at: Cycle,
+    },
+    /// REFRESH requires every bank of the rank to be precharged.
+    RankNotIdle,
+    /// Addressed coordinates fall outside the configured geometry.
+    OutOfRange,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::BankClosed => f.write_str("bank has no open row"),
+            TimingError::BankOpen(row) => write!(f, "bank already has row {row} open"),
+            TimingError::RowMismatch { open, requested } => {
+                write!(f, "open row {open} does not match requested row {requested}")
+            }
+            TimingError::TooEarly {
+                constraint,
+                ready_at,
+            } => write!(f, "{constraint} not satisfied until cycle {ready_at}"),
+            TimingError::RankNotIdle => f.write_str("rank has open banks; REFRESH illegal"),
+            TimingError::OutOfRange => f.write_str("address outside device geometry"),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = TimingError::TooEarly {
+            constraint: "tRCD",
+            ready_at: 99,
+        };
+        assert_eq!(e.to_string(), "tRCD not satisfied until cycle 99");
+        assert!(TimingError::RowMismatch {
+            open: 1,
+            requested: 2
+        }
+        .to_string()
+        .contains("does not match"));
+    }
+}

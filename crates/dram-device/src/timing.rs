@@ -1,0 +1,214 @@
+//! DRAM timing constraints in memory-bus cycles.
+//!
+//! All constraints are stored in integer memory-bus cycles (tCK = 1.25 ns
+//! for DDR3-1600). Nanosecond specs are converted with [`ns_to_cycles`]
+//! (ceiling division, the JEDEC rounding rule).
+
+/// A point in (or span of) simulated time, in memory-bus cycles.
+pub type Cycle = u64;
+
+/// DDR3-1600 clock period in nanoseconds.
+pub const T_CK_NS: f64 = 1.25;
+
+/// Converts a nanosecond timing specification to memory-bus cycles,
+/// rounding up (JEDEC rule: a device may be slower than the spec only in
+/// integer-cycle quanta, so the controller must round up).
+///
+/// ```
+/// use dram_device::ns_to_cycles;
+/// assert_eq!(ns_to_cycles(13.75), 11); // tRCD of DDR3-1600
+/// assert_eq!(ns_to_cycles(35.0), 28);  // tRAS
+/// assert_eq!(ns_to_cycles(9.94), 8);   // 2x MCR tRCD (Table 3)
+/// ```
+pub fn ns_to_cycles(ns: f64) -> u32 {
+    (ns / T_CK_NS).ceil() as u32
+}
+
+/// Index into a channel's table of per-row activation timings.
+///
+/// Class `0` is always the baseline (normal-row) timing. The MCR layer
+/// registers additional classes for rows inside Multiple Clone Row regions
+/// (e.g. the 2x and 4x `tRCD`/`tRAS` of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowTimingClass(pub u8);
+
+/// The activation-related timings that may vary per row (Early-Access and
+/// Early-Precharge relax exactly these two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowTiming {
+    /// ACTIVATE → READ/WRITE (cycles).
+    pub t_rcd: u32,
+    /// ACTIVATE → PRECHARGE (cycles).
+    pub t_ras: u32,
+}
+
+impl RowTiming {
+    /// Baseline DDR3-1600 row timing (`tRCD` = 13.75 ns, `tRAS` = 35 ns).
+    pub fn baseline() -> Self {
+        RowTiming {
+            t_rcd: ns_to_cycles(13.75),
+            t_ras: ns_to_cycles(35.0),
+        }
+    }
+
+    /// Builds a row timing from nanosecond specs.
+    pub fn from_ns(t_rcd_ns: f64, t_ras_ns: f64) -> Self {
+        RowTiming {
+            t_rcd: ns_to_cycles(t_rcd_ns),
+            t_ras: ns_to_cycles(t_ras_ns),
+        }
+    }
+}
+
+impl Default for RowTiming {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// Full set of device timing constraints, in memory-bus cycles.
+///
+/// Field names follow JEDEC DDR3 conventions. The values produced by
+/// [`TimingSet::ddr3_1600`] match the USIMM DDR3-1600 configuration used by
+/// the paper's evaluation (Table 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingSet {
+    /// CAS latency: READ → first data beat.
+    pub cl: u32,
+    /// CAS write latency: WRITE → first data beat.
+    pub cwl: u32,
+    /// ACTIVATE → internal READ/WRITE (baseline; per-row classes may relax it).
+    pub t_rcd: u32,
+    /// PRECHARGE → ACTIVATE of the same bank.
+    pub t_rp: u32,
+    /// ACTIVATE → PRECHARGE of the same bank (baseline).
+    pub t_ras: u32,
+    /// CAS → CAS command spacing on the same rank.
+    pub t_ccd: u32,
+    /// READ → PRECHARGE of the same bank.
+    pub t_rtp: u32,
+    /// End of write data → PRECHARGE (write recovery).
+    pub t_wr: u32,
+    /// End of write data → READ command on the same rank.
+    pub t_wtr: u32,
+    /// ACTIVATE → ACTIVATE on different banks of the same rank.
+    pub t_rrd: u32,
+    /// Rolling window in which at most four ACTIVATEs may be issued per rank.
+    pub t_faw: u32,
+    /// Rank-to-rank data-bus switch penalty.
+    pub t_rtrs: u32,
+    /// REFRESH → next valid command for the rank (baseline; Fast-Refresh
+    /// passes an override per REFRESH command).
+    pub t_rfc: u32,
+    /// Average interval between REFRESH commands (7.8 µs).
+    pub t_refi: u32,
+    /// Power-down exit → first valid command (tXP).
+    pub t_xp: u32,
+    /// Data-bus beats per column access in bus cycles (BL8 on DDR = 4).
+    pub burst_cycles: u32,
+}
+
+impl TimingSet {
+    /// DDR3-1600 timing set.
+    ///
+    /// `rows_per_bank` selects the refresh scaling class: the paper's 4 GB
+    /// single-core configuration (32 768 rows/bank) uses the 1 Gb-device
+    /// `tRFC` = 110 ns, and the 16 GB multi-core configuration
+    /// (131 072 rows/bank) uses the 4 Gb-device `tRFC` = 260 ns, matching
+    /// the two device columns of Table 3.
+    pub fn ddr3_1600(rows_per_bank: u64) -> Self {
+        let t_rfc_ns = if rows_per_bank > 32_768 { 260.0 } else { 110.0 };
+        TimingSet {
+            cl: 11,
+            cwl: 8,
+            t_rcd: ns_to_cycles(13.75),
+            t_rp: ns_to_cycles(13.75),
+            t_ras: ns_to_cycles(35.0),
+            t_ccd: 4,
+            t_rtp: 6,
+            t_wr: 12,
+            t_wtr: 6,
+            t_rrd: 5,
+            t_faw: 24,
+            t_rtrs: 2,
+            t_rfc: ns_to_cycles(t_rfc_ns),
+            t_refi: ns_to_cycles(7_800.0),
+            t_xp: 5,
+            burst_cycles: 4,
+        }
+    }
+
+    /// `tRC` = `tRAS` + `tRP`: minimum time between ACTIVATEs to one bank.
+    pub fn t_rc(&self) -> u32 {
+        self.t_ras + self.t_rp
+    }
+
+    /// The same timing set at high temperature: JEDEC requires 2x refresh
+    /// (a 32 ms retention window), i.e. half the REFRESH slot period.
+    pub fn with_high_temp_refresh(mut self) -> Self {
+        self.t_refi /= 2;
+        self
+    }
+
+    /// READ command → last data beat received.
+    pub fn read_latency(&self) -> u32 {
+        self.cl + self.burst_cycles
+    }
+
+    /// WRITE command → last data beat driven.
+    pub fn write_latency(&self) -> u32 {
+        self.cwl + self.burst_cycles
+    }
+}
+
+impl Default for TimingSet {
+    fn default() -> Self {
+        Self::ddr3_1600(32_768)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_1600_matches_jedec() {
+        let t = TimingSet::ddr3_1600(32_768);
+        assert_eq!(t.t_rcd, 11);
+        assert_eq!(t.t_rp, 11);
+        assert_eq!(t.t_ras, 28);
+        assert_eq!(t.t_rc(), 39);
+        assert_eq!(t.t_rfc, 88); // 110 ns / 1.25
+        assert_eq!(t.t_refi, 6240);
+    }
+
+    #[test]
+    fn multi_core_config_uses_4gb_trfc() {
+        let t = TimingSet::ddr3_1600(131_072);
+        assert_eq!(t.t_rfc, 208); // 260 ns / 1.25
+    }
+
+    #[test]
+    fn ns_conversion_rounds_up() {
+        assert_eq!(ns_to_cycles(0.1), 1);
+        assert_eq!(ns_to_cycles(1.25), 1);
+        assert_eq!(ns_to_cycles(1.26), 2);
+        assert_eq!(ns_to_cycles(6.90), 6); // 4x MCR tRCD
+        assert_eq!(ns_to_cycles(21.46), 18); // 2/2x MCR tRAS
+        assert_eq!(ns_to_cycles(20.00), 16); // 4/4x MCR tRAS
+    }
+
+    #[test]
+    fn row_timing_default_is_baseline() {
+        assert_eq!(RowTiming::default(), RowTiming::baseline());
+        assert_eq!(RowTiming::baseline().t_rcd, 11);
+        assert_eq!(RowTiming::baseline().t_ras, 28);
+    }
+
+    #[test]
+    fn latencies() {
+        let t = TimingSet::default();
+        assert_eq!(t.read_latency(), 15);
+        assert_eq!(t.write_latency(), 12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the DRAM device model.
+//!
+//! The central invariant: no sequence of attempted commands — legal or not —
+//! can drive a bank into a state that violates JEDEC ordering. Illegal
+//! attempts must be rejected with a [`TimingError`] and leave state intact.
+
+use dram_device::{
+    max_refresh_interval_ms, refresh_schedule, Channel, Geometry, RefreshWiring, RowTiming,
+    RowTimingClass, TimingSet,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Activate { bank: u8, row: u64 },
+    Read { bank: u8, col: u32 },
+    Write { bank: u8, col: u32 },
+    Precharge { bank: u8 },
+    Refresh,
+    Wait(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..2, 0u64..64).prop_map(|(bank, row)| Op::Activate { bank, row }),
+        (0u8..2, 0u32..8).prop_map(|(bank, col)| Op::Read { bank, col }),
+        (0u8..2, 0u32..8).prop_map(|(bank, col)| Op::Write { bank, col }),
+        (0u8..2).prop_map(|bank| Op::Precharge { bank }),
+        Just(Op::Refresh),
+        (1u64..50).prop_map(Op::Wait),
+    ]
+}
+
+proptest! {
+    /// Arbitrary command soup: every accepted ACT→RD gap respects tRCD of
+    /// the class used, every accepted ACT→PRE gap respects tRAS, and
+    /// rejected commands leave the open-row state unchanged.
+    #[test]
+    fn bank_state_machine_is_sound(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut chan = Channel::new(Geometry::tiny(), TimingSet::default());
+        let mcr = chan.register_row_timing(RowTiming::from_ns(6.90, 20.0));
+        let mut now: u64 = 0;
+        let mut act_cycle = [None::<(u64, RowTimingClass)>; 2];
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Activate { bank, row } => {
+                    // Alternate classes pseudo-deterministically.
+                    let class = if i % 2 == 0 { RowTimingClass(0) } else { mcr };
+                    let before = chan.open_row(0, bank);
+                    if chan.activate(0, bank, row, now, class).is_ok() {
+                        prop_assert_eq!(before, None);
+                        act_cycle[bank as usize] = Some((now, class));
+                    } else {
+                        prop_assert_eq!(chan.open_row(0, bank), before);
+                    }
+                    now += 1;
+                }
+                Op::Read { bank, col } => {
+                    if chan.read(0, bank, col, now).is_ok() {
+                        let (at, class) = act_cycle[bank as usize].expect("read without act");
+                        let rt = chan.row_timing(class);
+                        prop_assert!(now >= at + rt.t_rcd as u64,
+                            "tRCD violated: act@{} read@{} class {:?}", at, now, class);
+                    }
+                    now += 1;
+                }
+                Op::Write { bank, col } => {
+                    if chan.write(0, bank, col, now).is_ok() {
+                        let (at, class) = act_cycle[bank as usize].expect("write without act");
+                        let rt = chan.row_timing(class);
+                        prop_assert!(now >= at + rt.t_rcd as u64);
+                    }
+                    now += 1;
+                }
+                Op::Precharge { bank } => {
+                    if chan.precharge(0, bank, now).is_ok() {
+                        let (at, class) = act_cycle[bank as usize].expect("pre without act");
+                        let rt = chan.row_timing(class);
+                        prop_assert!(now >= at + rt.t_ras as u64,
+                            "tRAS violated: act@{} pre@{}", at, now);
+                        prop_assert_eq!(chan.open_row(0, bank), None);
+                    }
+                    now += 1;
+                }
+                Op::Refresh => {
+                    if chan.refresh(0, now, None).is_ok() {
+                        prop_assert_eq!(chan.open_row(0, 0), None);
+                        prop_assert_eq!(chan.open_row(0, 1), None);
+                    }
+                    now += 1;
+                }
+                Op::Wait(n) => now += n,
+            }
+        }
+    }
+
+    /// The refresh schedule is a permutation of all rows for both wirings
+    /// and any counter width.
+    #[test]
+    fn refresh_schedule_is_permutation(bits in 1u32..12,
+                                       reversed in any::<bool>()) {
+        let wiring = if reversed { RefreshWiring::Reversed } else { RefreshWiring::Direct };
+        let mut sched = refresh_schedule(bits, wiring);
+        sched.sort_unstable();
+        let expect: Vec<u64> = (0..1u64 << bits).collect();
+        prop_assert_eq!(sched, expect);
+    }
+
+    /// Reversed wiring always yields the uniform interval 64/K ms; direct
+    /// wiring is never better and strictly worse for K > 1.
+    #[test]
+    fn reversed_wiring_is_uniform_and_dominant(bits in 3u32..12, logk in 0u32..3) {
+        let k = 1u64 << logk;
+        let rev = max_refresh_interval_ms(bits, RefreshWiring::Reversed, k, 64.0);
+        let dir = max_refresh_interval_ms(bits, RefreshWiring::Direct, k, 64.0);
+        prop_assert!((rev - 64.0 / k as f64).abs() < 1e-9, "rev={rev} k={k}");
+        prop_assert!(dir >= rev - 1e-9);
+        if k > 1 {
+            prop_assert!(dir > rev, "direct should be worse for K={k}");
+        }
+    }
+
+    /// Read completion time is monotonic in issue time and always CL+burst
+    /// after issue.
+    #[test]
+    fn read_completion_is_cl_plus_burst(gap in 0u64..100) {
+        let mut chan = Channel::new(Geometry::tiny(), TimingSet::default());
+        chan.activate(0, 0, 1, 0, RowTimingClass(0)).unwrap();
+        let at = chan.next_read_cycle(0, 0) + gap;
+        let done = chan.read(0, 0, 0, at).unwrap();
+        let ts = chan.timing().clone();
+        prop_assert_eq!(done, at + (ts.cl + ts.burst_cycles) as u64);
+    }
+}

@@ -1,0 +1,984 @@
+//! The memory controller proper: queues, FR-FCFS scheduling, write drain,
+//! and refresh issue.
+
+use crate::mapping::AddressMapper;
+use crate::policy::{DevicePolicy, RefreshAction};
+use crate::refresh::RefreshScheduler;
+use crate::request::Request;
+use crate::stats::ControllerStats;
+use dram_device::{
+    Channel, Cycle, Geometry, PhysAddr, RefreshWiring, ReqKind, TimingSet,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Scheduling policy for picking among queued requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// First-Ready FCFS (Rixner et al., ISCA '00): row hits first, then
+    /// oldest. The paper's baseline.
+    #[default]
+    FrFcfs,
+    /// Strict in-order service of the oldest request (ablation baseline).
+    Fcfs,
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowPolicy {
+    /// Keep rows open until a conflict or refresh forces them closed
+    /// (the paper's baseline; pairs with FR-FCFS).
+    #[default]
+    Open,
+    /// Close the row with auto-precharge after the last queued CAS to it
+    /// (ablation: trades row-hit latency for conflict latency).
+    Closed,
+}
+
+/// Controller configuration (defaults follow the paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// Read queue capacity per channel.
+    pub read_queue_cap: usize,
+    /// Write queue capacity per channel.
+    pub write_queue_cap: usize,
+    /// Enter write-drain mode at this write-queue occupancy.
+    pub wq_high_watermark: usize,
+    /// Leave write-drain mode at this occupancy.
+    pub wq_low_watermark: usize,
+    /// Request scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Row-buffer management policy.
+    pub row_policy: RowPolicy,
+    /// Refresh-counter wiring (paper Fig. 8; `Reversed` is the proposal).
+    pub wiring: RefreshWiring,
+    /// Master switch for refresh (off only for focused unit tests).
+    pub refresh_enabled: bool,
+    /// Put a rank into precharge power-down after this many consecutive
+    /// idle cycles (no open banks, no queued requests, no refresh
+    /// backlog); `None` disables power-down management.
+    pub powerdown_idle_threshold: Option<u32>,
+}
+
+impl ControllerConfig {
+    /// The MSC/USIMM defaults used in the paper's evaluation.
+    pub fn msc_default() -> Self {
+        ControllerConfig {
+            read_queue_cap: 32,
+            write_queue_cap: 32,
+            wq_high_watermark: 24,
+            wq_low_watermark: 8,
+            scheduler: SchedulerKind::FrFcfs,
+            row_policy: RowPolicy::Open,
+            wiring: RefreshWiring::Reversed,
+            refresh_enabled: true,
+            powerdown_idle_threshold: None,
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::msc_default()
+    }
+}
+
+/// A finished read, handed back to the driving core model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Token returned by [`MemoryController::enqueue_read`].
+    pub token: u64,
+    /// Core that issued the read.
+    pub core_id: u32,
+    /// Memory cycle at which the last data beat arrived.
+    pub ready_at: Cycle,
+    /// Queueing + service latency in memory cycles.
+    pub latency: Cycle,
+}
+
+/// Per-channel controller state.
+struct ChannelCtl {
+    chan: Channel,
+    read_q: Vec<Request>,
+    write_q: Vec<Request>,
+    refresh: RefreshScheduler,
+    draining: bool,
+    /// (ready_at, token, core, enqueued_at) min-heap.
+    completions: BinaryHeap<Reverse<(Cycle, u64, u32, Cycle)>>,
+    /// Per-rank cycle since which the rank has been continuously idle
+    /// (for power-down entry decisions).
+    rank_idle_since: Vec<Option<Cycle>>,
+}
+
+/// The memory controller: one instance drives every channel of the system.
+///
+/// Drive it by calling [`MemoryController::tick`] once per memory cycle;
+/// enqueue requests between ticks via [`MemoryController::enqueue_read`] /
+/// [`MemoryController::enqueue_write`].
+pub struct MemoryController {
+    geometry: Geometry,
+    config: ControllerConfig,
+    channels: Vec<ChannelCtl>,
+    mapper: Box<dyn AddressMapper>,
+    policy: Box<dyn DevicePolicy>,
+    next_token: u64,
+    stats: ControllerStats,
+    last_tick: Option<Cycle>,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("geometry", &self.geometry)
+            .field("config", &self.config)
+            .field("mapper", &self.mapper.name())
+            .field("next_token", &self.next_token)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoryController {
+    /// Builds a controller over fresh DRAM channels.
+    ///
+    /// The policy's extra row-timing classes (Table 3 entries for MCR
+    /// modes) are registered on every channel; class indices observed by
+    /// the policy start at 1 in registration order.
+    pub fn new(
+        geometry: Geometry,
+        timing: TimingSet,
+        config: ControllerConfig,
+        mapper: Box<dyn AddressMapper>,
+        policy: Box<dyn DevicePolicy>,
+    ) -> Self {
+        let row_bits = geometry.row_bits();
+        let channels = (0..geometry.channels)
+            .map(|_| {
+                let mut chan = Channel::new(geometry, timing.clone());
+                for rt in policy.timing_classes() {
+                    chan.register_row_timing(rt);
+                }
+                ChannelCtl {
+                    chan,
+                    read_q: Vec::with_capacity(config.read_queue_cap),
+                    write_q: Vec::with_capacity(config.write_queue_cap),
+                    refresh: RefreshScheduler::new(
+                        geometry.ranks,
+                        row_bits,
+                        timing.t_refi as Cycle,
+                        config.wiring,
+                    ),
+                    draining: false,
+                    completions: BinaryHeap::new(),
+                    rank_idle_since: vec![None; geometry.ranks as usize],
+                }
+            })
+            .collect();
+        MemoryController {
+            geometry,
+            config,
+            channels,
+            mapper,
+            policy,
+            next_token: 0,
+            stats: ControllerStats::default(),
+            last_tick: None,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The system geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Aggregate statistics (refresh stats folded in lazily).
+    pub fn stats(&self) -> ControllerStats {
+        let mut s = self.stats.clone();
+        for ch in &self.channels {
+            let r = ch.refresh.stats();
+            s.refresh.normal += r.normal;
+            s.refresh.fast += r.fast;
+            s.refresh.skipped += r.skipped;
+        }
+        s
+    }
+
+    /// Read access to the underlying channels (for power accounting).
+    pub fn channels(&self) -> impl Iterator<Item = &Channel> {
+        self.channels.iter().map(|c| &c.chan)
+    }
+
+    /// Mutable access to the device policy, for runtime reconfiguration
+    /// (an MRS-style mode change). Timing classes stay as registered at
+    /// construction; the policy may only re-map rows onto those classes.
+    pub fn policy_mut(&mut self) -> &mut dyn DevicePolicy {
+        self.policy.as_mut()
+    }
+
+    /// Enables command tracing (last `capacity` commands) on every
+    /// channel, for debugging and sequence assertions.
+    pub fn enable_command_trace(&mut self, capacity: usize) {
+        for ch in &mut self.channels {
+            ch.chan.enable_command_trace(capacity);
+        }
+    }
+
+    /// Finalizes per-rank residency counters at the end of simulation.
+    pub fn finish(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.chan.finish_counters(now);
+        }
+    }
+
+    /// Number of queued reads in channel `ch`.
+    pub fn read_queue_len(&self, ch: usize) -> usize {
+        self.channels[ch].read_q.len()
+    }
+
+    /// Number of queued writes in channel `ch`.
+    pub fn write_queue_len(&self, ch: usize) -> usize {
+        self.channels[ch].write_q.len()
+    }
+
+    /// True when every queue is empty and no completion is in flight.
+    pub fn idle(&self) -> bool {
+        self.channels
+            .iter()
+            .all(|c| c.read_q.is_empty() && c.write_q.is_empty() && c.completions.is_empty())
+    }
+
+    /// Attempts to enqueue a read for `core_id` at physical address `phys`.
+    ///
+    /// Returns the completion token, or `None` when the target channel's
+    /// read queue is full. A read that matches a queued write is forwarded
+    /// from the write queue (store-to-load forwarding) and completes on the
+    /// next tick without touching DRAM.
+    pub fn enqueue_read(&mut self, core_id: u32, phys: PhysAddr) -> Option<u64> {
+        let dram = self.mapper.decode(phys);
+        let ch = &mut self.channels[dram.channel as usize];
+        if ch.read_q.len() >= self.config.read_queue_cap {
+            return None;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let now = self.last_tick.map_or(0, |c| c + 1);
+        // Store-to-load forwarding from the write queue.
+        if ch.write_q.iter().any(|w| w.phys == phys) {
+            ch.completions.push(Reverse((now, token, core_id, now)));
+            return Some(token);
+        }
+        ch.read_q.push(Request {
+            token,
+            core_id,
+            kind: ReqKind::Read,
+            phys,
+            dram,
+            enqueued_at: now,
+            did_precharge: false,
+            did_activate: false,
+        });
+        Some(token)
+    }
+
+    /// Attempts to enqueue a write. Returns `false` when the write queue is
+    /// full. Writes to an already-queued line merge into the existing
+    /// entry.
+    pub fn enqueue_write(&mut self, core_id: u32, phys: PhysAddr) -> bool {
+        let dram = self.mapper.decode(phys);
+        let ch = &mut self.channels[dram.channel as usize];
+        if ch.write_q.iter().any(|w| w.phys == phys) {
+            return true; // write merging
+        }
+        if ch.write_q.len() >= self.config.write_queue_cap {
+            return false;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        ch.write_q.push(Request {
+            token,
+            core_id,
+            kind: ReqKind::Write,
+            phys,
+            dram,
+            enqueued_at: self.last_tick.map_or(0, |c| c + 1),
+            did_precharge: false,
+            did_activate: false,
+        });
+        true
+    }
+
+    /// Advances one memory cycle: updates refresh deadlines, issues at most
+    /// one command per channel, and returns the reads whose data arrived at
+    /// or before `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `now` does not advance monotonically.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        debug_assert!(
+            self.last_tick.is_none_or(|t| now > t),
+            "tick must advance: {:?} -> {now}",
+            self.last_tick
+        );
+        self.last_tick = Some(now);
+        let mut done = Vec::new();
+        for ci in 0..self.channels.len() {
+            if self.config.refresh_enabled {
+                self.channels[ci].refresh.tick(now, self.policy.as_mut());
+            }
+            self.manage_power_down(ci, now);
+            self.update_drain_mode(ci);
+            self.schedule(ci, now);
+            // Pop due completions.
+            let ch = &mut self.channels[ci];
+            while let Some(&Reverse((ready, token, core, enq))) = ch.completions.peek() {
+                if ready > now {
+                    break;
+                }
+                ch.completions.pop();
+                let latency = ready - enq;
+                self.stats.reads_done += 1;
+                self.stats.read_latency_sum += latency;
+                done.push(Completion {
+                    token,
+                    core_id: core,
+                    ready_at: ready,
+                    latency,
+                });
+            }
+        }
+        done
+    }
+
+    /// Power-down management: wake ranks that have work, put long-idle
+    /// ranks to sleep (precharge power-down, CKE low).
+    fn manage_power_down(&mut self, ci: usize, now: Cycle) {
+        let Some(threshold) = self.config.powerdown_idle_threshold else {
+            return;
+        };
+        for rank in 0..self.geometry.ranks {
+            let ch = &self.channels[ci];
+            let has_work = ch.read_q.iter().any(|r| r.dram.rank == rank)
+                || ch.write_q.iter().any(|r| r.dram.rank == rank)
+                || ch.refresh.backlog(rank) > 0;
+            let powered_down = ch.chan.rank_powered_down(rank);
+            if powered_down {
+                if has_work {
+                    self.channels[ci].chan.exit_power_down(rank, now);
+                    self.channels[ci].rank_idle_since[rank as usize] = None;
+                }
+                continue;
+            }
+            // "Idle" means no pending work; open-but-unused banks still
+            // count (the scheduler precharges them once the threshold is
+            // reached, see `try_powerdown_precharge`).
+            let ch = &mut self.channels[ci];
+            match (!has_work, ch.rank_idle_since[rank as usize]) {
+                (false, _) => ch.rank_idle_since[rank as usize] = None,
+                (true, None) => ch.rank_idle_since[rank as usize] = Some(now),
+                (true, Some(since)) => {
+                    if now.saturating_sub(since) >= threshold as Cycle
+                        && ch.chan.rank(rank).all_idle()
+                        && ch.chan.enter_power_down(rank, now).is_ok()
+                    {
+                        ch.rank_idle_since[rank as usize] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn update_drain_mode(&mut self, ci: usize) {
+        let ch = &mut self.channels[ci];
+        if ch.draining {
+            if ch.write_q.len() <= self.config.wq_low_watermark {
+                ch.draining = false;
+            }
+        } else if ch.write_q.len() >= self.config.wq_high_watermark {
+            ch.draining = true;
+        }
+        if ch.draining {
+            self.stats.drain_cycles += 1;
+        }
+    }
+
+    /// Issues at most one command on channel `ci` at cycle `now`.
+    fn schedule(&mut self, ci: usize, now: Cycle) {
+        // 1. Urgent refresh takes absolute priority for its rank.
+        let ranks = self.geometry.ranks;
+        let mut urgent = Vec::new();
+        for rank in 0..ranks {
+            if self.config.refresh_enabled && self.channels[ci].refresh.urgent(rank) {
+                urgent.push(rank);
+            }
+        }
+        for &rank in &urgent {
+            if self.try_refresh(ci, rank, now) || self.try_idle_rank(ci, rank, now) {
+                return;
+            }
+        }
+
+        // 2. Serve the active request queue.
+        let drain = {
+            let ch = &self.channels[ci];
+            ch.draining || (ch.read_q.is_empty() && !ch.write_q.is_empty())
+        };
+        let issued = match self.config.scheduler {
+            SchedulerKind::FrFcfs => self.schedule_fr_fcfs(ci, now, drain, &urgent),
+            SchedulerKind::Fcfs => self.schedule_fcfs(ci, now, drain, &urgent),
+        };
+        if issued {
+            return;
+        }
+
+        // 3. Opportunistic refresh in an otherwise idle command slot.
+        if self.config.refresh_enabled {
+            for rank in 0..ranks {
+                if self.channels[ci].refresh.backlog(rank) > 0 && self.try_refresh(ci, rank, now) {
+                    return;
+                }
+            }
+        }
+
+        // 4. Power-down preparation: precharge open-but-unused banks of
+        // ranks that have exceeded the idle threshold.
+        if let Some(threshold) = self.config.powerdown_idle_threshold {
+            for rank in 0..ranks {
+                let due = matches!(
+                    self.channels[ci].rank_idle_since[rank as usize],
+                    Some(since) if now.saturating_sub(since) >= threshold as Cycle
+                );
+                if due && self.try_idle_rank(ci, rank, now) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// FR-FCFS: oldest issuable row hit, else oldest ACT, else oldest PRE.
+    fn schedule_fr_fcfs(&mut self, ci: usize, now: Cycle, drain: bool, urgent: &[u8]) -> bool {
+        let is_read = !drain;
+        // Pass 1: row hits.
+        let hit = self.find_request(ci, drain, urgent, |ch, r| {
+            ch.open_row(r.dram.rank, r.dram.bank) == Some(r.dram.row)
+                && ch.next_cas_cycle(r.dram.rank, r.dram.bank, is_read) <= now
+        });
+        if let Some(idx) = hit {
+            return self.issue_cas(ci, idx, drain, now);
+        }
+        // Pass 2: closed banks -> ACTIVATE.
+        let act = self.find_request(ci, drain, urgent, |ch, r| {
+            ch.open_row(r.dram.rank, r.dram.bank).is_none()
+                && ch.next_activate_cycle(r.dram.rank, r.dram.bank) <= now
+        });
+        if let Some(idx) = act {
+            return self.issue_act(ci, idx, drain, now);
+        }
+        // Pass 3: conflicts -> PRECHARGE, but never close a row that still
+        // has pending hits in the active queue.
+        let pre = self.find_request(ci, drain, urgent, |ch, r| {
+            matches!(ch.open_row(r.dram.rank, r.dram.bank), Some(open) if open != r.dram.row)
+                && ch.next_precharge_cycle(r.dram.rank, r.dram.bank) <= now
+        });
+        if let Some(idx) = pre {
+            let (rank, bank) = {
+                let q = self.queue(ci, drain);
+                (q[idx].dram.rank, q[idx].dram.bank)
+            };
+            let open = self.channels[ci].chan.open_row(rank, bank);
+            let has_pending_hit = self.queue(ci, drain).iter().any(|r| {
+                r.dram.rank == rank && r.dram.bank == bank && Some(r.dram.row) == open
+            });
+            if !has_pending_hit {
+                return self.issue_pre(ci, idx, drain, now);
+            }
+        }
+        false
+    }
+
+    /// FCFS: work only on the oldest request.
+    fn schedule_fcfs(&mut self, ci: usize, now: Cycle, drain: bool, urgent: &[u8]) -> bool {
+        let oldest = self.find_request(ci, drain, urgent, |_, _| true);
+        let Some(idx) = oldest else { return false };
+        let (rank, bank, row) = {
+            let q = self.queue(ci, drain);
+            (q[idx].dram.rank, q[idx].dram.bank, q[idx].dram.row)
+        };
+        let is_read = !drain;
+        let ch = &self.channels[ci].chan;
+        match ch.open_row(rank, bank) {
+            Some(open) if open == row => {
+                if ch.next_cas_cycle(rank, bank, is_read) <= now {
+                    return self.issue_cas(ci, idx, drain, now);
+                }
+            }
+            Some(_) => {
+                if ch.next_precharge_cycle(rank, bank) <= now {
+                    return self.issue_pre(ci, idx, drain, now);
+                }
+            }
+            None => {
+                if ch.next_activate_cycle(rank, bank) <= now {
+                    return self.issue_act(ci, idx, drain, now);
+                }
+            }
+        }
+        false
+    }
+
+    fn queue(&self, ci: usize, drain: bool) -> &Vec<Request> {
+        if drain {
+            &self.channels[ci].write_q
+        } else {
+            &self.channels[ci].read_q
+        }
+    }
+
+    /// Index (in queue order, i.e. oldest-first) of the first request not
+    /// targeting an urgent rank for which `pred` holds.
+    fn find_request(
+        &self,
+        ci: usize,
+        drain: bool,
+        urgent: &[u8],
+        pred: impl Fn(&Channel, &Request) -> bool,
+    ) -> Option<usize> {
+        let ch = &self.channels[ci];
+        self.queue(ci, drain)
+            .iter()
+            .enumerate()
+            .find(|(_, r)| !urgent.contains(&r.dram.rank) && pred(&ch.chan, r))
+            .map(|(i, _)| i)
+    }
+
+    fn issue_cas(&mut self, ci: usize, idx: usize, drain: bool, now: Cycle) -> bool {
+        let req = if drain {
+            self.channels[ci].write_q[idx].clone()
+        } else {
+            self.channels[ci].read_q[idx].clone()
+        };
+        // Closed-page policy: auto-precharge when no other queued request
+        // (either queue) still wants this row.
+        let auto_pre = self.config.row_policy == RowPolicy::Closed && {
+            let ch = &self.channels[ci];
+            let wants_row = |r: &Request| {
+                r.token != req.token
+                    && r.dram.rank == req.dram.rank
+                    && r.dram.bank == req.dram.bank
+                    && r.dram.row == req.dram.row
+            };
+            !ch.read_q.iter().any(wants_row) && !ch.write_q.iter().any(wants_row)
+        };
+        let ch = &mut self.channels[ci];
+        let result = match (drain, auto_pre) {
+            (true, false) => ch.chan.write(req.dram.rank, req.dram.bank, req.dram.col, now),
+            (true, true) => {
+                ch.chan
+                    .write_auto_precharge(req.dram.rank, req.dram.bank, req.dram.col, now)
+            }
+            (false, false) => ch.chan.read(req.dram.rank, req.dram.bank, req.dram.col, now),
+            (false, true) => {
+                ch.chan
+                    .read_auto_precharge(req.dram.rank, req.dram.bank, req.dram.col, now)
+            }
+        };
+        let Ok(data_end) = result else { return false };
+        match req.service_class() {
+            crate::request::ServiceClass::RowHit => self.stats.row_hits += 1,
+            crate::request::ServiceClass::RowMiss => self.stats.row_misses += 1,
+            crate::request::ServiceClass::RowConflict => self.stats.row_conflicts += 1,
+        }
+        let ch = &mut self.channels[ci];
+        if drain {
+            ch.write_q.remove(idx);
+            self.stats.writes_done += 1;
+        } else {
+            let r = ch.read_q.remove(idx);
+            ch.completions
+                .push(Reverse((data_end, r.token, r.core_id, r.enqueued_at)));
+        }
+        true
+    }
+
+    fn issue_act(&mut self, ci: usize, idx: usize, drain: bool, now: Cycle) -> bool {
+        let dram = self.queue(ci, drain)[idx].dram;
+        let (class, extra) = self.policy.activate_class(&dram);
+        let ch = &mut self.channels[ci];
+        if ch
+            .chan
+            .activate_mcr(dram.rank, dram.bank, dram.row, now, class, extra)
+            .is_err()
+        {
+            return false;
+        }
+        let q = if drain {
+            &mut self.channels[ci].write_q
+        } else {
+            &mut self.channels[ci].read_q
+        };
+        q[idx].did_activate = true;
+        true
+    }
+
+    fn issue_pre(&mut self, ci: usize, idx: usize, drain: bool, now: Cycle) -> bool {
+        let dram = self.queue(ci, drain)[idx].dram;
+        let ch = &mut self.channels[ci];
+        if ch.chan.precharge(dram.rank, dram.bank, now).is_err() {
+            return false;
+        }
+        let q = if drain {
+            &mut self.channels[ci].write_q
+        } else {
+            &mut self.channels[ci].read_q
+        };
+        q[idx].did_precharge = true;
+        true
+    }
+
+    /// Tries to issue the oldest pending refresh for `rank`.
+    fn try_refresh(&mut self, ci: usize, rank: u8, now: Cycle) -> bool {
+        let Some(action) = self.channels[ci].refresh.peek(rank) else {
+            return false;
+        };
+        let t_rfc = match action {
+            RefreshAction::Fast(t) => Some(t),
+            RefreshAction::Normal => None,
+            RefreshAction::Skip => unreachable!("skips never enter the backlog"),
+        };
+        let ch = &mut self.channels[ci];
+        if ch.chan.refresh(rank, now, t_rfc).is_ok() {
+            ch.refresh.consume(rank);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Urgent-refresh helper: precharges one open bank of `rank` if legal.
+    fn try_idle_rank(&mut self, ci: usize, rank: u8, now: Cycle) -> bool {
+        let ch = &mut self.channels[ci];
+        for bank in 0..self.geometry.banks {
+            if ch.chan.open_row(rank, bank).is_some()
+                && ch.chan.next_precharge_cycle(rank, bank) <= now
+                && ch.chan.precharge(rank, bank, now).is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::PageInterleave;
+    use crate::policy::NormalPolicy;
+
+    fn controller(refresh: bool) -> MemoryController {
+        let g = Geometry::tiny();
+        let mut cfg = ControllerConfig::msc_default();
+        cfg.refresh_enabled = refresh;
+        MemoryController::new(
+            g,
+            TimingSet::default(),
+            cfg,
+            Box::new(PageInterleave::new(g)),
+            Box::new(NormalPolicy),
+        )
+    }
+
+    fn run(ctl: &mut MemoryController, from: Cycle, to: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for now in from..to {
+            done.extend(ctl.tick(now));
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes_with_miss_latency() {
+        let mut ctl = controller(false);
+        let token = ctl.enqueue_read(0, PhysAddr(0)).unwrap();
+        let done = run(&mut ctl, 0, 100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, token);
+        // ACT at 0, RD at tRCD=11, data at 11+CL+BL = 26.
+        assert_eq!(done[0].ready_at, 26);
+        assert_eq!(ctl.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_hit() {
+        let mut ctl = controller(false);
+        ctl.enqueue_read(0, PhysAddr(0)).unwrap();
+        ctl.enqueue_read(0, PhysAddr(64)).unwrap();
+        let done = run(&mut ctl, 0, 100);
+        assert_eq!(done.len(), 2);
+        let s = ctl.stats();
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_hits, 1);
+        // Hit's data trails the first by one burst (tCCD-limited).
+        assert!(done[1].ready_at <= done[0].ready_at + 5);
+    }
+
+    #[test]
+    fn conflicting_row_forces_precharge() {
+        let mut ctl = controller(false);
+        let g = Geometry::tiny();
+        let m = PageInterleave::new(g);
+        // Same bank (bank 0), different rows.
+        let a = m.encode(&dram_device::DramAddress {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 1,
+            col: 0,
+        });
+        let b = m.encode(&dram_device::DramAddress {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 2,
+            col: 0,
+        });
+        ctl.enqueue_read(0, a).unwrap();
+        ctl.enqueue_read(0, b).unwrap();
+        let done = run(&mut ctl, 0, 200);
+        assert_eq!(done.len(), 2);
+        let s = ctl.stats();
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_conflicts, 1);
+        // Conflict pays tRAS + tRP before its ACT: first data 26, second
+        // ACT no earlier than tRAS(28)+tRP(11)=39.
+        assert!(done[1].ready_at >= 39 + 11 + 15);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut ctl = controller(false);
+        for i in 0..32 {
+            assert!(ctl.enqueue_read(0, PhysAddr(i * 4096)).is_some());
+        }
+        assert!(ctl.enqueue_read(0, PhysAddr(99 * 4096)).is_none());
+    }
+
+    #[test]
+    fn write_merging_and_forwarding() {
+        let mut ctl = controller(false);
+        assert!(ctl.enqueue_write(0, PhysAddr(0)));
+        assert!(ctl.enqueue_write(0, PhysAddr(0))); // merged
+        assert_eq!(ctl.write_queue_len(0), 1);
+        let t = ctl.enqueue_read(0, PhysAddr(0)).unwrap();
+        let done = run(&mut ctl, 0, 5);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, t);
+        assert_eq!(ctl.stats().reads_done, 1);
+        assert_eq!(ctl.stats().row_hits + ctl.stats().row_misses, 0); // forwarded
+    }
+
+    #[test]
+    fn writes_drain_when_reads_idle() {
+        let mut ctl = controller(false);
+        assert!(ctl.enqueue_write(0, PhysAddr(0)));
+        run(&mut ctl, 0, 100);
+        assert_eq!(ctl.write_queue_len(0), 0);
+        assert_eq!(ctl.stats().writes_done, 1);
+    }
+
+    #[test]
+    fn high_watermark_triggers_drain_mode() {
+        let mut ctl = controller(false);
+        for i in 0..24 {
+            assert!(ctl.enqueue_write(0, PhysAddr(i * 4096)));
+        }
+        // Reads waiting too: drain mode should still kick in.
+        ctl.enqueue_read(0, PhysAddr(1 << 20)).unwrap();
+        run(&mut ctl, 0, 2000);
+        let s = ctl.stats();
+        assert!(s.drain_cycles > 0);
+        assert!(s.writes_done >= 16, "drained to low watermark");
+        assert_eq!(s.reads_done, 1);
+    }
+
+    #[test]
+    fn refresh_occurs_every_trefi() {
+        let mut ctl = controller(true);
+        run(&mut ctl, 0, 20_000);
+        let s = ctl.stats();
+        // tiny geometry has 1 rank: slots due at 6240, 12480, 18720.
+        assert_eq!(s.refresh.normal, 3);
+    }
+
+    #[test]
+    fn reads_still_complete_with_refresh_on() {
+        let mut ctl = controller(true);
+        let mut completed = 0;
+        let mut enqueued = 0u64;
+        for now in 0..50_000u64 {
+            if now % 100 == 0
+                && now < 45_000
+                && ctl.enqueue_read(0, PhysAddr((now * 64) % (1 << 18))).is_some()
+            {
+                enqueued += 1;
+            }
+            completed += ctl.tick(now).len();
+        }
+        assert_eq!(completed as u64, enqueued);
+        assert!(ctl.idle());
+    }
+
+    #[test]
+    fn fr_fcfs_command_sequence_prefers_hits() {
+        use dram_device::CommandKind;
+        let g = Geometry::tiny();
+        let mut cfg = ControllerConfig::msc_default();
+        cfg.refresh_enabled = false;
+        let mut ctl = MemoryController::new(
+            g,
+            TimingSet::default(),
+            cfg,
+            Box::new(PageInterleave::new(g)),
+            Box::new(NormalPolicy),
+        );
+        ctl.enable_command_trace(32);
+        let m = PageInterleave::new(g);
+        let mk = |row, col| {
+            m.encode(&dram_device::DramAddress {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row,
+                col,
+            })
+        };
+        // Conflict (row 2) enqueued before a hit (row 1, already open
+        // after the first request) — FR-FCFS serves the hit's CAS before
+        // precharging for the conflict.
+        ctl.enqueue_read(0, mk(1, 0)).unwrap();
+        ctl.enqueue_read(0, mk(2, 0)).unwrap();
+        ctl.enqueue_read(0, mk(1, 1)).unwrap();
+        run(&mut ctl, 0, 300);
+        let kinds: Vec<(CommandKind, u64)> = ctl
+            .channels()
+            .next()
+            .unwrap()
+            .command_trace()
+            .map(|c| (c.kind, c.addr.row))
+            .collect();
+        // ACT(1), RD(1,0), RD(1,1) — the hit jumps the older conflict —
+        // then PRE, ACT(2), RD(2).
+        assert_eq!(kinds[0], (CommandKind::Activate, 1));
+        assert_eq!(kinds[1].0, CommandKind::Read);
+        assert_eq!(kinds[2].0, CommandKind::Read);
+        assert_eq!(kinds[2].1, 1, "row-1 hit must be served before the conflict");
+        assert_eq!(kinds[3].0, CommandKind::Precharge);
+        assert_eq!(kinds[4], (CommandKind::Activate, 2));
+    }
+
+    #[test]
+    fn idle_rank_powers_down_and_wakes_for_requests() {
+        let g = Geometry::tiny();
+        let mut cfg = ControllerConfig::msc_default();
+        cfg.refresh_enabled = false;
+        cfg.powerdown_idle_threshold = Some(30);
+        let mut ctl = MemoryController::new(
+            g,
+            TimingSet::default(),
+            cfg,
+            Box::new(PageInterleave::new(g)),
+            Box::new(NormalPolicy),
+        );
+        // Serve one read, then go idle long enough to power down.
+        ctl.enqueue_read(0, PhysAddr(0)).unwrap();
+        run(&mut ctl, 0, 200);
+        let powered_down = {
+            let chan = ctl.channels().next().unwrap();
+            chan.rank_powered_down(0)
+        };
+        assert!(powered_down, "rank should be asleep after long idle");
+        // A new request wakes it and still completes (with tXP penalty).
+        let t = ctl.enqueue_read(0, PhysAddr(4096)).unwrap();
+        let done = run(&mut ctl, 200, 400);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, t);
+        ctl.finish(400);
+        let pd = ctl.channels().next().unwrap().rank(0).counters.powerdown_cycles;
+        assert!(pd > 50, "power-down residency recorded ({pd})");
+    }
+
+    #[test]
+    fn closed_page_auto_precharges_last_access() {
+        let g = Geometry::tiny();
+        let mut cfg = ControllerConfig::msc_default();
+        cfg.refresh_enabled = false;
+        cfg.row_policy = RowPolicy::Closed;
+        let mut ctl = MemoryController::new(
+            g,
+            TimingSet::default(),
+            cfg,
+            Box::new(PageInterleave::new(g)),
+            Box::new(NormalPolicy),
+        );
+        let m = PageInterleave::new(g);
+        let mk = |row, col| {
+            m.encode(&dram_device::DramAddress {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row,
+                col,
+            })
+        };
+        // Two reads to the same row: the first stays open (a pending
+        // request wants the row), the second auto-precharges.
+        ctl.enqueue_read(0, mk(1, 0)).unwrap();
+        ctl.enqueue_read(0, mk(1, 1)).unwrap();
+        let done = run(&mut ctl, 0, 200);
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctl.stats().row_hits, 1, "second read still hits");
+        // Bank closed itself without an explicit PRE from the scheduler: a
+        // new read to another row needs only ACT (a miss, not a conflict).
+        ctl.enqueue_read(0, mk(2, 0)).unwrap();
+        let done = run(&mut ctl, 200, 400);
+        assert_eq!(done.len(), 1);
+        assert_eq!(ctl.stats().row_conflicts, 0);
+        assert_eq!(ctl.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn fcfs_serves_in_order() {
+        let g = Geometry::tiny();
+        let mut cfg = ControllerConfig::msc_default();
+        cfg.refresh_enabled = false;
+        cfg.scheduler = SchedulerKind::Fcfs;
+        let mut ctl = MemoryController::new(
+            g,
+            TimingSet::default(),
+            cfg,
+            Box::new(PageInterleave::new(g)),
+            Box::new(NormalPolicy),
+        );
+        let m = PageInterleave::new(g);
+        let mk = |row, col| {
+            m.encode(&dram_device::DramAddress {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row,
+                col,
+            })
+        };
+        let t0 = ctl.enqueue_read(0, mk(1, 0)).unwrap();
+        let t1 = ctl.enqueue_read(0, mk(2, 0)).unwrap();
+        let t2 = ctl.enqueue_read(0, mk(1, 1)).unwrap(); // would be a hit under FR-FCFS
+        let done = run(&mut ctl, 0, 500);
+        let order: Vec<u64> = done.iter().map(|c| c.token).collect();
+        assert_eq!(order, vec![t0, t1, t2]);
+    }
+}

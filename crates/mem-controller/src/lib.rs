@@ -1,0 +1,58 @@
+//! # mem-controller
+//!
+//! A DDR3 memory controller modeled after the paper's baseline (Table 4):
+//! per-channel 32-entry read and write queues, write-drain watermarks 24/8,
+//! FR-FCFS scheduling, page-interleaved address mapping, and JEDEC refresh
+//! with postponement.
+//!
+//! Two extension points let the MCR-DRAM layer (crate `mcr-dram`) plug in
+//! without this crate knowing anything about Multiple Clone Rows:
+//!
+//! * [`DevicePolicy`] — chooses the row-timing class (Early-Access /
+//!   Early-Precharge) for every ACTIVATE and decides, per refresh slot,
+//!   whether to issue a normal REFRESH, a Fast-Refresh (shorter `tRFC`), or
+//!   to skip the slot entirely (Refresh-Skipping). The baseline policy
+//!   ([`NormalPolicy`]) always picks class 0 and normal refreshes.
+//! * [`AddressMapper`] — translates physical addresses to DRAM coordinates;
+//!   [`PageInterleave`] is the paper's policy, with permutation-based and
+//!   bit-reversal variants for ablation.
+//!
+//! ## Example
+//!
+//! ```
+//! use mem_controller::{ControllerConfig, MemoryController, NormalPolicy, PageInterleave};
+//! use dram_device::{Geometry, PhysAddr, TimingSet};
+//!
+//! let geometry = Geometry::single_core_4gb();
+//! let mut ctl = MemoryController::new(
+//!     geometry,
+//!     TimingSet::ddr3_1600(geometry.rows_per_bank),
+//!     ControllerConfig::msc_default(),
+//!     Box::new(PageInterleave::new(geometry)),
+//!     Box::new(NormalPolicy),
+//! );
+//! let token = ctl.enqueue_read(0, PhysAddr(0x12345640)).expect("queue has space");
+//! let mut done = Vec::new();
+//! for cycle in 0..200 {
+//!     done.extend(ctl.tick(cycle));
+//! }
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].token, token);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod mapping;
+mod policy;
+mod refresh;
+mod request;
+mod stats;
+
+pub use controller::{Completion, ControllerConfig, MemoryController, RowPolicy, SchedulerKind};
+pub use mapping::{AddressMapper, BitReversal, PageInterleave, PermutationInterleave};
+pub use policy::{DevicePolicy, NormalPolicy, RefreshAction};
+pub use refresh::RefreshScheduler;
+pub use request::{Request, ServiceClass};
+pub use stats::ControllerStats;

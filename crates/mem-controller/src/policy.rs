@@ -1,0 +1,90 @@
+//! Device-policy extension point (how the MCR layer plugs in).
+
+use dram_device::DramAddress;
+use std::any::Any;
+
+/// What to do with one refresh slot (one tREFI tick for one rank).
+///
+/// The slot cadence is fixed by JEDEC (8K slots per retention window); the
+/// paper's Refresh-Skipping (Fig. 9) drops a fraction of the slots whose
+/// target rows lie in MCR regions, and Fast-Refresh shortens `tRFC` for
+/// slots that do refresh MCR rows (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshAction {
+    /// Issue a REFRESH with the baseline `tRFC`.
+    Normal,
+    /// Issue a REFRESH with the given `tRFC` override in cycles
+    /// (Fast-Refresh).
+    Fast(u32),
+    /// Do not issue a REFRESH for this slot (Refresh-Skipping).
+    Skip,
+}
+
+/// Per-command decisions delegated to the DRAM-architecture layer.
+///
+/// The baseline controller is MCR-agnostic; an implementation of this trait
+/// injects the paper's three mechanisms:
+/// Early-Access/Early-Precharge via `activate_class` (returning a relaxed
+/// row-timing class for MCR rows) and Fast-Refresh/Refresh-Skipping via
+/// `refresh_action`.
+pub trait DevicePolicy: Send + Any {
+    /// Row-timing class and extra raised wordlines for activating `addr`.
+    ///
+    /// Returns `(class, extra_wordlines)`: class 0 is the baseline timing;
+    /// `extra_wordlines` is `K - 1` for a Kx MCR activation (energy
+    /// accounting only).
+    fn activate_class(&self, addr: &DramAddress) -> (dram_device::RowTimingClass, u32);
+
+    /// Decision for the refresh slot whose device-internal counter (with
+    /// the configured wiring) targets `slot_row` on `rank`.
+    fn refresh_action(&mut self, rank: u8, slot_row: u64) -> RefreshAction;
+
+    /// Row-timing classes this policy needs registered on each channel, in
+    /// class-index order starting at 1 (class 0 is always baseline).
+    ///
+    /// Register every class the policy may ever use: classes are latched
+    /// at controller construction, so a policy that supports runtime
+    /// reconfiguration (MRS-driven MCR-mode change) must pre-register the
+    /// classes of all reachable modes.
+    fn timing_classes(&self) -> Vec<dram_device::RowTiming> {
+        Vec::new()
+    }
+
+    /// Downcast hook so owners can reach policy-specific reconfiguration
+    /// entry points (e.g. the MCR layer's MRS reprogramming) through the
+    /// `Box<dyn DevicePolicy>` the controller holds.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Baseline policy: every row is a normal row; every refresh is normal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalPolicy;
+
+impl DevicePolicy for NormalPolicy {
+    fn activate_class(&self, _addr: &DramAddress) -> (dram_device::RowTimingClass, u32) {
+        (dram_device::RowTimingClass(0), 0)
+    }
+
+    fn refresh_action(&mut self, _rank: u8, _slot_row: u64) -> RefreshAction {
+        RefreshAction::Normal
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_policy_is_baseline() {
+        let mut p = NormalPolicy;
+        let (class, extra) = p.activate_class(&DramAddress::default());
+        assert_eq!(class, dram_device::RowTimingClass(0));
+        assert_eq!(extra, 0);
+        assert_eq!(p.refresh_action(0, 0), RefreshAction::Normal);
+        assert!(p.timing_classes().is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Controller-side refresh scheduling.
+//!
+//! JEDEC requires 8K REFRESH commands per retention window, one every
+//! `tREFI` on average, with up to 8 postponed. The scheduler tracks, per
+//! rank, the slots that have come due and the [`RefreshAction`] the device
+//! policy chose for each; the controller issues them opportunistically and
+//! forces them as the backlog approaches the postponement cap.
+
+use crate::policy::{DevicePolicy, RefreshAction};
+use dram_device::{Cycle, RefreshCounter, RefreshWiring};
+use std::collections::VecDeque;
+
+/// Per-rank refresh bookkeeping.
+#[derive(Debug)]
+struct RankRefresh {
+    /// Shadow of the device-internal refresh row counter.
+    counter: RefreshCounter,
+    /// Actions for slots that are due but not yet issued.
+    backlog: VecDeque<RefreshAction>,
+    /// Next slot deadline in memory cycles.
+    next_due: Cycle,
+}
+
+/// Statistics reported by the refresh scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// REFRESH commands issued with baseline tRFC.
+    pub normal: u64,
+    /// REFRESH commands issued with a Fast-Refresh override.
+    pub fast: u64,
+    /// Slots skipped entirely (Refresh-Skipping).
+    pub skipped: u64,
+}
+
+/// Tracks refresh slot deadlines and backlog for every rank of a channel.
+#[derive(Debug)]
+pub struct RefreshScheduler {
+    ranks: Vec<RankRefresh>,
+    t_refi: Cycle,
+    postpone_cap: usize,
+    stats: RefreshStats,
+}
+
+impl RefreshScheduler {
+    /// Scheduler for `ranks` ranks with `row_bits`-bit row addresses and
+    /// slot period `t_refi`, using `wiring` for the shadow counter.
+    pub fn new(ranks: u8, row_bits: u32, t_refi: Cycle, wiring: RefreshWiring) -> Self {
+        RefreshScheduler {
+            ranks: (0..ranks)
+                .map(|i| RankRefresh {
+                    counter: RefreshCounter::new(row_bits, wiring),
+                    backlog: VecDeque::new(),
+                    // Stagger ranks so both don't demand the bus at once.
+                    next_due: t_refi / ranks as Cycle * i as Cycle + t_refi,
+                })
+                .collect(),
+            t_refi,
+            postpone_cap: 8,
+            stats: RefreshStats::default(),
+        }
+    }
+
+    /// Advances slot deadlines to `now`, consulting `policy` for each slot
+    /// that comes due. Skip slots are consumed immediately (no command
+    /// needed); others join the backlog.
+    pub fn tick(&mut self, now: Cycle, policy: &mut dyn DevicePolicy) {
+        for (rank_id, r) in self.ranks.iter_mut().enumerate() {
+            while now >= r.next_due {
+                r.next_due += self.t_refi;
+                // Advance the shadow counter at decision time: each due
+                // slot targets the next row in the sweep even while a
+                // backlog of unissued refreshes exists.
+                let row = r.counter.advance();
+                match policy.refresh_action(rank_id as u8, row) {
+                    RefreshAction::Skip => {
+                        self.stats.skipped += 1;
+                    }
+                    action => {
+                        r.backlog.push_back(action);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of pending (due, unissued) refreshes for `rank`.
+    pub fn backlog(&self, rank: u8) -> usize {
+        self.ranks[rank as usize].backlog.len()
+    }
+
+    /// True when `rank`'s backlog is close enough to the postponement cap
+    /// that the controller must prioritize refreshing over requests.
+    pub fn urgent(&self, rank: u8) -> bool {
+        self.backlog(rank) >= self.postpone_cap - 1
+    }
+
+    /// The action for `rank`'s oldest pending refresh, if any.
+    pub fn peek(&self, rank: u8) -> Option<RefreshAction> {
+        self.ranks[rank as usize].backlog.front().copied()
+    }
+
+    /// Consumes the oldest pending refresh for `rank` after the controller
+    /// has successfully issued it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no pending refresh.
+    pub fn consume(&mut self, rank: u8) {
+        let r = &mut self.ranks[rank as usize];
+        let action = r.backlog.pop_front().expect("no pending refresh");
+        match action {
+            RefreshAction::Normal => self.stats.normal += 1,
+            RefreshAction::Fast(_) => self.stats.fast += 1,
+            RefreshAction::Skip => unreachable!("skips never enter the backlog"),
+        }
+    }
+
+    /// Aggregate refresh statistics.
+    pub fn stats(&self) -> RefreshStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NormalPolicy;
+
+    #[test]
+    fn slots_accumulate_at_trefi() {
+        let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Reversed);
+        let mut p = NormalPolicy;
+        s.tick(99, &mut p);
+        assert_eq!(s.backlog(0), 0);
+        s.tick(100, &mut p);
+        assert_eq!(s.backlog(0), 1);
+        s.tick(450, &mut p);
+        assert_eq!(s.backlog(0), 4);
+        assert!(!s.urgent(0));
+        s.tick(800, &mut p);
+        assert!(s.urgent(0));
+    }
+
+    #[test]
+    fn consume_pops_and_counts() {
+        let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Reversed);
+        let mut p = NormalPolicy;
+        s.tick(300, &mut p);
+        // Slots due at 100, 200, 300.
+        assert_eq!(s.backlog(0), 3);
+        assert_eq!(s.peek(0), Some(RefreshAction::Normal));
+        s.consume(0);
+        assert_eq!(s.backlog(0), 2);
+        assert_eq!(s.stats().normal, 1);
+    }
+
+    #[test]
+    fn skipping_policy_never_queues() {
+        struct SkipAll;
+        impl DevicePolicy for SkipAll {
+            fn activate_class(
+                &self,
+                _: &dram_device::DramAddress,
+            ) -> (dram_device::RowTimingClass, u32) {
+                (dram_device::RowTimingClass(0), 0)
+            }
+            fn refresh_action(&mut self, _: u8, _: u64) -> RefreshAction {
+                RefreshAction::Skip
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut s = RefreshScheduler::new(2, 6, 100, RefreshWiring::Reversed);
+        let mut p = SkipAll;
+        s.tick(1000, &mut p);
+        assert_eq!(s.backlog(0), 0);
+        assert_eq!(s.backlog(1), 0);
+        assert!(s.stats().skipped >= 18);
+    }
+
+    #[test]
+    fn ranks_are_staggered() {
+        let mut s = RefreshScheduler::new(2, 6, 100, RefreshWiring::Reversed);
+        let mut p = NormalPolicy;
+        s.tick(120, &mut p);
+        // Rank 0 due at 100, rank 1 at 150.
+        assert_eq!(s.backlog(0), 1);
+        assert_eq!(s.backlog(1), 0);
+        s.tick(160, &mut p);
+        assert_eq!(s.backlog(1), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! In-flight memory requests.
+
+use dram_device::{Cycle, DramAddress, PhysAddr, ReqKind};
+
+/// How a request was ultimately serviced, for row-buffer statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// Row was already open: CAS only.
+    RowHit,
+    /// Bank was closed: ACT + CAS.
+    RowMiss,
+    /// Another row was open: PRE + ACT + CAS.
+    RowConflict,
+}
+
+/// One queued read or write request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Controller-wide unique id; echoed back to the core on completion.
+    pub token: u64,
+    /// Issuing core.
+    pub core_id: u32,
+    /// Read or write.
+    pub kind: ReqKind,
+    /// Original physical address.
+    pub phys: PhysAddr,
+    /// Decoded DRAM coordinates.
+    pub dram: DramAddress,
+    /// Memory cycle at which the request entered the queue.
+    pub enqueued_at: Cycle,
+    /// Whether a PRECHARGE has been issued on behalf of this request.
+    pub did_precharge: bool,
+    /// Whether an ACTIVATE has been issued on behalf of this request.
+    pub did_activate: bool,
+}
+
+impl Request {
+    /// Classifies the completed request for row-buffer statistics.
+    pub fn service_class(&self) -> ServiceClass {
+        match (self.did_precharge, self.did_activate) {
+            (true, _) => ServiceClass::RowConflict,
+            (false, true) => ServiceClass::RowMiss,
+            (false, false) => ServiceClass::RowHit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> Request {
+        Request {
+            token: 0,
+            core_id: 0,
+            kind: ReqKind::Read,
+            phys: PhysAddr(0),
+            dram: DramAddress::default(),
+            enqueued_at: 0,
+            did_precharge: false,
+            did_activate: false,
+        }
+    }
+
+    #[test]
+    fn service_class_from_flags() {
+        assert_eq!(req().service_class(), ServiceClass::RowHit);
+        let mut m = req();
+        m.did_activate = true;
+        assert_eq!(m.service_class(), ServiceClass::RowMiss);
+        m.did_precharge = true;
+        assert_eq!(m.service_class(), ServiceClass::RowConflict);
+    }
+}

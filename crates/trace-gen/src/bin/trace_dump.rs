@@ -1,0 +1,45 @@
+//! `trace_dump` — write a synthetic MSC-format trace to stdout or a file.
+//!
+//! ```text
+//! cargo run -p trace-gen --bin trace_dump --release -- libq 100000 42 > libq.trc
+//! ```
+//!
+//! Arguments: `<workload> [records=100000] [seed=2015]`. The output is the
+//! USIMM text format (`<gap> <R|W> <hex-addr>`), so it can drive other
+//! DRAM simulators for cross-validation.
+
+use cpu_model::write_trace;
+use std::io::{self, BufWriter, Write};
+use std::process::ExitCode;
+use trace_gen::{all_workloads, workload, TraceGenerator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: trace_dump <workload> [records] [seed]");
+        eprintln!(
+            "workloads: {}",
+            all_workloads()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(profile) = workload(name) else {
+        eprintln!("unknown workload {name:?}");
+        return ExitCode::FAILURE;
+    };
+    let records: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let seed: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2015);
+
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let trace = TraceGenerator::new(profile, seed, 0).take(records);
+    if let Err(e) = write_trace(&mut out, trace).and_then(|()| out.flush()) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,184 @@
+//! The trace generator: profiles → streams of `TraceRecord`s.
+
+use crate::profile::{WorkloadProfile, ROW_BYTES};
+use crate::zipf::Zipf;
+use cpu_model::TraceRecord;
+use dram_device::{PhysAddr, ReqKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cache lines per generated row frame.
+const LINES_PER_ROW: u32 = (ROW_BYTES / 64) as u32;
+
+/// An odd multiplier; multiplying by it modulo a power of two is a
+/// bijection, used to scatter Zipf popularity ranks over row frames so the
+/// hot set is not address-contiguous.
+const SCATTER: u64 = 0x9E37_79B1;
+
+/// Streams [`TraceRecord`]s for one workload profile.
+///
+/// Deterministic: the same `(profile, seed, base)` triple produces the same
+/// infinite stream. Use [`Iterator::take`] to bound the run length.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    zipf: Zipf,
+    /// Base byte offset added to every generated address (gives each core
+    /// of a multi-programmed mix a private address-space slice).
+    base: u64,
+    row: u64,
+    col: u32,
+}
+
+impl TraceGenerator {
+    /// Generator for `profile`, seeded with `seed`, offsetting all
+    /// addresses by `base` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not row-aligned.
+    pub fn new(profile: &WorkloadProfile, seed: u64, base: u64) -> Self {
+        assert_eq!(base % ROW_BYTES, 0, "base must be row-aligned");
+        let mut rng = SmallRng::seed_from_u64(seed ^ hash_name(profile.name));
+        let zipf = Zipf::new(profile.footprint_rows, profile.zipf_theta);
+        let row = zipf.sample(&mut rng);
+        let col = rng.gen_range(0..LINES_PER_ROW);
+        TraceGenerator {
+            profile: *profile,
+            rng,
+            zipf,
+            base,
+            row,
+            col,
+        }
+    }
+
+    /// The workload profile being generated.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Scatters a popularity rank onto a row-frame index (bijective because
+    /// footprints are powers of two and the multiplier is odd).
+    fn scatter(&self, rank: u64) -> u64 {
+        (rank.wrapping_mul(SCATTER)) & (self.profile.footprint_rows - 1)
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let p = self.profile;
+        // Row-buffer locality: continue sequentially in the current row, or
+        // jump to a Zipf-popular row.
+        let stay = self.rng.gen_bool(p.row_locality) && self.col + 1 < LINES_PER_ROW;
+        if stay {
+            self.col += 1;
+        } else {
+            let rank = self.zipf.sample(&mut self.rng);
+            self.row = self.scatter(rank);
+            self.col = self.rng.gen_range(0..LINES_PER_ROW);
+        }
+        let addr = self.base + self.row * ROW_BYTES + self.col as u64 * 64;
+        let kind = if self.rng.gen_bool(p.read_fraction) {
+            ReqKind::Read
+        } else {
+            ReqKind::Write
+        };
+        // Gap: uniform in [0, 2·mean], preserving the MPKI in expectation.
+        let mean = p.mean_gap();
+        let gap = self.rng.gen_range(0.0..=2.0 * mean + f64::MIN_POSITIVE) as u32;
+        Some(TraceRecord::new(gap, kind, PhysAddr(addr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::workload;
+
+    fn take(name: &str, n: usize) -> Vec<TraceRecord> {
+        TraceGenerator::new(workload(name).unwrap(), 1, 0)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        assert_eq!(take("comm1", 500), take("comm1", 500));
+        assert_ne!(take("comm1", 500), take("comm3", 500));
+    }
+
+    #[test]
+    fn read_fraction_approximates_profile() {
+        let recs = take("libq", 20_000);
+        let reads = recs.iter().filter(|r| r.kind == ReqKind::Read).count();
+        let f = reads as f64 / recs.len() as f64;
+        assert!((f - 0.95).abs() < 0.01, "read fraction {f}");
+    }
+
+    #[test]
+    fn mpki_approximates_profile() {
+        let recs = take("comm1", 50_000);
+        let instrs: u64 = recs.iter().map(|r| r.instructions()).sum();
+        let mpki = recs.len() as f64 * 1000.0 / instrs as f64;
+        assert!((mpki - 18.0).abs() < 1.0, "mpki {mpki}");
+    }
+
+    #[test]
+    fn row_locality_shows_in_stream() {
+        let high = take("libq", 10_000);
+        let low = take("tigr", 10_000);
+        let same_row = |recs: &[TraceRecord]| {
+            recs.windows(2)
+                .filter(|w| w[0].addr.0 / ROW_BYTES == w[1].addr.0 / ROW_BYTES)
+                .count() as f64
+                / (recs.len() - 1) as f64
+        };
+        assert!(same_row(&high) > 0.7, "libq locality {}", same_row(&high));
+        assert!(same_row(&low) < 0.35, "tigr locality {}", same_row(&low));
+    }
+
+    #[test]
+    fn footprint_is_respected() {
+        let recs = take("black", 50_000);
+        let max_row = recs.iter().map(|r| r.addr.0 / ROW_BYTES).max().unwrap();
+        assert!(max_row < workload("black").unwrap().footprint_rows);
+    }
+
+    #[test]
+    fn base_offset_shifts_addresses() {
+        let base = 1u64 << 32;
+        let recs = TraceGenerator::new(workload("black").unwrap(), 1, base)
+            .take(100)
+            .collect::<Vec<_>>();
+        assert!(recs.iter().all(|r| r.addr.0 >= base));
+    }
+
+    #[test]
+    fn comm2_hot_rows_dominate() {
+        // Paper Sec. 6.1: 88 % of comm2 requests hit its hottest 10 % of
+        // rows (with 10 % pseudo-profile allocation). Our profile should be
+        // in the same regime.
+        let recs = take("comm2", 100_000);
+        let mut counts = std::collections::HashMap::new();
+        for r in &recs {
+            *counts.entry(r.addr.0 / ROW_BYTES).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = (workload("comm2").unwrap().footprint_rows as usize) / 10;
+        let hot: u64 = freqs.iter().take(top10).sum();
+        let frac = hot as f64 / recs.len() as f64;
+        assert!(frac > 0.80, "comm2 top-10% row mass {frac}");
+    }
+}

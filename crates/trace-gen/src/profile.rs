@@ -1,0 +1,166 @@
+//! Per-workload behavioural profiles.
+
+/// Bytes per DRAM row frame in the generated address space (matches the
+/// paper's 128 cache lines × 64 B geometry).
+pub const ROW_BYTES: u64 = 8192;
+
+/// MSC benchmark suite a workload belongs to (paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Server/transaction traces (`comm1..comm5`).
+    Commercial,
+    /// SPEC CPU2006 (`leslie`, `libq`).
+    Spec,
+    /// PARSEC (`black`, `face`, …, plus the multi-threaded pair).
+    Parsec,
+    /// Bioinformatics (`mummer`, `tigr`).
+    Biobench,
+}
+
+/// A synthetic stand-in for one MSC workload.
+///
+/// Fields are the knobs the generator uses; values are chosen per workload
+/// to span the same behavioural axes as the original trace (see crate
+/// docs for the substitution rationale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name as used in the paper's figures.
+    pub name: &'static str,
+    /// Suite the workload belongs to.
+    pub suite: Suite,
+    /// Memory operations per 1000 instructions.
+    pub mpki: f64,
+    /// Fraction of memory operations that are reads.
+    pub read_fraction: f64,
+    /// Probability that the next access continues in the current row.
+    pub row_locality: f64,
+    /// Distinct row frames touched (power of two).
+    pub footprint_rows: u64,
+    /// Zipf exponent of row popularity (0 = uniform; larger = hotter).
+    pub zipf_theta: f64,
+    /// True for the multi-threaded PARSEC pair (`MT-*`), which only appear
+    /// in multi-core runs.
+    pub multi_threaded: bool,
+}
+
+macro_rules! profiles {
+    ($($name:literal, $suite:ident, $mpki:literal, $rf:literal, $rl:literal,
+       $rows:literal, $theta:literal, $mt:literal;)*) => {
+        /// Every workload of paper Table 5.
+        pub fn all_workloads() -> &'static [WorkloadProfile] {
+            const ALL: &[WorkloadProfile] = &[
+                $(WorkloadProfile {
+                    name: $name,
+                    suite: Suite::$suite,
+                    mpki: $mpki,
+                    read_fraction: $rf,
+                    row_locality: $rl,
+                    footprint_rows: $rows,
+                    zipf_theta: $theta,
+                    multi_threaded: $mt,
+                },)*
+            ];
+            ALL
+        }
+    };
+}
+
+profiles! {
+    // name      suite       mpki  read  rowloc rows   zipf  MT
+    "comm1",     Commercial, 18.0, 0.62, 0.55,  16384, 0.90, false;
+    "comm2",     Commercial, 22.0, 0.60, 0.50,   8192, 1.25, false;
+    "comm3",     Commercial, 12.0, 0.65, 0.45,  16384, 0.80, false;
+    "comm4",     Commercial,  8.0, 0.58, 0.40,  32768, 0.70, false;
+    "comm5",     Commercial, 10.0, 0.63, 0.50,  16384, 0.80, false;
+    "leslie",    Spec,       30.0, 0.75, 0.75,  16384, 0.50, false;
+    "libq",      Spec,       25.0, 0.95, 0.85,   8192, 0.40, false;
+    "black",     Parsec,      3.0, 0.70, 0.60,   4096, 0.60, false;
+    "face",      Parsec,      6.0, 0.68, 0.65,   8192, 0.60, false;
+    "ferret",    Parsec,      9.0, 0.66, 0.55,   8192, 0.70, false;
+    "fluid",     Parsec,      7.0, 0.65, 0.60,  16384, 0.60, false;
+    "freq",      Parsec,      8.0, 0.64, 0.55,   8192, 0.70, false;
+    "stream",    Parsec,     28.0, 0.55, 0.80,  32768, 0.30, false;
+    "swapt",     Parsec,      7.0, 0.67, 0.55,   8192, 0.60, false;
+    "MT-canneal",Parsec,     15.0, 0.70, 0.35,  32768, 0.70, true;
+    "MT-fluid",  Parsec,      7.0, 0.65, 0.60,  16384, 0.60, true;
+    "mummer",    Biobench,   24.0, 0.80, 0.30,  32768, 0.60, false;
+    "tigr",      Biobench,   26.0, 0.78, 0.25,  32768, 0.60, false;
+}
+
+/// Looks up a workload by name.
+pub fn workload(name: &str) -> Option<&'static WorkloadProfile> {
+    all_workloads().iter().find(|w| w.name == name)
+}
+
+/// The 16 single-threaded workloads used in the paper's single-core runs
+/// (Table 5 minus the `MT-*` pair).
+pub fn single_core_workloads() -> Vec<&'static WorkloadProfile> {
+    all_workloads().iter().filter(|w| !w.multi_threaded).collect()
+}
+
+impl WorkloadProfile {
+    /// Mean number of non-memory instructions between memory operations.
+    pub fn mean_gap(&self) -> f64 {
+        (1000.0 / self.mpki - 1.0).max(0.0)
+    }
+
+    /// Workloads of a given suite.
+    pub fn of_suite(suite: Suite) -> Vec<&'static WorkloadProfile> {
+        all_workloads()
+            .iter()
+            .filter(|w| w.suite == suite && !w.multi_threaded)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_single_core_workloads() {
+        assert_eq!(single_core_workloads().len(), 16);
+    }
+
+    #[test]
+    fn all_footprints_are_powers_of_two() {
+        for w in all_workloads() {
+            assert!(
+                w.footprint_rows.is_power_of_two(),
+                "{} footprint must be a power of two for the hot-row permutation",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(workload("libq").unwrap().suite, Suite::Spec);
+        assert!(workload("nonexistent").is_none());
+        assert!(workload("MT-fluid").unwrap().multi_threaded);
+    }
+
+    #[test]
+    fn every_suite_is_populated() {
+        for s in [Suite::Commercial, Suite::Spec, Suite::Parsec, Suite::Biobench] {
+            assert!(!WorkloadProfile::of_suite(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_mpki() {
+        let libq = workload("libq").unwrap();
+        assert!((libq.mean_gap() - 39.0).abs() < 1e-9);
+        let black = workload("black").unwrap();
+        assert!(black.mean_gap() > libq.mean_gap());
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for w in all_workloads() {
+            assert!((0.0..=1.0).contains(&w.read_fraction), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.row_locality), "{}", w.name);
+            assert!(w.mpki > 0.0);
+        }
+    }
+}

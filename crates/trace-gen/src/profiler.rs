@@ -1,0 +1,55 @@
+//! Offline hot-row profiling (feeds pseudo profile-based page allocation).
+//!
+//! The paper assumes the OS learns which pages are hot via compiler- or
+//! hardware-based profiling; here we profile the synthetic trace itself,
+//! which plays the same role: a ranked list of row frames by access count.
+
+use crate::generator::TraceGenerator;
+use crate::profile::{WorkloadProfile, ROW_BYTES};
+use std::collections::HashMap;
+
+/// Access counts per row frame over a sample of `sample` records.
+pub fn row_histogram(profile: &WorkloadProfile, seed: u64, sample: usize) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for rec in TraceGenerator::new(profile, seed, 0).take(sample) {
+        *counts.entry(rec.addr.0 / ROW_BYTES).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Row frames ranked by descending access frequency (ties broken by row id
+/// for determinism), truncated to `top_n`.
+pub fn hot_rows(profile: &WorkloadProfile, seed: u64, sample: usize, top_n: usize) -> Vec<u64> {
+    let counts = row_histogram(profile, seed, sample);
+    let mut rows: Vec<(u64, u64)> = counts.into_iter().collect();
+    rows.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows.into_iter().take(top_n).map(|(row, _)| row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::workload;
+
+    #[test]
+    fn hot_rows_cover_most_accesses_for_skewed_workloads() {
+        let w = workload("comm2").unwrap();
+        let hot = hot_rows(w, 7, 50_000, (w.footprint_rows / 10) as usize);
+        let counts = row_histogram(w, 7, 50_000);
+        let total: u64 = counts.values().sum();
+        let hot_mass: u64 = hot.iter().map(|r| counts[r]).sum();
+        assert!(hot_mass as f64 / total as f64 > 0.8);
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let w = workload("comm1").unwrap();
+        assert_eq!(hot_rows(w, 3, 10_000, 64), hot_rows(w, 3, 10_000, 64));
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let w = workload("black").unwrap();
+        assert_eq!(hot_rows(w, 3, 5_000, 10).len(), 10);
+    }
+}

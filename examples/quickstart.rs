@@ -1,0 +1,46 @@
+//! Quickstart: run one workload on conventional DRAM and on MCR-DRAM's
+//! headline mode, and print the paper's three headline metrics.
+//!
+//! ```text
+//! cargo run -p mcr-dram --example quickstart --release
+//! ```
+
+use mcr_dram::experiments::Outcome;
+use mcr_dram::{McrMode, System, SystemConfig};
+
+fn main() {
+    let workload = "libq";
+    let trace_len = 50_000;
+
+    println!("workload: {workload}, {trace_len} memory operations, 4 GB DDR3-1600");
+
+    // Conventional DRAM baseline.
+    let baseline = System::build(&SystemConfig::single_core(workload, trace_len)).run();
+    println!(
+        "baseline : exec {:>10} CPU cycles | read latency {:>5.1} mem cycles | EDP {:.3e} J*s",
+        baseline.exec_cpu_cycles, baseline.avg_read_latency, baseline.edp
+    );
+
+    // MCR-DRAM, mode [4/4x/100%reg] — Early-Access, Early-Precharge and
+    // Fast-Refresh all active.
+    let mode = McrMode::headline();
+    let mcr = System::build(
+        &SystemConfig::single_core(workload, trace_len).with_mode(mode),
+    )
+    .run();
+    println!(
+        "MCR {mode}: exec {:>10} CPU cycles | read latency {:>5.1} mem cycles | EDP {:.3e} J*s",
+        mcr.exec_cpu_cycles, mcr.avg_read_latency, mcr.edp
+    );
+
+    let o = Outcome::versus(workload, &baseline, &mcr);
+    println!();
+    println!(
+        "reductions: execution time {:+.1}%, read latency {:+.1}%, EDP {:+.1}%",
+        o.exec_reduction, o.latency_reduction, o.edp_reduction
+    );
+    println!(
+        "capacity cost: {:.0}% of DRAM usable in this mode (reconfigurable at runtime)",
+        mode.usable_capacity() * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Refresh power: quantify what Fast-Refresh and Refresh-Skipping do to
+//! refresh energy on the 4 GB and 16 GB configurations.
+//!
+//! ```text
+//! cargo run -p mcr-dram --example refresh_power --release
+//! ```
+
+use mcr_dram::experiments::reduction_pct;
+use mcr_dram::{McrMode, Mechanisms, System, SystemConfig};
+use trace_gen::multi_programmed_mixes;
+
+fn main() {
+    let len = 25_000;
+    println!("== single-core, 4 GB (1 Gb-class tRFC = 110 ns) ==");
+    let base = System::build(&SystemConfig::single_core("black", len)).run();
+    println!(
+        "baseline      : {:>7} refreshes, refresh energy {:>10.0} pJ",
+        base.controller.refresh.normal,
+        base.energy.refresh_pj
+    );
+    for (m, k, label) in [
+        (4u32, 4u32, "Fast-Refresh only        "),
+        (2, 4, "Fast-Refresh + skip half "),
+        (1, 4, "Fast-Refresh + skip 3/4  "),
+    ] {
+        let r = System::build(
+            &SystemConfig::single_core("black", len)
+                .with_mode(McrMode::new(m, k, 1.0).unwrap())
+                .with_mechanisms(Mechanisms::all()),
+        )
+        .run();
+        println!(
+            "[{m}/{k}x] {label}: {:>5} fast + {:>5} skipped, energy {:>10.0} pJ ({:+.1}%)",
+            r.controller.refresh.fast,
+            r.controller.refresh.skipped,
+            r.energy.refresh_pj,
+            -reduction_pct(base.energy.refresh_pj, r.energy.refresh_pj),
+        );
+    }
+
+    println!();
+    println!("== quad-core, 16 GB (4 Gb-class tRFC = 260 ns) ==");
+    let mix = &multi_programmed_mixes(2015)[0];
+    let mbase = System::build(&SystemConfig::multi_core(mix.cores, len / 4)).run();
+    println!(
+        "baseline      : {:>7} refreshes, refresh energy {:>10.0} pJ",
+        mbase.controller.refresh.normal,
+        mbase.energy.refresh_pj
+    );
+    for (m, k) in [(4u32, 4u32), (2, 4)] {
+        let r = System::build(
+            &SystemConfig::multi_core(mix.cores, len / 4)
+                .with_mode(McrMode::new(m, k, 1.0).unwrap()),
+        )
+        .run();
+        println!(
+            "[{m}/{k}x]        : {:>5} fast + {:>5} skipped, energy {:>10.0} pJ ({:+.1}%)",
+            r.controller.refresh.fast,
+            r.controller.refresh.skipped,
+            r.energy.refresh_pj,
+            -reduction_pct(mbase.energy.refresh_pj, r.energy.refresh_pj),
+        );
+    }
+    println!();
+    println!("paper's related observation: refresh power of [2/4x/75%reg] is about");
+    println!("66.3% of [4/4x/75%reg]'s; skipping matters more as capacity grows.");
+}

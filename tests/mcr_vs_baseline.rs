@@ -1,0 +1,147 @@
+//! Qualitative reproduction checks: the orderings the paper's figures
+//! report must hold at test scale (the benches re-verify them at full
+//! scale and print the quantitative tables).
+
+use mcr_dram::experiments::{baseline_single, ratio_point, run_single, Outcome};
+use mcr_dram::{McrMode, Mechanisms};
+
+const LEN: usize = 12_000;
+
+/// Memory-intensive workloads where latency effects are clearly visible.
+const PROBES: [&str; 3] = ["libq", "leslie", "mummer"];
+
+#[test]
+fn mcr_reduces_read_latency_at_full_region() {
+    for name in PROBES {
+        let (base, mcr) = ratio_point(name, 4, 4, 1.0, LEN);
+        let o = Outcome::versus(name, &base, &mcr);
+        assert!(
+            o.latency_reduction > 0.0,
+            "{name}: expected latency reduction, got {:+.2}%",
+            o.latency_reduction
+        );
+    }
+}
+
+#[test]
+fn benefit_grows_with_mcr_ratio() {
+    // Fig. 11: performance improves consistently with increasing MCR ratio.
+    for name in ["libq", "leslie"] {
+        let base = baseline_single(name, LEN);
+        let lat = |ratio: f64| {
+            let mode = McrMode::new(4, 4, ratio).unwrap();
+            run_single(name, mode, Mechanisms::access_only(), 0.0, LEN).avg_read_latency
+        };
+        let l25 = lat(0.25);
+        let l100 = lat(1.0);
+        assert!(
+            l100 < l25 + 0.3,
+            "{name}: ratio 1.0 ({l100:.2}) should beat ratio 0.25 ({l25:.2})"
+        );
+        assert!(l100 < base.avg_read_latency);
+    }
+}
+
+#[test]
+fn k4_beats_k2_at_equal_ratio() {
+    // Fig. 11/14: mode [4/4x] > mode [2/2x] at the same MCR ratio.
+    for name in PROBES {
+        let (base, m22) = ratio_point(name, 2, 2, 1.0, LEN);
+        let (_, m44) = ratio_point(name, 4, 4, 1.0, LEN);
+        let o22 = Outcome::versus(name, &base, &m22);
+        let o44 = Outcome::versus(name, &base, &m44);
+        assert!(
+            o44.latency_reduction >= o22.latency_reduction - 0.5,
+            "{name}: 4/4x {:.2}% vs 2/2x {:.2}%",
+            o44.latency_reduction,
+            o22.latency_reduction
+        );
+    }
+}
+
+#[test]
+fn k2_full_region_beats_k4_half_region() {
+    // Paper's capacity observation: mode [2/2x] ratio 1.0 outperforms
+    // mode [4/4x] ratio 0.5 despite using less capacity for clones.
+    let mut wins = 0;
+    for name in PROBES {
+        let (_, m22_full) = ratio_point(name, 2, 2, 1.0, LEN);
+        let (_, m44_half) = ratio_point(name, 4, 4, 0.5, LEN);
+        if m22_full.avg_read_latency <= m44_half.avg_read_latency + 0.2 {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "2/2x@1.0 should generally beat 4/4x@0.5 ({wins}/3)");
+}
+
+#[test]
+fn edp_improves_under_headline_mode() {
+    // Fig. 18: mode [4/4x/100%reg] improves EDP.
+    let mut improved = 0;
+    for name in PROBES {
+        let base = baseline_single(name, LEN);
+        let mcr = run_single(name, McrMode::headline(), Mechanisms::all(), 0.0, LEN);
+        let o = Outcome::versus(name, &base, &mcr);
+        if o.edp_reduction > 0.0 {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 2, "EDP should improve for most probes ({improved}/3)");
+}
+
+#[test]
+fn fast_refresh_and_skipping_reduce_refresh_busy_time() {
+    let base = baseline_single("comm1", LEN);
+    let fr = run_single(
+        "comm1",
+        McrMode::headline(),
+        Mechanisms::fig17_case(3),
+        0.0,
+        LEN,
+    );
+    let rs = run_single(
+        "comm1",
+        McrMode::new(2, 4, 1.0).unwrap(),
+        Mechanisms::all(),
+        0.0,
+        LEN,
+    );
+    // Fast-Refresh: fewer busy cycles per refresh; Skipping: fewer refreshes.
+    assert!(fr.energy.refresh_pj < base.energy.refresh_pj);
+    assert!(
+        rs.controller.refresh.skipped > 0,
+        "2/4x must skip refresh slots"
+    );
+    assert!(rs.energy.refresh_pj < fr.energy.refresh_pj);
+}
+
+#[test]
+fn early_precharge_adds_benefit_over_early_access_alone() {
+    // Fig. 17: case 2 (EA+EP) ≥ case 1 (EA only).
+    {
+        let name = "mummer";
+        let base = baseline_single(name, LEN);
+        let c1 = run_single(
+            name,
+            McrMode::headline(),
+            Mechanisms::fig17_case(1),
+            0.0,
+            LEN,
+        );
+        let c2 = run_single(
+            name,
+            McrMode::headline(),
+            Mechanisms::fig17_case(2),
+            0.0,
+            LEN,
+        );
+        let o1 = Outcome::versus(name, &base, &c1);
+        let o2 = Outcome::versus(name, &base, &c2);
+        assert!(
+            o2.exec_reduction >= o1.exec_reduction - 0.3,
+            "{name}: EA+EP {:.2}% vs EA {:.2}%",
+            o2.exec_reduction,
+            o1.exec_reduction
+        );
+    }
+}

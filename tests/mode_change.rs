@@ -1,0 +1,162 @@
+//! Dynamic MCR-mode change (paper Sec. 4.4, Table 2): relaxing the mode
+//! frees capacity without data movement, and the simulator honors a
+//! reconfigured mode.
+
+use mcr_dram::experiments::run_single;
+use mcr_dram::{McrGenerator, McrMode, Mechanisms, ModeChangePlan, System, SystemConfig};
+
+#[test]
+fn relaxation_chain_grows_capacity_monotonically() {
+    let plan = ModeChangePlan::new(4 << 30);
+    let mut mode = McrMode::headline();
+    let mut last = plan.os_view(mode).bytes;
+    while let Some(next) = mode.relaxed() {
+        let bytes = plan.os_view(next).bytes;
+        assert!(bytes > last, "{next:?} must expose more memory");
+        assert!(plan.change_is_collision_free(mode, next));
+        last = bytes;
+        mode = next;
+    }
+    assert!(mode.is_off());
+    assert_eq!(last, 4 << 30);
+}
+
+#[test]
+fn mrs_reprogram_switches_generator_behaviour() {
+    // Model the MRS sequence: 4x -> 2x -> off on a live generator.
+    let mut g = McrGenerator::new(McrMode::headline());
+    assert_eq!(g.translate(12).wordlines(), 4);
+    g.reprogram(McrMode::new(2, 2, 1.0).unwrap());
+    assert_eq!(g.translate(12).wordlines(), 2);
+    g.reprogram(McrMode::off());
+    assert_eq!(g.translate(12).wordlines(), 1);
+}
+
+#[test]
+fn relaxed_mode_trades_latency_for_capacity() {
+    // 4x offers lower tRCD than 2x; after relaxing for capacity, latency
+    // benefit shrinks but must remain non-negative vs baseline.
+    let len = 10_000;
+    let base = run_single("libq", McrMode::off(), Mechanisms::none(), 0.0, len);
+    let m44 = run_single("libq", McrMode::headline(), Mechanisms::all(), 0.0, len);
+    let m22 = run_single(
+        "libq",
+        McrMode::headline().relaxed().unwrap(),
+        Mechanisms::all(),
+        0.0,
+        len,
+    );
+    assert!(m44.avg_read_latency < base.avg_read_latency);
+    assert!(m22.avg_read_latency < base.avg_read_latency);
+    assert!(
+        m44.avg_read_latency <= m22.avg_read_latency + 0.2,
+        "4x {:.2} vs relaxed 2x {:.2}",
+        m44.avg_read_latency,
+        m22.avg_read_latency
+    );
+}
+
+#[test]
+fn usable_capacity_matches_table2_views() {
+    let plan = ModeChangePlan::new(16 << 30);
+    for (k, frac) in [(4u32, 0.25), (2, 0.5), (1, 1.0)] {
+        let mode = McrMode::new(k, k, 1.0).unwrap();
+        let view = plan.os_view(mode);
+        assert_eq!(view.bytes as f64, (16u64 << 30) as f64 * frac, "K={k}");
+        assert!((mode.usable_capacity() - frac).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn runtime_reconfiguration_mid_run() {
+    // Start in [4/4x/100%reg], relax to [2/2x] mid-run, then turn MCR off:
+    // the run must complete, and the relaxation chain must be accepted.
+    let cfg = SystemConfig::single_core("leslie", 8_000).with_mode(McrMode::headline());
+    let mut sys = System::build(&cfg);
+    sys.step(50_000);
+    assert!(!sys.done(), "trace should still be running at 50k cycles");
+    sys.reconfigure(McrMode::new(2, 2, 1.0).unwrap());
+    sys.step(30_000);
+    sys.reconfigure(McrMode::off());
+    while !sys.step(100_000) {
+        assert!(sys.now() < 100_000_000, "wedged");
+    }
+    let r = sys.report();
+    assert!(r.reads_done > 0);
+    assert!(r.exec_cpu_cycles > 0);
+}
+
+#[test]
+#[should_panic(expected = "not a relaxation")]
+fn tightening_reconfiguration_is_rejected() {
+    let cfg = SystemConfig::single_core("black", 2_000).with_mode(McrMode::new(2, 2, 1.0).unwrap());
+    let mut sys = System::build(&cfg);
+    sys.step(1_000);
+    sys.reconfigure(McrMode::headline()); // 2x -> 4x would collide
+}
+
+#[test]
+fn reconfigured_run_lands_between_pure_modes() {
+    // A run that spends half its time in 4/4x and half in off-mode should
+    // land between the two pure runs in read latency.
+    let len = 10_000;
+    let pure_mcr = run_single("libq", McrMode::headline(), Mechanisms::all(), 0.0, len);
+    let pure_off = run_single("libq", McrMode::off(), Mechanisms::none(), 0.0, len);
+    let cfg = SystemConfig::single_core("libq", len).with_mode(McrMode::headline());
+    let mut sys = System::build(&cfg);
+    // Switch off roughly halfway through the pure-MCR cycle count.
+    sys.step(pure_mcr.total_mem_cycles / 2);
+    sys.reconfigure(McrMode::off());
+    while !sys.step(100_000) {}
+    let mixed = sys.report();
+    let lo = pure_mcr.avg_read_latency.min(pure_off.avg_read_latency);
+    let hi = pure_mcr.avg_read_latency.max(pure_off.avg_read_latency);
+    assert!(
+        mixed.avg_read_latency >= lo - 0.3 && mixed.avg_read_latency <= hi + 0.3,
+        "mixed {:.2} outside [{lo:.2}, {hi:.2}]",
+        mixed.avg_read_latency
+    );
+}
+
+#[test]
+fn combined_regions_run_end_to_end() {
+    // Sec. 4.4 "Combination of 2x and 4x MCR": hottest pages in the 4x
+    // tier, moderately hot in 2x. Must complete and beat the baseline.
+    let len = 10_000;
+    let base = run_single("comm2", McrMode::off(), Mechanisms::none(), 0.0, len);
+    let cfg = SystemConfig::single_core("comm2", len)
+        .with_combined_regions(4, 0.25, 2, 0.25)
+        .with_alloc_ratio(0.20);
+    let r = System::build(&cfg).run();
+    assert!(r.reads_done > 0);
+    assert!(
+        r.avg_read_latency <= base.avg_read_latency,
+        "combined {:.2} vs baseline {:.2}",
+        r.avg_read_latency,
+        base.avg_read_latency
+    );
+}
+
+#[test]
+fn combination_of_2x_and_4x_is_expressible_per_region() {
+    // Sec. 4.4 "Combination of 2x and 4x MCR": hot pages to 4x, cooler to
+    // 2x. We express it as two disjoint region layouts whose membership
+    // never overlaps when regions partition the sub-array.
+    use mcr_dram::McrLayout;
+    let l4 = McrLayout::new(McrMode::new(4, 4, 0.25).unwrap()); // top quarter
+    let l2 = McrLayout::new(McrMode::new(2, 2, 0.5).unwrap()); // top half
+    let mut both = 0;
+    let mut only2 = 0;
+    for row in 0..512u64 {
+        let in4 = l4.is_mcr_row(row);
+        let in2 = l2.is_mcr_row(row);
+        if in4 {
+            assert!(in2, "4x region must nest inside the 2x region");
+            both += 1;
+        } else if in2 {
+            only2 += 1;
+        }
+    }
+    assert_eq!(both, 128);
+    assert_eq!(only2, 128);
+}

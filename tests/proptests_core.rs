@@ -1,0 +1,125 @@
+//! Property-based tests on the MCR core's invariants.
+
+use dram_device::{Geometry, PhysAddr, RefreshCounter, RefreshWiring};
+use mcr_dram::{
+    McrGenerator, McrMode, McrPolicy, Mechanisms, RegionMap, RowRemapper, SUBARRAY_ROWS,
+};
+use mem_controller::{AddressMapper, DevicePolicy, PageInterleave, RefreshAction};
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = McrMode> {
+    prop_oneof![
+        Just((1u32, 1u32)),
+        Just((1, 2)),
+        Just((2, 2)),
+        Just((1, 4)),
+        Just((2, 4)),
+        Just((4, 4)),
+    ]
+    .prop_flat_map(|(m, k)| {
+        (0.05f64..=1.0).prop_map(move |l| McrMode::new(m, k, l).expect("valid"))
+    })
+}
+
+proptest! {
+    /// The MCR generator always returns an address containing the
+    /// requested row, with K-aligned base and exactly K wordlines inside
+    /// the region — one outside.
+    #[test]
+    fn generator_covers_requested_row(mode in mode_strategy(), row in 0u64..8192) {
+        let gen = McrGenerator::new(mode);
+        let a = gen.translate(row);
+        prop_assert!(a.rows().contains(&row), "{a:?} must cover row {row}");
+        if gen.detect(row) {
+            prop_assert_eq!(a.wordlines(), mode.k());
+            prop_assert_eq!(a.rows().len() as u32, mode.k());
+            prop_assert_eq!(a.rows()[0] % mode.k() as u64, 0, "base must be K-aligned");
+            // Every clone row translates to the same MCR address.
+            for r in a.rows() {
+                prop_assert_eq!(gen.translate(r), a);
+            }
+        } else {
+            prop_assert_eq!(a.wordlines(), 1);
+        }
+    }
+
+    /// Region membership is decided purely by the sub-array-local index:
+    /// rows 512 apart agree, matching the 1-2 bit MCR detector of Fig. 7.
+    #[test]
+    fn region_membership_is_periodic(mode in mode_strategy(), row in 0u64..SUBARRAY_ROWS) {
+        let map = RegionMap::single(mode);
+        let a = map.classify(row).is_some();
+        for sub in 1..4u64 {
+            prop_assert_eq!(map.classify(row + sub * SUBARRAY_ROWS).is_some(), a);
+        }
+    }
+
+    /// Profile-based allocation is always a bank-preserving involution
+    /// (applying it twice is the identity) and never double-books frames.
+    #[test]
+    fn remapper_is_bank_preserving_involution(
+        hot in prop::collection::btree_set(0u64..4096, 1..128),
+        mode in mode_strategy(),
+    ) {
+        prop_assume!(!mode.is_off());
+        let g = Geometry::single_core_4gb();
+        let mapper = PageInterleave::new(g);
+        let hot: Vec<u64> = hot.into_iter().collect();
+        let regions = RegionMap::single(mode);
+        let rm = RowRemapper::profile_based_regions(&hot, &regions, &mapper, &g);
+        let mut targets = std::collections::HashSet::new();
+        for frame in hot.iter().chain([0u64, 999, 2048].iter()) {
+            let pa = PhysAddr(frame * g.row_bytes());
+            let once = rm.remap_phys(pa, &mapper);
+            prop_assert_eq!(rm.remap_phys(once, &mapper), pa, "not an involution");
+            let before = mapper.decode(pa);
+            let after = mapper.decode(once);
+            prop_assert_eq!(before.bank, after.bank);
+            prop_assert_eq!(before.rank, after.rank);
+            prop_assert_eq!(before.channel, after.channel);
+        }
+        for frame in &hot {
+            let after = rm.remap_dram(mapper.decode(PhysAddr(frame * g.row_bytes())));
+            prop_assert!(
+                targets.insert((after.rank, after.bank, after.row)),
+                "two hot rows share a frame"
+            );
+        }
+    }
+
+    /// Over one full sweep driven by a realistic reversed-wiring counter,
+    /// the policy issues exactly M/K of the MCR-region slots and every
+    /// group is refreshed exactly M times.
+    #[test]
+    fn skip_fraction_exact_over_sweep(mode in mode_strategy()) {
+        prop_assume!(!mode.is_off());
+        prop_assume!(((mode.region() * 512.0).round() as u64).is_multiple_of(mode.k() as u64));
+        let g = Geometry::tiny(); // 64 rows -> 6-bit counter, fast sweeps
+        let mut policy = McrPolicy::for_geometry(mode, Mechanisms::all(), &g);
+        let bits = g.row_bits();
+        let mut ctr = RefreshCounter::new(bits, RefreshWiring::Reversed);
+        let sweep = 1u64 << bits;
+        let mut region_slots = 0u64;
+        let mut issued = 0u64;
+        let mut per_group = std::collections::HashMap::new();
+        for _ in 0..sweep {
+            let row = ctr.advance();
+            match policy.refresh_action(0, row) {
+                RefreshAction::Normal => {}
+                RefreshAction::Fast(_) => {
+                    region_slots += 1;
+                    issued += 1;
+                    *per_group.entry(row / mode.k() as u64).or_insert(0u64) += 1;
+                }
+                RefreshAction::Skip => region_slots += 1,
+            }
+        }
+        if region_slots > 0 {
+            let expect = region_slots * mode.m() as u64 / mode.k() as u64;
+            prop_assert_eq!(issued, expect, "issued {} of {} region slots", issued, region_slots);
+            for (&gid, &n) in &per_group {
+                prop_assert_eq!(n, mode.m() as u64, "group {} refreshed {} times", gid, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Refresh correctness: every mode keeps every cell above the retention
+//! voltage, skipping matches the M/Kx contract, and the refresh-counter
+//! wiring delivers the intervals Early-Precharge relies on.
+
+use circuit_model::{CircuitParams, LeakageModel, TimingSolver};
+use dram_device::{max_refresh_interval_ms, RefreshWiring};
+use mcr_dram::experiments::run_single;
+use mcr_dram::{McrMode, Mechanisms};
+
+#[test]
+fn all_modes_keep_cells_above_retention_voltage() {
+    // For each Table 1 mode: the restore target voltage minus the leakage
+    // droop over the worst-case refresh interval (delivered by the
+    // reversed wiring) must stay above the data-retention voltage.
+    let params = CircuitParams::calibrated();
+    let solver = TimingSolver::new(params);
+    let leak = LeakageModel::new(params);
+    for (m, k) in [(1u32, 1u32), (1, 2), (2, 2), (1, 4), (2, 4), (4, 4)] {
+        let mode = McrMode::new(m, k, 1.0).unwrap();
+        let target = solver.restore_target_v(m);
+        let interval = mode.refresh_interval_ms();
+        assert!(
+            leak.survives(target, interval),
+            "mode {mode}: restore {target:.3} V does not survive {interval} ms"
+        );
+    }
+}
+
+#[test]
+fn direct_wiring_would_break_early_precharge() {
+    // With K-to-K wiring the worst-case interval for a 2x MCR is 56 ms
+    // (not 32 ms), so the 2/2x restore target would be unsafe. This is the
+    // paper's motivation for the K-to-N-1-K wiring.
+    let params = CircuitParams::calibrated();
+    let solver = TimingSolver::new(params);
+    let leak = LeakageModel::new(params);
+    let worst_direct = max_refresh_interval_ms(15, RefreshWiring::Direct, 2, 64.0);
+    let worst_reversed = max_refresh_interval_ms(15, RefreshWiring::Reversed, 2, 64.0);
+    let target = solver.restore_target_v(2);
+    assert!(worst_direct > worst_reversed);
+    assert!(!leak.survives(target, worst_direct), "direct wiring must be unsafe");
+    assert!(leak.survives(target, worst_reversed));
+}
+
+#[test]
+fn skip_fraction_matches_mode_contract() {
+    // Mode M/Kx over L%reg skips (1 - M/K) of the MCR-region slots:
+    // skipped / (skipped + issued_to_region) == 1 - M/K, and the region
+    // receives L of all slots.
+    let len = 20_000;
+    let run = |m, k, l: f64| {
+        run_single(
+            "black",
+            McrMode::new(m, k, l).unwrap(),
+            Mechanisms::all(),
+            0.0,
+            len,
+        )
+    };
+    // 2/4x, 100% region: half of all slots skipped, the rest fast.
+    let r = run(2, 4, 1.0);
+    let s = &r.controller.refresh;
+    assert!(s.skipped > 0);
+    assert_eq!(s.normal, 0, "100% region: no normal refreshes");
+    let frac = s.skipped as f64 / (s.skipped + s.fast) as f64;
+    assert!(
+        (frac - 0.5).abs() < 0.1,
+        "2/4x skip fraction {frac} (skipped {}, fast {})",
+        s.skipped,
+        s.fast
+    );
+
+    // 4/4x: nothing skipped, everything fast.
+    let r = run(4, 4, 1.0);
+    assert_eq!(r.controller.refresh.skipped, 0);
+    assert!(r.controller.refresh.fast > 0);
+
+    // 2/4x at 50% region: roughly half the slots are normal-row slots.
+    let r = run(2, 4, 0.5);
+    let s = &r.controller.refresh;
+    let total = s.normal + s.fast + s.skipped;
+    let region_frac = (s.fast + s.skipped) as f64 / total as f64;
+    assert!(
+        (region_frac - 0.5).abs() < 0.15,
+        "region slot fraction {region_frac}"
+    );
+}
+
+#[test]
+fn refresh_slots_never_starve_under_load() {
+    // Even with a saturating workload, the backlog-forced refresh path
+    // must keep refreshes flowing at the JEDEC rate (within postponement).
+    let r = run_single("stream", McrMode::off(), Mechanisms::none(), 0.0, 30_000);
+    let s = &r.controller.refresh;
+    // Slots per rank = total_cycles / tREFI; 2 ranks.
+    let expected = (r.total_mem_cycles / 6240) * 2;
+    let issued = s.normal + s.fast;
+    assert!(
+        issued + 16 >= expected,
+        "issued {issued} refreshes, expected about {expected}"
+    );
+}
+
+#[test]
+fn high_temperature_keeps_every_mode_safe() {
+    // At high temperature JEDEC halves the retention window (32 ms, 2x
+    // refresh rate). Per-MCR intervals halve along with the sweep, so
+    // every mode's restore target keeps the same margin.
+    let params = CircuitParams::calibrated_high_temp();
+    let solver = TimingSolver::new(params);
+    let leak = LeakageModel::new(params);
+    for (m, k) in [(1u32, 1u32), (2, 2), (4, 4), (2, 4)] {
+        let target = solver.restore_target_v(m);
+        let interval = 32.0 / m as f64; // sweep is 32 ms now
+        assert!(
+            leak.survives(target, interval),
+            "mode {m}/{k}x unsafe at high temperature"
+        );
+    }
+    // And the device timing doubles the refresh cadence.
+    use dram_device::TimingSet;
+    let normal = TimingSet::ddr3_1600(32_768);
+    let hot = normal.clone().with_high_temp_refresh();
+    assert_eq!(hot.t_refi, normal.t_refi / 2);
+}
+
+#[test]
+fn baseline_mode_never_fast_refreshes_or_skips() {
+    let r = run_single("comm3", McrMode::off(), Mechanisms::all(), 0.0, 10_000);
+    assert_eq!(r.controller.refresh.fast, 0);
+    assert_eq!(r.controller.refresh.skipped, 0);
+    assert!(r.controller.refresh.normal > 0);
+}
