@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the gate every change must pass.
+
+CARGO ?= cargo
+OFFLINE ?= --offline
+
+.PHONY: check build test clippy fmt-check bench-smoke bench clean
+
+# Full gate: build everything, lint with warnings denied, run the suite.
+check: build clippy test
+
+build:
+	$(CARGO) build $(OFFLINE) --workspace --all-targets
+
+clippy:
+	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings
+
+test:
+	$(CARGO) test $(OFFLINE) --workspace -q
+
+fmt-check:
+	$(CARGO) fmt --all --check
+
+# Quick pass over the figure benches at reduced trace lengths — shape
+# checks, not statistics (a few seconds instead of minutes).
+bench-smoke:
+	MCR_BENCH_LEN=6000 MCR_BENCH_LEN_MULTI=1500 $(CARGO) bench $(OFFLINE) -q \
+		--bench fig9_refresh_skip \
+		--bench fig11_single_ratio \
+		--bench fig14_multi_ratio \
+		--bench fig17_mechanisms
+
+bench:
+	$(CARGO) bench $(OFFLINE) --workspace
+
+clean:
+	$(CARGO) clean

@@ -1,10 +1,14 @@
 //! Fig. 11: single-core execution-time and read-latency reduction vs the
 //! MCR-to-total-row ratio (modes [2/2x] and [4/4x]; Early-Access +
 //! Early-Precharge only, as in the paper).
+//!
+//! The whole figure is one sweep-engine grid: every workload ×
+//! (baseline + six MCR configs), fanned across the worker pool and
+//! memoized, so re-runs and overlapping figures cost nothing.
 
-use mcr_bench::{avg, csv_out, header, single_len, timed};
-use mcr_dram::experiments::{baseline_single, run_single, Outcome};
-use mcr_dram::{McrMode, Mechanisms, ResultTable};
+use mcr_bench::{avg, csv_out, header, json_out, single_len, sweep_stats, timed, with_bench_jobs};
+use mcr_dram::experiments::Outcome;
+use mcr_dram::{McrMode, Mechanisms, ResultTable, SweepBuilder};
 use trace_gen::single_core_workloads;
 
 fn main() {
@@ -16,6 +20,22 @@ fn main() {
         );
         let ratios = [0.25, 0.5, 1.0];
         let modes = [(2u32, 2u32), (4, 4)];
+        let workloads = single_core_workloads();
+
+        // Grid: workload-major, baseline (mode off) first, then the six
+        // (M,K) × ratio configs — all with EA+EP only.
+        let sweep = with_bench_jobs(
+            SweepBuilder::new(len)
+                .workloads(workloads.iter().map(|w| w.name))
+                .mode(McrMode::off())
+                .mode_grid(&modes, &ratios)
+                .mechanisms(Mechanisms::access_only()),
+        )
+        .build()
+        .expect("fig11 grid is valid");
+        let results = sweep.run();
+        sweep_stats(&results);
+
         println!(
             "{:<12} {}",
             "workload",
@@ -25,18 +45,18 @@ fn main() {
                 .map(|s| format!("{s:>12}"))
                 .collect::<String>()
         );
+        let per_workload = 1 + modes.len() * ratios.len();
         let mut per_config_exec: Vec<Vec<f64>> = vec![Vec::new(); 6];
         let mut per_config_lat: Vec<Vec<f64>> = vec![Vec::new(); 6];
         let mut table = ResultTable::new("fig11 single-core ratio sweep");
-        for w in single_core_workloads() {
-            let base = baseline_single(w.name, len);
+        for (wi, w) in workloads.iter().enumerate() {
+            let chunk = &results.points[wi * per_workload..(wi + 1) * per_workload];
+            let base = &chunk[0].report;
             let mut cells = String::new();
             for (ci, (m, k)) in modes.iter().enumerate() {
                 for (ri, ratio) in ratios.iter().enumerate() {
-                    let mode = McrMode::new(*m, *k, *ratio).unwrap();
-                    let r = run_single(w.name, mode, Mechanisms::access_only(), 0.0, len);
-                    let o = Outcome::versus(w.name, &base, &r);
                     let idx = ci * 3 + ri;
+                    let o = Outcome::versus(w.name, base, &chunk[1 + idx].report);
                     per_config_exec[idx].push(o.exec_reduction);
                     per_config_lat[idx].push(o.latency_reduction);
                     cells.push_str(&format!("{:>11.1}%", o.exec_reduction));
@@ -63,5 +83,6 @@ fn main() {
         println!("paper: mode [4/4x]@1.0 avg 7.9% exec / 12.5% read-latency;");
         println!("       mode [2/2x]@1.0 avg 5.7% / 8.5%; [2/2x]@1.0 beats [4/4x]@0.5.");
         csv_out("fig11_single_ratio", &table);
+        json_out("fig11_single_ratio", &results);
     });
 }

@@ -1,9 +1,12 @@
 //! Fig. 14: multi-core (quad-core, 16 GB) reduction vs MCR ratio
 //! (EA+EP only), over the 14 multi-programmed mixes + 2 MT workloads.
+//!
+//! One sweep-engine grid: mix-major, baseline first, then the six
+//! (M,K) × ratio configs per mix.
 
-use mcr_bench::{avg, header, multi_len, timed};
-use mcr_dram::experiments::{baseline_multi, run_multi, weighted_speedup, Outcome};
-use mcr_dram::{McrMode, Mechanisms};
+use mcr_bench::{avg, header, json_out, multi_len, sweep_stats, timed, with_bench_jobs};
+use mcr_dram::experiments::{weighted_speedup, Outcome};
+use mcr_dram::{McrMode, Mechanisms, SweepBuilder};
 use trace_gen::{multi_programmed_mixes, multi_threaded_group};
 
 fn main() {
@@ -14,25 +17,37 @@ fn main() {
         let modes = [(2u32, 2u32), (4, 4)];
         let mut mixes = multi_programmed_mixes(2015);
         mixes.extend(multi_threaded_group());
+
+        let mut builder = SweepBuilder::new(len)
+            .mode(McrMode::off())
+            .mode_grid(&modes, &ratios)
+            .mechanisms(Mechanisms::access_only());
+        for mix in &mixes {
+            builder = builder.mix(mix);
+        }
+        let sweep = with_bench_jobs(builder).build().expect("fig14 grid is valid");
+        let results = sweep.run();
+        sweep_stats(&results);
+
+        let per_mix = 1 + modes.len() * ratios.len();
+        let headline_idx = 1 + 3 + 2; // (M,K) = (4,4), ratio 1.0
         let mut exec: Vec<Vec<f64>> = vec![Vec::new(); 6];
         let mut lat: Vec<Vec<f64>> = vec![Vec::new(); 6];
         let mut ws_headline = Vec::new();
-        for mix in &mixes {
-            let base = baseline_multi(mix, len);
+        for (mi, mix) in mixes.iter().enumerate() {
+            let chunk = &results.points[mi * per_mix..(mi + 1) * per_mix];
+            let base = &chunk[0].report;
             let mut cells = String::new();
-            for (ci, (m, k)) in modes.iter().enumerate() {
-                for (ri, ratio) in ratios.iter().enumerate() {
-                    let mode = McrMode::new(*m, *k, *ratio).unwrap();
-                    let r = run_multi(mix, mode, Mechanisms::access_only(), 0.0, len);
-                    let o = Outcome::versus(mix.name, &base, &r);
-                    exec[ci * 3 + ri].push(o.exec_reduction);
-                    lat[ci * 3 + ri].push(o.latency_reduction);
+            for (ci, _) in modes.iter().enumerate() {
+                for (ri, _) in ratios.iter().enumerate() {
+                    let idx = ci * 3 + ri;
+                    let o = Outcome::versus(mix.name, base, &chunk[1 + idx].report);
+                    exec[idx].push(o.exec_reduction);
+                    lat[idx].push(o.latency_reduction);
                     cells.push_str(&format!("{:>9.1}%", o.exec_reduction));
-                    if (*m, *k, *ratio) == (4, 4, 1.0) {
-                        ws_headline.push(weighted_speedup(&base, &r));
-                    }
                 }
             }
+            ws_headline.push(weighted_speedup(base, &chunk[headline_idx].report));
             println!("{:<12} {cells}", mix.name);
         }
         println!();
@@ -52,5 +67,6 @@ fn main() {
         );
         println!("paper: mode [4/4x]@1.0 avg 10.3% exec / 10.2% read-latency;");
         println!("       trends mirror the single-core results.");
+        json_out("fig14_multi_ratio", &results);
     });
 }

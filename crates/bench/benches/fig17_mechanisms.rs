@@ -1,13 +1,18 @@
 //! Fig. 17: mechanism ablation — case 1 (EA), case 2 (EA+EP),
 //! case 3 (+FR), case 4 (+FR+RS with mode 2/4x), at mode [100%reg],
 //! for both single-core and multi-core systems.
+//!
+//! The per-case modes make this an irregular grid, so both halves use the
+//! sweep builder's explicit-point escape hatch: per target, one baseline
+//! point followed by the four cases.
 
-use mcr_bench::{avg, header, multi_len, single_len, timed};
-use mcr_dram::experiments::{
-    baseline_multi, baseline_single, run_multi, run_single, Outcome,
-};
-use mcr_dram::{McrMode, Mechanisms};
+use mcr_bench::{avg, header, json_out, multi_len, single_len, sweep_stats, timed, with_bench_jobs};
+use mcr_dram::experiments::Outcome;
+use mcr_dram::{McrMode, Mechanisms, SweepBuilder, SystemConfig};
 use trace_gen::{multi_programmed_mixes, single_core_workloads};
+
+const CASES: std::ops::RangeInclusive<u32> = 1..=4;
+const POINTS_PER_TARGET: usize = 5; // baseline + 4 cases
 
 fn case_mode(case: u32) -> McrMode {
     if case == 4 {
@@ -15,6 +20,20 @@ fn case_mode(case: u32) -> McrMode {
     } else {
         McrMode::headline()
     }
+}
+
+/// Per-case average exec reduction over the chunked sweep results.
+fn case_averages(points: &[mcr_dram::PointResult], labels: &[&str]) -> Vec<f64> {
+    let mut per_case: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (ti, label) in labels.iter().enumerate() {
+        let chunk = &points[ti * POINTS_PER_TARGET..(ti + 1) * POINTS_PER_TARGET];
+        let base = &chunk[0].report;
+        for case in CASES {
+            let o = Outcome::versus(*label, base, &chunk[case as usize].report);
+            per_case[case as usize - 1].push(o.exec_reduction);
+        }
+    }
+    per_case.iter().map(|xs| avg(xs)).collect()
 }
 
 fn main() {
@@ -25,18 +44,30 @@ fn main() {
         );
         let slen = single_len();
         println!("--- (a) single-core ---");
-        let mut single_avgs = Vec::new();
-        for case in 1..=4u32 {
-            let mech = Mechanisms::fig17_case(case);
-            let mode = case_mode(case);
-            let mut execs = Vec::new();
-            for w in single_core_workloads() {
-                let base = baseline_single(w.name, slen);
-                let r = run_single(w.name, mode, mech, 0.0, slen);
-                execs.push(Outcome::versus(w.name, &base, &r).exec_reduction);
+        let workloads = single_core_workloads();
+        let mut builder = SweepBuilder::new(slen);
+        for w in &workloads {
+            builder = builder.point(
+                format!("{} baseline", w.name),
+                SystemConfig::single_core(w.name, slen).with_mechanisms(Mechanisms::none()),
+            );
+            for case in CASES {
+                builder = builder.point(
+                    format!("{} case{case}", w.name),
+                    SystemConfig::single_core(w.name, slen)
+                        .with_mode(case_mode(case))
+                        .with_mechanisms(Mechanisms::fig17_case(case)),
+                );
             }
-            let a = avg(&execs);
-            single_avgs.push(a);
+        }
+        let results = with_bench_jobs(builder)
+            .build()
+            .expect("fig17 single-core points valid")
+            .run();
+        sweep_stats(&results);
+        let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+        let single_avgs = case_averages(&results.points, &names);
+        for (case, a) in CASES.zip(&single_avgs) {
             println!("case {case}: avg exec reduction {a:+.1}%");
         }
         let norm = single_avgs[2].max(1e-9);
@@ -47,23 +78,38 @@ fn main() {
                 .map(|v| format!("{:.2}", v / norm))
                 .collect::<Vec<_>>()
         );
+        json_out("fig17_mechanisms_single", &results);
 
         println!("--- (b) multi-core ---");
         let mlen = multi_len();
         let mixes = multi_programmed_mixes(2015);
-        for case in 1..=4u32 {
-            let mech = Mechanisms::fig17_case(case);
-            let mode = case_mode(case);
-            let mut execs = Vec::new();
-            for mix in mixes.iter().take(6) {
-                let base = baseline_multi(mix, mlen);
-                let r = run_multi(mix, mode, mech, 0.0, mlen);
-                execs.push(Outcome::versus(mix.name, &base, &r).exec_reduction);
+        let mut builder = SweepBuilder::new(mlen);
+        for mix in mixes.iter().take(6) {
+            builder = builder.point(
+                format!("{} baseline", mix.name),
+                SystemConfig::multi_core_mix(mix, mlen).with_mechanisms(Mechanisms::none()),
+            );
+            for case in CASES {
+                builder = builder.point(
+                    format!("{} case{case}", mix.name),
+                    SystemConfig::multi_core_mix(mix, mlen)
+                        .with_mode(case_mode(case))
+                        .with_mechanisms(Mechanisms::fig17_case(case)),
+                );
             }
-            println!("case {case}: avg exec reduction {:+.1}%", avg(&execs));
+        }
+        let results = with_bench_jobs(builder)
+            .build()
+            .expect("fig17 multi-core points valid")
+            .run();
+        sweep_stats(&results);
+        let names: Vec<&str> = mixes.iter().take(6).map(|m| m.name).collect();
+        for (case, a) in CASES.zip(case_averages(&results.points, &names)) {
+            println!("case {case}: avg exec reduction {a:+.1}%");
         }
         println!();
         println!("paper: EA and EP dominate the gains; at 4 GB case 4 loses a little");
         println!("       to case 2 (Refresh-Skipping raises tRAS), at 16 GB it helps.");
+        json_out("fig17_mechanisms_multi", &results);
     });
 }

@@ -12,15 +12,18 @@
 //! * `MCR_BENCH_LEN_MULTI` — memory operations per core in quad-core runs
 //!   (default 20 000).
 //! * `MCR_BENCH_CSV_DIR` — when set, benches additionally dump their
-//!   result tables as CSV files into this directory.
+//!   result tables as CSV files (and sweep results as JSON) into this
+//!   directory.
+//! * `MCR_BENCH_JOBS` — worker threads for the sweep engine (default:
+//!   one per core via `std::thread::available_parallelism`).
 //!
 //! Increase them for tighter statistics; results are deterministic at any
-//! scale.
+//! scale and for any `MCR_BENCH_JOBS` value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mcr_dram::ResultTable;
+use mcr_dram::{ResultTable, SweepBuilder, SweepResults};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -38,6 +41,34 @@ pub fn multi_len() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20_000)
+}
+
+/// Sweep worker-thread override from `MCR_BENCH_JOBS` (`None` = let the
+/// engine pick one worker per core).
+pub fn bench_jobs() -> Option<usize> {
+    std::env::var("MCR_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Applies [`bench_jobs`] to a [`SweepBuilder`] when the override is set.
+pub fn with_bench_jobs(builder: SweepBuilder) -> SweepBuilder {
+    match bench_jobs() {
+        Some(jobs) => builder.jobs(jobs),
+        None => builder,
+    }
+}
+
+/// Prints one line of sweep-engine bookkeeping (points, workers, cache
+/// hits, wall time) so every bench reports how it was obtained.
+pub fn sweep_stats(results: &SweepResults) {
+    println!(
+        "[sweep] {} points, {} workers, {} cache hits, wall {:.1?}",
+        results.points.len(),
+        results.jobs,
+        results.cache_hits(),
+        results.wall
+    );
 }
 
 /// Prints a bench header.
@@ -79,6 +110,21 @@ pub fn csv_out(name: &str, table: &ResultTable) {
     let path = PathBuf::from(dir).join(format!("{name}.csv"));
     if let Err(e) = std::fs::write(&path, table.to_csv()) {
         eprintln!("csv_out: failed to write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Writes `results` as `<name>.json` into `$MCR_BENCH_CSV_DIR` when that
+/// variable is set; silently does nothing otherwise. I/O errors are
+/// reported to stderr but never fail the bench.
+pub fn json_out(name: &str, results: &SweepResults) {
+    let Some(dir) = std::env::var_os("MCR_BENCH_CSV_DIR") else {
+        return;
+    };
+    let path = PathBuf::from(dir).join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, results.to_json()) {
+        eprintln!("json_out: failed to write {}: {e}", path.display());
     } else {
         println!("wrote {}", path.display());
     }

@@ -1,83 +1,98 @@
-//! Property-based tests on the analytical circuit model.
+//! Randomized (seeded, deterministic) tests on the analytical circuit
+//! model. These replace the former `proptest` suite with an in-tree
+//! driver so the workspace builds without network access: each test draws
+//! a few hundred parameter sets from [`sim_rng::SmallRng`] with a fixed
+//! seed and asserts the same structural invariants.
 
 use circuit_model::{CircuitParams, LeakageModel, TimingSolver};
-use proptest::prelude::*;
+use sim_rng::SmallRng;
 
-fn params_strategy() -> impl Strategy<Value = CircuitParams> {
-    // Physically sensible ranges around the calibrated point.
-    (
-        10.0f64..40.0,  // cell fF
-        60.0f64..240.0, // bitline fF
-        3.0f64..12.0,   // tau_sense
-        0.0f64..10.0,   // overhead
-        4.0f64..15.0,   // tau_restore
-        0.0f64..1.0,    // beta
-        0.05f64..0.45,  // d64
-    )
-        .prop_map(|(c_cell, c_bit, tau_s, ovh, tau_r, beta, d64)| CircuitParams {
-            c_cell_ff: c_cell,
-            c_bit_ff: c_bit,
-            tau_sense_ns: tau_s,
-            t_sense_overhead_ns: ovh,
-            tau_restore_ns: tau_r,
-            restore_beta: beta,
-            d64,
-            ..CircuitParams::calibrated()
-        })
+/// Number of random parameter sets per property.
+const CASES: usize = 300;
+
+/// Physically sensible parameters around the calibrated point.
+fn random_params(rng: &mut SmallRng) -> CircuitParams {
+    CircuitParams {
+        c_cell_ff: rng.gen_range(10.0..40.0),
+        c_bit_ff: rng.gen_range(60.0..240.0),
+        tau_sense_ns: rng.gen_range(3.0..12.0),
+        t_sense_overhead_ns: rng.gen_range(0.0..10.0),
+        tau_restore_ns: rng.gen_range(4.0..15.0),
+        restore_beta: rng.gen_range(0.0..1.0),
+        d64: rng.gen_range(0.05..0.45),
+        ..CircuitParams::calibrated()
+    }
 }
 
-proptest! {
-    /// Early-Access holds for ANY physically-sensible parameters: more
-    /// clone cells always sense at least as fast (Key Observation 1 is
-    /// structural, not a calibration accident).
-    #[test]
-    fn trcd_never_increases_with_k(p in params_strategy()) {
+/// Early-Access holds for ANY physically-sensible parameters: more clone
+/// cells always sense at least as fast (Key Observation 1 is structural,
+/// not a calibration accident).
+#[test]
+fn trcd_never_increases_with_k() {
+    let mut rng = SmallRng::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let p = random_params(&mut rng);
         let s = TimingSolver::new(p);
-        prop_assert!(s.t_rcd_ns(2) <= s.t_rcd_ns(1) + 1e-9);
-        prop_assert!(s.t_rcd_ns(4) <= s.t_rcd_ns(2) + 1e-9);
-        prop_assert!(s.t_rcd_ns(1) >= p.t_sense_overhead_ns);
+        assert!(s.t_rcd_ns(2) <= s.t_rcd_ns(1) + 1e-9, "{p:?}");
+        assert!(s.t_rcd_ns(4) <= s.t_rcd_ns(2) + 1e-9, "{p:?}");
+        assert!(s.t_rcd_ns(1) >= p.t_sense_overhead_ns, "{p:?}");
     }
+}
 
-    /// Early-Precharge is monotone in M: more refreshes per window always
-    /// allow an equal-or-earlier precharge for the same K.
-    #[test]
-    fn tras_never_increases_with_m(p in params_strategy()) {
+/// Early-Precharge is monotone in M: more refreshes per window always
+/// allow an equal-or-earlier precharge for the same K.
+#[test]
+fn tras_never_increases_with_m() {
+    let mut rng = SmallRng::seed_from_u64(0xC2);
+    for _ in 0..CASES {
+        let p = random_params(&mut rng);
         let s = TimingSolver::new(p);
         for k in [2u32, 4] {
             let mut last = f64::INFINITY;
             for m in (1..=k).filter(|m| m.is_power_of_two()) {
                 let t = s.t_ras_ns(m, k);
-                prop_assert!(t <= last + 1e-9, "K={k}: tRAS(M={m})={t} > {last}");
+                assert!(t <= last + 1e-9, "K={k}: tRAS(M={m})={t} > {last}");
                 last = t;
             }
         }
     }
+}
 
-    /// Restore targets are consistent with leakage: for every (M, K) the
-    /// target voltage survives the uniform 64/M ms interval with zero
-    /// margin to spare at M=1 and growing margin as M rises.
-    #[test]
-    fn restore_targets_always_survive(p in params_strategy()) {
+/// Restore targets are consistent with leakage: for every (M, K) the
+/// target voltage survives the uniform 64/M ms interval.
+#[test]
+fn restore_targets_always_survive() {
+    let mut rng = SmallRng::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let p = random_params(&mut rng);
         let s = TimingSolver::new(p);
         let leak = LeakageModel::new(p);
         for m in [1u32, 2, 4] {
             let target = s.restore_target_v(m);
-            prop_assert!(leak.survives(target, 64.0 / m as f64),
-                "M={m}: target {target} dies");
+            assert!(
+                leak.survives(target, 64.0 / m as f64),
+                "M={m}: target {target} dies under {p:?}"
+            );
         }
     }
+}
 
-    /// The tRFC derivation preserves ordering: a mode with lower refresh
-    /// tRAS always gets a lower-or-equal tRFC.
-    #[test]
-    fn trfc_order_follows_tras(p in params_strategy(), base in 80.0f64..400.0) {
+/// The tRFC derivation preserves ordering: a mode with lower refresh
+/// tRAS always gets a lower-or-equal tRFC.
+#[test]
+fn trfc_order_follows_tras() {
+    let mut rng = SmallRng::seed_from_u64(0xC4);
+    for _ in 0..CASES {
+        let p = random_params(&mut rng);
+        let base = rng.gen_range(80.0..400.0);
         let s = TimingSolver::new(p);
         let modes = [(1u32, 1u32), (1, 2), (2, 2), (1, 4), (2, 4), (4, 4)];
         for &(m1, k1) in &modes {
             for &(m2, k2) in &modes {
                 if s.t_ras_ns(m1, k1) <= s.t_ras_ns(m2, k2) {
-                    prop_assert!(
-                        s.t_rfc_ns(m1, k1, base) <= s.t_rfc_ns(m2, k2, base) + 1e-9
+                    assert!(
+                        s.t_rfc_ns(m1, k1, base) <= s.t_rfc_ns(m2, k2, base) + 1e-9,
+                        "({m1},{k1}) vs ({m2},{k2}) at base {base}"
                     );
                 }
             }

@@ -11,7 +11,7 @@
 //! configuration so the reductions are immediately visible.
 
 use mcr_dram::experiments::Outcome;
-use mcr_dram::{McrMode, Mechanisms, RowCacheConfig, RunReport, System, SystemConfig};
+use mcr_dram::{McrMode, Mechanisms, RowCacheConfig, RunReport, SweepBuilder, SystemConfig};
 use std::process::ExitCode;
 use trace_gen::{all_workloads, multi_programmed_mixes, multi_threaded_group, workload};
 
@@ -25,6 +25,8 @@ struct Args {
     row_cache: Option<u32>,
     seed: u64,
     csv: bool,
+    json: bool,
+    jobs: Option<usize>,
     mechanisms: Mechanisms,
 }
 
@@ -39,7 +41,9 @@ fn usage() {
            --row-cache T     manage MCR region as a cache, promote threshold T\n\
            --mechanisms CASE fig17 case 1-4 (default: all on)\n\
            --seed N          RNG seed (default 2015)\n\
+           --jobs N          sweep worker threads (default: all cores)\n\
            --csv             emit one CSV line instead of the report\n\
+           --json            emit the sweep results as JSON\n\
            --list            list workloads and mixes and exit"
     );
 }
@@ -66,6 +70,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         row_cache: None,
         seed: 2015,
         csv: false,
+        json: false,
+        jobs: None,
         mechanisms: Mechanisms::all(),
     };
     let mut it = std::env::args().skip(1);
@@ -127,7 +133,15 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
+            "--jobs" => {
+                args.jobs = Some(
+                    value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("bad --jobs: {e}"))?,
+                )
+            }
             "--csv" => args.csv = true,
+            "--json" => args.json = true,
             "--help" | "-h" => {
                 usage();
                 return Ok(None);
@@ -205,10 +219,31 @@ fn main() -> ExitCode {
     base_cfg.alloc_ratio = 0.0;
     base_cfg.row_cache = None;
 
-    let base = System::build(&base_cfg).run();
-    let run = System::build(&cfg).run();
+    // One two-point sweep: the engine validates both configs (a proper
+    // error instead of a panic on bad flag combinations) and runs them in
+    // parallel when --jobs allows.
     let target = args.workload.clone().or(args.mix.clone()).expect("target set");
-    let o = Outcome::versus(&target, &base, &run);
+    let mut builder = SweepBuilder::new(args.len)
+        .point("baseline [off]", base_cfg)
+        .point(format!("MCR {}", args.mode), cfg);
+    if let Some(jobs) = args.jobs {
+        builder = builder.jobs(jobs);
+    }
+    let sweep = match builder.build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = sweep.run();
+    if args.json {
+        print!("{}", results.to_json());
+        return ExitCode::SUCCESS;
+    }
+    let base = &results.points[0].report;
+    let run = &results.points[1].report;
+    let o = Outcome::versus(&target, base, run);
 
     if args.csv {
         println!("target,mode,exec_reduction_pct,latency_reduction_pct,edp_reduction_pct");
@@ -220,8 +255,8 @@ fn main() -> ExitCode {
     }
 
     println!("target: {target}, {} memory ops/core, seed {}", args.len, args.seed);
-    print_report("baseline [off]", &base);
-    print_report(&format!("MCR {}", args.mode), &run);
+    print_report("baseline [off]", base);
+    print_report(&format!("MCR {}", args.mode), run);
     println!();
     println!(
         "reductions: exec {:+.2}%  read-latency {:+.2}%  EDP {:+.2}%",
@@ -234,7 +269,7 @@ fn main() -> ExitCode {
         run.controller.refresh.skipped,
         args.mode.usable_capacity() * 100.0
     );
-    if let Some(c) = run.cache {
+    if let Some(c) = &run.cache {
         println!(
             "row cache: {} hits, {} misses, {} promotions, {} evictions",
             c.hits, c.misses, c.promotions, c.evictions

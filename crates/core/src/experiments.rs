@@ -7,13 +7,36 @@
 
 use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
-use crate::system::{RunReport, System, SystemConfig};
+use crate::sweep::SweepBuilder;
+use crate::system::{RunReport, SystemConfig};
 use trace_gen::Mix;
 
+/// Runs one labelled config through a single-point sweep — every runner
+/// below funnels through the [`crate::sweep`] engine so config validation
+/// and memoization behave identically everywhere.
+fn run_one(label: &str, cfg: SystemConfig) -> RunReport {
+    let trace_len = cfg.trace_len;
+    let sweep = SweepBuilder::new(trace_len)
+        .point(label, cfg)
+        .jobs(1)
+        .build()
+        .expect("experiment config must be valid");
+    sweep.run().points.remove(0).report
+}
+
 /// Percentage reduction of `new` relative to `base` (positive = better).
+///
+/// A zero baseline makes the relative reduction undefined unless the new
+/// value is also zero (no change): `reduction_pct(0.0, 0.0)` is `0.0`,
+/// while `reduction_pct(0.0, x)` for `x != 0` returns [`f64::NAN`] so a
+/// meaningless "0% change" can never be reported for a real regression.
 pub fn reduction_pct(base: f64, new: f64) -> f64 {
     if base == 0.0 {
-        0.0
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::NAN
+        }
     } else {
         (base - new) / base * 100.0
     }
@@ -102,7 +125,7 @@ pub fn run_single(
         .with_mode(mode)
         .with_mechanisms(mechanisms)
         .with_alloc_ratio(alloc_ratio);
-    System::build(&cfg).run()
+    run_one(name, cfg)
 }
 
 /// Runs one quad-core configuration.
@@ -117,7 +140,7 @@ pub fn run_multi(
         .with_mode(mode)
         .with_mechanisms(mechanisms)
         .with_alloc_ratio(alloc_ratio);
-    System::build(&cfg).run()
+    run_one(mix.name, cfg)
 }
 
 /// Single-core baseline (conventional DRAM) for a workload.
@@ -168,18 +191,29 @@ pub fn seed_sweep_single(
     trace_len: usize,
     seeds: &[u64],
 ) -> SeedSpread {
-    let reductions: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            let base = System::build(&SystemConfig::single_core(name, trace_len).with_seed(seed))
-                .run();
-            let cfg = SystemConfig::single_core(name, trace_len)
-                .with_mode(mode)
-                .with_mechanisms(mechanisms)
-                .with_alloc_ratio(alloc_ratio)
-                .with_seed(seed);
-            let r = System::build(&cfg).run();
-            reduction_pct(base.exec_cpu_cycles as f64, r.exec_cpu_cycles as f64)
+    // One sweep, two points (baseline, MCR) per seed: the engine
+    // parallelizes across seeds and memoizes repeats.
+    let mut builder = SweepBuilder::new(trace_len);
+    for &seed in seeds {
+        let base = SystemConfig::single_core(name, trace_len).with_seed(seed);
+        let mcr = SystemConfig::single_core(name, trace_len)
+            .with_mode(mode)
+            .with_mechanisms(mechanisms)
+            .with_alloc_ratio(alloc_ratio)
+            .with_seed(seed);
+        builder = builder
+            .point(format!("{name} base s={seed}"), base)
+            .point(format!("{name} mcr s={seed}"), mcr);
+    }
+    let results = builder.build().expect("seed sweep configs valid").run();
+    let reductions: Vec<f64> = results
+        .points
+        .chunks(2)
+        .map(|pair| {
+            reduction_pct(
+                pair[0].report.exec_cpu_cycles as f64,
+                pair[1].report.exec_cpu_cycles as f64,
+            )
         })
         .collect();
     SeedSpread::of(&reductions)
@@ -196,9 +230,23 @@ pub fn ratio_point(
     ratio: f64,
     trace_len: usize,
 ) -> (RunReport, RunReport) {
-    let base = baseline_single(name, trace_len);
     let mode = McrMode::new(m, k, ratio).expect("valid mode");
-    let mcr = run_single(name, mode, Mechanisms::access_only(), 0.0, trace_len);
+    let mut results = SweepBuilder::new(trace_len)
+        .point(
+            format!("{name} baseline"),
+            SystemConfig::single_core(name, trace_len).with_mechanisms(Mechanisms::none()),
+        )
+        .point(
+            format!("{name} {mode}"),
+            SystemConfig::single_core(name, trace_len)
+                .with_mode(mode)
+                .with_mechanisms(Mechanisms::access_only()),
+        )
+        .build()
+        .expect("ratio point configs valid")
+        .run();
+    let mcr = results.points.remove(1).report;
+    let base = results.points.remove(0).report;
     (base, mcr)
 }
 
@@ -212,7 +260,11 @@ mod tests {
     #[test]
     fn reduction_math() {
         assert_eq!(reduction_pct(100.0, 90.0), 10.0);
-        assert_eq!(reduction_pct(0.0, 50.0), 0.0);
+        assert_eq!(reduction_pct(0.0, 0.0), 0.0);
+        assert!(
+            reduction_pct(0.0, 50.0).is_nan(),
+            "undefined reduction must not masquerade as 0%"
+        );
         assert!(reduction_pct(100.0, 110.0) < 0.0);
     }
 

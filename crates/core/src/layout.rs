@@ -122,6 +122,16 @@ impl Region {
         self.mode
     }
 
+    /// First sub-array-local row of the region.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last sub-array-local row of the region.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
     /// Rows covered per sub-array.
     pub fn rows_per_subarray(&self) -> u64 {
         self.end - self.start

@@ -36,6 +36,10 @@
 //!   controller + DDR3 device model + power accounting) used by every
 //!   experiment, and [`experiments`] — runners that regenerate the paper's
 //!   figures.
+//! * [`sweep`] — the deterministic parallel experiment engine: declare a
+//!   grid of configs with [`SweepBuilder`], run it across a scoped worker
+//!   pool with content-addressed result memoization, and export JSON.
+//!   `jobs = 1` and `jobs = N` produce identical results.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +67,7 @@ mod mode;
 mod mode_change;
 mod policy;
 mod report;
+pub mod sweep;
 mod system;
 mod timing;
 
@@ -75,5 +80,6 @@ pub use mode::{McrMode, ModeError};
 pub use mode_change::{ModeChangePlan, OsVisibleMemory};
 pub use policy::McrPolicy;
 pub use report::ResultTable;
-pub use system::{MappingKind, RunReport, System, SystemConfig};
+pub use sweep::{PointResult, ResultCache, Sweep, SweepBuilder, SweepPoint, SweepResults};
+pub use system::{ConfigError, MappingKind, RunReport, System, SystemConfig};
 pub use timing::{DeviceClass, McrTimingTable};

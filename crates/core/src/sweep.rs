@@ -1,0 +1,621 @@
+//! Deterministic parallel experiment engine.
+//!
+//! Every figure in the paper is a *grid* of [`SystemConfig`] points —
+//! workloads × modes × mechanisms × ratios × seeds — and every point is a
+//! pure function of its config (see [`RunReport`]). This module exploits
+//! that purity twice:
+//!
+//! * **Parallelism.** [`Sweep::run`] fans the grid across a scoped worker
+//!   pool (`std::thread::scope`; worker count from
+//!   [`std::thread::available_parallelism`], overridable with
+//!   [`SweepBuilder::jobs`]). Workers pull points from a shared atomic
+//!   index and write into pre-allocated, order-preserving result slots, so
+//!   the output order always equals the input order and `jobs = 1` and
+//!   `jobs = N` produce byte-identical [`RunReport`]s.
+//! * **Memoization.** Results are cached content-addressed, keyed by
+//!   [`SystemConfig::config_key`] — a stable (cross-process) hash of every
+//!   field that influences the simulation. Re-running a sweep, or adding
+//!   overlapping points (e.g. the shared baselines of Fig. 11), costs one
+//!   cache lookup per duplicate instead of a simulation.
+//!
+//! ```
+//! use mcr_dram::{McrMode, SweepBuilder};
+//!
+//! let sweep = SweepBuilder::new(2_000)
+//!     .workload("libq")
+//!     .mode(McrMode::off())
+//!     .mode(McrMode::headline())
+//!     .build()
+//!     .expect("valid grid");
+//! let results = sweep.run();
+//! assert_eq!(results.points.len(), 2);
+//! assert!(results.points[1].report.reads_done > 0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::mechanisms::Mechanisms;
+use crate::mode::McrMode;
+use crate::system::{ConfigError, RunReport, System, SystemConfig};
+use trace_gen::Mix;
+
+/// One labelled grid point: a config plus the human-readable name it is
+/// reported under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Display label (workload/mix name plus the axis values).
+    pub label: String,
+    /// The full system configuration to run.
+    pub config: SystemConfig,
+}
+
+/// Shared, content-addressed memo of completed runs, keyed by
+/// [`SystemConfig::config_key`]. A [`Sweep`] owns one internally; pass
+/// your own to [`Sweep::run_with_cache`] to share results across sweeps
+/// (e.g. a bench that reuses baselines between figures).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, RunReport>>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct configurations cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: u64) -> Option<RunReport> {
+        self.map.lock().unwrap().get(&key).cloned()
+    }
+
+    fn insert(&self, key: u64, report: RunReport) {
+        self.map.lock().unwrap().insert(key, report);
+    }
+}
+
+/// Builder for a [`Sweep`]: declare grid axes, call
+/// [`SweepBuilder::build`] to expand the cross product and validate every
+/// point up front (so [`Sweep::run`] is infallible).
+///
+/// The grid is the cross product *target × mode × mechanisms ×
+/// alloc ratio × seed*, where a target is a single-core workload or a
+/// quad-core mix. Axes left empty fall back to a single default (mode
+/// off, [`Mechanisms::all`], ratio `0.0`, the preset seed). Point order
+/// is deterministic: targets outermost (in insertion order), then modes,
+/// mechanisms, ratios, seeds — so "baseline first, then each mode" falls
+/// out naturally when [`McrMode::off`] is the first mode axis entry.
+pub struct SweepBuilder {
+    trace_len: usize,
+    workloads: Vec<String>,
+    mixes: Vec<Mix>,
+    modes: Vec<McrMode>,
+    mechanisms: Vec<Mechanisms>,
+    alloc_ratios: Vec<f64>,
+    seeds: Vec<u64>,
+    jobs: Option<usize>,
+    configure: Option<Box<dyn Fn(SystemConfig) -> SystemConfig>>,
+    extra: Vec<SweepPoint>,
+}
+
+impl std::fmt::Debug for SweepBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepBuilder")
+            .field("trace_len", &self.trace_len)
+            .field("workloads", &self.workloads)
+            .field("mixes", &self.mixes.len())
+            .field("modes", &self.modes)
+            .field("mechanisms", &self.mechanisms)
+            .field("alloc_ratios", &self.alloc_ratios)
+            .field("seeds", &self.seeds)
+            .field("jobs", &self.jobs)
+            .field("extra", &self.extra.len())
+            .finish()
+    }
+}
+
+impl SweepBuilder {
+    /// Starts an empty grid whose points simulate `trace_len` memory
+    /// operations per core.
+    pub fn new(trace_len: usize) -> Self {
+        SweepBuilder {
+            trace_len,
+            workloads: Vec::new(),
+            mixes: Vec::new(),
+            modes: Vec::new(),
+            mechanisms: Vec::new(),
+            alloc_ratios: Vec::new(),
+            seeds: Vec::new(),
+            jobs: None,
+            configure: None,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds a single-core MSC workload (by name) to the target axis.
+    pub fn workload(mut self, name: &str) -> Self {
+        self.workloads.push(name.to_string());
+        self
+    }
+
+    /// Adds several single-core workloads to the target axis.
+    pub fn workloads<'a>(mut self, names: impl IntoIterator<Item = &'a str>) -> Self {
+        self.workloads.extend(names.into_iter().map(String::from));
+        self
+    }
+
+    /// Adds a quad-core mix to the target axis.
+    pub fn mix(mut self, mix: &Mix) -> Self {
+        self.mixes.push(*mix);
+        self
+    }
+
+    /// Adds one `[M/Kx/L%reg]` mode to the mode axis.
+    pub fn mode(mut self, mode: McrMode) -> Self {
+        self.modes.push(mode);
+        self
+    }
+
+    /// Adds the cross product of `(M, K)` pairs and region fractions to
+    /// the mode axis — the shape of the Fig. 11/14 ratio sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `(M, K, fraction)` combination violates Table 1.
+    pub fn mode_grid(mut self, mks: &[(u32, u32)], fractions: &[f64]) -> Self {
+        for &(m, k) in mks {
+            for &frac in fractions {
+                self.modes
+                    .push(McrMode::new(m, k, frac).expect("valid Table 1 mode"));
+            }
+        }
+        self
+    }
+
+    /// Adds one mechanism set to the mechanism axis (the Fig. 17
+    /// ablation).
+    pub fn mechanisms(mut self, mechanisms: Mechanisms) -> Self {
+        self.mechanisms.push(mechanisms);
+        self
+    }
+
+    /// Adds one profile-based allocation ratio to the ratio axis.
+    pub fn alloc_ratio(mut self, ratio: f64) -> Self {
+        self.alloc_ratios.push(ratio);
+        self
+    }
+
+    /// Adds one RNG seed to the seed axis (error-bar sweeps).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Adds several RNG seeds to the seed axis.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Overrides the worker count (default:
+    /// [`std::thread::available_parallelism`]). Clamped to at least 1.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Post-processes every grid config (applied after the axis values,
+    /// before validation) — the hook for knobs without a dedicated axis,
+    /// e.g. scheduler, wiring, or the row cache.
+    pub fn configure(mut self, f: impl Fn(SystemConfig) -> SystemConfig + 'static) -> Self {
+        self.configure = Some(Box::new(f));
+        self
+    }
+
+    /// Appends one fully explicit point after the grid (escape hatch for
+    /// irregular sweeps such as Fig. 17's per-case modes).
+    pub fn point(mut self, label: impl Into<String>, config: SystemConfig) -> Self {
+        self.extra.push(SweepPoint {
+            label: label.into(),
+            config,
+        });
+        self
+    }
+
+    /// Expands the grid, validates every point
+    /// ([`SystemConfig::validate`]), and returns the ready-to-run sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyWorkloads`] when the grid has no targets and no
+    /// explicit points, or the first validation error of any point.
+    pub fn build(self) -> Result<Sweep, ConfigError> {
+        let modes = or_default(self.modes, McrMode::off());
+        let mechanisms = or_default(self.mechanisms, Mechanisms::all());
+        let ratios = or_default(self.alloc_ratios, 0.0);
+
+        let mut points = Vec::new();
+        let bases: Vec<(String, SystemConfig)> = self
+            .workloads
+            .iter()
+            .map(|name| {
+                (
+                    name.clone(),
+                    SystemConfig::single_core(name, self.trace_len),
+                )
+            })
+            .chain(self.mixes.iter().map(|mix| {
+                (
+                    mix.name.to_string(),
+                    SystemConfig::multi_core_mix(mix, self.trace_len),
+                )
+            }))
+            .collect();
+        for (name, base) in &bases {
+            for &mode in &modes {
+                for &mech in &mechanisms {
+                    for &ratio in &ratios {
+                        let seeds: &[u64] = if self.seeds.is_empty() {
+                            &[base.seed]
+                        } else {
+                            &self.seeds
+                        };
+                        for &seed in seeds {
+                            let mut cfg = base
+                                .clone()
+                                .with_mode(mode)
+                                .with_mechanisms(mech)
+                                .with_alloc_ratio(ratio)
+                                .with_seed(seed);
+                            if let Some(f) = &self.configure {
+                                cfg = f(cfg);
+                            }
+                            points.push(SweepPoint {
+                                label: point_label(name, &cfg),
+                                config: cfg,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points.extend(self.extra);
+        if points.is_empty() {
+            return Err(ConfigError::EmptyWorkloads);
+        }
+        for p in &points {
+            p.config.validate()?;
+        }
+        Ok(Sweep {
+            points,
+            jobs: self.jobs,
+            cache: ResultCache::new(),
+        })
+    }
+}
+
+fn or_default<T>(axis: Vec<T>, default: T) -> Vec<T> {
+    if axis.is_empty() {
+        vec![default]
+    } else {
+        axis
+    }
+}
+
+fn point_label(name: &str, cfg: &SystemConfig) -> String {
+    let mut label = format!("{name} {}", cfg.mode);
+    if cfg.alloc_ratio > 0.0 {
+        label.push_str(&format!(" alloc={:.2}", cfg.alloc_ratio));
+    }
+    if cfg.mechanisms != Mechanisms::all() {
+        label.push_str(&format!(" {:?}", cfg.mechanisms));
+    }
+    label
+}
+
+/// A validated, ready-to-run grid of experiment points.
+///
+/// Running is infallible (validation happened in
+/// [`SweepBuilder::build`]) and idempotent: the sweep memoizes each
+/// distinct config, so a second [`Sweep::run`] call reports 100 % cache
+/// hits and byte-identical results.
+#[derive(Debug)]
+pub struct Sweep {
+    /// The grid, in deterministic input order.
+    points: Vec<SweepPoint>,
+    jobs: Option<usize>,
+    cache: ResultCache,
+}
+
+impl Sweep {
+    /// The grid points in the order results will be reported.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Resolved worker count: the explicit [`SweepBuilder::jobs`]
+    /// override, else [`std::thread::available_parallelism`] (1 when
+    /// undetectable), never more than the number of points.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, self.points.len().max(1))
+    }
+
+    /// Runs every point using the sweep's own memo cache.
+    pub fn run(&self) -> SweepResults {
+        self.run_with_cache(&self.cache)
+    }
+
+    /// Runs every point against a caller-supplied [`ResultCache`],
+    /// letting several sweeps share results (identical configs are
+    /// simulated once, ever).
+    pub fn run_with_cache(&self, cache: &ResultCache) -> SweepResults {
+        let jobs = self.jobs();
+        let t0 = Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PointResult>>> =
+            self.points.iter().map(|_| Mutex::new(None)).collect();
+
+        let work = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.points.len() {
+                break;
+            }
+            let point = &self.points[i];
+            let key = point.config.config_key();
+            let t = Instant::now();
+            let (report, cache_hit) = match cache.get(key) {
+                Some(report) => (report, true),
+                None => {
+                    // Validated in `build`, so `try_build` cannot fail.
+                    let report = System::try_build(&point.config)
+                        .expect("sweep points are pre-validated")
+                        .run();
+                    cache.insert(key, report.clone());
+                    (report, false)
+                }
+            };
+            *slots[i].lock().unwrap() = Some(PointResult {
+                label: point.label.clone(),
+                key,
+                report,
+                wall: t.elapsed(),
+                cache_hit,
+            });
+        };
+
+        if jobs == 1 {
+            // Run inline: exercising the same code path as workers keeps
+            // serial and parallel sweeps trivially comparable.
+            work(0);
+        } else {
+            std::thread::scope(|scope| {
+                for worker in 0..jobs {
+                    scope.spawn(move || work(worker));
+                }
+            });
+        }
+
+        SweepResults {
+            points: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+                .collect(),
+            wall: t0.elapsed(),
+            jobs,
+        }
+    }
+}
+
+/// Outcome of one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// The point's display label.
+    pub label: String,
+    /// Stable config key ([`SystemConfig::config_key`]) the result is
+    /// cached under.
+    pub key: u64,
+    /// The simulation report (identical for every run of this config).
+    pub report: RunReport,
+    /// Wall-clock time spent obtaining the report (near zero on a cache
+    /// hit).
+    pub wall: Duration,
+    /// True when the report came from the cache instead of a simulation.
+    pub cache_hit: bool,
+}
+
+/// All results of one [`Sweep::run`], in the sweep's input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResults {
+    /// Per-point results, index-aligned with [`Sweep::points`].
+    pub points: Vec<PointResult>,
+    /// Total wall-clock time of the run.
+    pub wall: Duration,
+    /// Worker count actually used.
+    pub jobs: usize,
+}
+
+impl SweepResults {
+    /// Number of points served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.points.iter().filter(|p| p.cache_hit).count()
+    }
+
+    /// Number of points that required a simulation.
+    pub fn cache_misses(&self) -> usize {
+        self.points.len() - self.cache_hits()
+    }
+
+    /// The reports alone, in input order.
+    pub fn reports(&self) -> Vec<&RunReport> {
+        self.points.iter().map(|p| &p.report).collect()
+    }
+
+    /// Serializes the results (labels, cache keys, timing, and headline
+    /// metrics) as a JSON document — no external serializer involved.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"jobs\": {},\n  \"wall_ns\": {},\n  \"cache_hits\": {},\n  \"points\": [\n",
+            self.jobs,
+            self.wall.as_nanos(),
+            self.cache_hits()
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            let r = &p.report;
+            out.push_str(&format!(
+                concat!(
+                    "    {{\"label\": \"{}\", \"key\": \"{:016x}\", ",
+                    "\"cache_hit\": {}, \"wall_ns\": {}, ",
+                    "\"exec_cpu_cycles\": {}, \"avg_read_latency\": {}, ",
+                    "\"edp\": {}, \"reads_done\": {}, \"instructions\": {}, ",
+                    "\"refresh\": {{\"normal\": {}, \"fast\": {}, \"skipped\": {}}}}}{}\n"
+                ),
+                json_escape(&p.label),
+                p.key,
+                p.cache_hit,
+                p.wall.as_nanos(),
+                r.exec_cpu_cycles,
+                json_f64(r.avg_read_latency),
+                json_f64(r.edp),
+                r.reads_done,
+                r.instructions,
+                r.controller.refresh.normal,
+                r.controller.refresh.fast,
+                r.controller.refresh.skipped,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// JSON has no NaN/Infinity literals; map them to null.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEN: usize = 1_500;
+
+    #[test]
+    fn grid_expansion_order_is_deterministic() {
+        let sweep = SweepBuilder::new(LEN)
+            .workloads(["libq", "comm1"])
+            .mode(McrMode::off())
+            .mode(McrMode::headline())
+            .build()
+            .unwrap();
+        let labels: Vec<&str> = sweep.points().iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels.len(), 4);
+        assert!(labels[0].starts_with("libq") && labels[1].starts_with("libq"));
+        assert!(labels[2].starts_with("comm1") && labels[3].starts_with("comm1"));
+        assert!(sweep.points()[0].config.mode.is_off());
+    }
+
+    #[test]
+    fn empty_grid_is_an_error() {
+        assert!(matches!(
+            SweepBuilder::new(LEN).mode(McrMode::headline()).build(),
+            Err(ConfigError::EmptyWorkloads)
+        ));
+    }
+
+    #[test]
+    fn invalid_point_is_rejected_at_build() {
+        let err = SweepBuilder::new(LEN)
+            .workload("libq")
+            .alloc_ratio(1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::AllocRatioRange(_)));
+    }
+
+    #[test]
+    fn duplicate_points_hit_the_cache_within_one_run() {
+        // Same config twice (two identical explicit points): the second
+        // resolves from the cache unless both raced — either way the
+        // reports must be identical.
+        let cfg = SystemConfig::single_core("libq", LEN);
+        let sweep = SweepBuilder::new(LEN)
+            .point("a", cfg.clone())
+            .point("b", cfg)
+            .jobs(1)
+            .build()
+            .unwrap();
+        let r = sweep.run();
+        assert_eq!(r.cache_hits(), 1, "serial duplicate must hit");
+        assert_eq!(r.points[0].report, r.points[1].report);
+    }
+
+    #[test]
+    fn shared_cache_spans_sweeps() {
+        let cache = ResultCache::new();
+        let build = || {
+            SweepBuilder::new(LEN)
+                .workload("libq")
+                .mode(McrMode::headline())
+                .build()
+                .unwrap()
+        };
+        let first = build().run_with_cache(&cache);
+        assert_eq!(first.cache_misses(), 1);
+        let second = build().run_with_cache(&cache);
+        assert_eq!(second.cache_hits(), 1, "fresh sweep, warm shared cache");
+        assert_eq!(first.points[0].report, second.points[0].report);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn json_export_is_wellformed_enough() {
+        let sweep = SweepBuilder::new(LEN).workload("libq").build().unwrap();
+        let json = sweep.run().to_json();
+        assert!(json.contains("\"points\": ["));
+        assert!(json.contains("\"exec_cpu_cycles\":"));
+        assert!(!json.contains("NaN"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -18,8 +18,71 @@ use trace_gen::{hot_rows, workload, TraceGenerator, WorkloadProfile, ROW_BYTES};
 /// Sample length used when profiling a workload for hot rows.
 const PROFILE_SAMPLE: usize = 60_000;
 
+/// Why a [`SystemConfig`] cannot be built into a [`System`].
+///
+/// Returned by [`System::try_build`]; the panicking convenience
+/// [`System::build`] formats these into its panic message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The workload list is empty — a system needs at least one core.
+    EmptyWorkloads,
+    /// The profile-based allocation ratio must lie in `[0, 1]`.
+    AllocRatioRange(
+        /// The offending ratio.
+        f64,
+    ),
+    /// Profile-based page allocation (Sec. 4.4) and the hardware row
+    /// cache (Sec. 7) both claim the MCR frames — they are mutually
+    /// exclusive.
+    AllocWithRowCache,
+    /// Both a non-off [`McrMode`] and an explicit [`RegionMap`] were set.
+    /// The region map *replaces* the single mode; setting both makes the
+    /// intent ambiguous, so it is rejected instead of silently ignoring
+    /// the mode.
+    ModeWithRegionMap {
+        /// The single mode that would have been shadowed.
+        mode: McrMode,
+    },
+    /// `trace_len` is zero — the run would finish before it starts.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyWorkloads => write!(f, "workload list is empty"),
+            ConfigError::AllocRatioRange(r) => {
+                write!(f, "alloc_ratio must be in [0, 1], got {r}")
+            }
+            ConfigError::AllocWithRowCache => write!(
+                f,
+                "row cache and static page allocation are mutually exclusive"
+            ),
+            ConfigError::ModeWithRegionMap { mode } => write!(
+                f,
+                "both mode {mode} and an explicit region map are set; \
+                 the map would silently shadow the mode"
+            ),
+            ConfigError::EmptyTrace => write!(f, "trace_len must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of one full-system run.
-#[derive(Debug, Clone)]
+///
+/// # Builder surface
+///
+/// Start from a preset ([`SystemConfig::single_core`],
+/// [`SystemConfig::multi_core`], [`SystemConfig::multi_core_mix`]) and
+/// refine it with the order-independent `with_*` knobs — each knob sets
+/// one field and they may be chained in any order. Validation happens
+/// once, in [`System::try_build`], so intermediate states may be
+/// inconsistent. Two configs with equal fields compare equal and hash to
+/// the same [`SystemConfig::config_key`], which the [`crate::sweep`]
+/// engine uses as its result-cache key.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Memory-system shape (selects 4 GB or 16 GB per the paper).
     pub geometry: Geometry,
@@ -132,7 +195,10 @@ impl SystemConfig {
         }
     }
 
-    /// Sets the MCR mode.
+    /// Sets the MCR mode `[M/Kx/L%reg]` (paper Table 1, Sec. 4.1).
+    ///
+    /// Mutually exclusive with [`SystemConfig::with_combined_regions`];
+    /// setting both is a [`ConfigError::ModeWithRegionMap`] at build time.
     pub fn with_mode(mut self, mode: McrMode) -> Self {
         self.mode = mode;
         self
@@ -146,58 +212,177 @@ impl SystemConfig {
         self
     }
 
-    /// Sets the mechanism switches.
+    /// Sets the mechanism switches — the ablation axes of Fig. 17
+    /// (Early-Access, Early-Precharge, Fast-Refresh, Refresh-Skipping;
+    /// paper Secs. 3.1–3.3).
     pub fn with_mechanisms(mut self, mechanisms: Mechanisms) -> Self {
         self.mechanisms = mechanisms;
         self
     }
 
-    /// Sets the pseudo profile-based allocation ratio.
+    /// Sets the pseudo profile-based allocation ratio (paper Sec. 4.4 /
+    /// Sec. 6.1): the hottest `ratio` of each workload's footprint is
+    /// remapped into MCR frames. Must lie in `[0, 1]`
+    /// ([`ConfigError::AllocRatioRange`]); `> 0` is incompatible with the
+    /// row cache ([`ConfigError::AllocWithRowCache`]).
     pub fn with_alloc_ratio(mut self, ratio: f64) -> Self {
         self.alloc_ratio = ratio;
         self
     }
 
-    /// Sets the scheduler.
+    /// Sets the request scheduler (paper Table 4: FR-FCFS baseline).
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
     }
 
-    /// Sets the refresh-counter wiring.
+    /// Sets the refresh-counter wiring (paper Fig. 8: the proposal wires
+    /// the counter K-to-N-1-K, i.e. [`RefreshWiring::Reversed`]).
     pub fn with_wiring(mut self, wiring: RefreshWiring) -> Self {
         self.wiring = wiring;
         self
     }
 
-    /// Sets the row-buffer policy.
+    /// Sets the row-buffer management policy (paper Table 4: open-row
+    /// baseline; closed-row is an ablation).
     pub fn with_row_policy(mut self, row_policy: RowPolicy) -> Self {
         self.row_policy = row_policy;
         self
     }
 
-    /// Sets the address-mapping policy.
+    /// Sets the physical-address mapping policy (paper Table 4: page
+    /// interleaving baseline).
     pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
         self.mapping = mapping;
         self
     }
 
-    /// Enables rank power-down after `threshold` idle cycles.
+    /// Enables rank power-down after `threshold` idle cycles (paper
+    /// Sec. 6.4: Early-Precharge and Refresh-Skipping lengthen the idle
+    /// windows power-down exploits).
     pub fn with_powerdown(mut self, threshold: u32) -> Self {
         self.powerdown_idle_threshold = Some(threshold);
         self
     }
 
-    /// Manages the MCR region as a hardware row cache (paper Sec. 7).
+    /// Manages the MCR region as a hardware row cache (paper Sec. 7,
+    /// "Low Latency Rows Used as Caches"). Incompatible with a non-zero
+    /// allocation ratio ([`ConfigError::AllocWithRowCache`]).
     pub fn with_row_cache(mut self, cache: RowCacheConfig) -> Self {
         self.row_cache = Some(cache);
         self
     }
 
-    /// Sets the RNG seed.
+    /// Sets the master RNG seed. Every run is a pure function of its
+    /// config (seed included), which is what makes sweep results
+    /// cacheable and thread-count independent.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Checks the cross-field invariants [`System::try_build`] enforces
+    /// without paying for a build.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] violated, checking in order:
+    /// workloads, trace length, allocation ratio, allocation/row-cache
+    /// exclusivity, mode/region-map exclusivity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workloads.is_empty() {
+            return Err(ConfigError::EmptyWorkloads);
+        }
+        if self.trace_len == 0 {
+            return Err(ConfigError::EmptyTrace);
+        }
+        if !(0.0..=1.0).contains(&self.alloc_ratio) {
+            return Err(ConfigError::AllocRatioRange(self.alloc_ratio));
+        }
+        if self.alloc_ratio > 0.0 && self.row_cache.is_some() {
+            return Err(ConfigError::AllocWithRowCache);
+        }
+        if self.region_map.is_some() && !self.mode.is_off() {
+            return Err(ConfigError::ModeWithRegionMap { mode: self.mode });
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit key identifying this configuration's *behaviour*:
+    /// equal configs produce equal keys across runs and processes (the
+    /// hash is FNV-1a over a canonical field encoding, not the
+    /// randomized `std` hasher). The [`crate::sweep`] result cache is
+    /// content-addressed by this key.
+    pub fn config_key(&self) -> u64 {
+        let mut h = StableHasher::new();
+        let g = &self.geometry;
+        h.u64(g.channels as u64)
+            .u64(g.ranks as u64)
+            .u64(g.banks as u64)
+            .u64(g.rows_per_bank)
+            .u64(g.cols_per_row as u64)
+            .u64(g.line_bytes as u64);
+        h.u64(self.mode.m() as u64)
+            .u64(self.mode.k() as u64)
+            .f64(self.mode.region());
+        match &self.region_map {
+            None => {
+                h.u64(0);
+            }
+            Some(map) => {
+                h.u64(1).u64(map.regions().len() as u64);
+                for r in map.regions() {
+                    h.u64(r.start())
+                        .u64(r.end())
+                        .u64(r.mode().m() as u64)
+                        .u64(r.mode().k() as u64)
+                        .f64(r.mode().region());
+                }
+            }
+        }
+        h.bool(self.mechanisms.early_access)
+            .bool(self.mechanisms.early_precharge)
+            .bool(self.mechanisms.fast_refresh)
+            .bool(self.mechanisms.refresh_skipping);
+        h.u64(self.workloads.len() as u64);
+        for w in &self.workloads {
+            h.str(w.name)
+                .f64(w.mpki)
+                .f64(w.read_fraction)
+                .f64(w.row_locality)
+                .u64(w.footprint_rows)
+                .f64(w.zipf_theta)
+                .bool(w.multi_threaded);
+        }
+        h.u64(self.trace_len as u64).f64(self.alloc_ratio);
+        h.u64(match self.scheduler {
+            SchedulerKind::FrFcfs => 0,
+            SchedulerKind::Fcfs => 1,
+        });
+        h.u64(match self.row_policy {
+            RowPolicy::Open => 0,
+            RowPolicy::Closed => 1,
+        });
+        h.u64(match self.mapping {
+            MappingKind::PageInterleave => 0,
+            MappingKind::Permutation => 1,
+            MappingKind::BitReversal => 2,
+        });
+        h.u64(match self.wiring {
+            RefreshWiring::Direct => 0,
+            RefreshWiring::Reversed => 1,
+        });
+        match self.powerdown_idle_threshold {
+            None => h.u64(0),
+            Some(t) => h.u64(1).u64(t as u64),
+        };
+        h.bool(self.shared_address_space);
+        match self.row_cache {
+            None => h.u64(0),
+            Some(c) => h.u64(1).u64(c.promote_threshold as u64),
+        };
+        h.u64(self.seed);
+        h.finish()
     }
 
     /// Per-core base byte offset: each core of a multi-programmed mix gets
@@ -220,8 +405,58 @@ impl SystemConfig {
     }
 }
 
+/// FNV-1a, 64 bit: a tiny *stable* hasher. `std`'s `DefaultHasher` is
+/// randomized per process, which would make [`SystemConfig::config_key`]
+/// useless as a persistent cache key.
+struct StableHasher(u64);
+
+impl StableHasher {
+    fn new() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// `f64`s are hashed by bit pattern; `-0.0 != 0.0` here, which is
+    /// fine — config code never produces negative zero.
+    fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    fn bool(&mut self, v: bool) -> &mut Self {
+        self.byte(v as u8);
+        self
+    }
+
+    fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// End-of-run metrics.
-#[derive(Debug, Clone)]
+///
+/// Reports are pure functions of the [`SystemConfig`] that produced them
+/// (compare with `==`): the simulator is single-threaded per run and all
+/// randomness flows from the config's seed, which is what lets the
+/// [`crate::sweep`] engine cache and parallelize runs freely.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// CPU cycle at which the last core retired its final instruction —
     /// the paper's execution-time metric.
@@ -329,8 +564,34 @@ impl RequestSink for CtlSink<'_> {
 
 impl System {
     /// Builds cores, traces (with profile-based allocation applied),
-    /// controller and device from a configuration.
+    /// controller and device from a configuration — the infallible
+    /// convenience over [`System::try_build`] for configs known valid at
+    /// the call site (presets, tests, examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message when the configuration is
+    /// invalid. Library code and anything handling user input should use
+    /// [`System::try_build`] instead.
     pub fn build(config: &SystemConfig) -> Self {
+        match Self::try_build(config) {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid SystemConfig: {e}"),
+        }
+    }
+
+    /// Builds cores, traces (with profile-based allocation applied),
+    /// controller and device from a configuration, validating the
+    /// cross-field invariants first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] reported by
+    /// [`SystemConfig::validate`] — e.g. an empty workload list, an
+    /// allocation ratio outside `[0, 1]`, allocation combined with the
+    /// row cache, or an explicit region map shadowing a non-off mode.
+    pub fn try_build(config: &SystemConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let geometry = config.geometry;
         let timing = TimingSet::ddr3_1600(geometry.rows_per_bank);
         let regions = config
@@ -397,15 +658,11 @@ impl System {
             })
             .collect();
 
-        let cache = config.row_cache.map(|cache_cfg| {
-            assert!(
-                config.alloc_ratio == 0.0,
-                "row cache and static page allocation are mutually exclusive"
-            );
-            RowCache::new(geometry, regions.clone(), cache_cfg)
-        });
+        let cache = config
+            .row_cache
+            .map(|cache_cfg| RowCache::new(geometry, regions.clone(), cache_cfg));
         let n_cores = config.workloads.len();
-        System {
+        Ok(System {
             cores,
             controller,
             mem_now: 0,
@@ -413,7 +670,7 @@ impl System {
             cache,
             mapper: config.make_mapper(),
             per_core_reads: vec![(0, 0); n_cores],
-        }
+        })
     }
 
     /// Row-cache statistics (when the row cache is enabled).

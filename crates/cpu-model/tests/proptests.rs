@@ -1,53 +1,65 @@
-//! Property-based tests for the core model and trace I/O.
+//! Randomized (seeded, deterministic) tests for the core model and trace
+//! I/O — a dependency-free replacement for the former `proptest` suite.
 
 use cpu_model::{read_trace, write_trace, Core, CoreParams, InstantMemory, TraceRecord};
 use dram_device::{PhysAddr, ReqKind};
-use proptest::prelude::*;
+use sim_rng::SmallRng;
 use std::io::BufReader;
 
-fn record_strategy() -> impl Strategy<Value = TraceRecord> {
-    (0u32..200, any::<bool>(), 0u64..(1 << 32)).prop_map(|(gap, is_read, line)| {
-        TraceRecord::new(
-            gap,
-            if is_read { ReqKind::Read } else { ReqKind::Write },
-            PhysAddr(line * 64),
-        )
-    })
+fn random_record(rng: &mut SmallRng) -> TraceRecord {
+    TraceRecord::new(
+        rng.gen_range(0..200u32),
+        if rng.gen_bool(0.5) {
+            ReqKind::Read
+        } else {
+            ReqKind::Write
+        },
+        PhysAddr(rng.gen_range(0..(1u64 << 32)) * 64),
+    )
 }
 
-proptest! {
-    /// Any trace completes against the instant memory, retiring exactly
-    /// the trace's instruction count, and the completion cycle is at
-    /// least instructions / retire_width.
-    #[test]
-    fn core_always_retires_everything(
-        trace in prop::collection::vec(record_strategy(), 1..60),
-        latency in 0u64..400,
-    ) {
+fn random_trace(rng: &mut SmallRng, min: usize, max: usize) -> Vec<TraceRecord> {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| random_record(rng)).collect()
+}
+
+/// Any trace completes against the instant memory, retiring exactly the
+/// trace's instruction count, and the completion cycle is at least
+/// instructions / retire_width.
+#[test]
+fn core_always_retires_everything() {
+    let mut rng = SmallRng::seed_from_u64(0xC9);
+    for _ in 0..200 {
+        let trace = random_trace(&mut rng, 1, 60);
+        let latency = rng.gen_range(0..400u64);
         let instrs: u64 = trace.iter().map(|r| r.instructions()).sum();
         let mem_ops = trace.len() as u64;
         let mut core = Core::new(0, CoreParams::msc_default(), trace.into_iter());
         let mut mem = InstantMemory::new(latency);
         let mut now = 0u64;
         while !core.done() {
-            prop_assert!(now < 4_000_000, "core wedged");
+            assert!(now < 4_000_000, "core wedged");
             mem.deliver(now, &mut core);
             core.cycle(now, &mut mem);
             now += 1;
         }
         let stats = core.stats();
-        prop_assert_eq!(stats.committed, instrs);
-        prop_assert!(stats.done_cycle as f64 >= instrs as f64 / 2.0 - 1.0,
-            "retire width 2 bounds throughput");
+        assert_eq!(stats.committed, instrs);
+        assert!(
+            stats.done_cycle as f64 >= instrs as f64 / 2.0 - 1.0,
+            "retire width 2 bounds throughput"
+        );
         // Every trace record produced exactly one memory request.
-        prop_assert_eq!(stats.reads_issued + stats.writes_issued, mem_ops);
+        assert_eq!(stats.reads_issued + stats.writes_issued, mem_ops);
     }
+}
 
-    /// Longer memory latency never makes a trace finish earlier.
-    #[test]
-    fn completion_monotone_in_latency(
-        trace in prop::collection::vec(record_strategy(), 1..40),
-    ) {
+/// Longer memory latency never makes a trace finish earlier.
+#[test]
+fn completion_monotone_in_latency() {
+    let mut rng = SmallRng::seed_from_u64(0xCC);
+    for _ in 0..100 {
+        let trace = random_trace(&mut rng, 1, 40);
         let run = |lat: u64| {
             let mut core = Core::new(0, CoreParams::msc_default(), trace.clone().into_iter());
             let mut mem = InstantMemory::new(lat);
@@ -62,17 +74,21 @@ proptest! {
         };
         let fast = run(10);
         let slow = run(200);
-        prop_assert!(slow >= fast, "slow {slow} < fast {fast}");
+        assert!(slow >= fast, "slow {slow} < fast {fast}");
     }
+}
 
-    /// Trace I/O round-trips arbitrary records through the MSC format.
-    #[test]
-    fn trace_io_roundtrip(trace in prop::collection::vec(record_strategy(), 0..100)) {
+/// Trace I/O round-trips arbitrary records through the MSC format.
+#[test]
+fn trace_io_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xC10);
+    for _ in 0..100 {
+        let trace = random_trace(&mut rng, 0, 100);
         let mut buf = Vec::new();
         write_trace(&mut buf, trace.clone()).unwrap();
         let back: Vec<TraceRecord> = read_trace(BufReader::new(buf.as_slice()))
             .collect::<Result<_, _>>()
             .unwrap();
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace);
     }
 }

@@ -1,14 +1,16 @@
-//! Property-based tests for the DRAM device model.
+//! Randomized (seeded, deterministic) tests for the DRAM device model —
+//! a dependency-free replacement for the former `proptest` suite.
 //!
 //! The central invariant: no sequence of attempted commands — legal or not —
 //! can drive a bank into a state that violates JEDEC ordering. Illegal
-//! attempts must be rejected with a [`TimingError`] and leave state intact.
+//! attempts must be rejected with a [`dram_device::TimingError`] and leave
+//! state intact.
 
 use dram_device::{
     max_refresh_interval_ms, refresh_schedule, Channel, Geometry, RefreshWiring, RowTiming,
     RowTimingClass, TimingSet,
 };
-use proptest::prelude::*;
+use sim_rng::SmallRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,23 +22,37 @@ enum Op {
     Wait(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..2, 0u64..64).prop_map(|(bank, row)| Op::Activate { bank, row }),
-        (0u8..2, 0u32..8).prop_map(|(bank, col)| Op::Read { bank, col }),
-        (0u8..2, 0u32..8).prop_map(|(bank, col)| Op::Write { bank, col }),
-        (0u8..2).prop_map(|bank| Op::Precharge { bank }),
-        Just(Op::Refresh),
-        (1u64..50).prop_map(Op::Wait),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..6u32) {
+        0 => Op::Activate {
+            bank: rng.gen_range(0..2u32) as u8,
+            row: rng.gen_range(0..64u64),
+        },
+        1 => Op::Read {
+            bank: rng.gen_range(0..2u32) as u8,
+            col: rng.gen_range(0..8u32),
+        },
+        2 => Op::Write {
+            bank: rng.gen_range(0..2u32) as u8,
+            col: rng.gen_range(0..8u32),
+        },
+        3 => Op::Precharge {
+            bank: rng.gen_range(0..2u32) as u8,
+        },
+        4 => Op::Refresh,
+        _ => Op::Wait(rng.gen_range(1..50u64)),
+    }
 }
 
-proptest! {
-    /// Arbitrary command soup: every accepted ACT→RD gap respects tRCD of
-    /// the class used, every accepted ACT→PRE gap respects tRAS, and
-    /// rejected commands leave the open-row state unchanged.
-    #[test]
-    fn bank_state_machine_is_sound(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// Arbitrary command soup: every accepted ACT→RD gap respects tRCD of the
+/// class used, every accepted ACT→PRE gap respects tRAS, and rejected
+/// commands leave the open-row state unchanged.
+#[test]
+fn bank_state_machine_is_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xD1);
+    for _ in 0..150 {
+        let n = rng.gen_range(1..200usize);
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
         let mut chan = Channel::new(Geometry::tiny(), TimingSet::default());
         let mcr = chan.register_row_timing(RowTiming::from_ns(6.90, 20.0));
         let mut now: u64 = 0;
@@ -48,10 +64,10 @@ proptest! {
                     let class = if i % 2 == 0 { RowTimingClass(0) } else { mcr };
                     let before = chan.open_row(0, bank);
                     if chan.activate(0, bank, row, now, class).is_ok() {
-                        prop_assert_eq!(before, None);
+                        assert_eq!(before, None);
                         act_cycle[bank as usize] = Some((now, class));
                     } else {
-                        prop_assert_eq!(chan.open_row(0, bank), before);
+                        assert_eq!(chan.open_row(0, bank), before);
                     }
                     now += 1;
                 }
@@ -59,8 +75,10 @@ proptest! {
                     if chan.read(0, bank, col, now).is_ok() {
                         let (at, class) = act_cycle[bank as usize].expect("read without act");
                         let rt = chan.row_timing(class);
-                        prop_assert!(now >= at + rt.t_rcd as u64,
-                            "tRCD violated: act@{} read@{} class {:?}", at, now, class);
+                        assert!(
+                            now >= at + rt.t_rcd as u64,
+                            "tRCD violated: act@{at} read@{now} class {class:?}"
+                        );
                     }
                     now += 1;
                 }
@@ -68,7 +86,7 @@ proptest! {
                     if chan.write(0, bank, col, now).is_ok() {
                         let (at, class) = act_cycle[bank as usize].expect("write without act");
                         let rt = chan.row_timing(class);
-                        prop_assert!(now >= at + rt.t_rcd as u64);
+                        assert!(now >= at + rt.t_rcd as u64);
                     }
                     now += 1;
                 }
@@ -76,16 +94,18 @@ proptest! {
                     if chan.precharge(0, bank, now).is_ok() {
                         let (at, class) = act_cycle[bank as usize].expect("pre without act");
                         let rt = chan.row_timing(class);
-                        prop_assert!(now >= at + rt.t_ras as u64,
-                            "tRAS violated: act@{} pre@{}", at, now);
-                        prop_assert_eq!(chan.open_row(0, bank), None);
+                        assert!(
+                            now >= at + rt.t_ras as u64,
+                            "tRAS violated: act@{at} pre@{now}"
+                        );
+                        assert_eq!(chan.open_row(0, bank), None);
                     }
                     now += 1;
                 }
                 Op::Refresh => {
                     if chan.refresh(0, now, None).is_ok() {
-                        prop_assert_eq!(chan.open_row(0, 0), None);
-                        prop_assert_eq!(chan.open_row(0, 1), None);
+                        assert_eq!(chan.open_row(0, 0), None);
+                        assert_eq!(chan.open_row(0, 1), None);
                     }
                     now += 1;
                 }
@@ -93,42 +113,52 @@ proptest! {
             }
         }
     }
+}
 
-    /// The refresh schedule is a permutation of all rows for both wirings
-    /// and any counter width.
-    #[test]
-    fn refresh_schedule_is_permutation(bits in 1u32..12,
-                                       reversed in any::<bool>()) {
-        let wiring = if reversed { RefreshWiring::Reversed } else { RefreshWiring::Direct };
-        let mut sched = refresh_schedule(bits, wiring);
-        sched.sort_unstable();
-        let expect: Vec<u64> = (0..1u64 << bits).collect();
-        prop_assert_eq!(sched, expect);
-    }
-
-    /// Reversed wiring always yields the uniform interval 64/K ms; direct
-    /// wiring is never better and strictly worse for K > 1.
-    #[test]
-    fn reversed_wiring_is_uniform_and_dominant(bits in 3u32..12, logk in 0u32..3) {
-        let k = 1u64 << logk;
-        let rev = max_refresh_interval_ms(bits, RefreshWiring::Reversed, k, 64.0);
-        let dir = max_refresh_interval_ms(bits, RefreshWiring::Direct, k, 64.0);
-        prop_assert!((rev - 64.0 / k as f64).abs() < 1e-9, "rev={rev} k={k}");
-        prop_assert!(dir >= rev - 1e-9);
-        if k > 1 {
-            prop_assert!(dir > rev, "direct should be worse for K={k}");
+/// The refresh schedule is a permutation of all rows for both wirings and
+/// any counter width.
+#[test]
+fn refresh_schedule_is_permutation() {
+    for bits in 1u32..12 {
+        for wiring in [RefreshWiring::Direct, RefreshWiring::Reversed] {
+            let mut sched = refresh_schedule(bits, wiring);
+            sched.sort_unstable();
+            let expect: Vec<u64> = (0..1u64 << bits).collect();
+            assert_eq!(sched, expect, "bits={bits} wiring={wiring:?}");
         }
     }
+}
 
-    /// Read completion time is monotonic in issue time and always CL+burst
-    /// after issue.
-    #[test]
-    fn read_completion_is_cl_plus_burst(gap in 0u64..100) {
+/// Reversed wiring always yields the uniform interval 64/K ms; direct
+/// wiring is never better and strictly worse for K > 1.
+#[test]
+fn reversed_wiring_is_uniform_and_dominant() {
+    for bits in 3u32..12 {
+        for logk in 0u32..3 {
+            let k = 1u64 << logk;
+            let rev = max_refresh_interval_ms(bits, RefreshWiring::Reversed, k, 64.0);
+            let dir = max_refresh_interval_ms(bits, RefreshWiring::Direct, k, 64.0);
+            assert!((rev - 64.0 / k as f64).abs() < 1e-9, "rev={rev} k={k}");
+            assert!(dir >= rev - 1e-9);
+            if k > 1 {
+                assert!(dir > rev, "direct should be worse for K={k}");
+            }
+        }
+    }
+}
+
+/// Read completion time is monotonic in issue time and always CL+burst
+/// after issue.
+#[test]
+fn read_completion_is_cl_plus_burst() {
+    let mut rng = SmallRng::seed_from_u64(0xD4);
+    for _ in 0..100 {
+        let gap = rng.gen_range(0..100u64);
         let mut chan = Channel::new(Geometry::tiny(), TimingSet::default());
         chan.activate(0, 0, 1, 0, RowTimingClass(0)).unwrap();
         let at = chan.next_read_cycle(0, 0) + gap;
         let done = chan.read(0, 0, 0, at).unwrap();
         let ts = chan.timing().clone();
-        prop_assert_eq!(done, at + (ts.cl + ts.burst_cycles) as u64);
+        assert_eq!(done, at + (ts.cl + ts.burst_cycles) as u64);
     }
 }

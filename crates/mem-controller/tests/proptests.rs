@@ -1,11 +1,12 @@
-//! Property-based tests for the memory controller.
+//! Randomized (seeded, deterministic) tests for the memory controller —
+//! a dependency-free replacement for the former `proptest` suite.
 
 use dram_device::{Geometry, PhysAddr, TimingSet};
 use mem_controller::{
     AddressMapper, BitReversal, ControllerConfig, MemoryController, NormalPolicy, PageInterleave,
     PermutationInterleave, RowPolicy, SchedulerKind,
 };
-use proptest::prelude::*;
+use sim_rng::SmallRng;
 
 fn controller(cfg: ControllerConfig) -> MemoryController {
     let g = Geometry::tiny();
@@ -18,44 +19,58 @@ fn controller(cfg: ControllerConfig) -> MemoryController {
     )
 }
 
-proptest! {
-    /// Every mapping policy is a bijection on cache-line addresses for the
-    /// paper's real geometries, not just the tiny test one.
-    #[test]
-    fn mapping_bijective_on_real_geometry(lines in prop::collection::vec(0u64..(1 << 26), 1..64)) {
-        let g = Geometry::single_core_4gb();
-        let mappers: Vec<Box<dyn AddressMapper>> = vec![
-            Box::new(PageInterleave::new(g)),
-            Box::new(PermutationInterleave::new(g)),
-            Box::new(BitReversal::new(g)),
-        ];
+/// Every mapping policy is a bijection on cache-line addresses for the
+/// paper's real geometries, not just the tiny test one.
+#[test]
+fn mapping_bijective_on_real_geometry() {
+    let mut rng = SmallRng::seed_from_u64(0xE1);
+    let g = Geometry::single_core_4gb();
+    let mappers: Vec<Box<dyn AddressMapper>> = vec![
+        Box::new(PageInterleave::new(g)),
+        Box::new(PermutationInterleave::new(g)),
+        Box::new(BitReversal::new(g)),
+    ];
+    for _ in 0..50 {
+        let n = rng.gen_range(1..64usize);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << 26))).collect();
         for m in &mappers {
             for &l in &lines {
                 let pa = PhysAddr(l * 64);
                 let d = m.decode(pa);
-                prop_assert!(g.contains(&d), "{}: {d}", m.name());
-                prop_assert_eq!(m.encode(&d), pa, "{} roundtrip", m.name());
+                assert!(g.contains(&d), "{}: {d}", m.name());
+                assert_eq!(m.encode(&d), pa, "{} roundtrip", m.name());
             }
         }
     }
+}
 
-    /// Conservation: every accepted read completes exactly once, with a
-    /// latency of at least CL + burst, under arbitrary interleavings of
-    /// reads and writes and any scheduler/row-policy combination.
-    #[test]
-    fn reads_complete_exactly_once(
-        ops in prop::collection::vec((any::<bool>(), 0u64..512), 1..80),
-        fcfs in any::<bool>(),
-        closed in any::<bool>(),
-    ) {
+/// Conservation: every accepted read completes exactly once, with a
+/// latency of at least CL + burst, under arbitrary interleavings of reads
+/// and writes and any scheduler/row-policy combination.
+#[test]
+fn reads_complete_exactly_once() {
+    let mut rng = SmallRng::seed_from_u64(0xE2);
+    for _ in 0..60 {
+        let n = rng.gen_range(1..80usize);
+        let ops: Vec<(bool, u64)> = (0..n)
+            .map(|_| (rng.gen_bool(0.5), rng.gen_range(0..512u64)))
+            .collect();
         let mut cfg = ControllerConfig::msc_default();
-        cfg.scheduler = if fcfs { SchedulerKind::Fcfs } else { SchedulerKind::FrFcfs };
-        cfg.row_policy = if closed { RowPolicy::Closed } else { RowPolicy::Open };
+        cfg.scheduler = if rng.gen_bool(0.5) {
+            SchedulerKind::Fcfs
+        } else {
+            SchedulerKind::FrFcfs
+        };
+        cfg.row_policy = if rng.gen_bool(0.5) {
+            RowPolicy::Closed
+        } else {
+            RowPolicy::Open
+        };
         let mut ctl = controller(cfg);
         let mut now = 0u64;
         let mut expected = Vec::new();
         let mut seen = std::collections::HashMap::new();
-        for (i, &(is_read, line)) in ops.iter().enumerate() {
+        for &(is_read, line) in &ops {
             // Spread submissions out a little so queues drain.
             // (No latency floor asserted here: store-to-load forwarded
             // reads legitimately complete in ~0 cycles.)
@@ -73,7 +88,6 @@ proptest! {
             } else {
                 let _ = ctl.enqueue_write(0, addr);
             }
-            let _ = i;
         }
         // Drain.
         for _ in 0..60_000 {
@@ -85,27 +99,32 @@ proptest! {
             }
             now += 1;
         }
-        prop_assert!(ctl.idle(), "controller failed to drain");
+        assert!(ctl.idle(), "controller failed to drain");
         for t in &expected {
             // Forwarded reads complete with zero service latency and are
             // not subject to the CL+burst floor; they are counted too.
-            prop_assert!(seen.contains_key(t), "read {t} never completed");
+            assert!(seen.contains_key(t), "read {t} never completed");
         }
         let total: u32 = seen.values().copied().sum();
-        prop_assert_eq!(total as usize, expected.len(), "duplicate or lost completions");
-        prop_assert!(seen.values().all(|&v| v == 1));
+        assert_eq!(total as usize, expected.len(), "duplicate or lost completions");
+        assert!(seen.values().all(|&v| v == 1));
     }
+}
 
-    /// Queue capacities are hard limits regardless of traffic pattern.
-    #[test]
-    fn queue_caps_respected(lines in prop::collection::vec(0u64..4096, 1..200)) {
+/// Queue capacities are hard limits regardless of traffic pattern.
+#[test]
+fn queue_caps_respected() {
+    let mut rng = SmallRng::seed_from_u64(0xE3);
+    for _ in 0..20 {
+        let n = rng.gen_range(1..200usize);
+        let lines: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4096u64)).collect();
         let mut ctl = controller(ControllerConfig::msc_default());
         let mut now = 0;
         for &line in &lines {
             ctl.enqueue_read(0, PhysAddr(line * 64));
             ctl.enqueue_write(0, PhysAddr((line ^ 1) * 64));
-            prop_assert!(ctl.read_queue_len(0) <= 32);
-            prop_assert!(ctl.write_queue_len(0) <= 32);
+            assert!(ctl.read_queue_len(0) <= 32);
+            assert!(ctl.write_queue_len(0) <= 32);
             if line % 3 == 0 {
                 ctl.tick(now);
                 now += 1;

@@ -4,8 +4,7 @@ use crate::profile::{WorkloadProfile, ROW_BYTES};
 use crate::zipf::Zipf;
 use cpu_model::TraceRecord;
 use dram_device::{PhysAddr, ReqKind};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::SmallRng;
 
 /// Cache lines per generated row frame.
 const LINES_PER_ROW: u32 = (ROW_BYTES / 64) as u32;

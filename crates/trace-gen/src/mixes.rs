@@ -1,8 +1,7 @@
 //! Multi-programmed and multi-threaded workload groups (paper Sec. 5.2).
 
 use crate::profile::{Suite, WorkloadProfile};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::SmallRng;
 
 /// A four-core workload group: one profile per core.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,6 +1,6 @@
 //! A deterministic Zipf sampler over `N` ranks.
 
-use rand::Rng;
+use sim_rng::SmallRng;
 
 /// Zipf distribution over ranks `0..n` with exponent `theta`:
 /// `P(rank = r) ∝ 1 / (r + 1)^theta`. `theta = 0` is uniform.
@@ -9,7 +9,7 @@ use rand::Rng;
 /// (`O(log n)` per draw, `O(n)` memory — footprints are ≤ 128 Ki rows).
 ///
 /// ```
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use sim_rng::SmallRng;
 /// use trace_gen::Zipf;
 ///
 /// let zipf = Zipf::new(1024, 1.0);
@@ -56,8 +56,8 @@ impl Zipf {
     }
 
     /// Draws a rank.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u) as u64
     }
 
@@ -75,8 +75,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_theta_zero() {

@@ -12,7 +12,7 @@ use mcr_dram::{McrMode, ModeChangePlan, System, SystemConfig};
 fn main() {
     let plan = ModeChangePlan::new(4 << 30);
     let cfg = SystemConfig::single_core("leslie", 60_000).with_mode(McrMode::headline());
-    let mut sys = System::build(&cfg);
+    let mut sys = System::try_build(&cfg).expect("valid config");
 
     let mut mode = McrMode::headline();
     println!("phase 1: {mode} — OS sees {} GiB", plan.os_view(mode).bytes >> 30);

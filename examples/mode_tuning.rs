@@ -7,22 +7,11 @@
 //! ```
 
 use mcr_dram::experiments::Outcome;
-use mcr_dram::{McrMode, ModeChangePlan, System, SystemConfig};
+use mcr_dram::{McrMode, ModeChangePlan, SweepBuilder, SystemConfig};
 
 fn main() {
     let workload = "comm2";
     let len = 30_000;
-
-    let baseline = System::build(&SystemConfig::single_core(workload, len)).run();
-    println!(
-        "workload {workload}: baseline exec {} CPU cycles, read latency {:.1} mem cycles",
-        baseline.exec_cpu_cycles, baseline.avg_read_latency
-    );
-    println!();
-    println!(
-        "{:<18} {:>10} {:>10} {:>8} {:>10} {:>12}",
-        "mode", "exec red.", "lat red.", "EDP red.", "capacity", "REF skipped"
-    );
 
     let candidates = [
         (2u32, 2u32, 1.0),
@@ -33,15 +22,38 @@ fn main() {
         (2, 2, 0.5),
         (2, 4, 0.75),
     ];
-    for (m, k, reg) in candidates {
-        let mode = McrMode::new(m, k, reg).expect("valid mode");
-        let r = System::build(
-            &SystemConfig::single_core(workload, len)
-                .with_mode(mode)
+    // Baseline plus all candidates as one sweep: validated up front and
+    // run across the worker pool.
+    let mut builder = SweepBuilder::new(len).point(
+        "baseline",
+        SystemConfig::single_core(workload, len),
+    );
+    let modes: Vec<McrMode> = candidates
+        .iter()
+        .map(|&(m, k, reg)| McrMode::new(m, k, reg).expect("valid mode"))
+        .collect();
+    for (mode, (_, _, reg)) in modes.iter().zip(candidates) {
+        builder = builder.point(
+            mode.to_string(),
+            SystemConfig::single_core(workload, len)
+                .with_mode(*mode)
                 .with_alloc_ratio(if reg < 1.0 { 0.10 } else { 0.0 }),
-        )
-        .run();
-        let o = Outcome::versus(workload, &baseline, &r);
+        );
+    }
+    let results = builder.build().expect("tuning configs valid").run();
+
+    let baseline = &results.points[0].report;
+    println!(
+        "workload {workload}: baseline exec {} CPU cycles, read latency {:.1} mem cycles",
+        baseline.exec_cpu_cycles, baseline.avg_read_latency
+    );
+    println!();
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>10} {:>12}",
+        "mode", "exec red.", "lat red.", "EDP red.", "capacity", "REF skipped"
+    );
+    for (mode, point) in modes.iter().zip(&results.points[1..]) {
+        let o = Outcome::versus(workload, baseline, &point.report);
         println!(
             "{:<18} {:>9.1}% {:>9.1}% {:>7.1}% {:>9.0}% {:>12}",
             mode.to_string(),
@@ -49,7 +61,7 @@ fn main() {
             o.latency_reduction,
             o.edp_reduction,
             mode.usable_capacity() * 100.0,
-            r.controller.refresh.skipped,
+            point.report.controller.refresh.skipped,
         );
     }
 

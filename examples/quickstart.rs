@@ -6,16 +6,17 @@
 //! ```
 
 use mcr_dram::experiments::Outcome;
-use mcr_dram::{McrMode, System, SystemConfig};
+use mcr_dram::{ConfigError, McrMode, System, SystemConfig};
 
-fn main() {
+fn main() -> Result<(), ConfigError> {
     let workload = "libq";
     let trace_len = 50_000;
 
     println!("workload: {workload}, {trace_len} memory operations, 4 GB DDR3-1600");
 
-    // Conventional DRAM baseline.
-    let baseline = System::build(&SystemConfig::single_core(workload, trace_len)).run();
+    // Conventional DRAM baseline. `try_build` validates the config and
+    // surfaces mistakes as a `ConfigError` instead of a panic.
+    let baseline = System::try_build(&SystemConfig::single_core(workload, trace_len))?.run();
     println!(
         "baseline : exec {:>10} CPU cycles | read latency {:>5.1} mem cycles | EDP {:.3e} J*s",
         baseline.exec_cpu_cycles, baseline.avg_read_latency, baseline.edp
@@ -24,9 +25,9 @@ fn main() {
     // MCR-DRAM, mode [4/4x/100%reg] — Early-Access, Early-Precharge and
     // Fast-Refresh all active.
     let mode = McrMode::headline();
-    let mcr = System::build(
+    let mcr = System::try_build(
         &SystemConfig::single_core(workload, trace_len).with_mode(mode),
-    )
+    )?
     .run();
     println!(
         "MCR {mode}: exec {:>10} CPU cycles | read latency {:>5.1} mem cycles | EDP {:.3e} J*s",
@@ -43,4 +44,5 @@ fn main() {
         "capacity cost: {:.0}% of DRAM usable in this mode (reconfigurable at runtime)",
         mode.usable_capacity() * 100.0
     );
+    Ok(())
 }

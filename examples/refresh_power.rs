@@ -12,7 +12,9 @@ use trace_gen::multi_programmed_mixes;
 fn main() {
     let len = 25_000;
     println!("== single-core, 4 GB (1 Gb-class tRFC = 110 ns) ==");
-    let base = System::build(&SystemConfig::single_core("black", len)).run();
+    let base = System::try_build(&SystemConfig::single_core("black", len))
+        .expect("valid config")
+        .run();
     println!(
         "baseline      : {:>7} refreshes, refresh energy {:>10.0} pJ",
         base.controller.refresh.normal,
@@ -23,11 +25,12 @@ fn main() {
         (2, 4, "Fast-Refresh + skip half "),
         (1, 4, "Fast-Refresh + skip 3/4  "),
     ] {
-        let r = System::build(
+        let r = System::try_build(
             &SystemConfig::single_core("black", len)
                 .with_mode(McrMode::new(m, k, 1.0).unwrap())
                 .with_mechanisms(Mechanisms::all()),
         )
+        .expect("valid config")
         .run();
         println!(
             "[{m}/{k}x] {label}: {:>5} fast + {:>5} skipped, energy {:>10.0} pJ ({:+.1}%)",
@@ -41,17 +44,20 @@ fn main() {
     println!();
     println!("== quad-core, 16 GB (4 Gb-class tRFC = 260 ns) ==");
     let mix = &multi_programmed_mixes(2015)[0];
-    let mbase = System::build(&SystemConfig::multi_core(mix.cores, len / 4)).run();
+    let mbase = System::try_build(&SystemConfig::multi_core(mix.cores, len / 4))
+        .expect("valid config")
+        .run();
     println!(
         "baseline      : {:>7} refreshes, refresh energy {:>10.0} pJ",
         mbase.controller.refresh.normal,
         mbase.energy.refresh_pj
     );
     for (m, k) in [(4u32, 4u32), (2, 4)] {
-        let r = System::build(
+        let r = System::try_build(
             &SystemConfig::multi_core(mix.cores, len / 4)
                 .with_mode(McrMode::new(m, k, 1.0).unwrap()),
         )
+        .expect("valid config")
         .run();
         println!(
             "[{m}/{k}x]        : {:>5} fast + {:>5} skipped, energy {:>10.0} pJ ({:+.1}%)",

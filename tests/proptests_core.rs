@@ -1,67 +1,77 @@
-//! Property-based tests on the MCR core's invariants.
+//! Randomized (seeded, deterministic) tests on the MCR core's invariants
+//! — a dependency-free replacement for the former `proptest` suite.
 
 use dram_device::{Geometry, PhysAddr, RefreshCounter, RefreshWiring};
 use mcr_dram::{
     McrGenerator, McrMode, McrPolicy, Mechanisms, RegionMap, RowRemapper, SUBARRAY_ROWS,
 };
 use mem_controller::{AddressMapper, DevicePolicy, PageInterleave, RefreshAction};
-use proptest::prelude::*;
+use sim_rng::SmallRng;
 
-fn mode_strategy() -> impl Strategy<Value = McrMode> {
-    prop_oneof![
-        Just((1u32, 1u32)),
-        Just((1, 2)),
-        Just((2, 2)),
-        Just((1, 4)),
-        Just((2, 4)),
-        Just((4, 4)),
-    ]
-    .prop_flat_map(|(m, k)| {
-        (0.05f64..=1.0).prop_map(move |l| McrMode::new(m, k, l).expect("valid"))
-    })
+/// The six valid (M, K) pairs of Table 1.
+const MK: [(u32, u32); 6] = [(1, 1), (1, 2), (2, 2), (1, 4), (2, 4), (4, 4)];
+
+fn random_mode(rng: &mut SmallRng) -> McrMode {
+    let (m, k) = MK[rng.gen_range(0..MK.len())];
+    let l = rng.gen_range(0.05..=1.0);
+    McrMode::new(m, k, l).expect("valid")
 }
 
-proptest! {
-    /// The MCR generator always returns an address containing the
-    /// requested row, with K-aligned base and exactly K wordlines inside
-    /// the region — one outside.
-    #[test]
-    fn generator_covers_requested_row(mode in mode_strategy(), row in 0u64..8192) {
+/// The MCR generator always returns an address containing the requested
+/// row, with K-aligned base and exactly K wordlines inside the region —
+/// one outside.
+#[test]
+fn generator_covers_requested_row() {
+    let mut rng = SmallRng::seed_from_u64(0xF1);
+    for _ in 0..300 {
+        let mode = random_mode(&mut rng);
+        let row = rng.gen_range(0..8192u64);
         let gen = McrGenerator::new(mode);
         let a = gen.translate(row);
-        prop_assert!(a.rows().contains(&row), "{a:?} must cover row {row}");
+        assert!(a.rows().contains(&row), "{a:?} must cover row {row}");
         if gen.detect(row) {
-            prop_assert_eq!(a.wordlines(), mode.k());
-            prop_assert_eq!(a.rows().len() as u32, mode.k());
-            prop_assert_eq!(a.rows()[0] % mode.k() as u64, 0, "base must be K-aligned");
+            assert_eq!(a.wordlines(), mode.k());
+            assert_eq!(a.rows().len() as u32, mode.k());
+            assert_eq!(a.rows()[0] % mode.k() as u64, 0, "base must be K-aligned");
             // Every clone row translates to the same MCR address.
             for r in a.rows() {
-                prop_assert_eq!(gen.translate(r), a);
+                assert_eq!(gen.translate(r), a);
             }
         } else {
-            prop_assert_eq!(a.wordlines(), 1);
+            assert_eq!(a.wordlines(), 1);
         }
     }
+}
 
-    /// Region membership is decided purely by the sub-array-local index:
-    /// rows 512 apart agree, matching the 1-2 bit MCR detector of Fig. 7.
-    #[test]
-    fn region_membership_is_periodic(mode in mode_strategy(), row in 0u64..SUBARRAY_ROWS) {
+/// Region membership is decided purely by the sub-array-local index:
+/// rows 512 apart agree, matching the 1-2 bit MCR detector of Fig. 7.
+#[test]
+fn region_membership_is_periodic() {
+    let mut rng = SmallRng::seed_from_u64(0xF2);
+    for _ in 0..300 {
+        let mode = random_mode(&mut rng);
+        let row = rng.gen_range(0..SUBARRAY_ROWS);
         let map = RegionMap::single(mode);
         let a = map.classify(row).is_some();
         for sub in 1..4u64 {
-            prop_assert_eq!(map.classify(row + sub * SUBARRAY_ROWS).is_some(), a);
+            assert_eq!(map.classify(row + sub * SUBARRAY_ROWS).is_some(), a);
         }
     }
+}
 
-    /// Profile-based allocation is always a bank-preserving involution
-    /// (applying it twice is the identity) and never double-books frames.
-    #[test]
-    fn remapper_is_bank_preserving_involution(
-        hot in prop::collection::btree_set(0u64..4096, 1..128),
-        mode in mode_strategy(),
-    ) {
-        prop_assume!(!mode.is_off());
+/// Profile-based allocation is always a bank-preserving involution
+/// (applying it twice is the identity) and never double-books frames.
+#[test]
+fn remapper_is_bank_preserving_involution() {
+    let mut rng = SmallRng::seed_from_u64(0xF3);
+    for _ in 0..60 {
+        let mode = random_mode(&mut rng);
+        if mode.is_off() {
+            continue;
+        }
+        let n = rng.gen_range(1..128usize);
+        let hot: std::collections::BTreeSet<u64> =
+            (0..n).map(|_| rng.gen_range(0..4096u64)).collect();
         let g = Geometry::single_core_4gb();
         let mapper = PageInterleave::new(g);
         let hot: Vec<u64> = hot.into_iter().collect();
@@ -71,29 +81,37 @@ proptest! {
         for frame in hot.iter().chain([0u64, 999, 2048].iter()) {
             let pa = PhysAddr(frame * g.row_bytes());
             let once = rm.remap_phys(pa, &mapper);
-            prop_assert_eq!(rm.remap_phys(once, &mapper), pa, "not an involution");
+            assert_eq!(rm.remap_phys(once, &mapper), pa, "not an involution");
             let before = mapper.decode(pa);
             let after = mapper.decode(once);
-            prop_assert_eq!(before.bank, after.bank);
-            prop_assert_eq!(before.rank, after.rank);
-            prop_assert_eq!(before.channel, after.channel);
+            assert_eq!(before.bank, after.bank);
+            assert_eq!(before.rank, after.rank);
+            assert_eq!(before.channel, after.channel);
         }
         for frame in &hot {
             let after = rm.remap_dram(mapper.decode(PhysAddr(frame * g.row_bytes())));
-            prop_assert!(
+            assert!(
                 targets.insert((after.rank, after.bank, after.row)),
                 "two hot rows share a frame"
             );
         }
     }
+}
 
-    /// Over one full sweep driven by a realistic reversed-wiring counter,
-    /// the policy issues exactly M/K of the MCR-region slots and every
-    /// group is refreshed exactly M times.
-    #[test]
-    fn skip_fraction_exact_over_sweep(mode in mode_strategy()) {
-        prop_assume!(!mode.is_off());
-        prop_assume!(((mode.region() * 512.0).round() as u64).is_multiple_of(mode.k() as u64));
+/// Over one full sweep driven by a realistic reversed-wiring counter, the
+/// policy issues exactly M/K of the MCR-region slots and every group is
+/// refreshed exactly M times.
+#[test]
+fn skip_fraction_exact_over_sweep() {
+    let mut rng = SmallRng::seed_from_u64(0xF4);
+    for _ in 0..200 {
+        let mode = random_mode(&mut rng);
+        if mode.is_off() {
+            continue;
+        }
+        if !((mode.region() * 512.0).round() as u64).is_multiple_of(mode.k() as u64) {
+            continue;
+        }
         let g = Geometry::tiny(); // 64 rows -> 6-bit counter, fast sweeps
         let mut policy = McrPolicy::for_geometry(mode, Mechanisms::all(), &g);
         let bits = g.row_bits();
@@ -116,9 +134,9 @@ proptest! {
         }
         if region_slots > 0 {
             let expect = region_slots * mode.m() as u64 / mode.k() as u64;
-            prop_assert_eq!(issued, expect, "issued {} of {} region slots", issued, region_slots);
+            assert_eq!(issued, expect, "issued {issued} of {region_slots} region slots");
             for (&gid, &n) in &per_group {
-                prop_assert_eq!(n, mode.m() as u64, "group {} refreshed {} times", gid, n);
+                assert_eq!(n, mode.m() as u64, "group {gid} refreshed {n} times");
             }
         }
     }

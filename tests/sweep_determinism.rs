@@ -1,0 +1,152 @@
+//! The sweep engine's two contracts: worker count never changes results
+//! (jobs = 1 and jobs = N are byte-identical, in the same order), and the
+//! content-addressed cache turns repeated grids into pure lookups. Plus
+//! the `ConfigError` surface of the fallible builder API.
+
+use mcr_dram::{
+    ConfigError, McrMode, Mechanisms, RowCacheConfig, SweepBuilder, System, SystemConfig,
+};
+
+const LEN: usize = 1_500;
+
+/// A fig-11-shaped grid: three workloads × (baseline + three modes).
+fn grid(jobs: usize) -> mcr_dram::Sweep {
+    SweepBuilder::new(LEN)
+        .workloads(["libq", "comm1", "leslie"])
+        .mode(McrMode::off())
+        .mode(McrMode::new(2, 2, 1.0).unwrap())
+        .mode(McrMode::new(4, 4, 0.5).unwrap())
+        .mode(McrMode::headline())
+        .mechanisms(Mechanisms::access_only())
+        .jobs(jobs)
+        .build()
+        .expect("valid grid")
+}
+
+#[test]
+fn parallel_equals_serial() {
+    let serial = grid(1).run();
+    let parallel = grid(4).run();
+    assert_eq!(serial.points.len(), 12);
+    assert_eq!(serial.jobs, 1);
+    assert_eq!(parallel.jobs, 4);
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(s.label, p.label, "ordering must be preserved");
+        assert_eq!(s.key, p.key);
+        assert_eq!(s.report, p.report, "jobs=1 vs jobs=4 diverged at {}", s.label);
+    }
+}
+
+#[test]
+fn repeated_run_is_all_cache_hits() {
+    let sweep = grid(2);
+    let first = sweep.run();
+    assert_eq!(first.cache_hits(), 0, "cold cache");
+    let second = sweep.run();
+    assert_eq!(
+        second.cache_hits(),
+        second.points.len(),
+        "warm cache must serve every point"
+    );
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.report, b.report);
+    }
+}
+
+#[test]
+fn point_order_matches_declaration_order() {
+    let sweep = grid(1);
+    let labels: Vec<&str> = sweep.points().iter().map(|p| p.label.as_str()).collect();
+    // Workload-major, modes in insertion order, baseline (off) first.
+    assert!(labels[0].starts_with("libq [off]"));
+    assert!(labels[1].starts_with("libq [2/2x"));
+    assert!(labels[3].starts_with("libq [4/4x/100%"));
+    assert!(labels[4].starts_with("comm1 [off]"));
+    assert!(labels[8].starts_with("leslie [off]"));
+}
+
+#[test]
+fn config_key_is_stable_and_discriminating() {
+    let a = SystemConfig::single_core("libq", LEN).with_mode(McrMode::headline());
+    let b = SystemConfig::single_core("libq", LEN).with_mode(McrMode::headline());
+    assert_eq!(a, b);
+    assert_eq!(a.config_key(), b.config_key(), "equal configs, equal keys");
+    // The knobs the cache must distinguish.
+    assert_ne!(a.config_key(), b.clone().with_seed(7).config_key());
+    assert_ne!(a.config_key(), b.clone().with_alloc_ratio(0.1).config_key());
+    assert_ne!(
+        a.config_key(),
+        b.clone().with_mechanisms(Mechanisms::none()).config_key()
+    );
+    assert_ne!(
+        a.config_key(),
+        b.with_mode(McrMode::new(2, 2, 1.0).unwrap()).config_key()
+    );
+}
+
+#[test]
+fn try_build_rejects_mode_with_region_map() {
+    let cfg = SystemConfig::single_core("libq", LEN)
+        .with_combined_regions(2, 0.25, 1, 0.25)
+        .with_mode(McrMode::headline());
+    match System::try_build(&cfg) {
+        Err(ConfigError::ModeWithRegionMap { mode }) => assert_eq!(mode, McrMode::headline()),
+        other => panic!("expected ModeWithRegionMap, got {other:?}"),
+    }
+}
+
+#[test]
+fn try_build_rejects_each_invalid_config() {
+    let ok = SystemConfig::single_core("libq", LEN);
+    assert!(System::try_build(&ok).is_ok());
+
+    let mut empty = ok.clone();
+    empty.workloads.clear();
+    assert!(matches!(
+        System::try_build(&empty),
+        Err(ConfigError::EmptyWorkloads)
+    ));
+
+    let mut no_trace = ok.clone();
+    no_trace.trace_len = 0;
+    assert!(matches!(
+        System::try_build(&no_trace),
+        Err(ConfigError::EmptyTrace)
+    ));
+
+    for bad in [-0.1, 1.5, f64::NAN] {
+        assert!(matches!(
+            System::try_build(&ok.clone().with_alloc_ratio(bad)),
+            Err(ConfigError::AllocRatioRange(_))
+        ));
+    }
+
+    let conflict = ok
+        .with_mode(McrMode::headline())
+        .with_alloc_ratio(0.2)
+        .with_row_cache(RowCacheConfig::default());
+    assert!(matches!(
+        System::try_build(&conflict),
+        Err(ConfigError::AllocWithRowCache)
+    ));
+}
+
+#[test]
+fn config_errors_display_cleanly() {
+    let errors: Vec<ConfigError> = vec![
+        ConfigError::EmptyWorkloads,
+        ConfigError::EmptyTrace,
+        ConfigError::AllocRatioRange(1.5),
+        ConfigError::AllocWithRowCache,
+        ConfigError::ModeWithRegionMap {
+            mode: McrMode::headline(),
+        },
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert!(msg.is_ascii(), "keep messages terminal-safe: {msg}");
+        // std::error::Error is implemented (usable with `?` and dyn Error).
+        let _: &dyn std::error::Error = &e;
+    }
+}
