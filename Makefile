@@ -3,10 +3,12 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test clippy fmt-check bench-smoke bench clean
+.PHONY: check build test clippy fmt-check lint audit bench-smoke bench clean
 
-# Full gate: build everything, lint with warnings denied, run the suite.
-check: build clippy test
+# Full gate: build everything, lint with warnings denied, enforce
+# formatting, run the suite, then the mcr-lint static passes (source lint
+# + timing/mode-table/region checks).
+check: build clippy fmt-check test lint
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -19,6 +21,17 @@ test:
 
 fmt-check:
 	$(CARGO) fmt --all --check
+
+# Static analysis: source lint over crates/*/src plus the timing-set /
+# mode-table / region-map invariant checks (Tables 3-4, Fig. 9).
+lint:
+	$(CARGO) run $(OFFLINE) -q -p mcr-lint -- src config
+
+# Protocol audit: Fig. 9 refresh-schedule replays plus a full-system
+# command-stream audit of the fig9/fig11-style configuration suite, with
+# the online auditor compiled in (release build + protocol-audit feature).
+audit:
+	$(CARGO) run $(OFFLINE) --release -p mcr-lint --features protocol-audit -- audit
 
 # Quick pass over the figure benches at reduced trace lengths — shape
 # checks, not statistics (a few seconds instead of minutes).

@@ -36,7 +36,10 @@ fn main() {
             "wload", "config", "background pJ", "total pJ", "EDP red."
         );
         for name in probes {
-            for (label, mode) in [("baseline", McrMode::off()), ("2/4x MCR", McrMode::new(2, 4, 1.0).unwrap())] {
+            for (label, mode) in [
+                ("baseline", McrMode::off()),
+                ("2/4x MCR", McrMode::new(2, 4, 1.0).unwrap()),
+            ] {
                 let off = run(name, mode, None, len);
                 let on = run(name, mode, Some(60), len);
                 println!(

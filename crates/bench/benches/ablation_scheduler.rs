@@ -20,10 +20,7 @@ fn run(name: &str, sched: SchedulerKind, mode: McrMode, len: usize) -> mcr_dram:
 
 fn main() {
     timed("ablation_scheduler", || {
-        header(
-            "Ablation",
-            "MCR gains under FR-FCFS vs FCFS scheduling",
-        );
+        header("Ablation", "MCR gains under FR-FCFS vs FCFS scheduling");
         let len = single_len() / 2;
         let probes = ["libq", "leslie", "mummer", "comm1", "stream"];
         for sched in [SchedulerKind::FrFcfs, SchedulerKind::Fcfs] {

@@ -40,6 +40,9 @@ fn main() {
         }
         println!();
         println!("expected: Reversed is safe for every mode; Direct breaks the");
-        println!("          {0}/{0}x Early-Precharge targets (the paper's Sec. 4.3).", 2);
+        println!(
+            "          {0}/{0}x Early-Precharge targets (the paper's Sec. 4.3).",
+            2
+        );
     });
 }

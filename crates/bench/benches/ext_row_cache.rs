@@ -19,8 +19,8 @@ fn main() {
             "workload", "static red.", "cache red.", "hit rate", "promos", "evictions"
         );
         for name in ["comm2", "comm1", "mummer", "libq", "black"] {
-            let base = baseline_single(name, len);
-            let statik = run_single(name, mode, Default::default(), 0.10, len);
+            let base = baseline_single(name, len).unwrap();
+            let statik = run_single(name, mode, Default::default(), 0.10, len).unwrap();
             let cached = System::build(
                 &SystemConfig::single_core(name, len)
                     .with_mode(mode)

@@ -22,10 +22,10 @@ fn main() {
         let mut lat_sums: Vec<Vec<f64>> = vec![Vec::new(); 3];
         let mode = McrMode::new(4, 4, 0.5).unwrap();
         for w in single_core_workloads() {
-            let base = baseline_single(w.name, len);
+            let base = baseline_single(w.name, len).unwrap();
             let mut cells = String::new();
             for (i, ratio) in ratios.iter().enumerate() {
-                let r = run_single(w.name, mode, Mechanisms::access_only(), *ratio, len);
+                let r = run_single(w.name, mode, Mechanisms::access_only(), *ratio, len).unwrap();
                 let o = Outcome::versus(w.name, &base, &r);
                 sums[i].push(o.exec_reduction);
                 lat_sums[i].push(o.latency_reduction);

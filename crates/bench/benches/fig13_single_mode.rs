@@ -22,8 +22,8 @@ fn main() {
                 let mode = McrMode::new(m, k, reg).unwrap();
                 let mut execs = Vec::new();
                 for w in &workloads {
-                    let base = baseline_single(w.name, len);
-                    let r = run_single(w.name, mode, Mechanisms::all(), 0.10, len);
+                    let base = baseline_single(w.name, len).unwrap();
+                    let r = run_single(w.name, mode, Mechanisms::all(), 0.10, len).unwrap();
                     execs.push(Outcome::versus(w.name, &base, &r).exec_reduction);
                 }
                 rows.push((mode.to_string(), avg(&execs)));

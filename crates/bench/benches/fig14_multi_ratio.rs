@@ -25,7 +25,9 @@ fn main() {
         for mix in &mixes {
             builder = builder.mix(mix);
         }
-        let sweep = with_bench_jobs(builder).build().expect("fig14 grid is valid");
+        let sweep = with_bench_jobs(builder)
+            .build()
+            .expect("fig14 grid is valid");
         let results = sweep.run();
         sweep_stats(&results);
 

@@ -20,10 +20,10 @@ fn main() {
         let mut exec: Vec<Vec<f64>> = vec![Vec::new(); 3];
         let mut lat: Vec<Vec<f64>> = vec![Vec::new(); 3];
         for mix in &mixes {
-            let base = baseline_multi(mix, len);
+            let base = baseline_multi(mix, len).unwrap();
             let mut cells = String::new();
             for (i, ratio) in ratios.iter().enumerate() {
-                let r = run_multi(mix, mode, Mechanisms::access_only(), *ratio, len);
+                let r = run_multi(mix, mode, Mechanisms::access_only(), *ratio, len).unwrap();
                 let o = Outcome::versus(mix.name, &base, &r);
                 exec[i].push(o.exec_reduction);
                 lat[i].push(o.latency_reduction);

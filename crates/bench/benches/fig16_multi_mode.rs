@@ -23,8 +23,8 @@ fn main() {
                 let mode = McrMode::new(m, k, reg).unwrap();
                 let mut execs = Vec::new();
                 for mix in &mixes {
-                    let base = baseline_multi(mix, len);
-                    let r = run_multi(mix, mode, Mechanisms::all(), 0.10, len);
+                    let base = baseline_multi(mix, len).unwrap();
+                    let r = run_multi(mix, mode, Mechanisms::all(), 0.10, len).unwrap();
                     execs.push(Outcome::versus(mix.name, &base, &r).exec_reduction);
                 }
                 println!("{:<18} {:>17.1}%", mode.to_string(), avg(&execs));

@@ -6,7 +6,9 @@
 //! sweep builder's explicit-point escape hatch: per target, one baseline
 //! point followed by the four cases.
 
-use mcr_bench::{avg, header, json_out, multi_len, single_len, sweep_stats, timed, with_bench_jobs};
+use mcr_bench::{
+    avg, header, json_out, multi_len, single_len, sweep_stats, timed, with_bench_jobs,
+};
 use mcr_dram::experiments::Outcome;
 use mcr_dram::{McrMode, Mechanisms, SweepBuilder, SystemConfig};
 use trace_gen::{multi_programmed_mixes, single_core_workloads};

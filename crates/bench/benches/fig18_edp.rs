@@ -2,9 +2,7 @@
 //! multi-core.
 
 use mcr_bench::{avg, csv_out, header, multi_len, single_len, timed};
-use mcr_dram::experiments::{
-    baseline_multi, baseline_single, run_multi, run_single, Outcome,
-};
+use mcr_dram::experiments::{baseline_multi, baseline_single, run_multi, run_single, Outcome};
 use mcr_dram::{McrMode, Mechanisms, ResultTable};
 use trace_gen::{multi_programmed_mixes, single_core_workloads};
 
@@ -20,8 +18,8 @@ fn main() {
             let mode = McrMode::new(m, k, 1.0).unwrap();
             let mut edps = Vec::new();
             for w in single_core_workloads() {
-                let base = baseline_single(w.name, slen);
-                let r = run_single(w.name, mode, Mechanisms::all(), 0.0, slen);
+                let base = baseline_single(w.name, slen).unwrap();
+                let r = run_single(w.name, mode, Mechanisms::all(), 0.0, slen).unwrap();
                 let o = Outcome::versus(format!("{}@{mode}", w.name), &base, &r);
                 edps.push(o.edp_reduction);
                 table.push(o);
@@ -35,8 +33,8 @@ fn main() {
             let mode = McrMode::new(m, k, 1.0).unwrap();
             let mut edps = Vec::new();
             for mix in mixes.iter().take(8) {
-                let base = baseline_multi(mix, mlen);
-                let r = run_multi(mix, mode, Mechanisms::all(), 0.0, mlen);
+                let base = baseline_multi(mix, mlen).unwrap();
+                let r = run_multi(mix, mode, Mechanisms::all(), 0.0, mlen).unwrap();
                 edps.push(Outcome::versus(mix.name, &base, &r).edp_reduction);
             }
             println!("mode {}: avg EDP reduction {:+.1}%", mode, avg(&edps));

@@ -6,7 +6,10 @@ use mcr_bench::{header, timed};
 
 fn main() {
     timed("fig8", || {
-        header("Fig. 8", "refresh row addresses under K-to-K vs K-to-N-1-K wiring");
+        header(
+            "Fig. 8",
+            "refresh row addresses under K-to-K vs K-to-N-1-K wiring",
+        );
         println!("3-bit example (as printed in the paper):");
         let direct = refresh_schedule(3, RefreshWiring::Direct);
         let reversed = refresh_schedule(3, RefreshWiring::Reversed);
@@ -27,8 +30,10 @@ fn main() {
         for k in [2u64, 4] {
             let d = max_refresh_interval_ms(15, RefreshWiring::Direct, k, 64.0);
             let r = max_refresh_interval_ms(15, RefreshWiring::Reversed, k, 64.0);
-            println!("  K={k}: direct {d:.3} ms, reversed {r:.3} ms (uniform 64/K = {:.0} ms)",
-                64.0 / k as f64);
+            println!(
+                "  K={k}: direct {d:.3} ms, reversed {r:.3} ms (uniform 64/K = {:.0} ms)",
+                64.0 / k as f64
+            );
         }
     });
 }

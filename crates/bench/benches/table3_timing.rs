@@ -6,7 +6,10 @@ use mcr_bench::{header, timed, vs};
 
 fn main() {
     timed("table3", || {
-        header("Table 3", "tRCD / tRAS / tRFC per MCR mode (circuit model vs paper)");
+        header(
+            "Table 3",
+            "tRCD / tRAS / tRFC per MCR mode (circuit model vs paper)",
+        );
         let fit = calibrate(CircuitParams::calibrated());
         println!(
             "calibration: max tRCD err {:.2}%, max tRAS err {:.2}%",

@@ -121,7 +121,10 @@ mod tests {
         // tRFC scales between devices by a constant factor (260/110).
         for (m, k) in PaperTable3::modes() {
             let ratio = PaperTable3::t_rfc_4gb_ns(m, k) / PaperTable3::t_rfc_1gb_ns(m, k);
-            assert!((ratio - 260.0 / 110.0).abs() < 0.01, "mode {m}/{k}x: {ratio}");
+            assert!(
+                (ratio - 260.0 / 110.0).abs() < 0.01,
+                "mode {m}/{k}x: {ratio}"
+            );
         }
     }
 

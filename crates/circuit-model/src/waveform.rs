@@ -17,7 +17,12 @@ pub struct WaveformPoint {
 /// Piecewise: flat at `VDD/2` during the wordline/charge-sharing overhead,
 /// then a step to `VDD/2 + ΔV(K)`, then exponential regeneration toward
 /// VDD.
-pub fn sense_waveform(params: &CircuitParams, k: u32, until_ns: f64, step_ns: f64) -> Vec<WaveformPoint> {
+pub fn sense_waveform(
+    params: &CircuitParams,
+    k: u32,
+    until_ns: f64,
+    step_ns: f64,
+) -> Vec<WaveformPoint> {
     assert!(step_ns > 0.0, "step must be positive");
     let dv = params.delta_v_full(k);
     let mut out = Vec::new();
@@ -109,9 +114,7 @@ mod tests {
         // Early on, 4x is higher…
         let at = |w: &[WaveformPoint], t: f64| {
             w.iter()
-                .min_by(|a, b| {
-                    (a.t_ns - t).abs().partial_cmp(&(b.t_ns - t).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.t_ns - t).abs().partial_cmp(&(b.t_ns - t).abs()).unwrap())
                 .unwrap()
                 .v
         };

@@ -221,7 +221,10 @@ mod tests {
     fn identity_remapper_is_noop() {
         let (_, mapper, _) = setup();
         let rm = RowRemapper::identity();
-        assert_eq!(rm.remap_phys(PhysAddr(0x1234_5640), &mapper), PhysAddr(0x1234_5640));
+        assert_eq!(
+            rm.remap_phys(PhysAddr(0x1234_5640), &mapper),
+            PhysAddr(0x1234_5640)
+        );
     }
 
     #[test]

@@ -76,10 +76,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--list" => {
                 println!("single-core workloads:");
@@ -89,7 +86,11 @@ fn parse_args() -> Result<Option<Args>, String> {
                         w.name,
                         w.suite,
                         w.mpki,
-                        if w.multi_threaded { " (MT, quad-core only)" } else { "" }
+                        if w.multi_threaded {
+                            " (MT, quad-core only)"
+                        } else {
+                            ""
+                        }
                     );
                 }
                 println!("mixes: mix01..mix14, MT-fluid, MT-canneal");
@@ -222,7 +223,11 @@ fn main() -> ExitCode {
     // One two-point sweep: the engine validates both configs (a proper
     // error instead of a panic on bad flag combinations) and runs them in
     // parallel when --jobs allows.
-    let target = args.workload.clone().or(args.mix.clone()).expect("target set");
+    let target = args
+        .workload
+        .clone()
+        .or(args.mix.clone())
+        .expect("target set");
     let mut builder = SweepBuilder::new(args.len)
         .point("baseline [off]", base_cfg)
         .point(format!("MCR {}", args.mode), cfg);
@@ -254,7 +259,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    println!("target: {target}, {} memory ops/core, seed {}", args.len, args.seed);
+    println!(
+        "target: {target}, {} memory ops/core, seed {}",
+        args.len, args.seed
+    );
     print_report("baseline [off]", base);
     print_report(&format!("MCR {}", args.mode), run);
     println!();

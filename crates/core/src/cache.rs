@@ -173,13 +173,11 @@ impl RowCache {
             self.stats.hits += 1;
             let bf = self.bank_frames(key);
             if let Some(pos) = bf.lru.iter().position(|&(f, _)| f == frame) {
-                let entry = bf.lru.remove(pos).expect("position just found");
-                bf.lru.push_back(entry);
+                if let Some(entry) = bf.lru.remove(pos) {
+                    bf.lru.push_back(entry);
+                }
             }
-            return CacheOutcome::Hit(DramAddress {
-                row: frame,
-                ..dram
-            });
+            return CacheOutcome::Hit(DramAddress { row: frame, ..dram });
         }
         // Count toward promotion.
         self.stats.misses += 1;
@@ -197,7 +195,11 @@ impl RowCache {
             None => match bf.lru.pop_front() {
                 Some((f, old_row)) => {
                     copies.push(RowCopy {
-                        from: DramAddress { row: f, col: 0, ..dram },
+                        from: DramAddress {
+                            row: f,
+                            col: 0,
+                            ..dram
+                        },
                         to: DramAddress {
                             row: old_row,
                             col: 0,
@@ -236,8 +238,8 @@ mod tests {
 
     fn cache(threshold: u32) -> RowCache {
         let g = Geometry::tiny(); // 64 rows/bank, sub-array logic still 512
-        // With 64 rows per bank and a 512-row sub-array model, use a
-        // full-region 4x map scaled to the tiny geometry instead:
+                                  // With 64 rows per bank and a 512-row sub-array model, use a
+                                  // full-region 4x map scaled to the tiny geometry instead:
         let regions = RegionMap::single(McrMode::new(4, 4, 1.0).unwrap());
         RowCache::new(
             g,
@@ -308,7 +310,13 @@ mod tests {
         // and rely on frames_per_bank = 16. Use threshold 1 to promote on
         // first touch and overflow the 16 frames.
         let regions = RegionMap::single(McrMode::new(4, 4, 1.0).unwrap());
-        let mut c = RowCache::new(g, regions, RowCacheConfig { promote_threshold: 1 });
+        let mut c = RowCache::new(
+            g,
+            regions,
+            RowCacheConfig {
+                promote_threshold: 1,
+            },
+        );
         // All rows are MCR rows with a 100% region... so instead check the
         // pass-through rule holds for them:
         assert_eq!(c.access(addr(5)), CacheOutcome::Miss);

@@ -8,20 +8,19 @@
 use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
 use crate::sweep::SweepBuilder;
-use crate::system::{RunReport, SystemConfig};
+use crate::system::{ConfigError, RunReport, SystemConfig};
 use trace_gen::Mix;
 
 /// Runs one labelled config through a single-point sweep — every runner
 /// below funnels through the [`crate::sweep`] engine so config validation
 /// and memoization behave identically everywhere.
-fn run_one(label: &str, cfg: SystemConfig) -> RunReport {
+fn run_one(label: &str, cfg: SystemConfig) -> Result<RunReport, ConfigError> {
     let trace_len = cfg.trace_len;
     let sweep = SweepBuilder::new(trace_len)
         .point(label, cfg)
         .jobs(1)
-        .build()
-        .expect("experiment config must be valid");
-    sweep.run().points.remove(0).report
+        .build()?;
+    Ok(sweep.run().points.remove(0).report)
 }
 
 /// Percentage reduction of `new` relative to `base` (positive = better).
@@ -114,13 +113,18 @@ pub fn fairness(base: &RunReport, new: &RunReport) -> f64 {
 }
 
 /// Runs one single-core configuration.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of the composed configuration (e.g. an
+/// allocation ratio outside `[0, 1]`).
 pub fn run_single(
     name: &str,
     mode: McrMode,
     mechanisms: Mechanisms,
     alloc_ratio: f64,
     trace_len: usize,
-) -> RunReport {
+) -> Result<RunReport, ConfigError> {
     let cfg = SystemConfig::single_core(name, trace_len)
         .with_mode(mode)
         .with_mechanisms(mechanisms)
@@ -129,13 +133,17 @@ pub fn run_single(
 }
 
 /// Runs one quad-core configuration.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of the composed configuration.
 pub fn run_multi(
     mix: &Mix,
     mode: McrMode,
     mechanisms: Mechanisms,
     alloc_ratio: f64,
     trace_len: usize,
-) -> RunReport {
+) -> Result<RunReport, ConfigError> {
     let cfg = SystemConfig::multi_core_mix(mix, trace_len)
         .with_mode(mode)
         .with_mechanisms(mechanisms)
@@ -144,12 +152,20 @@ pub fn run_multi(
 }
 
 /// Single-core baseline (conventional DRAM) for a workload.
-pub fn baseline_single(name: &str, trace_len: usize) -> RunReport {
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of the composed configuration.
+pub fn baseline_single(name: &str, trace_len: usize) -> Result<RunReport, ConfigError> {
     run_single(name, McrMode::off(), Mechanisms::none(), 0.0, trace_len)
 }
 
 /// Quad-core baseline for a mix.
-pub fn baseline_multi(mix: &Mix, trace_len: usize) -> RunReport {
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of the composed configuration.
+pub fn baseline_multi(mix: &Mix, trace_len: usize) -> Result<RunReport, ConfigError> {
     run_multi(mix, McrMode::off(), Mechanisms::none(), 0.0, trace_len)
 }
 
@@ -190,7 +206,7 @@ pub fn seed_sweep_single(
     alloc_ratio: f64,
     trace_len: usize,
     seeds: &[u64],
-) -> SeedSpread {
+) -> Result<SeedSpread, ConfigError> {
     // One sweep, two points (baseline, MCR) per seed: the engine
     // parallelizes across seeds and memoizes repeats.
     let mut builder = SweepBuilder::new(trace_len);
@@ -205,7 +221,7 @@ pub fn seed_sweep_single(
             .point(format!("{name} base s={seed}"), base)
             .point(format!("{name} mcr s={seed}"), mcr);
     }
-    let results = builder.build().expect("seed sweep configs valid").run();
+    let results = builder.build()?.run();
     let reductions: Vec<f64> = results
         .points
         .chunks(2)
@@ -216,7 +232,7 @@ pub fn seed_sweep_single(
             )
         })
         .collect();
-    SeedSpread::of(&reductions)
+    Ok(SeedSpread::of(&reductions))
 }
 
 /// The MCR-ratio sweep of Fig. 11/14: mode `[M/Kx]` with the region knob
@@ -229,8 +245,8 @@ pub fn ratio_point(
     k: u32,
     ratio: f64,
     trace_len: usize,
-) -> (RunReport, RunReport) {
-    let mode = McrMode::new(m, k, ratio).expect("valid mode");
+) -> Result<(RunReport, RunReport), ConfigError> {
+    let mode = McrMode::new(m, k, ratio)?;
     let mut results = SweepBuilder::new(trace_len)
         .point(
             format!("{name} baseline"),
@@ -242,12 +258,11 @@ pub fn ratio_point(
                 .with_mode(mode)
                 .with_mechanisms(Mechanisms::access_only()),
         )
-        .build()
-        .expect("ratio point configs valid")
+        .build()?
         .run();
     let mcr = results.points.remove(1).report;
     let base = results.points.remove(0).report;
-    (base, mcr)
+    Ok((base, mcr))
 }
 
 #[cfg(test)]
@@ -270,7 +285,7 @@ mod tests {
 
     #[test]
     fn ratio_point_improves_latency_at_full_region() {
-        let (base, mcr) = ratio_point("libq", 4, 4, 1.0, LEN);
+        let (base, mcr) = ratio_point("libq", 4, 4, 1.0, LEN).unwrap();
         let o = Outcome::versus("libq", &base, &mcr);
         assert!(
             o.latency_reduction > 0.0,
@@ -282,8 +297,8 @@ mod tests {
     #[test]
     fn higher_k_does_not_lose_to_lower_k_at_same_ratio() {
         // Paper Fig. 11: mode [4/4x] beats [2/2x] at equal MCR ratio.
-        let (base, m22) = ratio_point("leslie", 2, 2, 1.0, LEN);
-        let (_, m44) = ratio_point("leslie", 4, 4, 1.0, LEN);
+        let (base, m22) = ratio_point("leslie", 2, 2, 1.0, LEN).unwrap();
+        let (_, m44) = ratio_point("leslie", 4, 4, 1.0, LEN).unwrap();
         let o22 = Outcome::versus("2/2x", &base, &m22);
         let o44 = Outcome::versus("4/4x", &base, &m44);
         assert!(
@@ -297,8 +312,8 @@ mod tests {
     #[test]
     fn multi_core_runner_works() {
         let mix = &multi_programmed_mixes(2015)[0];
-        let base = baseline_multi(mix, 800);
-        let mcr = run_multi(mix, McrMode::headline(), Mechanisms::all(), 0.0, 800);
+        let base = baseline_multi(mix, 800).unwrap();
+        let mcr = run_multi(mix, McrMode::headline(), Mechanisms::all(), 0.0, 800).unwrap();
         let o = Outcome::versus(mix.name, &base, &mcr);
         // Smoke: metrics exist; shape assertions live in the benches where
         // trace lengths are realistic.
@@ -314,7 +329,8 @@ mod tests {
             0.0,
             6_000,
             &[1, 2, 3],
-        );
+        )
+        .unwrap();
         assert!(spread.mean > 0.0, "MCR effect must survive seed changes");
         assert!(spread.min <= spread.mean && spread.mean <= spread.max);
         assert!(
@@ -328,8 +344,8 @@ mod tests {
     #[test]
     fn weighted_speedup_and_fairness() {
         let mix = &multi_programmed_mixes(2015)[0];
-        let base = baseline_multi(mix, 1_200);
-        let mcr = run_multi(mix, McrMode::headline(), Mechanisms::all(), 0.0, 1_200);
+        let base = baseline_multi(mix, 1_200).unwrap();
+        let mcr = run_multi(mix, McrMode::headline(), Mechanisms::all(), 0.0, 1_200).unwrap();
         let ws = weighted_speedup(&base, &mcr);
         // 4 cores, all at least slightly faster: 4.0 <= ws < 8.
         assert!((3.9..8.0).contains(&ws), "weighted speedup {ws}");

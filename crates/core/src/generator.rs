@@ -156,10 +156,7 @@ mod tests {
         assert_eq!(a, McrAddress::Normal(3));
         assert_eq!(a.wordlines(), 1);
         // Upper-half rows become MCRs.
-        assert_eq!(
-            g.translate(300),
-            McrAddress::Mcr { base: 300, k: 2 }
-        );
+        assert_eq!(g.translate(300), McrAddress::Mcr { base: 300, k: 2 });
     }
 
     #[test]

@@ -70,8 +70,7 @@ impl McrLayout {
     /// group) of a bank with `rows_per_bank` rows, in ascending order.
     pub fn allocatable_frames(&self, rows_per_bank: u64) -> impl Iterator<Item = u64> + '_ {
         let k = self.mode.k() as u64;
-        (0..rows_per_bank)
-            .filter(move |&r| self.is_mcr_row(r) && r % k == 0)
+        (0..rows_per_bank).filter(move |&r| self.is_mcr_row(r) && r % k == 0)
     }
 
     /// Number of page-allocatable MCR frames per bank.
@@ -112,8 +111,14 @@ impl Region {
     pub fn new(start: u64, end: u64, mode: McrMode) -> Self {
         assert!(!mode.is_off(), "a region needs an MCR mode");
         let k = mode.k() as u64;
-        assert!(start < end && end <= SUBARRAY_ROWS, "bad bounds {start}..{end}");
-        assert!(start.is_multiple_of(k) && end.is_multiple_of(k), "bounds must be K-aligned");
+        assert!(
+            start < end && end <= SUBARRAY_ROWS,
+            "bad bounds {start}..{end}"
+        );
+        assert!(
+            start.is_multiple_of(k) && end.is_multiple_of(k),
+            "bounds must be K-aligned"
+        );
         Region { start, end, mode }
     }
 
@@ -173,7 +178,9 @@ impl RegionMap {
     pub fn single(mode: McrMode) -> Self {
         let layout = McrLayout::new(mode);
         if mode.is_off() || layout.region_rows() == 0 {
-            return RegionMap { regions: Vec::new() };
+            return RegionMap {
+                regions: Vec::new(),
+            };
         }
         RegionMap {
             regions: vec![Region::new(
@@ -191,21 +198,42 @@ impl RegionMap {
     /// # Panics
     ///
     /// Panics if the fractions don't fit in one sub-array or a mode is
-    /// invalid.
+    /// invalid; [`RegionMap::try_combined`] is the fallible variant.
     pub fn combined(m4: u32, frac4: f64, m2: u32, frac2: f64) -> Self {
-        assert!(frac4 > 0.0 && frac2 > 0.0 && frac4 + frac2 <= 1.0);
-        let mode4 = McrMode::new(m4, 4, frac4).expect("valid 4x mode");
-        let mode2 = McrMode::new(m2, 2, frac2).expect("valid 2x mode");
+        match Self::try_combined(m4, frac4, m2, frac2) {
+            Ok(map) => map,
+            Err(e) => panic!("invalid combined region map: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`RegionMap::combined`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ModeError::BadRegion`] when the fractions don't tile one
+    /// sub-array (`frac4 + frac2 > 1`, or either is non-positive), or the
+    /// error of whichever tier's `[M/Kx]` pair violates Table 1.
+    pub fn try_combined(
+        m4: u32,
+        frac4: f64,
+        m2: u32,
+        frac2: f64,
+    ) -> Result<Self, crate::mode::ModeError> {
+        if !(frac4 > 0.0 && frac2 > 0.0 && frac4 + frac2 <= 1.0) {
+            return Err(crate::mode::ModeError::BadRegion(frac4 + frac2));
+        }
+        let mode4 = McrMode::new(m4, 4, frac4)?;
+        let mode2 = McrMode::new(m2, 2, frac2)?;
         let rows4 = ((frac4 * SUBARRAY_ROWS as f64).round() as u64) / 4 * 4;
         let rows2 = ((frac2 * SUBARRAY_ROWS as f64).round() as u64) / 2 * 2;
         let top4 = SUBARRAY_ROWS - rows4;
         let top2 = top4 - rows2;
-        RegionMap {
+        Ok(RegionMap {
             regions: vec![
                 Region::new(top4, SUBARRAY_ROWS, mode4),
                 Region::new(top2, top4, mode2),
             ],
-        }
+        })
     }
 
     /// The regions, hottest tier first.
@@ -246,7 +274,11 @@ mod region_tests {
         let layout = McrLayout::new(mode);
         let map = RegionMap::single(mode);
         for row in 0..4096u64 {
-            assert_eq!(layout.is_mcr_row(row), map.classify(row).is_some(), "row {row}");
+            assert_eq!(
+                layout.is_mcr_row(row),
+                map.classify(row).is_some(),
+                "row {row}"
+            );
         }
         assert_eq!(map.region_fraction(), layout.region_fraction());
     }

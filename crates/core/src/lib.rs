@@ -82,4 +82,4 @@ pub use policy::McrPolicy;
 pub use report::ResultTable;
 pub use sweep::{PointResult, ResultCache, Sweep, SweepBuilder, SweepPoint, SweepResults};
 pub use system::{ConfigError, MappingKind, RunReport, System, SystemConfig};
-pub use timing::{DeviceClass, McrTimingTable};
+pub use timing::{DeviceClass, McrTimingTable, ModeTiming};

@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        assert_eq!(McrMode::new(2, 4, 0.75).unwrap().to_string(), "[2/4x/75%reg]");
+        assert_eq!(
+            McrMode::new(2, 4, 0.75).unwrap().to_string(),
+            "[2/4x/75%reg]"
+        );
         assert_eq!(McrMode::off().to_string(), "[off]");
         assert_eq!(McrMode::headline().to_string(), "[4/4x/100%reg]");
     }

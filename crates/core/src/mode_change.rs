@@ -49,7 +49,10 @@ impl ModeChangePlan {
     ///
     /// Panics if `capacity` is not a power of two.
     pub fn new(capacity: u64) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         ModeChangePlan { capacity }
     }
 

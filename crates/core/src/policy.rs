@@ -137,7 +137,13 @@ impl McrPolicy {
         geometry: &dram_device::Geometry,
     ) -> Self {
         let table = McrTimingTable::paper(DeviceClass::for_rows_per_bank(geometry.rows_per_bank));
-        Self::new(mode, mechanisms, &table, geometry.ranks, geometry.row_bits())
+        Self::new(
+            mode,
+            mechanisms,
+            &table,
+            geometry.ranks,
+            geometry.row_bits(),
+        )
     }
 
     /// Convenience: the combined 2x + 4x configuration of Sec. 4.4 with

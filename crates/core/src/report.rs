@@ -42,7 +42,8 @@ impl ResultTable {
     /// Renders as CSV with a header row. Labels containing commas or
     /// quotes are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("label,exec_reduction_pct,latency_reduction_pct,edp_reduction_pct\n");
+        let mut out =
+            String::from("label,exec_reduction_pct,latency_reduction_pct,edp_reduction_pct\n");
         for r in &self.rows {
             let label = if r.label.contains(',') || r.label.contains('"') {
                 format!("\"{}\"", r.label.replace('"', "\"\""))
@@ -67,7 +68,10 @@ impl ResultTable {
             .max()
             .unwrap_or(5)
             .max(5);
-        let mut out = format!("{}\n{:<width$} {:>10} {:>10} {:>10}\n", self.title, "label", "exec%", "lat%", "edp%");
+        let mut out = format!(
+            "{}\n{:<width$} {:>10} {:>10} {:>10}\n",
+            self.title, "label", "exec%", "lat%", "edp%"
+        );
         for r in &self.rows {
             let _ = writeln!(
                 out,

@@ -34,7 +34,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::mechanisms::Mechanisms;
@@ -69,7 +69,12 @@ impl ResultCache {
 
     /// Number of distinct configurations cached.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        // A poisoned lock only means a worker panicked mid-simulation; the
+        // map itself is always in a consistent state (whole-value inserts).
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing has been cached yet.
@@ -78,11 +83,18 @@ impl ResultCache {
     }
 
     fn get(&self, key: u64) -> Option<RunReport> {
-        self.map.lock().unwrap().get(&key).cloned()
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned()
     }
 
     fn insert(&self, key: u64, report: RunReport) {
-        self.map.lock().unwrap().insert(key, report);
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, report);
     }
 }
 
@@ -177,8 +189,11 @@ impl SweepBuilder {
     pub fn mode_grid(mut self, mks: &[(u32, u32)], fractions: &[f64]) -> Self {
         for &(m, k) in mks {
             for &frac in fractions {
-                self.modes
-                    .push(McrMode::new(m, k, frac).expect("valid Table 1 mode"));
+                let mode = match McrMode::new(m, k, frac) {
+                    Ok(mode) => mode,
+                    Err(e) => panic!("invalid Table 1 mode [{m}/{k}x/{frac}]: {e}"),
+                };
+                self.modes.push(mode);
             }
         }
         self
@@ -370,9 +385,14 @@ impl Sweep {
         let jobs = self.jobs();
         let t0 = Instant::now();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<PointResult>>> =
+        let slots: Vec<Mutex<Option<Result<PointResult, ConfigError>>>> =
             self.points.iter().map(|_| Mutex::new(None)).collect();
 
+        // The worker closure must stay free of panicking paths (source
+        // lint `panicking-sweep-worker`): a panicking worker would poison
+        // the slot mutexes and take the whole sweep down with it. Build
+        // failures travel out through the slot as a `Result` instead and
+        // are re-raised on the driving thread below.
         let work = |_worker: usize| loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= self.points.len() {
@@ -382,23 +402,25 @@ impl Sweep {
             let key = point.config.config_key();
             let t = Instant::now();
             let (report, cache_hit) = match cache.get(key) {
-                Some(report) => (report, true),
+                Some(report) => (Ok(report), true),
                 None => {
                     // Validated in `build`, so `try_build` cannot fail.
-                    let report = System::try_build(&point.config)
-                        .expect("sweep points are pre-validated")
-                        .run();
-                    cache.insert(key, report.clone());
+                    let report = System::try_build(&point.config).map(System::run);
+                    if let Ok(r) = &report {
+                        cache.insert(key, r.clone());
+                    }
                     (report, false)
                 }
             };
-            *slots[i].lock().unwrap() = Some(PointResult {
+            let result = report.map(|report| PointResult {
                 label: point.label.clone(),
                 key,
                 report,
                 wall: t.elapsed(),
                 cache_hit,
             });
+            let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = Some(result);
         };
 
         if jobs == 1 {
@@ -416,7 +438,16 @@ impl Sweep {
         SweepResults {
             points: slots
                 .into_iter()
-                .map(|slot| slot.into_inner().unwrap().expect("every slot filled"))
+                .map(|slot| {
+                    let inner = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+                    match inner {
+                        Some(Ok(p)) => p,
+                        Some(Err(e)) => {
+                            panic!("sweep point failed despite pre-validation: {e}")
+                        }
+                        None => panic!("sweep worker left a slot unfilled"),
+                    }
+                })
                 .collect(),
             wall: t0.elapsed(),
             jobs,

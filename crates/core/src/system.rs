@@ -45,6 +45,18 @@ pub enum ConfigError {
     },
     /// `trace_len` is zero — the run would finish before it starts.
     EmptyTrace,
+    /// The DRAM device rejected the configuration (e.g. the policy's
+    /// row-timing class table overflowed the per-channel limit).
+    Device(
+        /// The underlying device error.
+        dram_device::DeviceError,
+    ),
+    /// An `[M/Kx/L%reg]` mode violated Table 1 (bad K, M > K, or a region
+    /// fraction outside `[0, 1]`).
+    Mode(
+        /// The underlying mode error.
+        crate::mode::ModeError,
+    ),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -64,11 +76,25 @@ impl std::fmt::Display for ConfigError {
                  the map would silently shadow the mode"
             ),
             ConfigError::EmptyTrace => write!(f, "trace_len must be at least 1"),
+            ConfigError::Device(e) => write!(f, "device rejected the configuration: {e}"),
+            ConfigError::Mode(e) => write!(f, "invalid MCR mode: {e}"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<dram_device::DeviceError> for ConfigError {
+    fn from(e: dram_device::DeviceError) -> Self {
+        ConfigError::Device(e)
+    }
+}
+
+impl From<crate::mode::ModeError> for ConfigError {
+    fn from(e: crate::mode::ModeError) -> Self {
+        ConfigError::Mode(e)
+    }
+}
 
 /// Configuration of one full-system run.
 ///
@@ -615,13 +641,29 @@ impl System {
             powerdown_idle_threshold: config.powerdown_idle_threshold,
             ..ControllerConfig::msc_default()
         };
-        let controller = MemoryController::new(
+        let t_refi = timing.t_refi;
+        let mut controller = MemoryController::try_new(
             geometry,
             timing,
             ctl_config,
             config.make_mapper(),
             Box::new(policy),
-        );
+        )?;
+        if controller.audit_enabled() {
+            // Refresh-starvation budget for the protocol auditor: with
+            // Refresh-Skipping, a group legally goes up to one skip period
+            // of tREFI slots without a REFRESH; add the JEDEC postponement
+            // cap and a wide margin so the check only fires on streams
+            // that stopped refreshing altogether.
+            let max_skip = regions
+                .regions()
+                .iter()
+                .map(|r| (r.mode().k() / r.mode().m().max(1)).max(1))
+                .max()
+                .unwrap_or(1);
+            let budget = Cycle::from(max_skip) * 10 * Cycle::from(t_refi);
+            controller.set_audit_refresh_budget(Some(budget));
+        }
 
         let cores = config
             .workloads
@@ -631,29 +673,28 @@ impl System {
                 let base = config.core_base(i);
                 let seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37);
                 let gen = TraceGenerator::new(w, seed, base).take(config.trace_len);
-                let trace: Box<dyn Iterator<Item = TraceRecord>> = if config.alloc_ratio > 0.0
-                    && !regions.is_off()
-                {
-                    let top_n = (w.footprint_rows as f64 * config.alloc_ratio).round() as usize;
-                    let base_frame = base / ROW_BYTES;
-                    let hot: Vec<u64> = hot_rows(w, seed, PROFILE_SAMPLE, top_n)
-                        .into_iter()
-                        .map(|r| r + base_frame)
-                        .collect();
-                    let mapper = config.make_mapper();
-                    let remap = RowRemapper::profile_based_regions(
-                        &hot,
-                        &regions,
-                        mapper.as_ref(),
-                        &geometry,
-                    );
-                    Box::new(gen.map(move |mut r| {
-                        r.addr = remap.remap_phys(r.addr, mapper.as_ref());
-                        r
-                    }))
-                } else {
-                    Box::new(gen)
-                };
+                let trace: Box<dyn Iterator<Item = TraceRecord>> =
+                    if config.alloc_ratio > 0.0 && !regions.is_off() {
+                        let top_n = (w.footprint_rows as f64 * config.alloc_ratio).round() as usize;
+                        let base_frame = base / ROW_BYTES;
+                        let hot: Vec<u64> = hot_rows(w, seed, PROFILE_SAMPLE, top_n)
+                            .into_iter()
+                            .map(|r| r + base_frame)
+                            .collect();
+                        let mapper = config.make_mapper();
+                        let remap = RowRemapper::profile_based_regions(
+                            &hot,
+                            &regions,
+                            mapper.as_ref(),
+                            &geometry,
+                        );
+                        Box::new(gen.map(move |mut r| {
+                            r.addr = remap.remap_phys(r.addr, mapper.as_ref());
+                            r
+                        }))
+                    } else {
+                        Box::new(gen)
+                    };
                 Core::new(i as u32, CoreParams::msc_default(), trace)
             })
             .collect();
@@ -747,12 +788,17 @@ impl System {
             "mode change {old_k}x -> {}x is not a relaxation (Table 2)",
             mode.k()
         );
-        let policy = self
+        // Surface the MRS in the audited command stream: reconfiguring
+        // while banks are open is a protocol warning (paper Sec. 4.1).
+        self.controller.note_mode_change(self.mem_now);
+        let Some(policy) = self
             .controller
             .policy_mut()
             .as_any_mut()
             .downcast_mut::<McrPolicy>()
-            .expect("System always installs an McrPolicy");
+        else {
+            unreachable!("System always installs an McrPolicy")
+        };
         policy.reprogram(new.clone());
         self.active_regions = new;
     }
@@ -768,16 +814,60 @@ impl System {
         // memory op; anything past this is a wedge, not a slow workload.
         let cap: u64 = 500_000_000;
         while !self.step(100_000) {
-            assert!(self.mem_now < cap, "simulation wedged at cycle {}", self.mem_now);
+            assert!(
+                self.mem_now < cap,
+                "simulation wedged at cycle {}",
+                self.mem_now
+            );
         }
         self.report()
     }
 
+    /// True when the command-stream protocol auditor is armed (debug
+    /// builds and the `protocol-audit` feature of `dram-device`).
+    pub fn audit_enabled(&self) -> bool {
+        self.controller.audit_enabled()
+    }
+
+    /// Protocol violations the auditor has recorded so far, across all
+    /// channels (empty when the auditor is disarmed).
+    pub fn audit_violations(&self) -> impl Iterator<Item = &dram_device::Violation> {
+        self.controller.audit_violations()
+    }
+
+    /// Runs the auditor's end-of-timeline checks (tail refresh-starvation)
+    /// without consuming the system, so external drivers like `mcr-lint`
+    /// can collect violations as diagnostics instead of panicking the way
+    /// [`System::report`] does.
+    pub fn audit_finish_now(&mut self) {
+        self.controller.audit_finish(self.mem_now);
+    }
+
     /// Finalizes counters and produces the report (for incremental
     /// drivers that used [`System::step`]; [`System::run`] calls it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the protocol auditor is armed and recorded any
+    /// error-severity violation: the simulated command stream broke a
+    /// JEDEC or MCR timing rule, which is a simulator bug, not a
+    /// configuration error. Warnings (e.g. a mode change with banks
+    /// open) do not panic.
     pub fn report(mut self) -> RunReport {
         let mem_now = self.mem_now;
         self.controller.finish(mem_now);
+        self.controller.audit_finish(mem_now);
+        let errors: Vec<_> = self
+            .controller
+            .audit_violations()
+            .filter(|v| v.class.severity() == dram_device::Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "protocol audit failed ({} violation(s)); first: {}",
+            errors.len(),
+            errors[0]
+        );
 
         let per_core: Vec<u64> = self.cores.iter().map(|c| c.stats().done_cycle).collect();
         let exec_cpu_cycles = per_core.iter().copied().max().unwrap_or(0);
@@ -816,7 +906,6 @@ impl System {
             per_core_read_latency,
         }
     }
-
 }
 
 #[cfg(test)]

@@ -58,7 +58,11 @@ enum FetchState {
     /// Need to pull the next trace record.
     NextRecord,
     /// Fetching the `gap` non-memory instructions of the current record.
-    Gap { left: u32, kind: ReqKind, addr: PhysAddr },
+    Gap {
+        left: u32,
+        kind: ReqKind,
+        addr: PhysAddr,
+    },
     /// Gap done; the memory operation itself is next.
     MemOp { kind: ReqKind, addr: PhysAddr },
     /// Trace exhausted.
@@ -129,14 +133,15 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
     ///
     /// Panics if the token does not refer to an in-flight read.
     pub fn complete_read(&mut self, token: u64, ready_at: u64) {
-        let seq = self
-            .inflight
-            .remove(&token)
-            .expect("token does not name an in-flight read of this core");
-        let idx = seq
-            .checked_sub(self.head_seq)
-            .expect("read retired before completing") as usize;
-        let slot = self.rob.get_mut(idx).expect("token beyond ROB tail");
+        let Some(seq) = self.inflight.remove(&token) else {
+            panic!("token {token} does not name an in-flight read of this core")
+        };
+        let Some(idx) = seq.checked_sub(self.head_seq) else {
+            panic!("read {token} retired before completing")
+        };
+        let Some(slot) = self.rob.get_mut(idx as usize) else {
+            panic!("token {token} beyond ROB tail")
+        };
         assert_eq!(*slot, PENDING, "ROB slot is not a pending read");
         *slot = ready_at;
     }
@@ -210,36 +215,34 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
                         FetchState::MemOp { kind, addr }
                     };
                 }
-                FetchState::MemOp { kind, addr } => {
-                    match kind {
-                        ReqKind::Read => match mem.try_read(self.id, addr) {
-                            Some(token) => {
-                                self.inflight.insert(token, self.next_seq);
-                                self.rob.push_back(PENDING);
-                                self.next_seq += 1;
-                                self.stats.reads_issued += 1;
-                                budget -= 1;
-                                self.fetch = FetchState::NextRecord;
-                            }
-                            None => {
-                                self.stats.queue_stall_cycles += 1;
-                                return;
-                            }
-                        },
-                        ReqKind::Write => {
-                            if mem.try_write(self.id, addr) {
-                                self.rob.push_back(complete_at);
-                                self.next_seq += 1;
-                                self.stats.writes_issued += 1;
-                                budget -= 1;
-                                self.fetch = FetchState::NextRecord;
-                            } else {
-                                self.stats.queue_stall_cycles += 1;
-                                return;
-                            }
+                FetchState::MemOp { kind, addr } => match kind {
+                    ReqKind::Read => match mem.try_read(self.id, addr) {
+                        Some(token) => {
+                            self.inflight.insert(token, self.next_seq);
+                            self.rob.push_back(PENDING);
+                            self.next_seq += 1;
+                            self.stats.reads_issued += 1;
+                            budget -= 1;
+                            self.fetch = FetchState::NextRecord;
+                        }
+                        None => {
+                            self.stats.queue_stall_cycles += 1;
+                            return;
+                        }
+                    },
+                    ReqKind::Write => {
+                        if mem.try_write(self.id, addr) {
+                            self.rob.push_back(complete_at);
+                            self.next_seq += 1;
+                            self.stats.writes_issued += 1;
+                            budget -= 1;
+                            self.fetch = FetchState::NextRecord;
+                        } else {
+                            self.stats.queue_stall_cycles += 1;
+                            return;
                         }
                     }
-                }
+                },
             }
         }
     }

@@ -13,10 +13,11 @@
 //! The controller is expected to issue at most one command per cycle per
 //! channel (command-bus width); that invariant is asserted here.
 
+use crate::audit::{audit_default_enabled, AuditConfig, CloneFrame, ProtocolAuditor, Violation};
 use crate::bank::Bank;
 use crate::command::{Command, CommandKind};
 use crate::counters::ActivityCounters;
-use crate::error::TimingError;
+use crate::error::{DeviceError, TimingError};
 use crate::timing::{Cycle, RowTiming, RowTimingClass, TimingSet};
 use crate::{DramAddress, Geometry};
 use std::collections::VecDeque;
@@ -118,18 +119,33 @@ pub struct Channel {
     last_cmd: Option<Cycle>,
     /// Bounded trace of recently issued commands (None = disabled).
     cmd_trace: Option<(usize, VecDeque<Command>)>,
+    /// Online protocol auditor (None = disabled).
+    audit: Option<ProtocolAuditor>,
 }
 
 impl Channel {
     /// A channel with the given geometry and timing, all banks precharged,
     /// and a single registered row-timing class (class 0 = baseline).
+    ///
+    /// The protocol auditor is armed automatically in debug builds and
+    /// under the `protocol-audit` cargo feature (see
+    /// [`audit_default_enabled`]).
     pub fn new(geometry: Geometry, timing: TimingSet) -> Self {
         let baseline = RowTiming {
             t_rcd: timing.t_rcd,
             t_ras: timing.t_ras,
         };
+        let audit = audit_default_enabled().then(|| {
+            ProtocolAuditor::new(AuditConfig::new(
+                timing.clone(),
+                geometry.ranks,
+                geometry.banks,
+            ))
+        });
         Channel {
-            ranks: (0..geometry.ranks).map(|_| Rank::new(geometry.banks)).collect(),
+            ranks: (0..geometry.ranks)
+                .map(|_| Rank::new(geometry.banks))
+                .collect(),
             geometry,
             timing,
             row_timings: vec![baseline],
@@ -138,6 +154,7 @@ impl Channel {
             last_bus_rank: None,
             last_cmd: None,
             cmd_trace: None,
+            audit,
         }
     }
 
@@ -152,26 +169,126 @@ impl Channel {
         self.cmd_trace.iter().flat_map(|(_, t)| t.iter())
     }
 
-    fn record(&mut self, kind: CommandKind, addr: DramAddress, cycle: Cycle, class: RowTimingClass) {
+    // ----- protocol audit --------------------------------------------
+
+    /// True when the online protocol auditor is armed.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Arms (or disarms) the online protocol auditor regardless of build
+    /// flags, preserving already-registered row-timing classes.
+    pub fn set_audit_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.audit = None;
+        } else if self.audit.is_none() {
+            let mut cfg = AuditConfig::new(
+                self.timing.clone(),
+                self.geometry.ranks,
+                self.geometry.banks,
+            );
+            cfg.classes = self.row_timings.clone();
+            self.audit = Some(ProtocolAuditor::new(cfg));
+        }
+    }
+
+    /// Sets the refresh-starvation budget checked by the auditor: the
+    /// maximum tolerated cycle gap between REFRESH commands to one rank
+    /// (64 ms/M per MCR under Refresh-Skipping, plus postponement slack).
+    /// No-op while the auditor is disarmed.
+    pub fn set_audit_refresh_budget(&mut self, budget: Option<Cycle>) {
+        if let Some(audit) = &mut self.audit {
+            audit.set_refresh_budget(budget);
+        }
+    }
+
+    /// Declares live clone-row frames the auditor must guard against write
+    /// collisions. No-op while the auditor is disarmed.
+    pub fn set_audit_clone_frames(&mut self, frames: Vec<CloneFrame>) {
+        if let Some(audit) = &mut self.audit {
+            audit.set_clone_frames(frames);
+        }
+    }
+
+    /// Violations found so far by the online auditor (empty when disarmed).
+    pub fn audit_violations(&self) -> &[Violation] {
+        self.audit.as_ref().map(|a| a.violations()).unwrap_or(&[])
+    }
+
+    /// Total violation count, including any beyond the recording cap.
+    pub fn audit_total(&self) -> u64 {
+        self.audit.as_ref().map(|a| a.total()).unwrap_or(0)
+    }
+
+    /// Ends the audited timeline at `now` (tail refresh-starvation check).
+    pub fn audit_finish(&mut self, now: Cycle) {
+        if let Some(audit) = &mut self.audit {
+            audit.finish(now);
+        }
+    }
+
+    /// Records an MRS-style MCR mode change (paper Sec. 4.4) in the command
+    /// stream. The auditor flags the change when banks are still open; this
+    /// simulator applies it regardless (the modeled OS quiesces around it).
+    pub fn note_mode_change(&mut self, now: Cycle) {
+        let baseline = self.row_timings[0];
+        self.observe(
+            Command {
+                kind: CommandKind::ModeChange,
+                addr: DramAddress {
+                    channel: 0,
+                    rank: 0,
+                    bank: 0,
+                    row: 0,
+                    col: 0,
+                },
+                cycle: now,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: None,
+            },
+            baseline,
+        );
+    }
+
+    /// Records `cmd` into the bounded trace (when enabled) and feeds the
+    /// protocol auditor (when armed). `rt` is the resolved row timing for
+    /// ACTIVATE commands.
+    fn observe(&mut self, cmd: Command, rt: RowTiming) {
         if let Some((cap, trace)) = &mut self.cmd_trace {
             if trace.len() == *cap {
                 trace.pop_front();
             }
-            trace.push_back(Command {
-                kind,
-                addr,
-                cycle,
-                class,
-            });
+            trace.push_back(cmd);
+        }
+        if let Some(audit) = &mut self.audit {
+            audit.observe(&cmd, rt);
         }
     }
 
     /// Registers an additional per-row timing class (e.g. an MCR class from
     /// Table 3) and returns its handle.
-    pub fn register_row_timing(&mut self, rt: RowTiming) -> RowTimingClass {
-        assert!(self.row_timings.len() < u8::MAX as usize);
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::TimingClassOverflow`] when the `u8` class table is
+    /// exhausted.
+    pub fn register_row_timing(&mut self, rt: RowTiming) -> Result<RowTimingClass, DeviceError> {
+        let limit = u8::MAX as usize;
+        if self.row_timings.len() >= limit {
+            return Err(DeviceError::TimingClassOverflow { limit });
+        }
         self.row_timings.push(rt);
-        RowTimingClass((self.row_timings.len() - 1) as u8)
+        if let Some(audit) = &mut self.audit {
+            audit.push_class(rt);
+        }
+        Ok(RowTimingClass((self.row_timings.len() - 1) as u8))
+    }
+
+    /// Looks up a registered row-timing class, or `None` when the class was
+    /// never registered.
+    pub fn try_row_timing(&self, class: RowTimingClass) -> Option<RowTiming> {
+        self.row_timings.get(class.0 as usize).copied()
     }
 
     /// Looks up a registered row-timing class.
@@ -354,7 +471,9 @@ impl Channel {
         extra_wordlines: u32,
     ) -> Result<(), TimingError> {
         self.check_addr(rank, bank, row)?;
-        let rt = self.row_timing(class);
+        let rt = self
+            .try_row_timing(class)
+            .ok_or(TimingError::UnknownClass(class.0))?;
         let ts = self.timing.clone();
         let base_ras = ts.t_ras;
         let r = &mut self.ranks[rank as usize];
@@ -385,11 +504,22 @@ impl Channel {
         }
         r.banks[bank as usize].activate(row, now, rt, &ts)?;
         self.note_cmd(now);
-        self.record(
-            CommandKind::Activate,
-            DramAddress { channel: 0, rank, bank, row, col: 0 },
-            now,
-            class,
+        self.observe(
+            Command {
+                kind: CommandKind::Activate,
+                addr: DramAddress {
+                    channel: 0,
+                    rank,
+                    bank,
+                    row,
+                    col: 0,
+                },
+                cycle: now,
+                class,
+                auto_pre: false,
+                t_rfc: None,
+            },
+            rt,
         );
         let r = &mut self.ranks[rank as usize];
         r.note_activate(now);
@@ -469,7 +599,9 @@ impl Channel {
         is_read: bool,
         auto_pre: bool,
     ) -> Result<Cycle, TimingError> {
-        if rank >= self.geometry.ranks || bank >= self.geometry.banks || col >= self.geometry.cols_per_row
+        if rank >= self.geometry.ranks
+            || bank >= self.geometry.banks
+            || col >= self.geometry.cols_per_row
         {
             return Err(TimingError::OutOfRange);
         }
@@ -530,9 +662,8 @@ impl Channel {
             }
             r.next_cas = r.next_cas.max(now + ts.t_ccd as Cycle);
             if auto_pre {
-                r.banks[bank as usize]
-                    .auto_precharge(now, &ts)
-                    .expect("row was open for the CAS");
+                // The row was open for the CAS above, so this cannot fail.
+                r.banks[bank as usize].auto_precharge(now, &ts)?;
                 // Residency approximation: count the bank idle from the
                 // command cycle (the true close is at the internal
                 // precharge point a few cycles later).
@@ -541,11 +672,27 @@ impl Channel {
             }
         }
         self.note_cmd(now);
-        self.record(
-            if is_read { CommandKind::Read } else { CommandKind::Write },
-            DramAddress { channel: 0, rank, bank, row, col },
-            now,
-            RowTimingClass(0),
+        let baseline = self.row_timings[0];
+        self.observe(
+            Command {
+                kind: if is_read {
+                    CommandKind::Read
+                } else {
+                    CommandKind::Write
+                },
+                addr: DramAddress {
+                    channel: 0,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                },
+                cycle: now,
+                class: RowTimingClass(0),
+                auto_pre,
+                t_rfc: None,
+            },
+            baseline,
         );
         let data_end = data_start + ts.burst_cycles as Cycle;
         self.bus_free = data_end;
@@ -573,11 +720,23 @@ impl Channel {
         }
         r.banks[bank as usize].precharge(now, &ts)?;
         self.note_cmd(now);
-        self.record(
-            CommandKind::Precharge,
-            DramAddress { channel: 0, rank, bank, row: 0, col: 0 },
-            now,
-            RowTimingClass(0),
+        let baseline = self.row_timings[0];
+        self.observe(
+            Command {
+                kind: CommandKind::Precharge,
+                addr: DramAddress {
+                    channel: 0,
+                    rank,
+                    bank,
+                    row: 0,
+                    col: 0,
+                },
+                cycle: now,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: None,
+            },
+            baseline,
         );
         let r = &mut self.ranks[rank as usize];
         r.counters.observe(now, -1);
@@ -635,11 +794,23 @@ impl Channel {
         r.counters.refreshes += 1;
         r.counters.refresh_busy_cycles += t_rfc as u64;
         self.note_cmd(now);
-        self.record(
-            CommandKind::Refresh,
-            DramAddress { channel: 0, rank, bank: 0, row: 0, col: 0 },
-            now,
-            RowTimingClass(0),
+        let baseline = self.row_timings[0];
+        self.observe(
+            Command {
+                kind: CommandKind::Refresh,
+                addr: DramAddress {
+                    channel: 0,
+                    rank,
+                    bank: 0,
+                    row: 0,
+                    col: 0,
+                },
+                cycle: now,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: t_rfc_override,
+            },
+            baseline,
         );
         Ok(())
     }
@@ -787,7 +958,9 @@ mod tests {
     #[test]
     fn registered_mcr_class_applies() {
         let mut c = chan();
-        let class = c.register_row_timing(RowTiming::from_ns(6.90, 20.0));
+        let class = c
+            .register_row_timing(RowTiming::from_ns(6.90, 20.0))
+            .unwrap();
         c.activate(0, 0, 0, 0, class).unwrap();
         assert_eq!(c.next_read_cycle(0, 0), 6);
         assert_eq!(c.next_precharge_cycle(0, 0), 16);
@@ -821,7 +994,7 @@ mod tests {
         let mut c = chan();
         c.activate_mcr(0, 0, 0, 0, RowTimingClass(0), 3).unwrap();
         c.read(0, 0, 0, 11).unwrap();
-        c.precharge(0, 0, 33, ).unwrap();
+        c.precharge(0, 0, 33).unwrap();
         let k = &c.rank(0).counters;
         assert_eq!(k.activates, 1);
         assert_eq!(k.reads, 1);
@@ -838,7 +1011,10 @@ mod tests {
             c.activate(0, 0, 0, 150, RowTimingClass(0)),
             Err(TimingError::TooEarly { .. })
         ));
-        assert!(matches!(c.refresh(0, 150, None), Err(TimingError::TooEarly { .. })));
+        assert!(matches!(
+            c.refresh(0, 150, None),
+            Err(TimingError::TooEarly { .. })
+        ));
         c.exit_power_down(0, 200);
         assert!(!c.rank_powered_down(0));
         // tXP = 5: legal from 205.

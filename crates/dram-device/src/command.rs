@@ -35,6 +35,9 @@ pub enum CommandKind {
     Precharge,
     /// Refresh a batch of rows in every bank of a rank.
     Refresh,
+    /// MRS-style MCR mode change (paper Sec. 4.4). A channel-level marker
+    /// in the audited stream; carries no bank/row coordinates.
+    ModeChange,
 }
 
 impl fmt::Display for CommandKind {
@@ -45,6 +48,7 @@ impl fmt::Display for CommandKind {
             CommandKind::Write => "WR",
             CommandKind::Precharge => "PRE",
             CommandKind::Refresh => "REF",
+            CommandKind::ModeChange => "MRS",
         };
         f.write_str(s)
     }
@@ -65,6 +69,10 @@ pub struct Command {
     pub cycle: Cycle,
     /// Row timing class used (meaningful for `Activate`).
     pub class: RowTimingClass,
+    /// True for RDA/WRA: the bank auto-precharges after this CAS.
+    pub auto_pre: bool,
+    /// Fast-Refresh tRFC override (meaningful for `Refresh`, Table 3).
+    pub t_rfc: Option<u32>,
 }
 
 impl fmt::Display for Command {
@@ -90,6 +98,8 @@ mod tests {
             },
             cycle: 100,
             class: RowTimingClass(2),
+            auto_pre: false,
+            t_rfc: None,
         };
         let s = c.to_string();
         assert!(s.contains("ACT"));

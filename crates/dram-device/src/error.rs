@@ -35,6 +35,9 @@ pub enum TimingError {
     RankNotIdle,
     /// Addressed coordinates fall outside the configured geometry.
     OutOfRange,
+    /// The command referenced a row-timing class that was never registered
+    /// on the channel.
+    UnknownClass(u8),
 }
 
 impl fmt::Display for TimingError {
@@ -43,7 +46,10 @@ impl fmt::Display for TimingError {
             TimingError::BankClosed => f.write_str("bank has no open row"),
             TimingError::BankOpen(row) => write!(f, "bank already has row {row} open"),
             TimingError::RowMismatch { open, requested } => {
-                write!(f, "open row {open} does not match requested row {requested}")
+                write!(
+                    f,
+                    "open row {open} does not match requested row {requested}"
+                )
             }
             TimingError::TooEarly {
                 constraint,
@@ -51,11 +57,40 @@ impl fmt::Display for TimingError {
             } => write!(f, "{constraint} not satisfied until cycle {ready_at}"),
             TimingError::RankNotIdle => f.write_str("rank has open banks; REFRESH illegal"),
             TimingError::OutOfRange => f.write_str("address outside device geometry"),
+            TimingError::UnknownClass(class) => {
+                write!(f, "row-timing class {class} was never registered")
+            }
         }
     }
 }
 
 impl Error for TimingError {}
+
+/// Structural device-configuration errors (as opposed to per-command
+/// [`TimingError`]s): a channel was asked to hold state it cannot
+/// represent. Returned instead of asserting so malformed configurations
+/// fail fallibly through `System::try_build`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The per-channel row-timing class table is full: class handles are a
+    /// `u8`, so at most `limit` classes (including baseline class 0) fit.
+    TimingClassOverflow {
+        /// Maximum number of registrable classes.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::TimingClassOverflow { limit } => {
+                write!(f, "row-timing class table full ({limit} classes max)")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
 
 #[cfg(test)]
 mod tests {

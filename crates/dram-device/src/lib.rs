@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod audit;
 mod bank;
 mod channel;
 mod command;
@@ -54,10 +55,14 @@ mod refresh;
 mod timing;
 
 pub use addr::{DramAddress, Geometry, PhysAddr};
+pub use audit::{
+    audit_commands, audit_default_enabled, AuditConfig, CloneFrame, ProtocolAuditor, Severity,
+    Violation, ViolationClass,
+};
 pub use bank::{Bank, BankPhase};
 pub use channel::{Channel, Rank};
 pub use command::{Command, CommandKind, ReqKind};
 pub use counters::ActivityCounters;
-pub use error::TimingError;
+pub use error::{DeviceError, TimingError};
 pub use refresh::{max_refresh_interval_ms, refresh_schedule, RefreshCounter, RefreshWiring};
 pub use timing::{ns_to_cycles, Cycle, RowTiming, RowTimingClass, TimingSet, T_CK_NS};

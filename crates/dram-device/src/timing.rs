@@ -21,7 +21,9 @@ pub const T_CK_NS: f64 = 1.25;
 /// assert_eq!(ns_to_cycles(9.94), 8);   // 2x MCR tRCD (Table 3)
 /// ```
 pub fn ns_to_cycles(ns: f64) -> u32 {
-    (ns / T_CK_NS).ceil() as u32
+    // Constraint *specs* are small positive constants (< 10 µs), far below
+    // u32; only accumulated cycle counts need the u64 Cycle domain.
+    (ns / T_CK_NS).ceil() as u32 // lint: allow(truncating-cast)
 }
 
 /// Index into a channel's table of per-row activation timings.

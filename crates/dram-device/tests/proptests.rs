@@ -54,7 +54,9 @@ fn bank_state_machine_is_sound() {
         let n = rng.gen_range(1..200usize);
         let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
         let mut chan = Channel::new(Geometry::tiny(), TimingSet::default());
-        let mcr = chan.register_row_timing(RowTiming::from_ns(6.90, 20.0));
+        let mcr = chan
+            .register_row_timing(RowTiming::from_ns(6.90, 20.0))
+            .unwrap();
         let mut now: u64 = 0;
         let mut act_cycle = [None::<(u64, RowTimingClass)>; 2];
         for (i, op) in ops.iter().enumerate() {

@@ -318,8 +318,8 @@ mod tests {
         let e_asleep = EnergyBreakdown::for_rank(&p, &asleep, t).background_pj;
         assert!(e_asleep < e_awake);
         // 800 cycles at IDD2P instead of IDD2N.
-        let expect = e_awake
-            - 800.0 * (p.precharge_standby_pj_per_cycle() - p.powerdown_pj_per_cycle());
+        let expect =
+            e_awake - 800.0 * (p.precharge_standby_pj_per_cycle() - p.powerdown_pj_per_cycle());
         assert!((e_asleep - expect).abs() < 1e-6);
         let _ = &mut awake;
     }

@@ -1,0 +1,118 @@
+//! `mcr-lint` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! cargo run -p mcr-lint --                 # src + config (the make check passes)
+//! cargo run -p mcr-lint -- src            # source lint only
+//! cargo run -p mcr-lint -- config         # timing/mode-table/region checks only
+//! cargo run -p mcr-lint -- audit          # refresh replay + full-suite protocol audit
+//! cargo run -p mcr-lint -- all            # everything
+//! ```
+//!
+//! Exits 0 when no error-level diagnostic was produced, 1 otherwise, 2 on
+//! usage/I-O problems. The `audit` pass needs the online auditor compiled
+//! in (`--features protocol-audit`, or any debug build); the suite run
+//! honors `MCR_LINT_TRACE_LEN` (default 4000 requests per point).
+
+use mcr_dram::{McrMode, Mechanisms, RegionMap};
+use mcr_lint::{audit, config_check, has_errors, srclint, Diagnostic, Level};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The workspace root, resolved at compile time from this crate's
+/// manifest directory (`crates/mcr-lint` -> two levels up).
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn suite_trace_len() -> usize {
+    std::env::var("MCR_LINT_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000)
+}
+
+/// The Fig. 9 refresh-schedule replays the `audit` pass always runs
+/// (these need no armed auditor: they replay the policy directly).
+fn refresh_replays() -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let wiring = dram_device::RefreshWiring::Reversed;
+    for (m, k, l) in [
+        (1u32, 2u32, 1.0),
+        (2, 2, 0.5),
+        (1, 4, 1.0),
+        (2, 4, 1.0),
+        (4, 4, 0.25),
+    ] {
+        let Ok(mode) = McrMode::new(m, k, l) else {
+            unreachable!("replay modes are Table 1 literals")
+        };
+        diags.extend(audit::audit_refresh_schedule(
+            &format!("replay[{m}/{k}x/{l}]"),
+            &RegionMap::single(mode),
+            Mechanisms::all(),
+            wiring,
+            12,
+            3,
+        ));
+    }
+    diags.extend(audit::audit_refresh_schedule(
+        "replay[combined 4x+2x]",
+        &RegionMap::combined(4, 0.25, 2, 0.25),
+        Mechanisms::all(),
+        wiring,
+        12,
+        3,
+    ));
+    diags
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut passes: Vec<&str> = args.iter().map(String::as_str).collect();
+    if passes.is_empty() {
+        passes = vec!["src", "config"];
+    }
+    if passes == ["all"] {
+        passes = vec!["src", "config", "audit"];
+    }
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for pass in &passes {
+        match *pass {
+            "src" => match srclint::lint_workspace(&workspace_root()) {
+                Ok(d) => diags.extend(d),
+                Err(e) => {
+                    eprintln!("mcr-lint: cannot walk {}: {e}", workspace_root().display());
+                    return ExitCode::from(2);
+                }
+            },
+            "config" => diags.extend(config_check::check_builtin()),
+            "audit" => {
+                diags.extend(refresh_replays());
+                diags.extend(audit::audit_suite(suite_trace_len()));
+            }
+            other => {
+                eprintln!("mcr-lint: unknown pass `{other}`");
+                eprintln!("usage: mcr-lint [src|config|audit|all]...");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags.iter().filter(|d| d.level == Level::Error).count();
+    let warnings = diags.len() - errors;
+    println!(
+        "mcr-lint: {} pass(es) [{}], {errors} error(s), {warnings} warning(s)",
+        passes.len(),
+        passes.join(", ")
+    );
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

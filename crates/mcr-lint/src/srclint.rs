@@ -1,0 +1,446 @@
+//! Textual source lint over the workspace's library crates.
+//!
+//! Three rules, all error-level:
+//!
+//! * `src/no-unwrap` — no `.unwrap()` / `.expect(...)` in library code
+//!   outside `#[cfg(test)]` blocks. Library panics must be typed errors or
+//!   deliberate `panic!`/`unreachable!` calls with messages; a stray
+//!   unwrap in the simulator turns a bad configuration into an opaque
+//!   crash mid-experiment.
+//! * `src/truncating-cast` — no `as u8`/`u16`/`u32`/`i8`/`i16`/`i32`
+//!   casts on lines doing timing arithmetic (lines naming a JEDEC timing
+//!   field or cycle count). Cycle math is `u64` ([`dram_device::Cycle`]);
+//!   a narrowing cast silently wraps after ~53 s of simulated DDR3-1600
+//!   time. Use `u64::from`/`Cycle::from` (widening, infallible) instead.
+//! * `src/panicking-sweep-worker` — no panicking macros, asserts or
+//!   unwraps inside the sweep engine's worker closure: a panic in a
+//!   scoped worker thread poisons the whole sweep instead of failing the
+//!   one point, so workers must route failures through `Result` slots.
+//!
+//! Escape hatch: a `// lint: allow(<rule>)` comment on the offending line
+//! or the line directly above suppresses that rule there. Test modules
+//! (`#[cfg(test)]`) and binary targets (`src/bin/`) are exempt from all
+//! rules. Comments, strings and char literals are scrubbed before
+//! matching, so doc examples and message texts never trip the rules.
+
+use crate::Diagnostic;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id: no `.unwrap()` / `.expect(` outside tests.
+pub const RULE_NO_UNWRAP: &str = "src/no-unwrap";
+/// Rule id: no truncating casts in timing arithmetic.
+pub const RULE_TRUNCATING_CAST: &str = "src/truncating-cast";
+/// Rule id: no panicking paths in sweep worker closures.
+pub const RULE_PANICKING_WORKER: &str = "src/panicking-sweep-worker";
+
+/// Identifiers that mark a line as timing arithmetic for
+/// [`RULE_TRUNCATING_CAST`] (matched case-insensitively).
+const TIMING_KEYWORDS: [&str; 14] = [
+    "t_rcd", "t_ras", "t_rp", "t_rfc", "t_refi", "t_faw", "t_rrd", "t_ccd", "t_wtr", "t_rtp",
+    "t_wr", "t_ck", "cycle", "latency",
+];
+
+/// Narrowing integer targets (anything narrower than the 64-bit cycle
+/// domain).
+const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Tokens forbidden inside a sweep worker closure.
+const WORKER_PANIC_TOKENS: [&str; 8] = [
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    ".unwrap()",
+    ".expect(",
+    "assert!",
+    "assert_eq!",
+];
+
+/// Replaces the contents of comments (line, nested block, doc), string
+/// literals (plain, raw, byte) and char literals with spaces, preserving
+/// line structure, so rule matching never fires inside text.
+fn scrub(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = chars.clone();
+    let blank = |out: &mut [char], i: usize| {
+        if out[i] != '\n' {
+            out[i] = ' ';
+        }
+    };
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                blank(&mut out, i);
+                i += 1;
+            }
+        } else if c == '/' && next == Some('*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, i);
+                    blank(&mut out, i + 1);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+        } else if c == 'r'
+            && !prev_is_ident(&chars, i)
+            && raw_string_hashes(&chars, i + 1).is_some()
+        {
+            let Some(hashes) = raw_string_hashes(&chars, i + 1) else {
+                unreachable!("checked by the condition above")
+            };
+            i += 1 + hashes + 1; // past r##"
+            while i < chars.len() {
+                if chars[i] == '"' && (0..hashes).all(|h| chars.get(i + 1 + h) == Some(&'#')) {
+                    i += 1 + hashes;
+                    break;
+                }
+                blank(&mut out, i);
+                i += 1;
+            }
+        } else if c == '"' {
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    blank(&mut out, i);
+                    if i + 1 < chars.len() {
+                        blank(&mut out, i + 1);
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            if next == Some('\\') {
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+                i += 1;
+            } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                blank(&mut out, i + 1);
+                i += 3;
+            } else {
+                i += 1; // a lifetime tick
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[from..]` is `#*"` (zero or more hashes then a quote), returns
+/// the hash count — the raw-string opener after an `r`.
+fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
+    let mut n = 0;
+    while chars.get(from + n) == Some(&'#') {
+        n += 1;
+    }
+    (chars.get(from + n) == Some(&'"')).then_some(n)
+}
+
+/// True when `line` (raw, pre-scrub) carries a `lint: allow(<short>)`
+/// directive for the given rule code (`src/<short>`).
+fn line_allows(line: &str, code: &str) -> bool {
+    let short = code.strip_prefix("src/").unwrap_or(code);
+    let Some(at) = line.find("lint: allow(") else {
+        return false;
+    };
+    let rest = &line[at + "lint: allow(".len()..];
+    rest.split(')').next().map(str::trim) == Some(short)
+}
+
+/// True when a narrowing `as <int>` cast appears on the (scrubbed) line.
+fn has_truncating_cast(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(at) = rest.find(" as ") {
+        let after = &rest[at + 4..];
+        let ty: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if NARROW_TYPES.contains(&ty.as_str()) {
+            return true;
+        }
+        rest = &rest[at + 4..];
+    }
+    false
+}
+
+fn is_timing_line(line: &str) -> bool {
+    let lower = line.to_lowercase();
+    TIMING_KEYWORDS.iter().any(|k| lower.contains(k))
+}
+
+/// Lints one source file. `path_label` is used in diagnostics and to
+/// decide whether the sweep-worker rule applies (files named `sweep.rs`).
+pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
+    let scrubbed = scrub(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let is_sweep = path_label.ends_with("sweep.rs");
+    let allowed = |idx: usize, code: &str| {
+        line_allows(raw_lines[idx], code) || (idx > 0 && line_allows(raw_lines[idx - 1], code))
+    };
+    let mut diags = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth to return to before leaving a skipped `#[cfg(test)]` item.
+    let mut skip_until: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    // (base depth, start line, saw the opening brace) of a worker closure.
+    let mut worker: Option<(i64, usize, bool)> = None;
+    for (idx, line) in scrubbed.lines().enumerate() {
+        let depth_before = depth;
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        depth += opens - closes;
+        if let Some(base) = skip_until {
+            if depth <= base {
+                skip_until = None;
+            }
+            continue;
+        }
+        let trimmed = line.trim();
+        if pending_cfg_test {
+            if trimmed.is_empty() || trimmed.starts_with("#[") {
+                continue; // further attributes on the gated item
+            }
+            pending_cfg_test = false;
+            if depth > depth_before {
+                skip_until = Some(depth_before);
+            }
+            continue; // the gated item line itself is test code
+        }
+        if trimmed.contains("cfg(test") {
+            if depth > depth_before {
+                skip_until = Some(depth_before); // `#[cfg(test)] mod t {` inline
+            } else {
+                pending_cfg_test = true;
+            }
+            continue;
+        }
+        let loc = format!("{}:{}", path_label, idx + 1);
+        for (token, what) in [(".unwrap()", "unwrap"), (".expect(", "expect")] {
+            if line.contains(token) && !allowed(idx, RULE_NO_UNWRAP) {
+                diags.push(Diagnostic::error(
+                    RULE_NO_UNWRAP,
+                    loc.clone(),
+                    format!("`{what}` in library code; return a typed error or use let-else"),
+                    "workspace rule (no opaque panics in the simulator)",
+                ));
+            }
+        }
+        if is_timing_line(line) && has_truncating_cast(line) && !allowed(idx, RULE_TRUNCATING_CAST)
+        {
+            diags.push(Diagnostic::error(
+                RULE_TRUNCATING_CAST,
+                loc.clone(),
+                "narrowing `as` cast in timing arithmetic; cycle math is u64",
+                "workspace rule (JEDEC counts exceed 32 bits within hours)",
+            ));
+        }
+        if is_sweep {
+            if worker.is_none() && line.contains("let work") {
+                worker = Some((depth_before, idx, false));
+            }
+            if let Some((base, start, entered)) = worker {
+                for token in WORKER_PANIC_TOKENS {
+                    if line.contains(token) && !allowed(idx, RULE_PANICKING_WORKER) {
+                        diags.push(Diagnostic::error(
+                            RULE_PANICKING_WORKER,
+                            loc.clone(),
+                            format!("`{token}` inside the sweep worker closure"),
+                            "workspace rule (worker panics poison the whole sweep)",
+                        ));
+                        break;
+                    }
+                }
+                let entered = entered || depth > base;
+                worker = if entered && depth <= base {
+                    None
+                } else {
+                    Some((base, start, entered))
+                };
+            }
+        }
+    }
+    diags
+}
+
+/// Recursively collects the `.rs` files under `dir`, skipping `bin/`
+/// sub-trees (binary targets surface errors to a terminal; panics there
+/// are user-facing messages, not silent corruption).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source file of the workspace rooted at `root`:
+/// all of `crates/*/src/**/*.rs` except `src/bin/`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for krate in crate_dirs {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let mut diags = Vec::new();
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        diags.extend(lint_file(&label, &text));
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let x = \".unwrap()\"; // .unwrap()\n/* .expect( */ let y = 1;\n";
+        let s = scrub(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_chars_and_lifetimes() {
+        let src = "let p = r#\"panic!(\"#; let c = '{'; fn f<'a>(x: &'a str) {}\n";
+        let s = scrub(src);
+        assert!(!s.contains("panic!("));
+        assert!(!s.contains('{') || s.matches('{').count() == 1, "{s}");
+        assert!(s.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let d = lint_file("x.rs", "fn f() { let v = g().unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, RULE_NO_UNWRAP);
+        assert_eq!(d[0].location, "x.rs:1");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f() { let v = g().unwrap_or_else(|_| 3); let w = h().unwrap_or(4); }\n";
+        assert!(lint_file("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x().unwrap(); }\n}\nfn more() { y().unwrap(); }\n";
+        let d = lint_file("x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].location, "x.rs:6");
+    }
+
+    #[test]
+    fn allow_directive_suppresses_on_same_or_previous_line() {
+        let same = "fn f() { g().unwrap(); } // lint: allow(no-unwrap)\n";
+        assert!(lint_file("x.rs", same).is_empty());
+        let above = "// lint: allow(no-unwrap)\nfn f() { g().unwrap(); }\n";
+        assert!(lint_file("x.rs", above).is_empty());
+        let wrong = "// lint: allow(truncating-cast)\nfn f() { g().unwrap(); }\n";
+        assert_eq!(lint_file("x.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn truncating_cast_needs_a_timing_context() {
+        let timing = "let x = t_rcd as u16;\n";
+        let d = lint_file("x.rs", timing);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, RULE_TRUNCATING_CAST);
+        // Widening casts and non-timing lines pass.
+        assert!(lint_file("x.rs", "let x = t_rcd as u64;\n").is_empty());
+        assert!(lint_file("x.rs", "let x = color as u8;\n").is_empty());
+        assert!(lint_file("x.rs", "let x = n as usize + t_faw_things;\n").is_empty());
+    }
+
+    #[test]
+    fn sweep_worker_panics_are_flagged_only_in_sweep_files() {
+        let src = "fn run() {\n    let work = |i: usize| {\n        let v = slots[i].lock();\n        panic!(\"boom\");\n    };\n    panic!(\"outside the worker is fine\");\n}\n";
+        let d = lint_file("core/src/sweep.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, RULE_PANICKING_WORKER);
+        assert_eq!(d[0].location, "core/src/sweep.rs:4");
+        assert!(lint_file("core/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_lint_walks_a_fabricated_tree() {
+        let root = std::env::temp_dir().join(format!("mcr-lint-test-{}", std::process::id()));
+        let src = root.join("crates/demo/src");
+        let bin = src.join("bin");
+        fs::create_dir_all(&bin).unwrap();
+        fs::write(src.join("lib.rs"), "fn f() { g().unwrap(); }\n").unwrap();
+        fs::write(bin.join("main.rs"), "fn main() { f().unwrap(); }\n").unwrap();
+        let d = lint_workspace(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+        assert_eq!(d.len(), 1, "bin/ exempt, lib.rs flagged: {d:?}");
+        assert!(d[0].location.ends_with("lib.rs:1"));
+    }
+}

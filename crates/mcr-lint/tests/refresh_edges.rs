@@ -1,0 +1,86 @@
+//! Refresh-Skipping schedule replays at the M/K edge cases (ISSUE 2,
+//! satellite 3): `M = 1` (maximum skipping), `M = K` (no skipping), and a
+//! region boundary where MCR rows and normal rows share a bank.
+
+use dram_device::RefreshWiring;
+use mcr_dram::{McrMode, Mechanisms, RegionMap};
+use mcr_lint::audit::audit_refresh_schedule;
+use mcr_lint::has_errors;
+
+fn single(m: u32, k: u32, frac: f64) -> RegionMap {
+    RegionMap::single(McrMode::new(m, k, frac).expect("Table 1 mode"))
+}
+
+#[test]
+fn m_equals_one_maximum_skipping_is_clean() {
+    // 1/4x: each group gets exactly one of its four visits per 64 ms
+    // window — the deepest skipping of Fig. 9.
+    let d = audit_refresh_schedule(
+        "edge[1/4x]",
+        &single(1, 4, 1.0),
+        Mechanisms::all(),
+        RefreshWiring::Reversed,
+        11,
+        3,
+    );
+    assert!(!has_errors(&d), "{d:?}");
+}
+
+#[test]
+fn m_equals_k_no_skipping_is_clean() {
+    // 4/4x: every visit issues; degenerates to the baseline schedule.
+    let d = audit_refresh_schedule(
+        "edge[4/4x]",
+        &single(4, 4, 1.0),
+        Mechanisms::all(),
+        RefreshWiring::Reversed,
+        11,
+        3,
+    );
+    assert!(!has_errors(&d), "{d:?}");
+}
+
+#[test]
+fn region_boundary_between_mcr_and_normal_rows_is_clean() {
+    // Half the subarray is 2/2x MCR, half stays normal: the replay must
+    // see full-rate refresh on the normal side and the per-group schedule
+    // on the MCR side, with no cross-boundary leakage.
+    let d = audit_refresh_schedule(
+        "edge[2/2x@50%]",
+        &single(2, 2, 0.5),
+        Mechanisms::all(),
+        RefreshWiring::Reversed,
+        11,
+        3,
+    );
+    assert!(!has_errors(&d), "{d:?}");
+}
+
+#[test]
+fn combined_region_boundary_is_clean() {
+    // Table 1 combined allocation: 4x and 2x regions abut in one bank.
+    let d = audit_refresh_schedule(
+        "edge[combined]",
+        &RegionMap::combined(4, 0.25, 2, 0.25),
+        Mechanisms::all(),
+        RefreshWiring::Reversed,
+        11,
+        3,
+    );
+    assert!(!has_errors(&d), "{d:?}");
+}
+
+#[test]
+fn direct_wiring_under_skipping_is_flagged() {
+    // Fig. 8's argument: with Direct (K-to-K) counter wiring the skipped
+    // visits cluster, so 2/4x skipping starves some groups.
+    let d = audit_refresh_schedule(
+        "edge[direct 2/4x]",
+        &single(2, 4, 1.0),
+        Mechanisms::all(),
+        RefreshWiring::Direct,
+        11,
+        3,
+    );
+    assert!(has_errors(&d), "direct wiring should break 2/4x skipping");
+}

@@ -1,0 +1,49 @@
+//! Self-application of the source lint: the real workspace must be clean,
+//! and a seeded violation must be caught (so `make check` fails on one).
+
+use mcr_lint::srclint::lint_workspace;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let diags = lint_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_violation_fails_the_walk() {
+    // Fabricate a one-crate workspace with an unwrap in library code and
+    // check the walk (the same entry point `make check` uses) flags it.
+    let root = std::env::temp_dir().join(format!("mcr-lint-seed-{}", std::process::id()));
+    let src = root.join("crates").join("seeded").join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("write seed");
+    let diags = lint_workspace(&root).expect("walk");
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "src/no-unwrap");
+    assert!(
+        diags[0].location.ends_with("lib.rs:2"),
+        "{}",
+        diags[0].location
+    );
+}

@@ -7,7 +7,8 @@ use crate::refresh::RefreshScheduler;
 use crate::request::Request;
 use crate::stats::ControllerStats;
 use dram_device::{
-    Channel, Cycle, Geometry, PhysAddr, RefreshWiring, ReqKind, TimingSet,
+    Channel, CloneFrame, Cycle, DeviceError, Geometry, PhysAddr, RefreshWiring, ReqKind, TimingSet,
+    Violation,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -144,6 +145,12 @@ impl MemoryController {
     /// The policy's extra row-timing classes (Table 3 entries for MCR
     /// modes) are registered on every channel; class indices observed by
     /// the policy start at 1 in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy declares more row-timing classes than a
+    /// channel can register; use [`MemoryController::try_new`] to handle
+    /// that fallibly.
     pub fn new(
         geometry: Geometry,
         timing: TimingSet,
@@ -151,30 +158,45 @@ impl MemoryController {
         mapper: Box<dyn AddressMapper>,
         policy: Box<dyn DevicePolicy>,
     ) -> Self {
+        match Self::try_new(geometry, timing, config, mapper, policy) {
+            Ok(ctl) => ctl,
+            Err(e) => panic!("invalid controller configuration: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`MemoryController::new`]: returns a
+    /// [`DeviceError`] instead of panicking when the policy's row-timing
+    /// class table cannot be registered on the channels.
+    pub fn try_new(
+        geometry: Geometry,
+        timing: TimingSet,
+        config: ControllerConfig,
+        mapper: Box<dyn AddressMapper>,
+        policy: Box<dyn DevicePolicy>,
+    ) -> Result<Self, DeviceError> {
         let row_bits = geometry.row_bits();
-        let channels = (0..geometry.channels)
-            .map(|_| {
-                let mut chan = Channel::new(geometry, timing.clone());
-                for rt in policy.timing_classes() {
-                    chan.register_row_timing(rt);
-                }
-                ChannelCtl {
-                    chan,
-                    read_q: Vec::with_capacity(config.read_queue_cap),
-                    write_q: Vec::with_capacity(config.write_queue_cap),
-                    refresh: RefreshScheduler::new(
-                        geometry.ranks,
-                        row_bits,
-                        timing.t_refi as Cycle,
-                        config.wiring,
-                    ),
-                    draining: false,
-                    completions: BinaryHeap::new(),
-                    rank_idle_since: vec![None; geometry.ranks as usize],
-                }
-            })
-            .collect();
-        MemoryController {
+        let mut channels = Vec::with_capacity(geometry.channels as usize);
+        for _ in 0..geometry.channels {
+            let mut chan = Channel::new(geometry, timing.clone());
+            for rt in policy.timing_classes() {
+                chan.register_row_timing(rt)?;
+            }
+            channels.push(ChannelCtl {
+                chan,
+                read_q: Vec::with_capacity(config.read_queue_cap),
+                write_q: Vec::with_capacity(config.write_queue_cap),
+                refresh: RefreshScheduler::new(
+                    geometry.ranks,
+                    row_bits,
+                    timing.t_refi as Cycle,
+                    config.wiring,
+                ),
+                draining: false,
+                completions: BinaryHeap::new(),
+                rank_idle_since: vec![None; geometry.ranks as usize],
+            });
+        }
+        Ok(MemoryController {
             geometry,
             config,
             channels,
@@ -183,7 +205,7 @@ impl MemoryController {
             next_token: 0,
             stats: ControllerStats::default(),
             last_tick: None,
-        }
+        })
     }
 
     /// The controller's configuration.
@@ -232,6 +254,61 @@ impl MemoryController {
     pub fn finish(&mut self, now: Cycle) {
         for ch in &mut self.channels {
             ch.chan.finish_counters(now);
+        }
+    }
+
+    /// True when the protocol auditor is armed on any channel.
+    pub fn audit_enabled(&self) -> bool {
+        self.channels.iter().any(|c| c.chan.audit_enabled())
+    }
+
+    /// Arms or disarms the protocol auditor on every channel.
+    pub fn set_audit_enabled(&mut self, enabled: bool) {
+        for ch in &mut self.channels {
+            ch.chan.set_audit_enabled(enabled);
+        }
+    }
+
+    /// Sets the refresh-starvation budget (max cycles between REFRESH
+    /// commands on a rank before the auditor flags starvation) on every
+    /// channel. `None` disables the check — use it when refresh is off.
+    pub fn set_audit_refresh_budget(&mut self, budget: Option<Cycle>) {
+        for ch in &mut self.channels {
+            ch.chan.set_audit_refresh_budget(budget);
+        }
+    }
+
+    /// Installs clone-frame descriptors on channel `ch` so the auditor can
+    /// flag writes that land on a live clone row (opt-in; see
+    /// `dram_device::audit`).
+    pub fn set_audit_clone_frames(&mut self, ch: usize, frames: Vec<CloneFrame>) {
+        self.channels[ch].chan.set_audit_clone_frames(frames);
+    }
+
+    /// All protocol violations recorded so far, across every channel.
+    pub fn audit_violations(&self) -> impl Iterator<Item = &Violation> {
+        self.channels.iter().flat_map(|c| c.chan.audit_violations())
+    }
+
+    /// Total number of violations observed (including any beyond the
+    /// recording cap).
+    pub fn audit_total(&self) -> u64 {
+        self.channels.iter().map(|c| c.chan.audit_total()).sum()
+    }
+
+    /// Runs the auditor's end-of-stream checks (e.g. tail refresh
+    /// starvation) on every channel.
+    pub fn audit_finish(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.chan.audit_finish(now);
+        }
+    }
+
+    /// Records an MRS-style mode change in every channel's command stream
+    /// so the auditor can flag reconfiguration while banks are open.
+    pub fn note_mode_change(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.chan.note_mode_change(now);
         }
     }
 
@@ -491,9 +568,10 @@ impl MemoryController {
                 (q[idx].dram.rank, q[idx].dram.bank)
             };
             let open = self.channels[ci].chan.open_row(rank, bank);
-            let has_pending_hit = self.queue(ci, drain).iter().any(|r| {
-                r.dram.rank == rank && r.dram.bank == bank && Some(r.dram.row) == open
-            });
+            let has_pending_hit = self
+                .queue(ci, drain)
+                .iter()
+                .any(|r| r.dram.rank == rank && r.dram.bank == bank && Some(r.dram.row) == open);
             if !has_pending_hit {
                 return self.issue_pre(ci, idx, drain, now);
             }
@@ -576,12 +654,16 @@ impl MemoryController {
         };
         let ch = &mut self.channels[ci];
         let result = match (drain, auto_pre) {
-            (true, false) => ch.chan.write(req.dram.rank, req.dram.bank, req.dram.col, now),
+            (true, false) => ch
+                .chan
+                .write(req.dram.rank, req.dram.bank, req.dram.col, now),
             (true, true) => {
                 ch.chan
                     .write_auto_precharge(req.dram.rank, req.dram.bank, req.dram.col, now)
             }
-            (false, false) => ch.chan.read(req.dram.rank, req.dram.bank, req.dram.col, now),
+            (false, false) => ch
+                .chan
+                .read(req.dram.rank, req.dram.bank, req.dram.col, now),
             (false, true) => {
                 ch.chan
                     .read_auto_precharge(req.dram.rank, req.dram.bank, req.dram.col, now)
@@ -652,8 +734,7 @@ impl MemoryController {
         };
         let ch = &mut self.channels[ci];
         if ch.chan.refresh(rank, now, t_rfc).is_ok() {
-            ch.refresh.consume(rank);
-            true
+            ch.refresh.consume(rank).is_some()
         } else {
             false
         }
@@ -823,7 +904,9 @@ mod tests {
         for now in 0..50_000u64 {
             if now % 100 == 0
                 && now < 45_000
-                && ctl.enqueue_read(0, PhysAddr((now * 64) % (1 << 18))).is_some()
+                && ctl
+                    .enqueue_read(0, PhysAddr((now * 64) % (1 << 18)))
+                    .is_some()
             {
                 enqueued += 1;
             }
@@ -876,7 +959,10 @@ mod tests {
         assert_eq!(kinds[0], (CommandKind::Activate, 1));
         assert_eq!(kinds[1].0, CommandKind::Read);
         assert_eq!(kinds[2].0, CommandKind::Read);
-        assert_eq!(kinds[2].1, 1, "row-1 hit must be served before the conflict");
+        assert_eq!(
+            kinds[2].1, 1,
+            "row-1 hit must be served before the conflict"
+        );
         assert_eq!(kinds[3].0, CommandKind::Precharge);
         assert_eq!(kinds[4], (CommandKind::Activate, 2));
     }
@@ -908,7 +994,13 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].token, t);
         ctl.finish(400);
-        let pd = ctl.channels().next().unwrap().rank(0).counters.powerdown_cycles;
+        let pd = ctl
+            .channels()
+            .next()
+            .unwrap()
+            .rank(0)
+            .counters
+            .powerdown_cycles;
         assert!(pd > 50, "power-down residency recorded ({pd})");
     }
 

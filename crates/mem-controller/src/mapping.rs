@@ -67,7 +67,10 @@ pub struct PageInterleave {
 impl PageInterleave {
     /// Mapper for `g`.
     pub fn new(g: Geometry) -> Self {
-        PageInterleave { g, w: Widths::of(&g) }
+        PageInterleave {
+            g,
+            w: Widths::of(&g),
+        }
     }
 }
 

@@ -100,19 +100,17 @@ impl RefreshScheduler {
     }
 
     /// Consumes the oldest pending refresh for `rank` after the controller
-    /// has successfully issued it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if there is no pending refresh.
-    pub fn consume(&mut self, rank: u8) {
+    /// has successfully issued it. Returns the action consumed, or `None`
+    /// when the backlog was empty (nothing to consume).
+    pub fn consume(&mut self, rank: u8) -> Option<RefreshAction> {
         let r = &mut self.ranks[rank as usize];
-        let action = r.backlog.pop_front().expect("no pending refresh");
+        let action = r.backlog.pop_front()?;
         match action {
             RefreshAction::Normal => self.stats.normal += 1,
             RefreshAction::Fast(_) => self.stats.fast += 1,
             RefreshAction::Skip => unreachable!("skips never enter the backlog"),
         }
+        Some(action)
     }
 
     /// Aggregate refresh statistics.

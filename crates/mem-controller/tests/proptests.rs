@@ -106,7 +106,11 @@ fn reads_complete_exactly_once() {
             assert!(seen.contains_key(t), "read {t} never completed");
         }
         let total: u32 = seen.values().copied().sum();
-        assert_eq!(total as usize, expected.len(), "duplicate or lost completions");
+        assert_eq!(
+            total as usize,
+            expected.len(),
+            "duplicate or lost completions"
+        );
         assert!(seen.values().all(|&v| v == 1));
     }
 }

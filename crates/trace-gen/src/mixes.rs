@@ -51,8 +51,12 @@ pub fn multi_programmed_mixes(seed: u64) -> Vec<Mix> {
 /// The two multi-threaded workloads: all four cores run the same
 /// `MT-*` profile (with distinct per-thread seeds supplied by the caller).
 pub fn multi_threaded_group() -> Vec<Mix> {
-    let mt_fluid = crate::profile::workload("MT-fluid").expect("MT-fluid profile");
-    let mt_canneal = crate::profile::workload("MT-canneal").expect("MT-canneal profile");
+    let Some(mt_fluid) = crate::profile::workload("MT-fluid") else {
+        unreachable!("MT-fluid is a built-in profile")
+    };
+    let Some(mt_canneal) = crate::profile::workload("MT-canneal") else {
+        unreachable!("MT-canneal is a built-in profile")
+    };
     vec![
         Mix {
             name: "MT-fluid",

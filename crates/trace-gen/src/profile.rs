@@ -95,7 +95,10 @@ pub fn workload(name: &str) -> Option<&'static WorkloadProfile> {
 /// The 16 single-threaded workloads used in the paper's single-core runs
 /// (Table 5 minus the `MT-*` pair).
 pub fn single_core_workloads() -> Vec<&'static WorkloadProfile> {
-    all_workloads().iter().filter(|w| !w.multi_threaded).collect()
+    all_workloads()
+        .iter()
+        .filter(|w| !w.multi_threaded)
+        .collect()
 }
 
 impl WorkloadProfile {
@@ -142,7 +145,12 @@ mod tests {
 
     #[test]
     fn every_suite_is_populated() {
-        for s in [Suite::Commercial, Suite::Spec, Suite::Parsec, Suite::Biobench] {
+        for s in [
+            Suite::Commercial,
+            Suite::Spec,
+            Suite::Parsec,
+            Suite::Biobench,
+        ] {
             assert!(!WorkloadProfile::of_suite(s).is_empty());
         }
     }

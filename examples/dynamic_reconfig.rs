@@ -15,7 +15,10 @@ fn main() {
     let mut sys = System::try_build(&cfg).expect("valid config");
 
     let mut mode = McrMode::headline();
-    println!("phase 1: {mode} — OS sees {} GiB", plan.os_view(mode).bytes >> 30);
+    println!(
+        "phase 1: {mode} — OS sees {} GiB",
+        plan.os_view(mode).bytes >> 30
+    );
     sys.step(250_000);
 
     let relaxed = mode.relaxed().expect("4x relaxes to 2x");

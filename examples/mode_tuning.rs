@@ -24,10 +24,8 @@ fn main() {
     ];
     // Baseline plus all candidates as one sweep: validated up front and
     // run across the worker pool.
-    let mut builder = SweepBuilder::new(len).point(
-        "baseline",
-        SystemConfig::single_core(workload, len),
-    );
+    let mut builder =
+        SweepBuilder::new(len).point("baseline", SystemConfig::single_core(workload, len));
     let modes: Vec<McrMode> = candidates
         .iter()
         .map(|&(m, k, reg)| McrMode::new(m, k, reg).expect("valid mode"))

@@ -25,10 +25,8 @@ fn main() -> Result<(), ConfigError> {
     // MCR-DRAM, mode [4/4x/100%reg] — Early-Access, Early-Precharge and
     // Fast-Refresh all active.
     let mode = McrMode::headline();
-    let mcr = System::try_build(
-        &SystemConfig::single_core(workload, trace_len).with_mode(mode),
-    )?
-    .run();
+    let mcr =
+        System::try_build(&SystemConfig::single_core(workload, trace_len).with_mode(mode))?.run();
     println!(
         "MCR {mode}: exec {:>10} CPU cycles | read latency {:>5.1} mem cycles | EDP {:.3e} J*s",
         mcr.exec_cpu_cycles, mcr.avg_read_latency, mcr.edp

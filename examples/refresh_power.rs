@@ -17,8 +17,7 @@ fn main() {
         .run();
     println!(
         "baseline      : {:>7} refreshes, refresh energy {:>10.0} pJ",
-        base.controller.refresh.normal,
-        base.energy.refresh_pj
+        base.controller.refresh.normal, base.energy.refresh_pj
     );
     for (m, k, label) in [
         (4u32, 4u32, "Fast-Refresh only        "),
@@ -49,8 +48,7 @@ fn main() {
         .run();
     println!(
         "baseline      : {:>7} refreshes, refresh energy {:>10.0} pJ",
-        mbase.controller.refresh.normal,
-        mbase.energy.refresh_pj
+        mbase.controller.refresh.normal, mbase.energy.refresh_pj
     );
     for (m, k) in [(4u32, 4u32), (2, 4)] {
         let r = System::try_build(

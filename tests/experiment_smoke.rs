@@ -11,12 +11,12 @@ const LEN: usize = 3_000;
 
 #[test]
 fn fig11_shape_single_core_ratio_sweep() {
-    let base = baseline_single("leslie", LEN);
+    let base = baseline_single("leslie", LEN).unwrap();
     let mut outs = Vec::new();
     for (m, k) in [(2u32, 2u32), (4, 4)] {
         for ratio in [0.25, 0.5, 1.0] {
             let mode = McrMode::new(m, k, ratio).unwrap();
-            let r = run_single("leslie", mode, Mechanisms::access_only(), 0.0, LEN);
+            let r = run_single("leslie", mode, Mechanisms::access_only(), 0.0, LEN).unwrap();
             outs.push(Outcome::versus(format!("{m}/{k}x@{ratio}"), &base, &r));
         }
     }
@@ -26,10 +26,10 @@ fn fig11_shape_single_core_ratio_sweep() {
 
 #[test]
 fn fig12_shape_allocation_sweep() {
-    let base = baseline_single("comm2", LEN);
+    let base = baseline_single("comm2", LEN).unwrap();
     let mode = McrMode::new(4, 4, 0.5).unwrap();
     for ratio in [0.1, 0.2, 0.3] {
-        let r = run_single("comm2", mode, Mechanisms::access_only(), ratio, LEN);
+        let r = run_single("comm2", mode, Mechanisms::access_only(), ratio, LEN).unwrap();
         let o = Outcome::versus(format!("alloc {ratio}"), &base, &r);
         assert!(o.exec_reduction.is_finite());
     }
@@ -37,11 +37,11 @@ fn fig12_shape_allocation_sweep() {
 
 #[test]
 fn fig13_shape_mode_sweep() {
-    let base = baseline_single("mummer", LEN);
+    let base = baseline_single("mummer", LEN).unwrap();
     for (m, k) in [(4u32, 4u32), (2, 4), (2, 2)] {
         for reg in [0.25, 0.75] {
             let mode = McrMode::new(m, k, reg).unwrap();
-            let r = run_single("mummer", mode, Mechanisms::all(), 0.1, LEN);
+            let r = run_single("mummer", mode, Mechanisms::all(), 0.1, LEN).unwrap();
             let o = Outcome::versus(mode.to_string(), &base, &r);
             assert!(o.exec_reduction.is_finite());
         }
@@ -51,22 +51,31 @@ fn fig13_shape_mode_sweep() {
 #[test]
 fn fig14_to_16_shape_multi_core() {
     let mix = &multi_programmed_mixes(2015)[1];
-    let base = baseline_multi(mix, 700);
+    let base = baseline_multi(mix, 700).unwrap();
     let ratio = run_multi(
         mix,
         McrMode::headline(),
         Mechanisms::access_only(),
         0.0,
         700,
-    );
+    )
+    .unwrap();
     let alloc = run_multi(
         mix,
         McrMode::new(4, 4, 0.5).unwrap(),
         Mechanisms::access_only(),
         0.1,
         700,
-    );
-    let modes = run_multi(mix, McrMode::new(2, 4, 0.75).unwrap(), Mechanisms::all(), 0.1, 700);
+    )
+    .unwrap();
+    let modes = run_multi(
+        mix,
+        McrMode::new(2, 4, 0.75).unwrap(),
+        Mechanisms::all(),
+        0.1,
+        700,
+    )
+    .unwrap();
     for r in [&ratio, &alloc, &modes] {
         let o = Outcome::versus(mix.name, &base, r);
         assert!(o.exec_reduction.is_finite());
@@ -76,7 +85,7 @@ fn fig14_to_16_shape_multi_core() {
 
 #[test]
 fn fig17_shape_mechanism_cases() {
-    let base = baseline_single("comm1", LEN);
+    let base = baseline_single("comm1", LEN).unwrap();
     let mut prev_exists = false;
     for case in 1..=4 {
         let mode = if case == 4 {
@@ -84,7 +93,7 @@ fn fig17_shape_mechanism_cases() {
         } else {
             McrMode::headline()
         };
-        let r = run_single("comm1", mode, Mechanisms::fig17_case(case), 0.0, LEN);
+        let r = run_single("comm1", mode, Mechanisms::fig17_case(case), 0.0, LEN).unwrap();
         let o = Outcome::versus(format!("case{case}"), &base, &r);
         assert!(o.exec_reduction.is_finite());
         prev_exists = true;
@@ -94,10 +103,10 @@ fn fig17_shape_mechanism_cases() {
 
 #[test]
 fn fig18_shape_edp() {
-    let base = baseline_single("libq", LEN);
+    let base = baseline_single("libq", LEN).unwrap();
     for (m, k) in [(2u32, 2u32), (4, 4), (2, 4)] {
         let mode = McrMode::new(m, k, 1.0).unwrap();
-        let r = run_single("libq", mode, Mechanisms::all(), 0.0, LEN);
+        let r = run_single("libq", mode, Mechanisms::all(), 0.0, LEN).unwrap();
         let o = Outcome::versus(mode.to_string(), &base, &r);
         assert!(o.edp_reduction.is_finite());
     }

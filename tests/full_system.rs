@@ -63,14 +63,17 @@ fn multi_threaded_workloads_share_their_footprint() {
     let private = System::build(&SystemConfig::multi_core(mix.cores, 2_000)).run();
     assert!(shared.reads_done > 0 && private.reads_done > 0);
     // Same workload intensity either way.
-    let total_shared = shared.controller.row_hits + shared.controller.row_misses
-        + shared.controller.row_conflicts;
+    let total_shared =
+        shared.controller.row_hits + shared.controller.row_misses + shared.controller.row_conflicts;
     assert!(total_shared > 0);
     // The shared variant must actually collide in the same rows sometimes:
     // its conflict+hit profile differs from the private-slice variant.
     assert_ne!(
         (shared.controller.row_hits, shared.controller.row_conflicts),
-        (private.controller.row_hits, private.controller.row_conflicts),
+        (
+            private.controller.row_hits,
+            private.controller.row_conflicts
+        ),
         "shared and private address spaces should behave differently"
     );
 }

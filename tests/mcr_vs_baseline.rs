@@ -13,7 +13,7 @@ const PROBES: [&str; 3] = ["libq", "leslie", "mummer"];
 #[test]
 fn mcr_reduces_read_latency_at_full_region() {
     for name in PROBES {
-        let (base, mcr) = ratio_point(name, 4, 4, 1.0, LEN);
+        let (base, mcr) = ratio_point(name, 4, 4, 1.0, LEN).unwrap();
         let o = Outcome::versus(name, &base, &mcr);
         assert!(
             o.latency_reduction > 0.0,
@@ -27,10 +27,12 @@ fn mcr_reduces_read_latency_at_full_region() {
 fn benefit_grows_with_mcr_ratio() {
     // Fig. 11: performance improves consistently with increasing MCR ratio.
     for name in ["libq", "leslie"] {
-        let base = baseline_single(name, LEN);
+        let base = baseline_single(name, LEN).unwrap();
         let lat = |ratio: f64| {
             let mode = McrMode::new(4, 4, ratio).unwrap();
-            run_single(name, mode, Mechanisms::access_only(), 0.0, LEN).avg_read_latency
+            run_single(name, mode, Mechanisms::access_only(), 0.0, LEN)
+                .unwrap()
+                .avg_read_latency
         };
         let l25 = lat(0.25);
         let l100 = lat(1.0);
@@ -46,8 +48,8 @@ fn benefit_grows_with_mcr_ratio() {
 fn k4_beats_k2_at_equal_ratio() {
     // Fig. 11/14: mode [4/4x] > mode [2/2x] at the same MCR ratio.
     for name in PROBES {
-        let (base, m22) = ratio_point(name, 2, 2, 1.0, LEN);
-        let (_, m44) = ratio_point(name, 4, 4, 1.0, LEN);
+        let (base, m22) = ratio_point(name, 2, 2, 1.0, LEN).unwrap();
+        let (_, m44) = ratio_point(name, 4, 4, 1.0, LEN).unwrap();
         let o22 = Outcome::versus(name, &base, &m22);
         let o44 = Outcome::versus(name, &base, &m44);
         assert!(
@@ -65,13 +67,16 @@ fn k2_full_region_beats_k4_half_region() {
     // mode [4/4x] ratio 0.5 despite using less capacity for clones.
     let mut wins = 0;
     for name in PROBES {
-        let (_, m22_full) = ratio_point(name, 2, 2, 1.0, LEN);
-        let (_, m44_half) = ratio_point(name, 4, 4, 0.5, LEN);
+        let (_, m22_full) = ratio_point(name, 2, 2, 1.0, LEN).unwrap();
+        let (_, m44_half) = ratio_point(name, 4, 4, 0.5, LEN).unwrap();
         if m22_full.avg_read_latency <= m44_half.avg_read_latency + 0.2 {
             wins += 1;
         }
     }
-    assert!(wins >= 2, "2/2x@1.0 should generally beat 4/4x@0.5 ({wins}/3)");
+    assert!(
+        wins >= 2,
+        "2/2x@1.0 should generally beat 4/4x@0.5 ({wins}/3)"
+    );
 }
 
 #[test]
@@ -79,33 +84,38 @@ fn edp_improves_under_headline_mode() {
     // Fig. 18: mode [4/4x/100%reg] improves EDP.
     let mut improved = 0;
     for name in PROBES {
-        let base = baseline_single(name, LEN);
-        let mcr = run_single(name, McrMode::headline(), Mechanisms::all(), 0.0, LEN);
+        let base = baseline_single(name, LEN).unwrap();
+        let mcr = run_single(name, McrMode::headline(), Mechanisms::all(), 0.0, LEN).unwrap();
         let o = Outcome::versus(name, &base, &mcr);
         if o.edp_reduction > 0.0 {
             improved += 1;
         }
     }
-    assert!(improved >= 2, "EDP should improve for most probes ({improved}/3)");
+    assert!(
+        improved >= 2,
+        "EDP should improve for most probes ({improved}/3)"
+    );
 }
 
 #[test]
 fn fast_refresh_and_skipping_reduce_refresh_busy_time() {
-    let base = baseline_single("comm1", LEN);
+    let base = baseline_single("comm1", LEN).unwrap();
     let fr = run_single(
         "comm1",
         McrMode::headline(),
         Mechanisms::fig17_case(3),
         0.0,
         LEN,
-    );
+    )
+    .unwrap();
     let rs = run_single(
         "comm1",
         McrMode::new(2, 4, 1.0).unwrap(),
         Mechanisms::all(),
         0.0,
         LEN,
-    );
+    )
+    .unwrap();
     // Fast-Refresh: fewer busy cycles per refresh; Skipping: fewer refreshes.
     assert!(fr.energy.refresh_pj < base.energy.refresh_pj);
     assert!(
@@ -120,21 +130,23 @@ fn early_precharge_adds_benefit_over_early_access_alone() {
     // Fig. 17: case 2 (EA+EP) ≥ case 1 (EA only).
     {
         let name = "mummer";
-        let base = baseline_single(name, LEN);
+        let base = baseline_single(name, LEN).unwrap();
         let c1 = run_single(
             name,
             McrMode::headline(),
             Mechanisms::fig17_case(1),
             0.0,
             LEN,
-        );
+        )
+        .unwrap();
         let c2 = run_single(
             name,
             McrMode::headline(),
             Mechanisms::fig17_case(2),
             0.0,
             LEN,
-        );
+        )
+        .unwrap();
         let o1 = Outcome::versus(name, &base, &c1);
         let o2 = Outcome::versus(name, &base, &c2);
         assert!(

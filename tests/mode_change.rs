@@ -37,15 +37,16 @@ fn relaxed_mode_trades_latency_for_capacity() {
     // 4x offers lower tRCD than 2x; after relaxing for capacity, latency
     // benefit shrinks but must remain non-negative vs baseline.
     let len = 10_000;
-    let base = run_single("libq", McrMode::off(), Mechanisms::none(), 0.0, len);
-    let m44 = run_single("libq", McrMode::headline(), Mechanisms::all(), 0.0, len);
+    let base = run_single("libq", McrMode::off(), Mechanisms::none(), 0.0, len).unwrap();
+    let m44 = run_single("libq", McrMode::headline(), Mechanisms::all(), 0.0, len).unwrap();
     let m22 = run_single(
         "libq",
         McrMode::headline().relaxed().unwrap(),
         Mechanisms::all(),
         0.0,
         len,
-    );
+    )
+    .unwrap();
     assert!(m44.avg_read_latency < base.avg_read_latency);
     assert!(m22.avg_read_latency < base.avg_read_latency);
     assert!(
@@ -100,8 +101,8 @@ fn reconfigured_run_lands_between_pure_modes() {
     // A run that spends half its time in 4/4x and half in off-mode should
     // land between the two pure runs in read latency.
     let len = 10_000;
-    let pure_mcr = run_single("libq", McrMode::headline(), Mechanisms::all(), 0.0, len);
-    let pure_off = run_single("libq", McrMode::off(), Mechanisms::none(), 0.0, len);
+    let pure_mcr = run_single("libq", McrMode::headline(), Mechanisms::all(), 0.0, len).unwrap();
+    let pure_off = run_single("libq", McrMode::off(), Mechanisms::none(), 0.0, len).unwrap();
     let cfg = SystemConfig::single_core("libq", len).with_mode(McrMode::headline());
     let mut sys = System::build(&cfg);
     // Switch off roughly halfway through the pure-MCR cycle count.
@@ -123,7 +124,7 @@ fn combined_regions_run_end_to_end() {
     // Sec. 4.4 "Combination of 2x and 4x MCR": hottest pages in the 4x
     // tier, moderately hot in 2x. Must complete and beat the baseline.
     let len = 10_000;
-    let base = run_single("comm2", McrMode::off(), Mechanisms::none(), 0.0, len);
+    let base = run_single("comm2", McrMode::off(), Mechanisms::none(), 0.0, len).unwrap();
     let cfg = SystemConfig::single_core("comm2", len)
         .with_combined_regions(4, 0.25, 2, 0.25)
         .with_alloc_ratio(0.20);

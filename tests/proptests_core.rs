@@ -134,7 +134,10 @@ fn skip_fraction_exact_over_sweep() {
         }
         if region_slots > 0 {
             let expect = region_slots * mode.m() as u64 / mode.k() as u64;
-            assert_eq!(issued, expect, "issued {issued} of {region_slots} region slots");
+            assert_eq!(
+                issued, expect,
+                "issued {issued} of {region_slots} region slots"
+            );
             for (&gid, &n) in &per_group {
                 assert_eq!(n, mode.m() as u64, "group {gid} refreshed {n} times");
             }

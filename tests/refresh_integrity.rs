@@ -38,7 +38,10 @@ fn direct_wiring_would_break_early_precharge() {
     let worst_reversed = max_refresh_interval_ms(15, RefreshWiring::Reversed, 2, 64.0);
     let target = solver.restore_target_v(2);
     assert!(worst_direct > worst_reversed);
-    assert!(!leak.survives(target, worst_direct), "direct wiring must be unsafe");
+    assert!(
+        !leak.survives(target, worst_direct),
+        "direct wiring must be unsafe"
+    );
     assert!(leak.survives(target, worst_reversed));
 }
 
@@ -56,6 +59,7 @@ fn skip_fraction_matches_mode_contract() {
             0.0,
             len,
         )
+        .unwrap()
     };
     // 2/4x, 100% region: half of all slots skipped, the rest fast.
     let r = run(2, 4, 1.0);
@@ -90,7 +94,7 @@ fn skip_fraction_matches_mode_contract() {
 fn refresh_slots_never_starve_under_load() {
     // Even with a saturating workload, the backlog-forced refresh path
     // must keep refreshes flowing at the JEDEC rate (within postponement).
-    let r = run_single("stream", McrMode::off(), Mechanisms::none(), 0.0, 30_000);
+    let r = run_single("stream", McrMode::off(), Mechanisms::none(), 0.0, 30_000).unwrap();
     let s = &r.controller.refresh;
     // Slots per rank = total_cycles / tREFI; 2 ranks.
     let expected = (r.total_mem_cycles / 6240) * 2;
@@ -126,7 +130,7 @@ fn high_temperature_keeps_every_mode_safe() {
 
 #[test]
 fn baseline_mode_never_fast_refreshes_or_skips() {
-    let r = run_single("comm3", McrMode::off(), Mechanisms::all(), 0.0, 10_000);
+    let r = run_single("comm3", McrMode::off(), Mechanisms::all(), 0.0, 10_000).unwrap();
     assert_eq!(r.controller.refresh.fast, 0);
     assert_eq!(r.controller.refresh.skipped, 0);
     assert!(r.controller.refresh.normal > 0);

@@ -33,7 +33,11 @@ fn parallel_equals_serial() {
     for (s, p) in serial.points.iter().zip(&parallel.points) {
         assert_eq!(s.label, p.label, "ordering must be preserved");
         assert_eq!(s.key, p.key);
-        assert_eq!(s.report, p.report, "jobs=1 vs jobs=4 diverged at {}", s.label);
+        assert_eq!(
+            s.report, p.report,
+            "jobs=1 vs jobs=4 diverged at {}",
+            s.label
+        );
     }
 }
 
