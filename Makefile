@@ -3,15 +3,36 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build test clippy fmt-check lint audit bench-smoke bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit bench-smoke bench clean
 
-# Full gate: build everything, lint with warnings denied, enforce
-# formatting, run the suite, then the mcr-lint static passes (source lint
-# + timing/mode-table/region checks).
-check: build clippy fmt-check test lint
+# Full gate: build everything (with and without the default `telemetry`
+# feature), lint with warnings denied, enforce formatting, run the suite
+# (which includes the golden-report snapshots), then the mcr-lint static
+# passes (source lint + timing/mode-table/region checks).
+check: build build-nodefault clippy fmt-check test golden lint
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
+
+# The instrumented crates must keep compiling with telemetry disabled
+# (recording call sites are feature-gated; the structs always exist).
+build-nodefault:
+	$(CARGO) build $(OFFLINE) -p mcr-telemetry
+	$(CARGO) build $(OFFLINE) -p dram-device --no-default-features
+	$(CARGO) build $(OFFLINE) -p mem-controller --no-default-features
+	$(CARGO) build $(OFFLINE) -p cpu-model --no-default-features
+	$(CARGO) build $(OFFLINE) -p mcr-dram --no-default-features
+
+# Golden-report snapshots (tests/goldens/): byte-exact scalar outcomes of
+# the Table-3 modes. Runs as part of `make test` too; this target gives
+# the suite a fast standalone entry point.
+golden:
+	$(CARGO) test $(OFFLINE) -p mcr-dram --test golden_reports -q
+
+# Regenerate the golden snapshots after an intentional behaviour change,
+# then review the diff like any other code change.
+bless:
+	MCR_BLESS=1 $(CARGO) test $(OFFLINE) -p mcr-dram --test golden_reports -q
 
 clippy:
 	$(CARGO) clippy $(OFFLINE) --workspace --all-targets -- -D warnings

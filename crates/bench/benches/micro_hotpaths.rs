@@ -6,6 +6,7 @@
 use dram_device::{Channel, Geometry, PhysAddr, RowTimingClass, TimingSet};
 use mcr_bench::{header, timed};
 use mcr_dram::{McrMode, System, SystemConfig};
+use mcr_telemetry::{Counter, LatencyHistogram};
 use mem_controller::{ControllerConfig, MemoryController, NormalPolicy, PageInterleave};
 use std::time::Instant;
 use trace_gen::{workload, TraceGenerator};
@@ -70,6 +71,32 @@ fn bench_tracegen() {
     });
 }
 
+fn bench_telemetry() {
+    // The primitives sit on the per-command hot path; they must cost a
+    // handful of ns and allocate nothing in steady state.
+    let mut counter = Counter::new();
+    bench("telemetry/counter_inc_1k", 100_000, || {
+        for _ in 0..1_000 {
+            counter.inc();
+        }
+        counter.get()
+    });
+    let mut hist = LatencyHistogram::new();
+    let mut v = 1u64;
+    bench("telemetry/hist_record_1k", 100_000, || {
+        for _ in 0..1_000 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(v >> 40);
+        }
+        hist.count()
+    });
+    let other = hist.clone();
+    bench("telemetry/hist_merge", 100_000, || {
+        hist.merge(&other);
+        hist.count()
+    });
+}
+
 fn bench_end_to_end() {
     bench("system/end_to_end_5k", 10, || {
         let cfg = SystemConfig::single_core("libq", 5_000).with_mode(McrMode::headline());
@@ -83,6 +110,7 @@ fn main() {
         bench_bank_fsm();
         bench_controller();
         bench_tracegen();
+        bench_telemetry();
         bench_end_to_end();
     });
 }

@@ -11,7 +11,12 @@
 //! configuration so the reductions are immediately visible.
 
 use mcr_dram::experiments::Outcome;
-use mcr_dram::{McrMode, Mechanisms, RowCacheConfig, RunReport, SweepBuilder, SystemConfig};
+use mcr_dram::{
+    telemetry_to_json, McrMode, Mechanisms, RowCacheConfig, RunReport, SweepBuilder, System,
+    SystemConfig,
+};
+use mcr_telemetry::RingRecorder;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use trace_gen::{all_workloads, multi_programmed_mixes, multi_threaded_group, workload};
 
@@ -26,9 +31,15 @@ struct Args {
     seed: u64,
     csv: bool,
     json: bool,
+    metrics: bool,
+    trace_out: Option<String>,
     jobs: Option<usize>,
     mechanisms: Mechanisms,
 }
+
+/// Ring capacity for `--trace-out`: the trailing window of scheduler
+/// events kept for the dump.
+const TRACE_CAPACITY: usize = 1 << 16;
 
 fn usage() {
     eprintln!(
@@ -44,6 +55,9 @@ fn usage() {
            --jobs N          sweep worker threads (default: all cores)\n\
            --csv             emit one CSV line instead of the report\n\
            --json            emit the sweep results as JSON\n\
+           --metrics         append the MCR point's telemetry as JSON\n\
+           --trace-out FILE  re-run the MCR point with a ring recorder and\n\
+                             dump the trailing scheduler events as JSONL\n\
            --list            list workloads and mixes and exit"
     );
 }
@@ -71,6 +85,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         seed: 2015,
         csv: false,
         json: false,
+        metrics: false,
+        trace_out: None,
         jobs: None,
         mechanisms: Mechanisms::all(),
     };
@@ -143,6 +159,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--csv" => args.csv = true,
             "--json" => args.json = true,
+            "--metrics" => args.metrics = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--help" | "-h" => {
                 usage();
                 return Ok(None);
@@ -184,6 +202,44 @@ fn build_config(a: &Args) -> Result<SystemConfig, String> {
         });
     }
     Ok(cfg)
+}
+
+/// Re-runs `cfg` with a [`RingRecorder`] installed and writes the trailing
+/// [`TRACE_CAPACITY`] scheduler events as JSON lines to `path`.
+fn dump_trace(cfg: &SystemConfig, path: &str) -> Result<(), String> {
+    let mut sys = System::try_build(cfg).map_err(|e| format!("invalid configuration: {e}"))?;
+    sys.set_trace_sink(Box::new(RingRecorder::new(TRACE_CAPACITY)));
+    let cap: u64 = 500_000_000;
+    while !sys.step(100_000) {
+        if sys.now() >= cap {
+            return Err(format!("simulation wedged at cycle {}", sys.now()));
+        }
+    }
+    let Some(sink) = sys.take_trace_sink() else {
+        return Err("trace sink disappeared mid-run".into());
+    };
+    let Some(ring) = sink.as_any().downcast_ref::<RingRecorder>() else {
+        return Err("trace sink is not the installed ring recorder".into());
+    };
+    let mut out = String::new();
+    for ev in ring.events() {
+        let _ = writeln!(
+            out,
+            "{{\"cycle\": {}, \"kind\": \"{}\", \"a\": {}, \"b\": {}}}",
+            ev.cycle,
+            ev.kind.name(),
+            ev.a,
+            ev.b
+        );
+    }
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "trace: {} events written to {path} ({} recorded, {} dropped by the ring)",
+        ring.len(),
+        ring.total(),
+        ring.dropped()
+    );
+    Ok(())
 }
 
 fn print_report(label: &str, r: &RunReport) {
@@ -228,6 +284,7 @@ fn main() -> ExitCode {
         .clone()
         .or(args.mix.clone())
         .expect("target set");
+    let trace_cfg = cfg.clone();
     let mut builder = SweepBuilder::new(args.len)
         .point("baseline [off]", base_cfg)
         .point(format!("MCR {}", args.mode), cfg);
@@ -242,8 +299,17 @@ fn main() -> ExitCode {
         }
     };
     let results = sweep.run();
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = dump_trace(&trace_cfg, path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if args.json {
         print!("{}", results.to_json());
+        if args.metrics {
+            print!("{}", telemetry_to_json(&results.points[1].report.telemetry));
+        }
         return ExitCode::SUCCESS;
     }
     let base = &results.points[0].report;
@@ -256,6 +322,9 @@ fn main() -> ExitCode {
             "{target},{},{:.4},{:.4},{:.4}",
             args.mode, o.exec_reduction, o.latency_reduction, o.edp_reduction
         );
+        if args.metrics {
+            print!("{}", telemetry_to_json(&run.telemetry));
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -282,6 +351,10 @@ fn main() -> ExitCode {
             "row cache: {} hits, {} misses, {} promotions, {} evictions",
             c.hits, c.misses, c.promotions, c.evictions
         );
+    }
+    if args.metrics {
+        println!();
+        print!("{}", telemetry_to_json(&run.telemetry));
     }
     ExitCode::SUCCESS
 }

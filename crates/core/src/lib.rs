@@ -69,6 +69,7 @@ mod policy;
 mod report;
 pub mod sweep;
 mod system;
+mod telemetry;
 mod timing;
 
 pub use alloc::RowRemapper;
@@ -79,7 +80,8 @@ pub use mechanisms::Mechanisms;
 pub use mode::{McrMode, ModeError};
 pub use mode_change::{ModeChangePlan, OsVisibleMemory};
 pub use policy::McrPolicy;
-pub use report::ResultTable;
+pub use report::{telemetry_to_csv, telemetry_to_json, ResultTable};
 pub use sweep::{PointResult, ResultCache, Sweep, SweepBuilder, SweepPoint, SweepResults};
 pub use system::{ConfigError, MappingKind, RunReport, System, SystemConfig};
+pub use telemetry::{BankCommandCounts, Telemetry};
 pub use timing::{DeviceClass, McrTimingTable, ModeTiming};

@@ -2,9 +2,13 @@
 //!
 //! The figure benches print human-readable tables; this module gives
 //! downstream tooling a machine-readable path: collect [`Outcome`]s into a
-//! [`ResultTable`] and render it as CSV or an aligned text table.
+//! [`ResultTable`] and render it as CSV or an aligned text table, or
+//! export a run's [`Telemetry`] section as JSON / CSV
+//! ([`telemetry_to_json`], [`telemetry_to_csv`]).
 
 use crate::experiments::Outcome;
+use crate::telemetry::Telemetry;
+use mcr_telemetry::LatencyHistogram;
 use std::fmt::Write as _;
 
 /// A labelled collection of experiment outcomes (rows) under named
@@ -82,17 +86,20 @@ impl ResultTable {
         out
     }
 
-    /// Column means `(exec, latency, edp)`.
-    pub fn means(&self) -> (f64, f64, f64) {
+    /// Column means `(exec, latency, edp)`, or `None` for an empty table.
+    ///
+    /// An empty table has no mean; the old `(0.0, 0.0, 0.0)` sentinel was
+    /// indistinguishable from a genuine zero-reduction result.
+    pub fn means(&self) -> Option<(f64, f64, f64)> {
         if self.rows.is_empty() {
-            return (0.0, 0.0, 0.0);
+            return None;
         }
         let n = self.rows.len() as f64;
-        (
+        Some((
             self.rows.iter().map(|r| r.exec_reduction).sum::<f64>() / n,
             self.rows.iter().map(|r| r.latency_reduction).sum::<f64>() / n,
             self.rows.iter().map(|r| r.edp_reduction).sum::<f64>() / n,
-        )
+        ))
     }
 }
 
@@ -100,6 +107,143 @@ impl Extend<Outcome> for ResultTable {
     fn extend<T: IntoIterator<Item = Outcome>>(&mut self, iter: T) {
         self.rows.extend(iter);
     }
+}
+
+/// JSON has no NaN/Infinity literals; map them to null.
+fn opt_f64_json(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_u64_json(x: Option<u64>) -> String {
+    match x {
+        Some(v) => format!("{v}"),
+        None => "null".to_string(),
+    }
+}
+
+fn hist_json(h: &LatencyHistogram) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .iter()
+        .map(|(ub, n)| format!("[{ub}, {n}]"))
+        .collect();
+    format!(
+        concat!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, ",
+            "\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, ",
+            "\"buckets\": [{}]}}"
+        ),
+        h.count(),
+        h.sum(),
+        opt_u64_json(h.min()),
+        opt_u64_json(h.max()),
+        opt_f64_json(h.mean()),
+        opt_u64_json(h.p50()),
+        opt_u64_json(h.p95()),
+        opt_u64_json(h.p99()),
+        buckets.join(", "),
+    )
+}
+
+/// Renders a run's [`Telemetry`] section as a self-contained JSON object
+/// (what `mcr_sim --metrics` prints).
+///
+/// Histograms export count/sum/min/max, the mean, the p50/p95/p99
+/// percentiles and the non-empty `[upper_bound, count]` buckets; empty
+/// histograms export `null` for min/max/mean/percentiles. Output is
+/// deterministic: same telemetry, same string.
+pub fn telemetry_to_json(t: &Telemetry) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"refreshes_normal\": {},", t.refreshes_normal);
+    let _ = writeln!(out, "  \"refreshes_fast\": {},", t.refreshes_fast);
+    let _ = writeln!(out, "  \"powerdown_entries\": {},", t.powerdown_entries);
+    let _ = writeln!(out, "  \"mode_changes\": {},", t.mode_changes);
+    let c = &t.controller;
+    let _ = writeln!(out, "  \"sched\": {{");
+    let _ = writeln!(out, "    \"activates\": {},", c.sched_activates.get());
+    let _ = writeln!(out, "    \"cas_read\": {},", c.sched_cas_read.get());
+    let _ = writeln!(out, "    \"cas_write\": {},", c.sched_cas_write.get());
+    let _ = writeln!(out, "    \"precharges\": {},", c.sched_precharges.get());
+    let _ = writeln!(out, "    \"refreshes\": {}", c.sched_refreshes.get());
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"act_to_data\": {},", hist_json(&t.act_to_data));
+    let _ = writeln!(out, "  \"read_latency\": {},", hist_json(&c.read_latency));
+    let _ = writeln!(
+        out,
+        "  \"read_queue_depth\": {},",
+        hist_json(&c.read_queue_depth)
+    );
+    let _ = writeln!(
+        out,
+        "  \"write_queue_depth\": {},",
+        hist_json(&c.write_queue_depth)
+    );
+    let _ = writeln!(
+        out,
+        "  \"core_read_latency\": {},",
+        hist_json(&t.core_read_latency)
+    );
+    let _ = writeln!(out, "  \"banks\": [");
+    for (i, b) in t.banks.iter().enumerate() {
+        let sep = if i + 1 == t.banks.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            concat!(
+                "    {{\"channel\": {}, \"rank\": {}, \"bank\": {}, ",
+                "\"activates\": {}, \"reads\": {}, \"writes\": {}, ",
+                "\"precharges\": {}}}{}"
+            ),
+            b.channel, b.rank, b.bank, b.activates, b.reads, b.writes, b.precharges, sep
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn hist_csv(out: &mut String, name: &str, h: &LatencyHistogram) {
+    let _ = writeln!(out, "{name}.count,{}", h.count());
+    let _ = writeln!(out, "{name}.sum,{}", h.sum());
+    let _ = writeln!(out, "{name}.min,{}", h.min().unwrap_or(0));
+    let _ = writeln!(out, "{name}.max,{}", h.max().unwrap_or(0));
+    let _ = writeln!(out, "{name}.p50,{}", h.p50().unwrap_or(0));
+    let _ = writeln!(out, "{name}.p95,{}", h.p95().unwrap_or(0));
+    let _ = writeln!(out, "{name}.p99,{}", h.p99().unwrap_or(0));
+}
+
+/// Renders a run's [`Telemetry`] section as flat `metric,value` CSV.
+///
+/// Histogram summary statistics use dotted names (`act_to_data.p95`);
+/// per-bank counters use `bank.<channel>.<rank>.<bank>.<counter>`. Empty
+/// histograms report 0 for min/max/percentiles.
+pub fn telemetry_to_csv(t: &Telemetry) -> String {
+    let mut out = String::from("metric,value\n");
+    let _ = writeln!(out, "refreshes_normal,{}", t.refreshes_normal);
+    let _ = writeln!(out, "refreshes_fast,{}", t.refreshes_fast);
+    let _ = writeln!(out, "powerdown_entries,{}", t.powerdown_entries);
+    let _ = writeln!(out, "mode_changes,{}", t.mode_changes);
+    let c = &t.controller;
+    let _ = writeln!(out, "sched.activates,{}", c.sched_activates.get());
+    let _ = writeln!(out, "sched.cas_read,{}", c.sched_cas_read.get());
+    let _ = writeln!(out, "sched.cas_write,{}", c.sched_cas_write.get());
+    let _ = writeln!(out, "sched.precharges,{}", c.sched_precharges.get());
+    let _ = writeln!(out, "sched.refreshes,{}", c.sched_refreshes.get());
+    hist_csv(&mut out, "act_to_data", &t.act_to_data);
+    hist_csv(&mut out, "read_latency", &c.read_latency);
+    hist_csv(&mut out, "read_queue_depth", &c.read_queue_depth);
+    hist_csv(&mut out, "write_queue_depth", &c.write_queue_depth);
+    hist_csv(&mut out, "core_read_latency", &t.core_read_latency);
+    for b in &t.banks {
+        let key = format!("bank.{}.{}.{}", b.channel, b.rank, b.bank);
+        let _ = writeln!(out, "{key}.activates,{}", b.activates);
+        let _ = writeln!(out, "{key}.reads,{}", b.reads);
+        let _ = writeln!(out, "{key}.writes,{}", b.writes);
+        let _ = writeln!(out, "{key}.precharges,{}", b.precharges);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -135,7 +279,9 @@ mod tests {
         let text = t.to_text();
         assert!(text.contains("demo"));
         assert!(text.contains("bbbb"));
-        let (e, l, d) = t.means();
+        let Some((e, l, d)) = t.means() else {
+            panic!("non-empty table must have means")
+        };
         assert_eq!(e, 15.0);
         assert_eq!(l, 22.5);
         assert_eq!(d, 30.0);
@@ -144,7 +290,45 @@ mod tests {
     #[test]
     fn empty_table_is_sane() {
         let t = ResultTable::new("empty");
-        assert_eq!(t.means(), (0.0, 0.0, 0.0));
+        assert_eq!(t.means(), None, "empty table has no mean");
         assert_eq!(t.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn telemetry_exports_are_deterministic_and_complete() {
+        let mut t = Telemetry {
+            refreshes_normal: 7,
+            ..Default::default()
+        };
+        t.act_to_data.record(40);
+        t.act_to_data.record(60);
+        t.banks.push(crate::telemetry::BankCommandCounts {
+            channel: 0,
+            rank: 1,
+            bank: 2,
+            activates: 3,
+            reads: 4,
+            writes: 5,
+            precharges: 6,
+        });
+        let json = telemetry_to_json(&t);
+        assert_eq!(json, telemetry_to_json(&t));
+        assert!(json.contains("\"refreshes_normal\": 7"));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"bank\": 2"));
+        let csv = telemetry_to_csv(&t);
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("refreshes_normal,7\n"));
+        assert!(csv.contains("act_to_data.count,2\n"));
+        assert!(csv.contains("bank.0.1.2.activates,3\n"));
+    }
+
+    #[test]
+    fn empty_histograms_export_null_in_json() {
+        let t = Telemetry::default();
+        let json = telemetry_to_json(&t);
+        assert!(json.contains("\"min\": null"));
+        assert!(json.contains("\"p50\": null"));
+        assert!(json.contains("\"banks\": [\n  ]"));
     }
 }

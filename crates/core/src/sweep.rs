@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
 use crate::system::{ConfigError, RunReport, System, SystemConfig};
+use crate::telemetry::Telemetry;
 use trace_gen::Mix;
 
 /// One labelled grid point: a config plus the human-readable name it is
@@ -497,6 +498,19 @@ impl SweepResults {
     /// The reports alone, in input order.
     pub fn reports(&self) -> Vec<&RunReport> {
         self.points.iter().map(|p| &p.report).collect()
+    }
+
+    /// Every point's telemetry folded into one aggregate.
+    ///
+    /// The fold always walks the sweep's declared input order — worker
+    /// scheduling cannot reorder it — so the merged telemetry is
+    /// bit-identical for any `jobs` count, like the per-point reports.
+    pub fn merged_telemetry(&self) -> Telemetry {
+        let mut merged = Telemetry::default();
+        for p in &self.points {
+            merged.merge(&p.report.telemetry);
+        }
+        merged
     }
 
     /// Serializes the results (labels, cache keys, timing, and headline

@@ -6,9 +6,11 @@ use crate::layout::RegionMap;
 use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
 use crate::policy::McrPolicy;
+use crate::telemetry::Telemetry;
 use cpu_model::{Core, CoreParams, RequestSink, TraceRecord, CPU_PER_MEM_CYCLE};
 use dram_device::{Cycle, Geometry, PhysAddr, RefreshWiring, TimingSet, T_CK_NS};
 use dram_power::{edp, EnergyBreakdown, PowerParams};
+use mcr_telemetry::TraceSink;
 use mem_controller::{
     AddressMapper, BitReversal, ControllerConfig, ControllerStats, MemoryController,
     PageInterleave, PermutationInterleave, RowPolicy, SchedulerKind,
@@ -508,6 +510,10 @@ pub struct RunReport {
     /// Mean read latency per core, in memory cycles (0.0 for cores that
     /// issued no reads).
     pub per_core_read_latency: Vec<f64>,
+    /// Telemetry section: per-bank command counters, refresh/power-down
+    /// counts and latency histograms from every instrumented layer
+    /// (all-zero when the `telemetry` feature is disabled).
+    pub telemetry: Telemetry,
 }
 
 impl RunReport {
@@ -835,6 +841,39 @@ impl System {
         self.controller.audit_violations()
     }
 
+    /// Snapshot of everything the instrumented layers have recorded so
+    /// far: per-bank command counters and the ACT→data histogram from the
+    /// device, scheduler/queue telemetry from the controller, and the
+    /// per-core memory-latency histogram (merged across cores).
+    ///
+    /// Callable mid-run between [`System::step`] calls; [`System::report`]
+    /// embeds the final snapshot in [`RunReport::telemetry`].
+    pub fn telemetry_snapshot(&self) -> Telemetry {
+        let mut t = Telemetry::default();
+        for (ci, chan) in self.controller.channels().enumerate() {
+            t.absorb_channel(ci, chan.telemetry());
+        }
+        t.controller = self.controller.telemetry().clone();
+        for core in &self.cores {
+            t.core_read_latency.merge(&core.stats().mem_read_latency);
+        }
+        t
+    }
+
+    /// Installs a trace sink on the memory controller; every scheduler
+    /// decision (ACT/CAS/PRE/REF, power-down, mode changes) is recorded
+    /// into it while the `telemetry` feature is enabled.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.controller.set_trace_sink(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any. Call before
+    /// [`System::report`] (which consumes the system) to inspect the
+    /// recorded events.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.controller.take_trace_sink()
+    }
+
     /// Runs the auditor's end-of-timeline checks (tail refresh-starvation)
     /// without consuming the system, so external drivers like `mcr-lint`
     /// can collect violations as diagnostics instead of panicking the way
@@ -855,6 +894,7 @@ impl System {
     /// open) do not panic.
     pub fn report(mut self) -> RunReport {
         let mem_now = self.mem_now;
+        let telemetry = self.telemetry_snapshot();
         self.controller.finish(mem_now);
         self.controller.audit_finish(mem_now);
         let errors: Vec<_> = self
@@ -904,6 +944,7 @@ impl System {
             instructions,
             cache,
             per_core_read_latency,
+            telemetry,
         }
     }
 }

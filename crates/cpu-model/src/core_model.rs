@@ -85,8 +85,8 @@ pub struct Core<T> {
     head_seq: u64,
     /// Sequence number the next fetched instruction will get.
     next_seq: u64,
-    /// Sink-minted read tokens → ROB sequence numbers.
-    inflight: HashMap<u64, u64>,
+    /// Sink-minted read tokens → (ROB sequence number, issue CPU cycle).
+    inflight: HashMap<u64, (u64, u64)>,
     stats: CoreStats,
 }
 
@@ -133,9 +133,15 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
     ///
     /// Panics if the token does not refer to an in-flight read.
     pub fn complete_read(&mut self, token: u64, ready_at: u64) {
-        let Some(seq) = self.inflight.remove(&token) else {
+        let Some((seq, issued_at)) = self.inflight.remove(&token) else {
             panic!("token {token} does not name an in-flight read of this core")
         };
+        #[cfg(feature = "telemetry")]
+        self.stats
+            .mem_read_latency
+            .record(ready_at.saturating_sub(issued_at));
+        #[cfg(not(feature = "telemetry"))]
+        let _ = issued_at;
         let Some(idx) = seq.checked_sub(self.head_seq) else {
             panic!("read {token} retired before completing")
         };
@@ -218,7 +224,7 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
                 FetchState::MemOp { kind, addr } => match kind {
                     ReqKind::Read => match mem.try_read(self.id, addr) {
                         Some(token) => {
-                            self.inflight.insert(token, self.next_seq);
+                            self.inflight.insert(token, (self.next_seq, now));
                             self.rob.push_back(PENDING);
                             self.next_seq += 1;
                             self.stats.reads_issued += 1;

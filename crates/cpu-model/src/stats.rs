@@ -1,5 +1,7 @@
 //! Per-core execution statistics.
 
+use mcr_telemetry::LatencyHistogram;
+
 /// Counters accumulated by a [`crate::Core`] while it runs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
@@ -17,6 +19,9 @@ pub struct CoreStats {
     /// CPU cycle at which the core retired its last instruction
     /// (0 while still running).
     pub done_cycle: u64,
+    /// Memory read latency as seen by this core, issue to data delivery,
+    /// in CPU cycles (empty when the `telemetry` feature is disabled).
+    pub mem_read_latency: LatencyHistogram,
 }
 
 impl CoreStats {

@@ -18,6 +18,7 @@ use crate::bank::Bank;
 use crate::command::{Command, CommandKind};
 use crate::counters::ActivityCounters;
 use crate::error::{DeviceError, TimingError};
+use crate::telemetry::ChannelTelemetry;
 use crate::timing::{Cycle, RowTiming, RowTimingClass, TimingSet};
 use crate::{DramAddress, Geometry};
 use std::collections::VecDeque;
@@ -121,6 +122,9 @@ pub struct Channel {
     cmd_trace: Option<(usize, VecDeque<Command>)>,
     /// Online protocol auditor (None = disabled).
     audit: Option<ProtocolAuditor>,
+    /// Per-bank command counters and ACT→data histogram. Recording is
+    /// gated by the `telemetry` feature; the struct always exists.
+    telemetry: ChannelTelemetry,
 }
 
 impl Channel {
@@ -146,6 +150,7 @@ impl Channel {
             ranks: (0..geometry.ranks)
                 .map(|_| Rank::new(geometry.banks))
                 .collect(),
+            telemetry: ChannelTelemetry::new(geometry.ranks as usize, geometry.banks as usize),
             geometry,
             timing,
             row_timings: vec![baseline],
@@ -156,6 +161,12 @@ impl Channel {
             cmd_trace: None,
             audit,
         }
+    }
+
+    /// The channel's telemetry (all-zero when the `telemetry` feature
+    /// is disabled).
+    pub fn telemetry(&self) -> &ChannelTelemetry {
+        &self.telemetry
     }
 
     /// Enables recording of the last `capacity` issued commands, for
@@ -231,6 +242,8 @@ impl Channel {
     /// stream. The auditor flags the change when banks are still open; this
     /// simulator applies it regardless (the modeled OS quiesces around it).
     pub fn note_mode_change(&mut self, now: Cycle) {
+        #[cfg(feature = "telemetry")]
+        self.telemetry.note_mode_change();
         let baseline = self.row_timings[0];
         self.observe(
             Command {
@@ -355,6 +368,8 @@ impl Channel {
         }
         if r.powered_down_since.is_none() {
             r.powered_down_since = Some(now);
+            #[cfg(feature = "telemetry")]
+            self.telemetry.note_powerdown_enter();
         }
         Ok(())
     }
@@ -528,6 +543,8 @@ impl Channel {
         r.counters.activates += 1;
         r.counters.extra_wordlines += extra_wordlines as u64;
         r.counters.restore_truncation_cycles += base_ras.saturating_sub(rt.t_ras) as u64;
+        #[cfg(feature = "telemetry")]
+        self.telemetry.note_activate(rank, bank, now);
         Ok(())
     }
 
@@ -698,6 +715,9 @@ impl Channel {
         self.bus_free = data_end;
         self.last_bus_op = if is_read { BusOp::Read } else { BusOp::Write };
         self.last_bus_rank = Some(rank);
+        #[cfg(feature = "telemetry")]
+        self.telemetry
+            .note_cas(rank, bank, is_read, auto_pre, data_end);
         Ok(data_end)
     }
 
@@ -741,6 +761,8 @@ impl Channel {
         let r = &mut self.ranks[rank as usize];
         r.counters.observe(now, -1);
         r.counters.precharges += 1;
+        #[cfg(feature = "telemetry")]
+        self.telemetry.note_precharge(rank, bank);
         Ok(())
     }
 
@@ -793,6 +815,8 @@ impl Channel {
         }
         r.counters.refreshes += 1;
         r.counters.refresh_busy_cycles += t_rfc as u64;
+        #[cfg(feature = "telemetry")]
+        self.telemetry.note_refresh(t_rfc_override.is_some());
         self.note_cmd(now);
         let baseline = self.row_timings[0];
         self.observe(

@@ -52,6 +52,7 @@ mod command;
 mod counters;
 mod error;
 mod refresh;
+mod telemetry;
 mod timing;
 
 pub use addr::{DramAddress, Geometry, PhysAddr};
@@ -65,4 +66,5 @@ pub use command::{Command, CommandKind, ReqKind};
 pub use counters::ActivityCounters;
 pub use error::{DeviceError, TimingError};
 pub use refresh::{max_refresh_interval_ms, refresh_schedule, RefreshCounter, RefreshWiring};
+pub use telemetry::{BankCounters, ChannelTelemetry};
 pub use timing::{ns_to_cycles, Cycle, RowTiming, RowTimingClass, TimingSet, T_CK_NS};

@@ -1,0 +1,142 @@
+//! Randomized (seeded, deterministic) property tests for the telemetry
+//! primitives, in the style of the workspace's `proptests_core` suite:
+//! `sim-rng` drives the cases, so every failure is reproducible from
+//! the printed seed.
+
+use mcr_telemetry::{Counter, LatencyHistogram};
+use sim_rng::SmallRng;
+
+/// A histogram filled with `n` samples drawn from a skewed mix of
+/// magnitudes (small cycle counts, mid-range, and rare huge outliers —
+/// the shapes real latency streams have).
+fn random_histogram(rng: &mut SmallRng, n: usize) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for _ in 0..n {
+        let v = match rng.gen_range(0..10u32) {
+            0..=5 => rng.gen_range(0..64u64),
+            6..=8 => rng.gen_range(0..100_000u64),
+            _ => rng.next_u64() >> rng.gen_range(0..32u32) as u64,
+        };
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn merge_is_commutative() {
+    let mut rng = SmallRng::seed_from_u64(0x7E1E_0001);
+    for case in 0..200 {
+        let (na, nb) = (rng.gen_range(0..200usize), rng.gen_range(0..200usize));
+        let a = random_histogram(&mut rng, na);
+        let b = random_histogram(&mut rng, nb);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "a+b != b+a (case {case})");
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    let mut rng = SmallRng::seed_from_u64(0x7E1E_0002);
+    for case in 0..200 {
+        let (na, nb, nc) = (
+            rng.gen_range(0..150usize),
+            rng.gen_range(0..150usize),
+            rng.gen_range(0..150usize),
+        );
+        let a = random_histogram(&mut rng, na);
+        let b = random_histogram(&mut rng, nb);
+        let c = random_histogram(&mut rng, nc);
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "(a+b)+c != a+(b+c) (case {case})");
+    }
+}
+
+#[test]
+fn merge_empty_is_identity() {
+    let mut rng = SmallRng::seed_from_u64(0x7E1E_0003);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..100usize);
+        let a = random_histogram(&mut rng, n);
+        let mut merged = a.clone();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, a, "merging an empty histogram must be a no-op");
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+    }
+}
+
+#[test]
+fn percentiles_bounded_by_min_max_and_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x7E1E_0004);
+    for case in 0..300 {
+        let n = rng.gen_range(1..400usize);
+        let h = random_histogram(&mut rng, n);
+        let (min, max) = (h.min().expect("nonempty"), h.max().expect("nonempty"));
+        let mut last = min;
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p).expect("nonempty");
+            assert!(
+                (min..=max).contains(&v),
+                "p{p} = {v} outside [{min}, {max}] (case {case})"
+            );
+            assert!(v >= last, "percentiles must be monotone in p (case {case})");
+            last = v;
+        }
+        assert_eq!(h.percentile(100.0), Some(max), "p100 is exactly max");
+    }
+}
+
+#[test]
+fn counters_saturate_instead_of_wrapping() {
+    let mut rng = SmallRng::seed_from_u64(0x7E1E_0005);
+    for _ in 0..200 {
+        let mut c = Counter::new();
+        let near_top = u64::MAX - rng.gen_range(0..16u64);
+        c.add(near_top);
+        let before = c.get();
+        c.add(rng.gen_range(0..1_000u64));
+        assert!(c.get() >= before, "adding must never decrease the value");
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "pegged at MAX, not wrapped");
+        // Merging two saturated counters stays saturated.
+        let mut d = Counter::new();
+        d.add(u64::MAX);
+        d.merge(&c);
+        assert_eq!(d.get(), u64::MAX);
+    }
+}
+
+#[test]
+fn histogram_count_sum_track_inputs_exactly_below_saturation() {
+    let mut rng = SmallRng::seed_from_u64(0x7E1E_0006);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..300usize);
+        let mut h = LatencyHistogram::new();
+        let mut expect_sum = 0u64;
+        let mut expect_min = u64::MAX;
+        let mut expect_max = 0u64;
+        for _ in 0..n {
+            let v = rng.gen_range(0..1_000_000u64);
+            h.record(v);
+            expect_sum += v;
+            expect_min = expect_min.min(v);
+            expect_max = expect_max.max(v);
+        }
+        assert_eq!(h.count(), n as u64);
+        assert_eq!(h.sum(), expect_sum);
+        assert_eq!(h.min(), Some(expect_min));
+        assert_eq!(h.max(), Some(expect_max));
+    }
+}

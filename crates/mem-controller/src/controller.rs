@@ -6,10 +6,14 @@ use crate::policy::{DevicePolicy, RefreshAction};
 use crate::refresh::RefreshScheduler;
 use crate::request::Request;
 use crate::stats::ControllerStats;
+use crate::telemetry::CtlTelemetry;
 use dram_device::{
     Channel, CloneFrame, Cycle, DeviceError, Geometry, PhysAddr, RefreshWiring, ReqKind, TimingSet,
     Violation,
 };
+use mcr_telemetry::TraceSink;
+#[cfg(feature = "telemetry")]
+use mcr_telemetry::{TraceEvent, TraceEventKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -125,6 +129,11 @@ pub struct MemoryController {
     next_token: u64,
     stats: ControllerStats,
     last_tick: Option<Cycle>,
+    /// Scheduler-decision counters and queue histograms. Recording is
+    /// gated by the `telemetry` feature; the struct always exists.
+    telemetry: CtlTelemetry,
+    /// Optional per-command event sink (`None` = disabled).
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -205,7 +214,40 @@ impl MemoryController {
             next_token: 0,
             stats: ControllerStats::default(),
             last_tick: None,
+            telemetry: CtlTelemetry::default(),
+            trace: None,
         })
+    }
+
+    /// The controller's telemetry (all-zero when the `telemetry`
+    /// feature is disabled).
+    pub fn telemetry(&self) -> &CtlTelemetry {
+        &self.telemetry
+    }
+
+    /// Installs a per-command trace sink (replacing any previous one).
+    /// Events flow only while the `telemetry` feature is enabled.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// The installed trace sink, if any (downcast via
+    /// [`TraceSink::as_any`] to recover a concrete recorder).
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.trace.as_deref()
+    }
+
+    /// Removes and returns the installed trace sink.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Feeds one event to the installed trace sink, if any.
+    #[cfg(feature = "telemetry")]
+    fn trace_event(&mut self, kind: TraceEventKind, cycle: Cycle, a: u64, b: u64) {
+        if let Some(sink) = &mut self.trace {
+            sink.record(TraceEvent { cycle, kind, a, b });
+        }
     }
 
     /// The controller's configuration.
@@ -310,6 +352,8 @@ impl MemoryController {
         for ch in &mut self.channels {
             ch.chan.note_mode_change(now);
         }
+        #[cfg(feature = "telemetry")]
+        self.trace_event(TraceEventKind::ModeChange, now, 0, 0);
     }
 
     /// Number of queued reads in channel `ch`.
@@ -405,6 +449,16 @@ impl MemoryController {
         self.last_tick = Some(now);
         let mut done = Vec::new();
         for ci in 0..self.channels.len() {
+            #[cfg(feature = "telemetry")]
+            {
+                let ch = &self.channels[ci];
+                self.telemetry
+                    .read_queue_depth
+                    .record(ch.read_q.len() as u64);
+                self.telemetry
+                    .write_queue_depth
+                    .record(ch.write_q.len() as u64);
+            }
             if self.config.refresh_enabled {
                 self.channels[ci].refresh.tick(now, self.policy.as_mut());
             }
@@ -421,6 +475,8 @@ impl MemoryController {
                 let latency = ready - enq;
                 self.stats.reads_done += 1;
                 self.stats.read_latency_sum += latency;
+                #[cfg(feature = "telemetry")]
+                self.telemetry.read_latency.record(latency);
                 done.push(Completion {
                     token,
                     core_id: core,
@@ -670,6 +726,17 @@ impl MemoryController {
             }
         };
         let Ok(data_end) = result else { return false };
+        #[cfg(feature = "telemetry")]
+        {
+            let kind = if drain {
+                self.telemetry.sched_cas_write.inc();
+                TraceEventKind::Write
+            } else {
+                self.telemetry.sched_cas_read.inc();
+                TraceEventKind::Read
+            };
+            self.trace_event(kind, now, req.dram.rank as u64, req.dram.bank as u64);
+        }
         match req.service_class() {
             crate::request::ServiceClass::RowHit => self.stats.row_hits += 1,
             crate::request::ServiceClass::RowMiss => self.stats.row_misses += 1,
@@ -698,6 +765,16 @@ impl MemoryController {
         {
             return false;
         }
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.sched_activates.inc();
+            self.trace_event(
+                TraceEventKind::Activate,
+                now,
+                dram.rank as u64,
+                dram.bank as u64,
+            );
+        }
         let q = if drain {
             &mut self.channels[ci].write_q
         } else {
@@ -712,6 +789,16 @@ impl MemoryController {
         let ch = &mut self.channels[ci];
         if ch.chan.precharge(dram.rank, dram.bank, now).is_err() {
             return false;
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.sched_precharges.inc();
+            self.trace_event(
+                TraceEventKind::Precharge,
+                now,
+                dram.rank as u64,
+                dram.bank as u64,
+            );
         }
         let q = if drain {
             &mut self.channels[ci].write_q
@@ -734,7 +821,18 @@ impl MemoryController {
         };
         let ch = &mut self.channels[ci];
         if ch.chan.refresh(rank, now, t_rfc).is_ok() {
-            ch.refresh.consume(rank).is_some()
+            let consumed = ch.refresh.consume(rank).is_some();
+            #[cfg(feature = "telemetry")]
+            if consumed {
+                self.telemetry.sched_refreshes.inc();
+                let kind = if t_rfc.is_some() {
+                    TraceEventKind::RefreshFast
+                } else {
+                    TraceEventKind::RefreshNormal
+                };
+                self.trace_event(kind, now, rank as u64, 0);
+            }
+            consumed
         } else {
             false
         }
@@ -748,6 +846,11 @@ impl MemoryController {
                 && ch.chan.next_precharge_cycle(rank, bank) <= now
                 && ch.chan.precharge(rank, bank, now).is_ok()
             {
+                #[cfg(feature = "telemetry")]
+                {
+                    self.telemetry.sched_precharges.inc();
+                    self.trace_event(TraceEventKind::Precharge, now, rank as u64, bank as u64);
+                }
                 return true;
             }
         }

@@ -49,6 +49,7 @@ mod policy;
 mod refresh;
 mod request;
 mod stats;
+mod telemetry;
 
 pub use controller::{Completion, ControllerConfig, MemoryController, RowPolicy, SchedulerKind};
 pub use mapping::{AddressMapper, BitReversal, PageInterleave, PermutationInterleave};
@@ -56,3 +57,4 @@ pub use policy::{DevicePolicy, NormalPolicy, RefreshAction};
 pub use refresh::RefreshScheduler;
 pub use request::{Request, ServiceClass};
 pub use stats::ControllerStats;
+pub use telemetry::CtlTelemetry;

@@ -88,6 +88,60 @@ fn runtime_reconfiguration_mid_run() {
 }
 
 #[test]
+fn reconfiguration_is_audit_clean_and_preserves_telemetry() {
+    // Mode changes ride the MRS path while banks may be open; with the
+    // protocol auditor armed this must stay free of error-severity
+    // violations, and telemetry must carry across the transition instead
+    // of resetting (counters are monotone, the MRS itself is counted).
+    let cfg = SystemConfig::single_core("leslie", 8_000).with_mode(McrMode::headline());
+    let mut sys = System::build(&cfg);
+    assert!(
+        sys.audit_enabled(),
+        "auditor must be armed for this test (debug build / protocol-audit)"
+    );
+    sys.step(50_000);
+    let before = sys.telemetry_snapshot();
+    assert!(before.controller.sched_cas_read.get() > 0);
+    assert_eq!(before.mode_changes, 0);
+
+    sys.reconfigure(McrMode::new(2, 2, 1.0).unwrap());
+    let after = sys.telemetry_snapshot();
+    assert_eq!(after.mode_changes, 1, "the MRS itself must be counted");
+    assert_eq!(
+        after.controller.sched_cas_read.get(),
+        before.controller.sched_cas_read.get(),
+        "reconfigure must not reset or inflate scheduler counters"
+    );
+    assert_eq!(after.act_to_data.count(), before.act_to_data.count());
+
+    sys.step(30_000);
+    sys.reconfigure(McrMode::off());
+    while !sys.step(100_000) {
+        assert!(sys.now() < 100_000_000, "wedged");
+    }
+    let end = sys.telemetry_snapshot();
+    assert_eq!(end.mode_changes, 2);
+    assert!(
+        end.controller.sched_cas_read.get() > after.controller.sched_cas_read.get(),
+        "telemetry must keep accumulating after the mode changes"
+    );
+
+    sys.audit_finish_now();
+    let errors: Vec<String> = sys
+        .audit_violations()
+        .filter(|v| v.class.severity() == dram_device::Severity::Error)
+        .map(|v| v.to_string())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "mode changes must not break protocol: {errors:?}"
+    );
+    let r = sys.report();
+    assert_eq!(r.telemetry.mode_changes, 2);
+    assert!(r.reads_done > 0);
+}
+
+#[test]
 #[should_panic(expected = "not a relaxation")]
 fn tightening_reconfiguration_is_rejected() {
     let cfg = SystemConfig::single_core("black", 2_000).with_mode(McrMode::new(2, 2, 1.0).unwrap());

@@ -42,6 +42,33 @@ fn parallel_equals_serial() {
 }
 
 #[test]
+fn telemetry_is_bit_identical_across_worker_counts() {
+    // The telemetry section rides inside RunReport and must obey the same
+    // determinism contract as every other field: jobs=1 and jobs=8 produce
+    // byte-identical histograms and counters, per point and merged.
+    let serial = grid(1).run();
+    let parallel = grid(8).run();
+    assert_eq!(parallel.jobs, 8);
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(
+            s.report.telemetry, p.report.telemetry,
+            "telemetry diverged between jobs=1 and jobs=8 at {}",
+            s.label
+        );
+        assert!(
+            s.report.telemetry.controller.sched_cas_read.get() > 0,
+            "telemetry must actually record at {}",
+            s.label
+        );
+    }
+    assert_eq!(
+        serial.merged_telemetry(),
+        parallel.merged_telemetry(),
+        "merged telemetry must not depend on worker count"
+    );
+}
+
+#[test]
 fn repeated_run_is_all_cache_hits() {
     let sweep = grid(2);
     let first = sweep.run();
