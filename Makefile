@@ -3,13 +3,14 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit bench-smoke bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit chaos bench-smoke bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
-# (which includes the golden-report snapshots), then the mcr-lint static
-# passes (source lint + timing/mode-table/region checks).
-check: build build-nodefault clippy fmt-check test golden lint
+# (which includes the golden-report snapshots), the mcr-lint static
+# passes (source lint + timing/mode-table/region checks), then a seeded
+# fault-injection chaos campaign.
+check: build build-nodefault clippy fmt-check test golden lint chaos
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -53,6 +54,15 @@ lint:
 # the online auditor compiled in (release build + protocol-audit feature).
 audit:
 	$(CARGO) run $(OFFLINE) --release -p mcr-lint --features protocol-audit -- audit
+
+# Seeded retention-fault chaos campaign (DESIGN.md §5f): a clean control
+# run, then escalating fault rates; fails on any retention escape or any
+# lost read. CHAOS_SEED replays a specific campaign.
+CHAOS_SEED ?= 2015
+chaos:
+	$(CARGO) run $(OFFLINE) -q -p mcr-dram --bin mcr_sim -- \
+		--workload libq --mode 2/4x/100 --len 8000 \
+		--chaos --fault-seed $(CHAOS_SEED)
 
 # Quick pass over the figure benches at reduced trace lengths — shape
 # checks, not statistics (a few seconds instead of minutes).

@@ -2,6 +2,12 @@
 
 use crate::params::CircuitParams;
 
+/// Absolute voltage slack granted on the [`LeakageModel::survives`]
+/// boundary, so that a cell restored *exactly* to
+/// [`LeakageModel::min_restore_v`] is judged surviving despite f64
+/// round-off in the droop arithmetic.
+pub const BOUNDARY_EPS_V: f64 = 1e-12;
+
 /// Worst-case linear leakage model: the voltage droop over an interval is
 /// proportional to the interval length (the paper's footnote 4 assumption).
 ///
@@ -15,6 +21,22 @@ use crate::params::CircuitParams;
 /// assert_eq!(leak.droop_v(64.0), 2.0 * leak.droop_v(32.0));
 /// assert!(leak.survives(params.v_full, 64.0));
 /// ```
+///
+/// Degenerate intervals are defined, not UB-by-arithmetic: a negative or
+/// NaN `interval_ms` means "no time has passed" and droops nothing.
+///
+/// ```
+/// use circuit_model::{CircuitParams, LeakageModel};
+///
+/// let leak = LeakageModel::new(CircuitParams::calibrated());
+/// assert_eq!(leak.droop_v(-5.0), 0.0);
+/// assert_eq!(leak.droop_v(f64::NAN), 0.0);
+/// // The survives boundary is inclusive: restoring exactly to the
+/// // minimum restore voltage for an interval survives that interval.
+/// let boundary = leak.min_restore_v(32.0);
+/// assert!(leak.survives(boundary, 32.0));
+/// assert!(!leak.survives(boundary - 1e-6, 32.0));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LeakageModel {
     params: CircuitParams,
@@ -27,7 +49,14 @@ impl LeakageModel {
     }
 
     /// Worst-case voltage droop (V) over `interval_ms`.
+    ///
+    /// Negative and NaN intervals are clamped to zero droop (time cannot
+    /// run backwards, and a NaN interval must not poison the comparison
+    /// chain downstream).
     pub fn droop_v(&self, interval_ms: f64) -> f64 {
+        if interval_ms.is_nan() || interval_ms <= 0.0 {
+            return 0.0; // negative, zero or NaN interval: no leakage
+        }
         self.params.d64 * interval_ms / self.params.retention_ms
     }
 
@@ -38,10 +67,20 @@ impl LeakageModel {
         self.params.v_full - self.params.d64
     }
 
+    /// Signed margin (V) left after `interval_ms` of leakage from
+    /// `restored_v`: positive means the cell still reads correctly,
+    /// negative means data is lost. Zero is the exact boundary.
+    pub fn margin_v(&self, restored_v: f64, interval_ms: f64) -> f64 {
+        restored_v - self.droop_v(interval_ms) - self.retention_v()
+    }
+
     /// Checks data integrity: a cell restored to `restored_v` and left for
-    /// `interval_ms` must stay at or above the retention voltage.
+    /// `interval_ms` must stay **at or above** the retention voltage — the
+    /// boundary is inclusive (`>= retention_v`), with [`BOUNDARY_EPS_V`]
+    /// of slack so the exact [`Self::min_restore_v`] boundary is never
+    /// rejected by round-off.
     pub fn survives(&self, restored_v: f64, interval_ms: f64) -> bool {
-        restored_v - self.droop_v(interval_ms) >= self.retention_v() - 1e-12
+        self.margin_v(restored_v, interval_ms) >= -BOUNDARY_EPS_V
     }
 
     /// The minimum restore voltage that survives `interval_ms` of leakage.
@@ -84,6 +123,33 @@ mod tests {
         let early_precharge_v = p.v_full - p.d64 / 2.0;
         assert!(m.survives(early_precharge_v, 32.0));
         assert!(!m.survives(early_precharge_v, 64.0));
+    }
+
+    #[test]
+    fn degenerate_intervals_do_not_droop() {
+        let m = model();
+        assert_eq!(m.droop_v(0.0), 0.0);
+        assert_eq!(m.droop_v(-64.0), 0.0);
+        assert_eq!(m.droop_v(f64::NAN), 0.0);
+        // A NaN interval behaves like "no time passed": only the restore
+        // level decides survival, and the comparison stays well-defined.
+        let p = CircuitParams::calibrated();
+        assert!(m.survives(p.v_full, f64::NAN));
+        assert!(!m.survives(m.retention_v() - 0.01, f64::NAN));
+    }
+
+    #[test]
+    fn survives_boundary_is_inclusive() {
+        let m = model();
+        for interval in [1.0, 16.0, 32.0, 64.0] {
+            let boundary = m.min_restore_v(interval);
+            assert!(m.survives(boundary, interval), "interval {interval}");
+            assert!(
+                !m.survives(boundary - 1e-6, interval),
+                "interval {interval}"
+            );
+            assert!(m.margin_v(boundary, interval).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod solver;
 mod waveform;
 
 pub use calibrate::{calibrate, FitReport};
-pub use leakage::LeakageModel;
+pub use leakage::{LeakageModel, BOUNDARY_EPS_V};
 pub use params::CircuitParams;
 pub use solver::{McrTimingNs, TimingSolver};
 pub use waveform::{cell_restore_waveform, sense_waveform, WaveformPoint};

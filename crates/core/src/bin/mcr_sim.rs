@@ -12,8 +12,8 @@
 
 use mcr_dram::experiments::Outcome;
 use mcr_dram::{
-    telemetry_to_json, McrMode, Mechanisms, RowCacheConfig, RunReport, SweepBuilder, System,
-    SystemConfig,
+    telemetry_to_json, FaultPlan, McrMode, Mechanisms, RowCacheConfig, RunReport, SweepBuilder,
+    System, SystemConfig,
 };
 use mcr_telemetry::RingRecorder;
 use std::fmt::Write as _;
@@ -35,6 +35,9 @@ struct Args {
     trace_out: Option<String>,
     jobs: Option<usize>,
     mechanisms: Mechanisms,
+    fault_rate: Option<f64>,
+    fault_seed: Option<u64>,
+    chaos: bool,
 }
 
 /// Ring capacity for `--trace-out`: the trailing window of scheduler
@@ -58,6 +61,10 @@ fn usage() {
            --metrics         append the MCR point's telemetry as JSON\n\
            --trace-out FILE  re-run the MCR point with a ring recorder and\n\
                              dump the trailing scheduler events as JSONL\n\
+           --fault-rate F    arm retention-fault injection at rate F (0..1)\n\
+           --fault-seed N    fault-plan seed (default: --seed value)\n\
+           --chaos           seeded randomized fault campaign across rates;\n\
+                             prints the failing seed for replay on failure\n\
            --list            list workloads and mixes and exit"
     );
 }
@@ -89,6 +96,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         trace_out: None,
         jobs: None,
         mechanisms: Mechanisms::all(),
+        fault_rate: None,
+        fault_seed: None,
+        chaos: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -157,6 +167,23 @@ fn parse_args() -> Result<Option<Args>, String> {
                         .map_err(|e| format!("bad --jobs: {e}"))?,
                 )
             }
+            "--fault-rate" => {
+                let rate: f64 = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+                }
+                args.fault_rate = Some(rate);
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-seed: {e}"))?,
+                )
+            }
+            "--chaos" => args.chaos = true,
             "--csv" => args.csv = true,
             "--json" => args.json = true,
             "--metrics" => args.metrics = true,
@@ -177,19 +204,39 @@ fn parse_args() -> Result<Option<Args>, String> {
     Ok(Some(args))
 }
 
-fn build_config(a: &Args) -> Result<SystemConfig, String> {
-    let mut cfg = if let Some(name) = &a.workload {
-        workload(name).ok_or_else(|| format!("unknown workload {name:?} (try --list)"))?;
-        SystemConfig::single_core(name, a.len)
-    } else {
-        let name = a.mix.as_deref().expect("checked by parse_args");
-        let mut pool = multi_programmed_mixes(2015);
-        pool.extend(multi_threaded_group());
-        let mix = pool
-            .iter()
-            .find(|m| m.name == name)
-            .ok_or_else(|| format!("unknown mix {name:?} (mix01..mix14, MT-*)"))?;
-        SystemConfig::multi_core_mix(mix, a.len)
+/// Fault plan used for `--fault-rate R` and each chaos-campaign point:
+/// weak cells (at half retention), dropped refreshes and late refreshes
+/// all injected at `rate`, plus sense glitches at a tenth of it (droop
+/// from weak cells needs ~64 ms of simulated time to develop; glitches
+/// trip the same margin detector within CLI-scale runs), all driven by
+/// `seed`.
+fn fault_plan(rate: f64, seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_weak_cells(rate, 0.5)
+        .with_refresh_drops(rate)
+        .with_late_refreshes(rate, 1_000)
+        .with_sense_glitches(rate / 10.0)
+}
+
+/// Builds the MCR-point config and its display label from the parsed
+/// flags. No panics: every bad flag combination is a readable `Err`.
+fn build_config(a: &Args) -> Result<(SystemConfig, String), String> {
+    let (mut cfg, target) = match (&a.workload, &a.mix) {
+        (Some(name), None) => {
+            workload(name).ok_or_else(|| format!("unknown workload {name:?} (try --list)"))?;
+            (SystemConfig::single_core(name, a.len), name.clone())
+        }
+        (None, Some(name)) => {
+            let mut pool = multi_programmed_mixes(2015);
+            pool.extend(multi_threaded_group());
+            let mix = pool
+                .iter()
+                .find(|m| m.name == name.as_str())
+                .ok_or_else(|| format!("unknown mix {name:?} (mix01..mix14, MT-*)"))?;
+            (SystemConfig::multi_core_mix(mix, a.len), name.clone())
+        }
+        (Some(_), Some(_)) => return Err("--workload and --mix are mutually exclusive".into()),
+        (None, None) => return Err("need --workload or --mix (or --list)".into()),
     };
     cfg = cfg
         .with_mode(a.mode)
@@ -201,7 +248,10 @@ fn build_config(a: &Args) -> Result<SystemConfig, String> {
             promote_threshold: threshold,
         });
     }
-    Ok(cfg)
+    if let Some(rate) = a.fault_rate {
+        cfg = cfg.with_fault_plan(fault_plan(rate, a.fault_seed.unwrap_or(a.seed)));
+    }
+    Ok((cfg, target))
 }
 
 /// Re-runs `cfg` with a [`RingRecorder`] installed and writes the trailing
@@ -242,6 +292,52 @@ fn dump_trace(cfg: &SystemConfig, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Chaos campaign rates: a zero-rate control plus escalating injection.
+const CHAOS_RATES: [f64; 4] = [0.0, 0.02, 0.10, 0.25];
+
+/// Runs the seeded chaos campaign: one run per [`CHAOS_RATES`] entry,
+/// each with a fault plan derived from `fault_seed`, checking the
+/// reliability invariants after every run. On any failure the message
+/// names the exact `--fault-rate`/`--fault-seed` pair that replays it.
+fn run_chaos(cfg: &SystemConfig, fault_seed: u64) -> Result<(), String> {
+    let control = std::panic::catch_unwind(|| System::try_build(cfg).map(System::run))
+        .map_err(|_| "control run (no faults) panicked".to_string())?
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    for (i, &rate) in CHAOS_RATES.iter().enumerate() {
+        let seed = fault_seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+        let faulted = cfg.clone().with_fault_plan(fault_plan(rate, seed));
+        let replay = format!("replay: --fault-rate {rate} --fault-seed {seed}");
+        let r = std::panic::catch_unwind(|| System::try_build(&faulted).map(System::run))
+            .map_err(|_| format!("chaos run panicked (audit violation?); {replay}"))?
+            .map_err(|e| format!("invalid chaos configuration: {e}"))?;
+        let rel = &r.reliability;
+        if rel.retention_escapes != 0 {
+            return Err(format!(
+                "{} retention escape(s) with the detector armed; {replay}",
+                rel.retention_escapes
+            ));
+        }
+        if r.reads_done != control.reads_done {
+            return Err(format!(
+                "faulted run completed {} reads, control {}; {replay}",
+                r.reads_done, control.reads_done
+            ));
+        }
+        println!(
+            "chaos rate {rate:<5} seed {seed:>20}: {} retries, {} dropped, {} late, \
+             {} degrades, {} rearms, exec {:+.2}% vs control",
+            rel.retention_retries,
+            rel.refresh_dropped,
+            rel.refresh_late,
+            rel.guardband_degrades,
+            rel.guardband_rearms,
+            (r.exec_cpu_cycles as f64 / control.exec_cpu_cycles.max(1) as f64 - 1.0) * 100.0,
+        );
+    }
+    println!("chaos campaign passed ({} rates)", CHAOS_RATES.len());
+    Ok(())
+}
+
 fn print_report(label: &str, r: &RunReport) {
     println!(
         "{label:<22} exec {:>11} cpu-cycles | read-lat {:>6.2} | EDP {:.4e} J*s | hits {:.2}",
@@ -262,28 +358,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cfg = match build_config(&args) {
-        Ok(c) => c,
+    let (cfg, target) = match build_config(&args) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if args.chaos {
+        let fault_seed = args.fault_seed.unwrap_or(args.seed);
+        let mut chaos_cfg = cfg.clone();
+        chaos_cfg.fault_plan = None; // the campaign arms its own plans
+        println!("chaos campaign: target {target}, fault seed {fault_seed}");
+        return match run_chaos(&chaos_cfg, fault_seed) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut base_cfg = cfg.clone();
     base_cfg.mode = McrMode::off();
     base_cfg.region_map = None;
     base_cfg.mechanisms = Mechanisms::none();
     base_cfg.alloc_ratio = 0.0;
     base_cfg.row_cache = None;
+    base_cfg.fault_plan = None;
 
     // One two-point sweep: the engine validates both configs (a proper
     // error instead of a panic on bad flag combinations) and runs them in
     // parallel when --jobs allows.
-    let target = args
-        .workload
-        .clone()
-        .or(args.mix.clone())
-        .expect("target set");
     let trace_cfg = cfg.clone();
     let mut builder = SweepBuilder::new(args.len)
         .point("baseline [off]", base_cfg)
@@ -305,15 +410,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let (base, run) = match (results.points.first(), results.points.get(1)) {
+        (Some(b), Some(r)) => (&b.report, &r.report),
+        _ => {
+            eprintln!(
+                "error: sweep produced {} point(s), expected baseline + MCR",
+                results.points.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
     if args.json {
         print!("{}", results.to_json());
         if args.metrics {
-            print!("{}", telemetry_to_json(&results.points[1].report.telemetry));
+            print!("{}", telemetry_to_json(&run.telemetry));
         }
         return ExitCode::SUCCESS;
     }
-    let base = &results.points[0].report;
-    let run = &results.points[1].report;
     let o = Outcome::versus(&target, base, run);
 
     if args.csv {
@@ -350,6 +463,25 @@ fn main() -> ExitCode {
         println!(
             "row cache: {} hits, {} misses, {} promotions, {} evictions",
             c.hits, c.misses, c.promotions, c.evictions
+        );
+    }
+    let rel = &run.reliability;
+    if rel.fault_injection {
+        println!(
+            "faults (seed {}): {} margin checks, {} violations, {} retries, {} escapes",
+            rel.fault_seed,
+            rel.retention_checks,
+            rel.retention_violations,
+            rel.retention_retries,
+            rel.retention_escapes
+        );
+        println!(
+            "guardband: {} degrades, {} rearms, {} degraded cycles | refresh {} dropped, {} late",
+            rel.guardband_degrades,
+            rel.guardband_rearms,
+            rel.guardband_degraded_cycles,
+            rel.refresh_dropped,
+            rel.refresh_late
         );
     }
     if args.metrics {

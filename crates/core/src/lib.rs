@@ -82,6 +82,10 @@ pub use mode_change::{ModeChangePlan, OsVisibleMemory};
 pub use policy::McrPolicy;
 pub use report::{telemetry_to_csv, telemetry_to_json, ResultTable};
 pub use sweep::{PointResult, ResultCache, Sweep, SweepBuilder, SweepPoint, SweepResults};
-pub use system::{ConfigError, MappingKind, RunReport, System, SystemConfig};
+pub use system::{ConfigError, MappingKind, ReliabilityReport, RunReport, System, SystemConfig};
 pub use telemetry::{BankCommandCounts, Telemetry};
+// Fault-injection surface, re-exported so experiment drivers need only
+// this crate: the seeded plan and the guardband vocabulary it trips.
+pub use mcr_faults::FaultPlan;
+pub use mem_controller::{DegradeLevel, GuardbandConfig, GuardbandTransition};
 pub use timing::{DeviceClass, McrTimingTable, ModeTiming};

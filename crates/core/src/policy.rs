@@ -45,6 +45,13 @@ pub struct McrPolicy {
     row_bits: u32,
     /// Per-rank refresh slot counters.
     slot_counters: Vec<u64>,
+    /// Guardband rung `NoSkip` (and below): Refresh-Skipping suspended,
+    /// every slot issues a REFRESH.
+    skip_disabled: bool,
+    /// Guardband rung `FullRas`: MCR activations use the degraded
+    /// full-`tRAS` class variants (full restores; Early-Access `tRCD` is
+    /// kept, only Early-Precharge is reverted).
+    full_ras: bool,
 }
 
 impl McrPolicy {
@@ -95,6 +102,8 @@ impl McrPolicy {
             baseline: baseline.row,
             row_bits,
             slot_counters: vec![0; ranks as usize],
+            skip_disabled: false,
+            full_ras: false,
         }
     }
 
@@ -202,6 +211,37 @@ impl McrPolicy {
         self.baseline
     }
 
+    /// `(M, K)` of each registered non-baseline class, in class-index
+    /// order (`RowTimingClass(1 + i)`). Used by the system layer to derive
+    /// per-class restore voltages for retention tracking; the degraded
+    /// full-`tRAS` variants at offset `len()` always restore fully.
+    pub fn class_modes(&self) -> Vec<(u32, u32)> {
+        self.classes.iter().map(|c| (c.m, c.k)).collect()
+    }
+
+    /// Applies one guardband ladder rung (graceful timing degradation).
+    ///
+    /// The rungs are cumulative: `NoSkip` suspends Refresh-Skipping,
+    /// `FullRas` additionally reverts Early-Precharge by re-mapping MCR
+    /// rows onto the pre-registered degraded full-`tRAS` classes. `Full`
+    /// restores the configured mechanisms. K never changes, so every
+    /// rung is a relaxation (Table 2) and needs no page migration.
+    pub fn apply_degrade_level(&mut self, level: mem_controller::DegradeLevel) {
+        use mem_controller::DegradeLevel;
+        self.skip_disabled = level >= DegradeLevel::NoSkip;
+        self.full_ras = level >= DegradeLevel::FullRas;
+    }
+
+    /// True while Refresh-Skipping is suspended by the guardband ladder.
+    pub fn skip_disabled(&self) -> bool {
+        self.skip_disabled
+    }
+
+    /// True while MCR activations use the degraded full-`tRAS` classes.
+    pub fn full_ras(&self) -> bool {
+        self.full_ras
+    }
+
     /// Visit index (0..K) of refresh slot `c` for the MCR its row belongs
     /// to, under K-to-N-1-K wiring: the top `log2 K` bits of the counter.
     fn visit_index(&self, c: u64, k: u32) -> u64 {
@@ -222,6 +262,13 @@ impl DevicePolicy for McrPolicy {
             Some((_, r)) => {
                 let mode = r.mode();
                 let idx = self.class_index(mode.m(), mode.k());
+                // Guardband rung FullRas: same mode, but the degraded
+                // variant at offset `classes.len()` (full-tRAS restore).
+                let idx = if self.full_ras {
+                    idx + self.classes.len()
+                } else {
+                    idx
+                };
                 (RowTimingClass(1 + idx as u8), mode.k() - 1)
             }
             None => (RowTimingClass(0), 0),
@@ -244,7 +291,7 @@ impl DevicePolicy for McrPolicy {
         // the group's top bits are o's low bits, so adjacent slots carry
         // consecutive phases. (Without the stagger, all groups share one
         // phase and whole 16 ms quarter-sweeps would go refresh-free.)
-        if self.mechanisms.refresh_skipping {
+        if self.mechanisms.refresh_skipping && !self.skip_disabled {
             let p = mode.skip_period() as u64;
             if p > 1 {
                 let q = self.visit_index(c, mode.k());
@@ -266,7 +313,18 @@ impl DevicePolicy for McrPolicy {
     }
 
     fn timing_classes(&self) -> Vec<RowTiming> {
-        self.classes.iter().map(|c| c.row).collect()
+        // Normal classes first (indices 0..n → RowTimingClass 1..=n), then
+        // their degraded full-tRAS variants (guardband rung FullRas) at
+        // offset n: Early-Access tRCD kept, Early-Precharge reverted so
+        // every activation restores cells fully.
+        self.classes
+            .iter()
+            .map(|c| c.row)
+            .chain(self.classes.iter().map(|c| RowTiming {
+                t_rcd: c.row.t_rcd,
+                t_ras: self.baseline.t_ras,
+            }))
+            .collect()
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -316,8 +374,9 @@ mod tests {
         assert_eq!(p.activate_class(&addr(511)), (RowTimingClass(0), 0));
         assert_eq!(p.mcr_row_timing(), p.baseline_row_timing());
         // Classes stay registered (runtime mode change may need them) but
-        // no row maps to any of them.
-        assert_eq!(p.timing_classes().len(), 5);
+        // no row maps to any of them: 5 Table-3 modes plus their 5
+        // degraded full-tRAS guardband variants.
+        assert_eq!(p.timing_classes().len(), 10);
     }
 
     #[test]
@@ -428,13 +487,65 @@ mod tests {
     fn timing_classes_exports_all_table3_modes() {
         let p = policy(4, 4, 1.0, Mechanisms::all());
         let classes = p.timing_classes();
-        assert_eq!(classes.len(), 5);
+        // 5 Table-3 modes plus their degraded full-tRAS variants.
+        assert_eq!(classes.len(), 10);
         // 4/4x is class index 4 (RowTimingClass(5)).
         assert_eq!(classes[4].t_rcd, 6);
         assert_eq!(classes[4].t_ras, 16);
         // 2/2x is class index 1.
         assert_eq!(classes[1].t_rcd, 8);
         assert_eq!(classes[1].t_ras, 18);
+        // Degraded variants keep Early-Access tRCD, revert tRAS to
+        // baseline (full restore).
+        assert_eq!(classes[9].t_rcd, 6);
+        assert_eq!(classes[9].t_ras, 28);
+        assert_eq!(classes[6].t_rcd, 8);
+        assert_eq!(classes[6].t_ras, 28);
+    }
+
+    #[test]
+    fn degrade_levels_remap_classes_and_suspend_skipping() {
+        use mem_controller::DegradeLevel;
+        let mut p = policy(2, 4, 1.0, Mechanisms::all());
+        // A row whose group phase is 1 (g = row >> 2 = 4096, top stagger
+        // bit set): at low slot counters the visit index q is 0, so 2/4x
+        // skips this slot whenever skipping is armed.
+        let skippy = 1u64 << 14;
+        assert_eq!(p.activate_class(&addr(0)), (RowTimingClass(4), 3));
+        assert_eq!(p.refresh_action(0, skippy), RefreshAction::Skip);
+        // NoSkip: every slot issues, activations unchanged.
+        p.apply_degrade_level(DegradeLevel::NoSkip);
+        assert!(p.skip_disabled() && !p.full_ras());
+        for c in 0..64u64 {
+            assert!(
+                !matches!(p.refresh_action(0, skippy), RefreshAction::Skip),
+                "slot {c} skipped while skipping suspended"
+            );
+        }
+        assert_eq!(p.activate_class(&addr(0)), (RowTimingClass(4), 3));
+        // FullRas: 2/4x (class index 3) re-maps to its degraded variant
+        // at index 3 + 5 → RowTimingClass(9).
+        p.apply_degrade_level(DegradeLevel::FullRas);
+        assert!(p.skip_disabled() && p.full_ras());
+        assert_eq!(p.activate_class(&addr(0)), (RowTimingClass(9), 3));
+        // Re-arm back to Full restores the configured behaviour.
+        p.apply_degrade_level(DegradeLevel::Full);
+        assert!(!p.skip_disabled() && !p.full_ras());
+        assert_eq!(p.activate_class(&addr(0)), (RowTimingClass(4), 3));
+        assert_eq!(
+            p.refresh_action(0, skippy),
+            RefreshAction::Skip,
+            "skipping resumes after re-arm"
+        );
+    }
+
+    #[test]
+    fn class_modes_lists_m_k_in_class_order() {
+        let p = policy(4, 4, 1.0, Mechanisms::all());
+        assert_eq!(
+            p.class_modes(),
+            vec![(1, 2), (2, 2), (1, 4), (2, 4), (4, 4)]
+        );
     }
 
     #[test]

@@ -187,6 +187,27 @@ pub fn telemetry_to_json(t: &Telemetry) -> String {
         "  \"core_read_latency\": {},",
         hist_json(&t.core_read_latency)
     );
+    let _ = writeln!(out, "  \"retention\": {{");
+    let _ = writeln!(out, "    \"checks\": {},", t.retention_checks);
+    let _ = writeln!(out, "    \"violations\": {},", t.retention_violations);
+    let _ = writeln!(out, "    \"escapes\": {},", t.retention_escapes);
+    let _ = writeln!(out, "    \"retries\": {},", c.retention_retries.get());
+    let _ = writeln!(
+        out,
+        "    \"guardband_degrades\": {},",
+        c.guardband_degrades.get()
+    );
+    let _ = writeln!(
+        out,
+        "    \"guardband_rearms\": {}",
+        c.guardband_rearms.get()
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(
+        out,
+        "  \"retention_detect_latency\": {},",
+        hist_json(&t.retention_detect_latency)
+    );
     let _ = writeln!(out, "  \"banks\": [");
     for (i, b) in t.banks.iter().enumerate() {
         let sep = if i + 1 == t.banks.len() { "" } else { "," };
@@ -231,11 +252,30 @@ pub fn telemetry_to_csv(t: &Telemetry) -> String {
     let _ = writeln!(out, "sched.cas_write,{}", c.sched_cas_write.get());
     let _ = writeln!(out, "sched.precharges,{}", c.sched_precharges.get());
     let _ = writeln!(out, "sched.refreshes,{}", c.sched_refreshes.get());
+    let _ = writeln!(out, "retention.checks,{}", t.retention_checks);
+    let _ = writeln!(out, "retention.violations,{}", t.retention_violations);
+    let _ = writeln!(out, "retention.escapes,{}", t.retention_escapes);
+    let _ = writeln!(out, "retention.retries,{}", c.retention_retries.get());
+    let _ = writeln!(
+        out,
+        "retention.guardband_degrades,{}",
+        c.guardband_degrades.get()
+    );
+    let _ = writeln!(
+        out,
+        "retention.guardband_rearms,{}",
+        c.guardband_rearms.get()
+    );
     hist_csv(&mut out, "act_to_data", &t.act_to_data);
     hist_csv(&mut out, "read_latency", &c.read_latency);
     hist_csv(&mut out, "read_queue_depth", &c.read_queue_depth);
     hist_csv(&mut out, "write_queue_depth", &c.write_queue_depth);
     hist_csv(&mut out, "core_read_latency", &t.core_read_latency);
+    hist_csv(
+        &mut out,
+        "retention_detect_latency",
+        &t.retention_detect_latency,
+    );
     for b in &t.banks {
         let key = format!("bank.{}.{}.{}", b.channel, b.rank, b.bank);
         let _ = writeln!(out, "{key}.activates,{}", b.activates);

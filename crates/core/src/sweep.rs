@@ -250,6 +250,27 @@ impl SweepBuilder {
         self
     }
 
+    /// Appends a seeded fault-rate campaign: one explicit point per rate,
+    /// each arming `base` with a [`mcr_faults::FaultPlan`] that injects
+    /// weak cells, dropped refreshes and late refreshes at that rate.
+    /// The plan seed (not the config seed) drives every fault decision,
+    /// so a failing rate replays exactly from its label. Rate `0.0`
+    /// produces a point that is behaviourally identical to the unfaulted
+    /// `base` — the campaign's built-in control.
+    pub fn fault_campaign(mut self, base: &SystemConfig, rates: &[f64], fault_seed: u64) -> Self {
+        for &rate in rates {
+            let plan = mcr_faults::FaultPlan::new(fault_seed)
+                .with_weak_cells(rate, 0.5)
+                .with_refresh_drops(rate)
+                .with_late_refreshes(rate, 1_000);
+            self = self.point(
+                format!("fault-rate-{rate}-seed-{fault_seed}"),
+                base.clone().with_fault_plan(plan),
+            );
+        }
+        self
+    }
+
     /// Expands the grid, validates every point
     /// ([`SystemConfig::validate`]), and returns the ready-to-run sweep.
     ///

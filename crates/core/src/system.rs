@@ -7,13 +7,16 @@ use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
 use crate::policy::McrPolicy;
 use crate::telemetry::Telemetry;
+use circuit_model::{CircuitParams, LeakageModel, TimingSolver};
 use cpu_model::{Core, CoreParams, RequestSink, TraceRecord, CPU_PER_MEM_CYCLE};
-use dram_device::{Cycle, Geometry, PhysAddr, RefreshWiring, TimingSet, T_CK_NS};
+use dram_device::{Cycle, Geometry, PhysAddr, RefreshWiring, RetentionConfig, TimingSet, T_CK_NS};
 use dram_power::{edp, EnergyBreakdown, PowerParams};
+use mcr_faults::FaultPlan;
 use mcr_telemetry::TraceSink;
 use mem_controller::{
-    AddressMapper, BitReversal, ControllerConfig, ControllerStats, MemoryController,
-    PageInterleave, PermutationInterleave, RowPolicy, SchedulerKind,
+    AddressMapper, BitReversal, ControllerConfig, ControllerStats, DegradeLevel, GuardbandConfig,
+    GuardbandTransition, MemoryController, PageInterleave, PermutationInterleave, RowPolicy,
+    SchedulerKind,
 };
 use trace_gen::{hot_rows, workload, TraceGenerator, WorkloadProfile, ROW_BYTES};
 
@@ -149,6 +152,16 @@ pub struct SystemConfig {
     /// (paper Sec. 7) instead of relying on static page allocation.
     /// Mutually exclusive with `alloc_ratio > 0`.
     pub row_cache: Option<RowCacheConfig>,
+    /// Retention-fault injection plan (DESIGN.md §5f). `None` disables
+    /// fault injection entirely; `Some` arms per-row retention tracking,
+    /// sense-margin checks on fast-class ACTIVATEs, refresh drop/late
+    /// faults and the guardband degradation ladder. A plan with all rates
+    /// zero is behaviourally identical to `None` (every margin holds).
+    pub fault_plan: Option<FaultPlan>,
+    /// Guardband-monitor pacing override. `None` uses
+    /// [`GuardbandConfig::default`], tuned to the DDR3-1600 refresh
+    /// cadence. Only consulted when a fault plan is armed.
+    pub guardband: Option<GuardbandConfig>,
     /// Master RNG seed.
     pub seed: u64,
 }
@@ -188,6 +201,8 @@ impl SystemConfig {
             powerdown_idle_threshold: None,
             shared_address_space: false,
             row_cache: None,
+            fault_plan: None,
+            guardband: None,
             seed: 2015,
         }
     }
@@ -219,6 +234,8 @@ impl SystemConfig {
             powerdown_idle_threshold: None,
             shared_address_space: false,
             row_cache: None,
+            fault_plan: None,
+            guardband: None,
             seed: 2015,
         }
     }
@@ -298,6 +315,24 @@ impl SystemConfig {
     /// allocation ratio ([`ConfigError::AllocWithRowCache`]).
     pub fn with_row_cache(mut self, cache: RowCacheConfig) -> Self {
         self.row_cache = Some(cache);
+        self
+    }
+
+    /// Arms retention-fault injection with `plan` (DESIGN.md §5f): per-row
+    /// retention tracking, sense-margin checks on fast-class ACTIVATEs,
+    /// refresh drop/late faults and the guardband degradation ladder. The
+    /// plan's own seed drives every fault decision, independently of
+    /// [`SystemConfig::with_seed`], so fault campaigns replay exactly.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the guardband monitor's pacing (window, threshold,
+    /// hysteresis, backoff). Inert unless a fault plan is armed via
+    /// [`SystemConfig::with_fault_plan`].
+    pub fn with_guardband(mut self, guardband: GuardbandConfig) -> Self {
+        self.guardband = Some(guardband);
         self
     }
 
@@ -409,6 +444,30 @@ impl SystemConfig {
             None => h.u64(0),
             Some(c) => h.u64(1).u64(c.promote_threshold as u64),
         };
+        match &self.fault_plan {
+            None => {
+                h.u64(0);
+            }
+            Some(plan) => {
+                h.u64(1);
+                for w in plan.stable_words() {
+                    h.u64(w);
+                }
+            }
+        }
+        match self.guardband {
+            None => {
+                h.u64(0);
+            }
+            Some(g) => {
+                h.u64(1)
+                    .u64(g.window)
+                    .u64(g.threshold as u64)
+                    .u64(g.hysteresis)
+                    .u64(g.backoff_base)
+                    .u64(g.backoff_cap as u64);
+            }
+        }
         h.u64(self.seed);
         h.finish()
     }
@@ -478,6 +537,39 @@ impl StableHasher {
     }
 }
 
+/// Reliability section of a [`RunReport`]: what the fault-injection
+/// campaign did and how the detector/guardband stack responded. All-zero
+/// (with `fault_injection == false`) when no fault plan was armed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliabilityReport {
+    /// True when a fault plan was armed for this run.
+    pub fault_injection: bool,
+    /// The armed plan's seed (0 when `fault_injection` is false).
+    pub fault_seed: u64,
+    /// Fast-class ACTIVATEs rejected by the margin detector and reissued
+    /// with the full-restore baseline class.
+    pub retention_retries: u64,
+    /// REFRESH slots silently dropped by injected faults.
+    pub refresh_dropped: u64,
+    /// REFRESH slots delayed by injected faults.
+    pub refresh_late: u64,
+    /// Guardband ladder steps down (Full → NoSkip → FullRas).
+    pub guardband_degrades: u64,
+    /// Guardband ladder steps back up after quiet re-arm windows.
+    pub guardband_rearms: u64,
+    /// Memory cycles spent at any degraded guardband level.
+    pub guardband_degraded_cycles: u64,
+    /// Retention sense-margin checks evaluated (telemetry-gated: zero
+    /// when the `telemetry` feature is off even with faults armed).
+    pub retention_checks: u64,
+    /// Margin violations the armed detector caught (telemetry-gated).
+    pub retention_violations: u64,
+    /// Margin failures that escaped a disarmed detector (telemetry-gated;
+    /// also a protocol-audit *error*, so [`System::report`] panics on any
+    /// escape while the auditor is armed).
+    pub retention_escapes: u64,
+}
+
 /// End-of-run metrics.
 ///
 /// Reports are pure functions of the [`SystemConfig`] that produced them
@@ -514,6 +606,9 @@ pub struct RunReport {
     /// counts and latency histograms from every instrumented layer
     /// (all-zero when the `telemetry` feature is disabled).
     pub telemetry: Telemetry,
+    /// Reliability section: fault-injection campaign counters and the
+    /// guardband ladder's response (all-zero without a fault plan).
+    pub reliability: ReliabilityReport,
 }
 
 impl RunReport {
@@ -648,6 +743,9 @@ impl System {
             ..ControllerConfig::msc_default()
         };
         let t_refi = timing.t_refi;
+        // (M, K) per Table-3 class, captured before the policy moves into
+        // the controller — fault injection derives restore voltages from it.
+        let class_modes = policy.class_modes();
         let mut controller = MemoryController::try_new(
             geometry,
             timing,
@@ -655,6 +753,31 @@ impl System {
             config.make_mapper(),
             Box::new(policy),
         )?;
+        if let Some(plan) = config.fault_plan {
+            let params = CircuitParams::calibrated();
+            let solver = TimingSolver::new(params);
+            // Restore voltages indexed by `RowTimingClass.0`: slot 0 is the
+            // baseline full restore; 1..=n are the Table-3 classes (an
+            // M-of-K ACTIVATE restores to the solver's per-M target); the
+            // degraded variants registered after them fall beyond the table
+            // and therefore count as full restores, which is exactly what
+            // their full-tRAS timing buys.
+            let mut class_restore_v = vec![params.v_full];
+            class_restore_v.extend(class_modes.iter().map(|&(m, _)| solver.restore_target_v(m)));
+            let fast_refresh_restore_v = class_modes
+                .iter()
+                .map(|&(m, _)| solver.restore_target_v(m))
+                .fold(params.v_full, f64::min);
+            controller.set_retention(RetentionConfig {
+                plan,
+                leakage: LeakageModel::new(params),
+                class_restore_v,
+                fast_refresh_restore_v,
+                full_restore_v: params.v_full,
+                t_ck_ns: T_CK_NS,
+            })?;
+            controller.set_guardband(config.guardband.unwrap_or_default());
+        }
         if controller.audit_enabled() {
             // Refresh-starvation budget for the protocol auditor: with
             // Refresh-Skipping, a group legally goes up to one skip period
@@ -753,6 +876,7 @@ impl System {
                 self.cores[c.core_id as usize]
                     .complete_read(c.token, c.ready_at * CPU_PER_MEM_CYCLE);
             }
+            self.apply_guardband_transitions();
             for sub in 0..CPU_PER_MEM_CYCLE {
                 let cpu_now = self.mem_now * CPU_PER_MEM_CYCLE + sub;
                 let mut sink = CtlSink {
@@ -769,6 +893,41 @@ impl System {
             self.mem_now += 1;
         }
         self.done()
+    }
+
+    /// Applies ladder moves the guardband monitor decided during the last
+    /// controller tick: each one is an MRS-style reprogram that re-maps
+    /// rows onto the degraded (or restored) timing classes. Degradation is
+    /// always a relaxation — degraded classes keep K and only lengthen
+    /// tRAS — so, unlike [`System::reconfigure`], no Table-2 check is
+    /// needed.
+    fn apply_guardband_transitions(&mut self) {
+        for (_, t) in self.controller.drain_guardband_transitions() {
+            let level = match t {
+                GuardbandTransition::Degrade(l) | GuardbandTransition::Rearm(l) => l,
+            };
+            // Surface the MRS in the audited command stream, mirroring
+            // reconfigure().
+            self.controller.note_mode_change(self.mem_now);
+            let Some(policy) = self
+                .controller
+                .policy_mut()
+                .as_any_mut()
+                .downcast_mut::<McrPolicy>()
+            else {
+                unreachable!("System always installs an McrPolicy")
+            };
+            policy.apply_degrade_level(level);
+        }
+    }
+
+    /// The guardband ladder's current level ([`DegradeLevel::Full`] when
+    /// no monitor is armed) — observable mid-run between steps.
+    pub fn guardband_level(&self) -> DegradeLevel {
+        self.controller
+            .guardband()
+            .map(|g| g.level())
+            .unwrap_or(DegradeLevel::Full)
     }
 
     /// Runtime MCR-mode change (the MRS command of Sec. 4.1/4.4): swaps
@@ -927,6 +1086,19 @@ impl System {
         }
         let exec_mem_cycles = exec_cpu_cycles / CPU_PER_MEM_CYCLE;
         let cache = self.cache.as_ref().map(|c| c.stats());
+        let reliability = ReliabilityReport {
+            fault_injection: self.controller.fault_plan().is_some(),
+            fault_seed: self.controller.fault_plan().map_or(0, |p| p.seed()),
+            retention_retries: controller.retention_retries,
+            refresh_dropped: controller.refresh.dropped,
+            refresh_late: controller.refresh.late,
+            guardband_degrades: controller.guardband_degrades,
+            guardband_rearms: controller.guardband_rearms,
+            guardband_degraded_cycles: controller.guardband_degraded_cycles,
+            retention_checks: telemetry.retention_checks,
+            retention_violations: telemetry.retention_violations,
+            retention_escapes: telemetry.retention_escapes,
+        };
         let per_core_read_latency = self
             .per_core_reads
             .iter()
@@ -945,6 +1117,7 @@ impl System {
             cache,
             per_core_read_latency,
             telemetry,
+            reliability,
         }
     }
 }

@@ -56,6 +56,16 @@ pub struct Telemetry {
     /// Per-core memory read latency (issue→data, CPU cycles), merged
     /// across cores.
     pub core_read_latency: LatencyHistogram,
+    /// Retention sense-margin checks evaluated on fast-class ACTIVATEs
+    /// (all zero unless a fault plan is armed).
+    pub retention_checks: u64,
+    /// Margin violations the armed detector caught (each one forced a
+    /// full-restore retry in the controller).
+    pub retention_violations: u64,
+    /// Margin failures with the detector disarmed — corrupt data escaped.
+    pub retention_escapes: u64,
+    /// Cycles from the modeled retention-boundary crossing to detection.
+    pub retention_detect_latency: LatencyHistogram,
 }
 
 impl Telemetry {
@@ -77,6 +87,11 @@ impl Telemetry {
         self.powerdown_entries += t.powerdown_entries.get();
         self.mode_changes += t.mode_changes.get();
         self.act_to_data.merge(&t.act_to_data);
+        self.retention_checks += t.retention_checks.get();
+        self.retention_violations += t.retention_violations.get();
+        self.retention_escapes += t.retention_escapes.get();
+        self.retention_detect_latency
+            .merge(&t.retention_detect_latency);
     }
 
     /// Total commands of each kind across every bank:
@@ -122,6 +137,11 @@ impl Telemetry {
         self.act_to_data.merge(&other.act_to_data);
         self.controller.merge(&other.controller);
         self.core_read_latency.merge(&other.core_read_latency);
+        self.retention_checks += other.retention_checks;
+        self.retention_violations += other.retention_violations;
+        self.retention_escapes += other.retention_escapes;
+        self.retention_detect_latency
+            .merge(&other.retention_detect_latency);
     }
 }
 

@@ -22,12 +22,15 @@
 //! four-activate window, commands inside a `tRFC` refresh window
 //! (Fast-Refresh, Table 3), structural bank-state errors, per-rank refresh
 //! starvation beyond the Refresh-Skipping budget (Fig. 9), MRS mode change
-//! with open banks (Sec. 4.4), and writes that collide with live clone-row
-//! data (Sec. 4.2).
+//! with open banks (Sec. 4.4), writes that collide with live clone-row
+//! data (Sec. 4.2), and retention-margin events (fault injection,
+//! DESIGN.md §5f): fast-class ACTIVATEs issued past the configured
+//! retention budget on replay, plus detected violations and escapes the
+//! channel's leakage-model margin detector reports online.
 
 use crate::command::{Command, CommandKind};
 use crate::timing::{Cycle, RowTiming, TimingSet};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// How serious a violation is.
@@ -80,13 +83,23 @@ pub enum ViolationClass {
     BusConflict,
     /// ACTIVATE used a row-timing class the auditor knows nothing about.
     UnknownTimingClass,
+    /// A fast-class ACTIVATE failed its retention sense-margin check and
+    /// the armed detector caught it (fault injection, DESIGN.md §5f). A
+    /// warning, not an error: the controller handles it by retrying with a
+    /// full-restore class, so no corrupt data is returned.
+    RetentionViolation,
+    /// A retention margin failure with the detector disarmed: the
+    /// activation proceeded and corrupt data escaped to the requester.
+    RetentionEscape,
 }
 
 impl ViolationClass {
     /// Default severity of this class.
     pub fn severity(self) -> Severity {
         match self {
-            ViolationClass::ModeChangeBankOpen => Severity::Warning,
+            ViolationClass::ModeChangeBankOpen | ViolationClass::RetentionViolation => {
+                Severity::Warning
+            }
             _ => Severity::Error,
         }
     }
@@ -109,6 +122,8 @@ impl fmt::Display for ViolationClass {
             ViolationClass::CloneWriteCollision => "clone-row write collision",
             ViolationClass::BusConflict => "command-bus conflict",
             ViolationClass::UnknownTimingClass => "unknown row-timing class",
+            ViolationClass::RetentionViolation => "retention margin violation (detected)",
+            ViolationClass::RetentionEscape => "retention escape (corrupt data returned)",
         };
         f.write_str(s)
     }
@@ -180,6 +195,13 @@ pub struct AuditConfig {
     pub refresh_budget: Option<Cycle>,
     /// Live clone-row frames to guard against write collisions.
     pub clone_frames: Vec<CloneFrame>,
+    /// Maximum tolerated cycle gap between restore events (a REFRESH of
+    /// the rank or an ACTIVATE of the same row) before a *fast-class*
+    /// ACTIVATE is flagged as a [`ViolationClass::RetentionViolation`].
+    /// `None` disables the check. This is the replay-side approximation of
+    /// the channel's leakage-model margin detector: it has no fault plan,
+    /// so it audits against a fixed worst-case budget.
+    pub retention_limit: Option<Cycle>,
 }
 
 impl AuditConfig {
@@ -196,6 +218,7 @@ impl AuditConfig {
             classes: vec![baseline],
             refresh_budget: None,
             clone_frames: Vec::new(),
+            retention_limit: None,
         }
     }
 }
@@ -212,6 +235,9 @@ struct BankShadow {
     next_act: Cycle,
     next_cas: Cycle,
     next_pre: Cycle,
+    /// Last ACTIVATE cycle per row; populated only while the
+    /// `retention_limit` check is armed.
+    last_act: HashMap<u64, Cycle>,
 }
 
 #[derive(Debug, Clone)]
@@ -232,6 +258,7 @@ impl RankShadow {
                     next_act: 0,
                     next_cas: 0,
                     next_pre: 0,
+                    last_act: HashMap::new(),
                 })
                 .collect(),
             act_window: VecDeque::with_capacity(4),
@@ -286,6 +313,39 @@ impl ProtocolAuditor {
     /// Replaces the set of guarded live clone-row frames.
     pub fn set_clone_frames(&mut self, frames: Vec<CloneFrame>) {
         self.cfg.clone_frames = frames;
+    }
+
+    /// Replaces the fast-class ACT retention budget (see
+    /// [`AuditConfig::retention_limit`]).
+    pub fn set_retention_limit(&mut self, limit: Option<Cycle>) {
+        self.cfg.retention_limit = limit;
+    }
+
+    /// Records a retention event detected by the channel's leakage-model
+    /// margin detector (the online counterpart of the replay-side
+    /// `retention_limit` rule: the channel has the fault plan and restore
+    /// history, the auditor only archives the verdict).
+    pub fn note_retention(&mut self, event: &crate::retention::RetentionEvent) {
+        let class = if event.escaped {
+            ViolationClass::RetentionEscape
+        } else {
+            ViolationClass::RetentionViolation
+        };
+        let what = if event.glitch {
+            "transient sense glitch"
+        } else {
+            "charge droop past retention voltage"
+        };
+        self.flag(
+            class,
+            event.cycle,
+            event.rank,
+            event.bank,
+            format!(
+                "{what} on row {} ({} cycles since last restore)",
+                event.row, event.interval_cycles
+            ),
+        );
     }
 
     /// Recorded violations, oldest first (capped; see [`Self::total`]).
@@ -389,11 +449,32 @@ impl ProtocolAuditor {
                 format!("tRP/tRC not met; bank ready at {}", b.next_act),
             ));
         }
+        if let Some(limit) = self.cfg.retention_limit {
+            // Replay-side retention rule: a fast-class ACT must come within
+            // the budget of a restore event (rank REFRESH or same-row ACT).
+            let last_restore = r
+                .last_refresh
+                .unwrap_or(0)
+                .max(b.last_act.get(&row).copied().unwrap_or(0));
+            let since = now.saturating_sub(last_restore);
+            if cmd.class.0 != 0 && since > limit {
+                flags.push((
+                    ViolationClass::RetentionViolation,
+                    format!(
+                        "fast-class ACT {since} cycles after last restore exceeds limit {limit}"
+                    ),
+                ));
+            }
+        }
         for (class, detail) in flags {
             self.flag(class, now, rank, bank, detail);
         }
+        let limit_armed = self.cfg.retention_limit.is_some();
         let r = &mut self.ranks[rank as usize];
         let b = &mut r.banks[bank as usize];
+        if limit_armed {
+            b.last_act.insert(row, now);
+        }
         b.open_row = Some(row);
         b.next_cas = now + rt.t_rcd as Cycle;
         b.next_pre = now + rt.t_ras as Cycle;
@@ -769,6 +850,80 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].class, ViolationClass::ModeChangeBankOpen);
         assert_eq!(v[0].severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn retention_limit_flags_stale_fast_acts_only() {
+        let mut c = cfg();
+        c.classes.push(RowTiming {
+            t_rcd: 6,
+            t_ras: 16,
+        });
+        c.retention_limit = Some(10_000);
+        let mut fast = cmd(CommandKind::Activate, 0, 0, 3, 50_000);
+        fast.class = RowTimingClass(1);
+        let v = audit_commands(&[fast], &c);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].class, ViolationClass::RetentionViolation);
+        assert_eq!(v[0].severity(), Severity::Warning);
+        // The same stale ACT with baseline class 0 is the safe fallback.
+        let slow = cmd(CommandKind::Activate, 0, 0, 3, 50_000);
+        assert!(audit_commands(&[slow], &c).is_empty());
+    }
+
+    #[test]
+    fn retention_limit_resets_on_refresh_and_same_row_act() {
+        let mut c = cfg();
+        c.classes.push(RowTiming {
+            t_rcd: 6,
+            t_ras: 16,
+        });
+        c.retention_limit = Some(10_000);
+        c.refresh_budget = None;
+        let fast = |cycle| {
+            let mut a = cmd(CommandKind::Activate, 0, 0, 3, cycle);
+            a.class = RowTimingClass(1);
+            a
+        };
+        let cmds = vec![
+            cmd(CommandKind::Refresh, 0, 0, 0, 45_000),
+            fast(50_000),
+            cmd(CommandKind::Precharge, 0, 0, 0, 50_016),
+            // Within budget of the same-row ACT at 50_000 even though the
+            // refresh is now stale.
+            fast(59_000),
+        ];
+        assert!(audit_commands(&cmds, &c).is_empty());
+    }
+
+    #[test]
+    fn note_retention_maps_escape_to_error() {
+        let mut a = ProtocolAuditor::new(cfg());
+        a.note_retention(&crate::retention::RetentionEvent {
+            rank: 0,
+            bank: 1,
+            row: 7,
+            cycle: 99,
+            interval_cycles: 1_000,
+            detect_latency: 10,
+            glitch: false,
+            escaped: false,
+        });
+        a.note_retention(&crate::retention::RetentionEvent {
+            rank: 0,
+            bank: 1,
+            row: 7,
+            cycle: 120,
+            interval_cycles: 1_000,
+            detect_latency: 10,
+            glitch: false,
+            escaped: true,
+        });
+        let v = a.violations();
+        assert_eq!(v[0].class, ViolationClass::RetentionViolation);
+        assert_eq!(v[0].severity(), Severity::Warning);
+        assert_eq!(v[1].class, ViolationClass::RetentionEscape);
+        assert_eq!(v[1].severity(), Severity::Error);
     }
 
     #[test]

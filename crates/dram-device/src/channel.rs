@@ -18,9 +18,11 @@ use crate::bank::Bank;
 use crate::command::{Command, CommandKind};
 use crate::counters::ActivityCounters;
 use crate::error::{DeviceError, TimingError};
+use crate::retention::{MarginOutcome, RetentionConfig, RetentionTracker};
 use crate::telemetry::ChannelTelemetry;
 use crate::timing::{Cycle, RowTiming, RowTimingClass, TimingSet};
 use crate::{DramAddress, Geometry};
+use mcr_faults::FaultPlan;
 use std::collections::VecDeque;
 
 /// One rank: a set of banks plus rank-level constraint state.
@@ -122,6 +124,8 @@ pub struct Channel {
     cmd_trace: Option<(usize, VecDeque<Command>)>,
     /// Online protocol auditor (None = disabled).
     audit: Option<ProtocolAuditor>,
+    /// Retention-fault tracker (None = retention checks disabled).
+    retention: Option<RetentionTracker>,
     /// Per-bank command counters and ACT→data histogram. Recording is
     /// gated by the `telemetry` feature; the struct always exists.
     telemetry: ChannelTelemetry,
@@ -160,7 +164,52 @@ impl Channel {
             last_cmd: None,
             cmd_trace: None,
             audit,
+            retention: None,
         }
+    }
+
+    // ----- retention tracking ----------------------------------------
+
+    /// Arms retention-fault tracking: per-row restore history plus the
+    /// leakage-model sense-margin check on every fast-class ACTIVATE (see
+    /// [`RetentionConfig`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::InvalidRetentionConfig`] for non-positive clock
+    /// periods or non-finite restore voltages.
+    pub fn set_retention(&mut self, cfg: RetentionConfig) -> Result<(), DeviceError> {
+        if !cfg.t_ck_ns.is_finite() || cfg.t_ck_ns <= 0.0 {
+            return Err(DeviceError::InvalidRetentionConfig {
+                reason: "t_ck_ns must be positive and finite",
+            });
+        }
+        let all_finite = cfg
+            .class_restore_v
+            .iter()
+            .chain([&cfg.fast_refresh_restore_v, &cfg.full_restore_v])
+            .all(|v| v.is_finite());
+        if !all_finite {
+            return Err(DeviceError::InvalidRetentionConfig {
+                reason: "restore voltages must be finite",
+            });
+        }
+        self.retention = Some(RetentionTracker::new(
+            cfg,
+            self.geometry.ranks,
+            self.geometry.rows_per_bank,
+        ));
+        Ok(())
+    }
+
+    /// True while retention-fault tracking is armed.
+    pub fn retention_enabled(&self) -> bool {
+        self.retention.is_some()
+    }
+
+    /// The armed fault plan, if retention tracking is on.
+    pub fn retention_plan(&self) -> Option<&FaultPlan> {
+        self.retention.as_ref().map(|t| &t.config().plan)
     }
 
     /// The channel's telemetry (all-zero when the `telemetry` feature
@@ -517,7 +566,45 @@ impl Channel {
                 ready_at: faw,
             });
         }
-        r.banks[bank as usize].activate(row, now, rt, &ts)?;
+        // Retention sense-margin check (fault injection): fast-timing
+        // classes only — the baseline class senses with full worst-case
+        // windows and is the always-safe retry path — and only once the
+        // ACT is otherwise legal, so a detected violation leaves the bank
+        // untouched for the controller's full-restore retry.
+        if class.0 != 0 && self.retention.is_some() {
+            let b = &self.ranks[rank as usize].banks[bank as usize];
+            if b.open_row().is_none() && now >= b.next_activate_cycle() {
+                let k = extra_wordlines as u64 + 1;
+                let outcome = match &mut self.retention {
+                    Some(t) => t.evaluate(rank, bank, row, k, now),
+                    None => MarginOutcome::Ok,
+                };
+                #[cfg(feature = "telemetry")]
+                self.telemetry.note_retention_check();
+                match outcome {
+                    MarginOutcome::Ok => {}
+                    MarginOutcome::Violation(event) => {
+                        #[cfg(feature = "telemetry")]
+                        self.telemetry
+                            .note_retention_violation(event.detect_latency);
+                        if let Some(audit) = &mut self.audit {
+                            audit.note_retention(&event);
+                        }
+                        return Err(TimingError::RetentionViolation {
+                            interval_cycles: event.interval_cycles,
+                        });
+                    }
+                    MarginOutcome::Escape(event) => {
+                        #[cfg(feature = "telemetry")]
+                        self.telemetry.note_retention_escape();
+                        if let Some(audit) = &mut self.audit {
+                            audit.note_retention(&event);
+                        }
+                    }
+                }
+            }
+        }
+        self.ranks[rank as usize].banks[bank as usize].activate(row, now, rt, &ts)?;
         self.note_cmd(now);
         self.observe(
             Command {
@@ -545,6 +632,11 @@ impl Channel {
         r.counters.restore_truncation_cycles += base_ras.saturating_sub(rt.t_ras) as u64;
         #[cfg(feature = "telemetry")]
         self.telemetry.note_activate(rank, bank, now);
+        if let Some(t) = &mut self.retention {
+            // Any successful ACT (including the full-restore class-0 retry)
+            // recharges the whole K-row group to its class's target.
+            t.note_act_restore(rank, bank, row, extra_wordlines as u64 + 1, now, class.0);
+        }
         Ok(())
     }
 
@@ -769,6 +861,11 @@ impl Channel {
     /// Issues a REFRESH to a rank. `t_rfc_override` replaces the baseline
     /// tRFC for this command (Fast-Refresh, Table 3).
     ///
+    /// Retention tracking (when armed) treats this row-less entry point
+    /// coarsely: every row of the rank counts as restored. Fault-aware
+    /// controllers must use [`Channel::refresh_slot`] so dropped or late
+    /// refresh slots actually stretch per-row retention intervals.
+    ///
     /// # Errors
     ///
     /// [`TimingError::RankNotIdle`] if any bank has an open row, or
@@ -777,6 +874,38 @@ impl Channel {
     pub fn refresh(
         &mut self,
         rank: u8,
+        now: Cycle,
+        t_rfc_override: Option<u32>,
+    ) -> Result<(), TimingError> {
+        self.refresh_inner(rank, None, now, t_rfc_override)
+    }
+
+    /// Issues a REFRESH to a rank, naming the refresh-counter slot row it
+    /// restores (in every bank of the rank). Identical timing to
+    /// [`Channel::refresh`]; the slot row feeds retention tracking and the
+    /// observed command stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`Channel::refresh`]; additionally [`TimingError::OutOfRange`]
+    /// for a slot row outside the geometry.
+    pub fn refresh_slot(
+        &mut self,
+        rank: u8,
+        slot_row: u64,
+        now: Cycle,
+        t_rfc_override: Option<u32>,
+    ) -> Result<(), TimingError> {
+        if slot_row >= self.geometry.rows_per_bank {
+            return Err(TimingError::OutOfRange);
+        }
+        self.refresh_inner(rank, Some(slot_row), now, t_rfc_override)
+    }
+
+    fn refresh_inner(
+        &mut self,
+        rank: u8,
+        slot_row: Option<u64>,
         now: Cycle,
         t_rfc_override: Option<u32>,
     ) -> Result<(), TimingError> {
@@ -817,6 +946,9 @@ impl Channel {
         r.counters.refresh_busy_cycles += t_rfc as u64;
         #[cfg(feature = "telemetry")]
         self.telemetry.note_refresh(t_rfc_override.is_some());
+        if let Some(t) = &mut self.retention {
+            t.note_refresh(rank, slot_row, now, t_rfc_override.is_some());
+        }
         self.note_cmd(now);
         let baseline = self.row_timings[0];
         self.observe(
@@ -826,7 +958,7 @@ impl Channel {
                     channel: 0,
                     rank,
                     bank: 0,
-                    row: 0,
+                    row: slot_row.unwrap_or(0),
                     col: 0,
                 },
                 cycle: now,
@@ -1111,6 +1243,101 @@ mod tests {
         let mut c = chan();
         c.activate(0, 0, 0, 0, RowTimingClass(0)).unwrap();
         assert_eq!(c.command_trace().count(), 0);
+    }
+
+    fn retention_cfg(plan: FaultPlan) -> RetentionConfig {
+        let params = circuit_model::CircuitParams::calibrated();
+        RetentionConfig {
+            plan,
+            leakage: circuit_model::LeakageModel::new(params),
+            // Class 1 restores only half the slack: survives ~32 ms.
+            class_restore_v: vec![params.v_full, params.v_full - 0.15],
+            fast_refresh_restore_v: params.v_full,
+            full_restore_v: params.v_full,
+            t_ck_ns: 1.25,
+        }
+    }
+
+    /// 64 ms of DDR3-1600 cycles.
+    const MS64: Cycle = 51_200_000;
+
+    #[test]
+    fn retention_violation_rejects_fast_act_and_class0_retry_succeeds() {
+        let mut c = chan();
+        c.set_audit_enabled(false); // stale-by-construction stream
+        let class = c
+            .register_row_timing(RowTiming::from_ns(6.90, 20.0))
+            .unwrap();
+        c.set_retention(retention_cfg(FaultPlan::new(3))).unwrap();
+        // Restore row 0's group with the truncated class-1 target, then
+        // leave it a full retention window.
+        c.activate(0, 0, 0, 0, class).unwrap();
+        c.precharge(0, 0, 16).unwrap();
+        let err = c.activate(0, 0, 0, MS64, class).unwrap_err();
+        assert!(matches!(err, TimingError::RetentionViolation { .. }));
+        assert_eq!(c.telemetry().retention_violations.get(), 1);
+        // The full-restore baseline retry is always safe…
+        c.activate(0, 0, 0, MS64 + 1, RowTimingClass(0)).unwrap();
+        c.precharge(0, 0, MS64 + 1 + 28).unwrap();
+        // …and recharges the group, so the fast class works again.
+        c.activate(0, 0, 0, MS64 + 100, class).unwrap();
+        assert_eq!(c.telemetry().retention_escapes.get(), 0);
+    }
+
+    #[test]
+    fn refresh_slot_resets_the_retention_clock() {
+        let mut c = chan();
+        c.set_audit_enabled(false);
+        let class = c
+            .register_row_timing(RowTiming::from_ns(6.90, 20.0))
+            .unwrap();
+        c.set_retention(retention_cfg(FaultPlan::new(3))).unwrap();
+        c.activate(0, 0, 5, 0, class).unwrap();
+        c.precharge(0, 0, 16).unwrap();
+        // A full refresh naming slot row 5 shortly before the deadline.
+        c.refresh_slot(0, 5, MS64 - 1_000, None).unwrap();
+        c.activate(0, 0, 5, MS64, class).unwrap();
+        assert_eq!(c.telemetry().retention_violations.get(), 0);
+        assert!(c.retention_enabled());
+        assert_eq!(c.retention_plan().map(|p| p.seed()), Some(3));
+    }
+
+    #[test]
+    fn disarmed_detector_lets_corruption_escape_and_audit_flags_it() {
+        let mut c = chan();
+        c.set_audit_enabled(true);
+        let class = c
+            .register_row_timing(RowTiming::from_ns(6.90, 20.0))
+            .unwrap();
+        let plan = FaultPlan::new(3).with_detector(false);
+        c.set_retention(retention_cfg(plan)).unwrap();
+        c.activate(0, 0, 0, 0, class).unwrap();
+        c.precharge(0, 0, 16).unwrap();
+        // The stale fast ACT proceeds (corrupt data) instead of erroring.
+        c.activate(0, 0, 0, MS64, class).unwrap();
+        assert_eq!(c.telemetry().retention_escapes.get(), 1);
+        assert!(c
+            .audit_violations()
+            .iter()
+            .any(|v| v.class == crate::audit::ViolationClass::RetentionEscape));
+    }
+
+    #[test]
+    fn invalid_retention_config_is_rejected() {
+        let mut c = chan();
+        let mut cfg = retention_cfg(FaultPlan::new(1));
+        cfg.t_ck_ns = 0.0;
+        assert!(matches!(
+            c.set_retention(cfg),
+            Err(DeviceError::InvalidRetentionConfig { .. })
+        ));
+        let mut cfg = retention_cfg(FaultPlan::new(1));
+        cfg.class_restore_v[1] = f64::NAN;
+        assert!(matches!(
+            c.set_retention(cfg),
+            Err(DeviceError::InvalidRetentionConfig { .. })
+        ));
+        assert!(!c.retention_enabled());
     }
 
     #[test]

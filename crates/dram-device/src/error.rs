@@ -38,6 +38,15 @@ pub enum TimingError {
     /// The command referenced a row-timing class that was never registered
     /// on the channel.
     UnknownClass(u8),
+    /// The activation failed its retention sense-margin check (fault
+    /// injection, DESIGN.md §5f): the charge droop since the row group's
+    /// last restore crossed the retention boundary and the armed detector
+    /// rejected the fast-class activation. The controller must retry with
+    /// a full-restore (class 0) ACTIVATE.
+    RetentionViolation {
+        /// Cycles since the row group's last restore event.
+        interval_cycles: Cycle,
+    },
 }
 
 impl fmt::Display for TimingError {
@@ -60,6 +69,12 @@ impl fmt::Display for TimingError {
             TimingError::UnknownClass(class) => {
                 write!(f, "row-timing class {class} was never registered")
             }
+            TimingError::RetentionViolation { interval_cycles } => {
+                write!(
+                    f,
+                    "retention margin violated {interval_cycles} cycles after last restore"
+                )
+            }
         }
     }
 }
@@ -78,6 +93,12 @@ pub enum DeviceError {
         /// Maximum number of registrable classes.
         limit: usize,
     },
+    /// A retention-tracking configuration was structurally invalid (e.g. a
+    /// non-positive clock period or a non-finite restore voltage).
+    InvalidRetentionConfig {
+        /// What was wrong with the configuration.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -85,6 +106,9 @@ impl fmt::Display for DeviceError {
         match self {
             DeviceError::TimingClassOverflow { limit } => {
                 write!(f, "row-timing class table full ({limit} classes max)")
+            }
+            DeviceError::InvalidRetentionConfig { reason } => {
+                write!(f, "invalid retention-tracking configuration: {reason}")
             }
         }
     }

@@ -52,6 +52,7 @@ mod command;
 mod counters;
 mod error;
 mod refresh;
+mod retention;
 mod telemetry;
 mod timing;
 
@@ -66,5 +67,6 @@ pub use command::{Command, CommandKind, ReqKind};
 pub use counters::ActivityCounters;
 pub use error::{DeviceError, TimingError};
 pub use refresh::{max_refresh_interval_ms, refresh_schedule, RefreshCounter, RefreshWiring};
+pub use retention::{RetentionConfig, RetentionEvent};
 pub use telemetry::{BankCounters, ChannelTelemetry};
 pub use timing::{ns_to_cycles, Cycle, RowTiming, RowTimingClass, TimingSet, T_CK_NS};

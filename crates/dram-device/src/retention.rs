@@ -1,0 +1,361 @@
+//! Retention-fault tracking: per-row restore history and sense-margin
+//! checks (DESIGN.md §5f).
+//!
+//! When a [`crate::Channel`] is armed with a [`RetentionConfig`], it keeps
+//! a per-rank record of when each row group was last *restored* — by a
+//! REFRESH of its refresh-counter slot, or by an ACTIVATE of the group —
+//! and to what voltage (full restore, or a truncated Early-Precharge /
+//! Fast-Refresh target). On every fast-class ACTIVATE the tracker replays
+//! the [`circuit_model::LeakageModel`] droop over the elapsed interval,
+//! scaled by the row's faulted retention time from the
+//! [`mcr_faults::FaultPlan`], and judges whether the sense margin held.
+//!
+//! Baseline-class (class 0) ACTIVATEs are the always-safe fallback: they
+//! sense with the full worst-case JEDEC windows and full restore, so the
+//! margin check does not apply and a controller retry with class 0 always
+//! terminates. This is exactly the graceful-degradation story: detected
+//! violations push the controller down the degradation ladder toward
+//! class-0 behaviour instead of returning corrupt data.
+
+use crate::timing::Cycle;
+use circuit_model::LeakageModel;
+use mcr_faults::FaultPlan;
+use std::collections::HashMap;
+
+/// Static configuration of retention tracking for one channel.
+#[derive(Debug, Clone)]
+pub struct RetentionConfig {
+    /// Seeded fault plan queried for per-row retention scaling, refresh
+    /// faults and transient sense glitches.
+    pub plan: FaultPlan,
+    /// Leakage/droop model the margin checks evaluate against.
+    pub leakage: LeakageModel,
+    /// Restore voltage reached by an ACTIVATE of each registered row-timing
+    /// class, indexed by `RowTimingClass.0`. Classes beyond the end of the
+    /// table are treated as full restores.
+    pub class_restore_v: Vec<f64>,
+    /// Restore voltage reached by a Fast-Refresh (overridden-tRFC) REFRESH.
+    pub fast_refresh_restore_v: f64,
+    /// Restore voltage reached by a full-tRFC REFRESH, and assumed for
+    /// every cell at cycle 0.
+    pub full_restore_v: f64,
+    /// Memory-clock period in nanoseconds (cycle → wall-time conversion).
+    pub t_ck_ns: f64,
+}
+
+/// One evaluated retention event: a detected margin violation, or an
+/// escape (margin failure with the detector disarmed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionEvent {
+    /// Rank of the offending ACTIVATE.
+    pub rank: u8,
+    /// Bank of the offending ACTIVATE.
+    pub bank: u8,
+    /// Row of the offending ACTIVATE.
+    pub row: u64,
+    /// Cycle at which the margin was evaluated (the ACT issue cycle).
+    pub cycle: Cycle,
+    /// Cycles since the row group's last restore event.
+    pub interval_cycles: Cycle,
+    /// Cycles between the modeled retention-boundary crossing and this
+    /// detection (0 for glitches: the charge arithmetic was healthy).
+    pub detect_latency: Cycle,
+    /// True for a transient sense glitch on a healthy row.
+    pub glitch: bool,
+    /// True when the detector was disarmed, so corrupt data escaped.
+    pub escaped: bool,
+}
+
+/// Outcome of one fast-class ACTIVATE margin evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MarginOutcome {
+    /// Margin held; the activation proceeds normally.
+    Ok,
+    /// Margin failed and the armed detector caught it: the activation must
+    /// be rejected and retried with a full-restore class.
+    Violation(RetentionEvent),
+    /// Margin failed with the detector disarmed: the activation proceeds
+    /// and returns corrupt data (counted, never rejected).
+    Escape(RetentionEvent),
+}
+
+/// A restore event: the cycle it happened and the voltage it reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Restore {
+    cycle: Cycle,
+    v: f64,
+}
+
+/// Per-channel retention bookkeeping (lives inside [`crate::Channel`]).
+#[derive(Debug, Clone)]
+pub(crate) struct RetentionTracker {
+    cfg: RetentionConfig,
+    /// `[rank][row]`: last REFRESH restore of that refresh-counter slot
+    /// row (`None` = untouched since the fully-charged cycle-0 state).
+    refresh_epoch: Vec<Vec<Option<Restore>>>,
+    /// `[rank]`: `(bank, group_base)` → last ACTIVATE restore of the
+    /// group. ACTs restore only their own bank, unlike rank-wide REFRESH.
+    act_restore: Vec<HashMap<(u8, u64), Restore>>,
+    /// Monotone activation counter feeding the glitch query stream.
+    act_index: u64,
+}
+
+impl RetentionTracker {
+    pub(crate) fn new(cfg: RetentionConfig, ranks: u8, rows_per_bank: u64) -> Self {
+        RetentionTracker {
+            refresh_epoch: (0..ranks)
+                .map(|_| vec![None; rows_per_bank as usize])
+                .collect(),
+            act_restore: (0..ranks).map(|_| HashMap::new()).collect(),
+            act_index: 0,
+            cfg,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &RetentionConfig {
+        &self.cfg
+    }
+
+    fn restore_v_for_class(&self, class: u8) -> f64 {
+        self.cfg
+            .class_restore_v
+            .get(class as usize)
+            .copied()
+            .unwrap_or(self.cfg.full_restore_v)
+    }
+
+    /// First row of the K-row group containing `row`.
+    fn group_base(row: u64, k: u64) -> u64 {
+        row - row % k.max(1)
+    }
+
+    /// Records a REFRESH restoring slot row `slot_row` (or, with `None`,
+    /// every row — the coarse semantics of the legacy row-less
+    /// [`crate::Channel::refresh`] entry point).
+    pub(crate) fn note_refresh(&mut self, rank: u8, slot_row: Option<u64>, now: Cycle, fast: bool) {
+        let v = if fast {
+            self.cfg.fast_refresh_restore_v
+        } else {
+            self.cfg.full_restore_v
+        };
+        let restore = Restore { cycle: now, v };
+        let epochs = &mut self.refresh_epoch[rank as usize];
+        match slot_row {
+            Some(row) => {
+                if let Some(slot) = epochs.get_mut(row as usize) {
+                    *slot = Some(restore);
+                }
+            }
+            None => {
+                for slot in epochs.iter_mut() {
+                    *slot = Some(restore);
+                }
+            }
+        }
+    }
+
+    /// Records a successful ACTIVATE restoring the K-row group of
+    /// `(rank, bank, row)` to its class's target voltage.
+    pub(crate) fn note_act_restore(
+        &mut self,
+        rank: u8,
+        bank: u8,
+        row: u64,
+        k: u64,
+        now: Cycle,
+        class: u8,
+    ) {
+        let base = Self::group_base(row, k);
+        let v = self.restore_v_for_class(class);
+        self.act_restore[rank as usize].insert((bank, base), Restore { cycle: now, v });
+    }
+
+    /// The most recent restore event covering the K-row group of
+    /// `(rank, bank, row)`: REFRESHes of any row in the group (rank-wide)
+    /// or an ACTIVATE of the group in this bank. Falls back to the
+    /// fully-charged cycle-0 state.
+    fn last_restore(&self, rank: u8, bank: u8, row: u64, k: u64) -> Restore {
+        let base = Self::group_base(row, k);
+        let mut last = Restore {
+            cycle: 0,
+            v: self.cfg.full_restore_v,
+        };
+        let epochs = &self.refresh_epoch[rank as usize];
+        for r in base..base + k.max(1) {
+            if let Some(Some(e)) = epochs.get(r as usize) {
+                if e.cycle >= last.cycle {
+                    last = *e;
+                }
+            }
+        }
+        if let Some(e) = self.act_restore[rank as usize].get(&(bank, base)) {
+            if e.cycle >= last.cycle {
+                last = *e;
+            }
+        }
+        last
+    }
+
+    /// Evaluates the sense margin of a fast-class ACTIVATE. Callers must
+    /// only invoke this for class != 0 activations that would otherwise be
+    /// accepted by the bank state machine.
+    pub(crate) fn evaluate(
+        &mut self,
+        rank: u8,
+        bank: u8,
+        row: u64,
+        k: u64,
+        now: Cycle,
+    ) -> MarginOutcome {
+        self.act_index += 1;
+        let last = self.last_restore(rank, bank, row, k);
+        let interval_cycles = now.saturating_sub(last.cycle);
+        let interval_ms = interval_cycles as f64 * self.cfg.t_ck_ns * 1e-6;
+        // The weakest cell of the group governs: clone rows share the sense
+        // amplifier, so the worst-case (paper footnote 4) charge bound is
+        // the group minimum of the faulted retention scale factors.
+        let k = k.max(1);
+        let base = Self::group_base(row, k);
+        let mut factor = f64::INFINITY;
+        for r in base..base + k {
+            factor = factor.min(self.cfg.plan.retention_factor(rank, bank, r));
+        }
+        // Scaling retention time by `factor` is equivalent to stretching
+        // the elapsed interval by `1/factor` under the linear droop model.
+        let eff_ms = interval_ms / factor;
+        let glitch = self.cfg.plan.sense_glitch(rank, bank, row, self.act_index);
+        let margin_ok = self.cfg.leakage.survives(last.v, eff_ms);
+        if margin_ok && !glitch {
+            return MarginOutcome::Ok;
+        }
+        let detect_latency = if glitch && margin_ok {
+            0
+        } else {
+            self.detect_latency_cycles(&last, factor, now)
+        };
+        let event = RetentionEvent {
+            rank,
+            bank,
+            row,
+            cycle: now,
+            interval_cycles,
+            detect_latency,
+            glitch: glitch && margin_ok,
+            escaped: !self.cfg.plan.detector_enabled(),
+        };
+        if event.escaped {
+            MarginOutcome::Escape(event)
+        } else {
+            MarginOutcome::Violation(event)
+        }
+    }
+
+    /// Cycles between the modeled boundary crossing (droop reaching the
+    /// retention voltage) and `now`.
+    fn detect_latency_cycles(&self, last: &Restore, factor: f64, now: Cycle) -> Cycle {
+        let rate_per_ms = self.cfg.leakage.droop_v(1.0) / factor;
+        if rate_per_ms.is_nan() || rate_per_ms <= 0.0 {
+            return 0;
+        }
+        let slack_v = last.v - self.cfg.leakage.retention_v();
+        let cross_ms = slack_v.max(0.0) / rate_per_ms;
+        let cross_cycles = (cross_ms * 1e6 / self.cfg.t_ck_ns).ceil();
+        if !cross_cycles.is_finite() || cross_cycles < 0.0 {
+            return 0;
+        }
+        // Bounded by the elapsed interval, so the f64→u64 cast is exact
+        // within the simulated timeline.
+        let crossed_at = last.cycle.saturating_add(cross_cycles as u64); // lint: allow(truncating-cast)
+        now.saturating_sub(crossed_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit_model::CircuitParams;
+
+    fn cfg(plan: FaultPlan) -> RetentionConfig {
+        let params = CircuitParams::calibrated();
+        RetentionConfig {
+            plan,
+            leakage: LeakageModel::new(params),
+            // Class 1 restores only halfway between retention and full:
+            // survives ~32 ms of nominal leakage.
+            class_restore_v: vec![params.v_full, params.v_full - 0.15],
+            fast_refresh_restore_v: params.v_full,
+            full_restore_v: params.v_full,
+            t_ck_ns: 1.25,
+        }
+    }
+
+    /// 64 ms in DDR3-1600 cycles.
+    const MS64: Cycle = 51_200_000;
+
+    #[test]
+    fn fresh_tracker_survives_within_the_window() {
+        let mut t = RetentionTracker::new(cfg(FaultPlan::new(1)), 1, 64);
+        assert_eq!(t.evaluate(0, 0, 3, 1, MS64 / 2), MarginOutcome::Ok);
+    }
+
+    #[test]
+    fn stale_group_with_truncated_restore_violates() {
+        let mut t = RetentionTracker::new(cfg(FaultPlan::new(1)), 1, 64);
+        // Class-1 ACT restore at cycle 0, then nothing for a full window.
+        t.note_act_restore(0, 0, 3, 1, 0, 1);
+        match t.evaluate(0, 0, 3, 1, MS64) {
+            MarginOutcome::Violation(e) => {
+                assert!(!e.glitch);
+                assert!(!e.escaped);
+                assert!(e.detect_latency > 0);
+                assert_eq!(e.interval_cycles, MS64);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_of_any_group_row_resets_the_clock() {
+        let mut t = RetentionTracker::new(cfg(FaultPlan::new(1)), 1, 64);
+        t.note_act_restore(0, 0, 8, 4, 0, 1);
+        // Refresh slot row 10 (inside group [8, 12)) near the deadline.
+        t.note_refresh(0, Some(10), MS64 - 10, false);
+        assert_eq!(t.evaluate(0, 0, 8, 4, MS64), MarginOutcome::Ok);
+    }
+
+    #[test]
+    fn disarmed_detector_turns_violations_into_escapes() {
+        let plan = FaultPlan::new(1).with_detector(false);
+        let mut t = RetentionTracker::new(cfg(plan), 1, 64);
+        t.note_act_restore(0, 0, 3, 1, 0, 1);
+        match t.evaluate(0, 0, 3, 1, MS64) {
+            MarginOutcome::Escape(e) => assert!(e.escaped),
+            other => panic!("expected escape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weak_row_fails_earlier_than_nominal() {
+        let plan = FaultPlan::new(1).with_weak_cells(1.0, 0.25);
+        let mut t = RetentionTracker::new(cfg(plan), 1, 64);
+        // Full restore at 0; a quarter-retention row dies ~4x earlier.
+        assert!(matches!(
+            t.evaluate(0, 0, 3, 1, MS64 / 2),
+            MarginOutcome::Violation(_)
+        ));
+        let mut healthy = RetentionTracker::new(cfg(FaultPlan::new(1)), 1, 64);
+        assert_eq!(healthy.evaluate(0, 0, 3, 1, MS64 / 2), MarginOutcome::Ok);
+    }
+
+    #[test]
+    fn act_restore_is_bank_local_but_refresh_is_rank_wide() {
+        let mut t = RetentionTracker::new(cfg(FaultPlan::new(1)), 1, 64);
+        t.note_act_restore(0, 0, 3, 1, 0, 1);
+        t.note_act_restore(0, 1, 3, 1, MS64 - 5, 0);
+        // Bank 0's group was not restored by bank 1's ACT.
+        assert!(matches!(
+            t.evaluate(0, 0, 3, 1, MS64),
+            MarginOutcome::Violation(_)
+        ));
+    }
+}

@@ -54,6 +54,15 @@ pub struct ChannelTelemetry {
     pub mode_changes: Counter,
     /// ACTIVATE issue to last data beat of the first READ it serves.
     pub act_to_data: LatencyHistogram,
+    /// Retention sense-margin checks evaluated on fast-class ACTIVATEs.
+    pub retention_checks: Counter,
+    /// Margin violations detected by the armed detector (and handled by
+    /// the controller's full-restore retry).
+    pub retention_violations: Counter,
+    /// Margin failures with the detector disarmed: corrupt data escaped.
+    pub retention_escapes: Counter,
+    /// Cycles from the modeled retention-boundary crossing to detection.
+    pub retention_detect_latency: LatencyHistogram,
 }
 
 impl ChannelTelemetry {
@@ -69,6 +78,10 @@ impl ChannelTelemetry {
             powerdown_entries: Counter::new(),
             mode_changes: Counter::new(),
             act_to_data: LatencyHistogram::new(),
+            retention_checks: Counter::new(),
+            retention_violations: Counter::new(),
+            retention_escapes: Counter::new(),
+            retention_detect_latency: LatencyHistogram::new(),
         }
     }
 
@@ -160,6 +173,22 @@ impl ChannelTelemetry {
         self.mode_changes.inc();
     }
 
+    /// Records one retention sense-margin evaluation.
+    pub fn note_retention_check(&mut self) {
+        self.retention_checks.inc();
+    }
+
+    /// Records a detected margin violation and its detection latency.
+    pub fn note_retention_violation(&mut self, detect_latency: Cycle) {
+        self.retention_violations.inc();
+        self.retention_detect_latency.record(detect_latency);
+    }
+
+    /// Records an escaped margin failure (detector disarmed).
+    pub fn note_retention_escape(&mut self) {
+        self.retention_escapes.inc();
+    }
+
     /// Folds another channel's telemetry into this one (bank slots are
     /// matched positionally; geometries must agree).
     pub fn merge(&mut self, other: &ChannelTelemetry) {
@@ -171,6 +200,11 @@ impl ChannelTelemetry {
         self.powerdown_entries.merge(&other.powerdown_entries);
         self.mode_changes.merge(&other.mode_changes);
         self.act_to_data.merge(&other.act_to_data);
+        self.retention_checks.merge(&other.retention_checks);
+        self.retention_violations.merge(&other.retention_violations);
+        self.retention_escapes.merge(&other.retention_escapes);
+        self.retention_detect_latency
+            .merge(&other.retention_detect_latency);
     }
 }
 

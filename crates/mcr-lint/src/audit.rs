@@ -21,8 +21,8 @@ pub use dram_device::{
 use crate::Diagnostic;
 use dram_device::{RefreshCounter, RefreshWiring};
 use mcr_dram::{
-    ConfigError, DeviceClass, McrMode, McrPolicy, McrTimingTable, Mechanisms, RegionMap, System,
-    SystemConfig,
+    ConfigError, DeviceClass, FaultPlan, McrMode, McrPolicy, McrTimingTable, Mechanisms, RegionMap,
+    System, SystemConfig,
 };
 use mem_controller::{DevicePolicy, RefreshAction};
 use std::collections::HashMap;
@@ -281,6 +281,22 @@ pub fn audit_suite(trace_len: usize) -> Vec<Diagnostic> {
                 .with_mechanisms(Mechanisms::fig17_case(case)),
         ));
     }
+    // Faulted campaign point: sense glitches + refresh faults with the
+    // detector armed. Detected margin violations are warnings (the
+    // controller's full-restore retry handles them); any escape is an
+    // error-severity violation and fails the suite — the "zero escaped
+    // corruptions" guarantee, audited end to end.
+    points.push((
+        "faulted-2-4x-glitches".to_string(),
+        SystemConfig::single_core("libq", trace_len)
+            .with_mode(mode(2, 4, 1.0))
+            .with_fault_plan(
+                FaultPlan::new(0x0fa7_17ed)
+                    .with_sense_glitches(0.05)
+                    .with_refresh_drops(0.05)
+                    .with_late_refreshes(0.05, 1_000),
+            ),
+    ));
     let mut out = CappedDiags::new();
     for (label, config) in &points {
         match audit_system_point(label, config) {

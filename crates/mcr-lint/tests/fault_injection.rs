@@ -3,7 +3,9 @@
 //! Each test starts from a *legal* DDR3-1600 command stream and mutates
 //! exactly one command (or injects one extra command) so that exactly one
 //! auditor rule fires, proving each [`ViolationClass`] is both reachable
-//! and precisely attributed. All fourteen classes are exercised.
+//! and precisely attributed. All sixteen classes are exercised (the
+//! retention-escape class only arises from live margin events, so its
+//! replay-side sibling — the `retention_limit` budget — stands in here).
 
 use dram_device::{Command, CommandKind, Cycle, DramAddress, RowTiming, RowTimingClass, TimingSet};
 use mcr_lint::audit::{
@@ -258,6 +260,72 @@ fn injected_unknown_timing_class() {
         &audit_commands(&[act], &cfg()),
         ViolationClass::UnknownTimingClass,
     );
+}
+
+#[test]
+fn retention_limit_replay_flags_stale_fast_acts_only() {
+    // Replay-side retention budget: a fast-class ACT 50k cycles after the
+    // last restore breaches limit 10k and warns; the same stale ACT with
+    // the baseline class is the always-safe path and stays clean.
+    let mut c = cfg();
+    c.classes.push(RowTiming {
+        t_rcd: 6,
+        t_ras: 16,
+    });
+    c.retention_limit = Some(10_000);
+    let mut fast = cmd(CommandKind::Activate, 0, 0, 3, 50_000);
+    fast.class = RowTimingClass(1);
+    let v = audit_commands(&[fast], &c);
+    assert_single(&v, ViolationClass::RetentionViolation);
+    assert_eq!(v[0].severity(), Severity::Warning);
+    let slow = cmd(CommandKind::Activate, 0, 0, 3, 50_000);
+    assert!(audit_commands(&[slow], &c).is_empty());
+}
+
+#[test]
+fn retention_limit_replay_resets_on_refresh() {
+    // A REFRESH 2k cycles before the fast ACT restarts the budget clock,
+    // so the formerly-stale activation is clean again.
+    let mut c = cfg();
+    c.classes.push(RowTiming {
+        t_rcd: 6,
+        t_ras: 16,
+    });
+    c.retention_limit = Some(10_000);
+    let mut fast = cmd(CommandKind::Activate, 0, 0, 3, 50_000);
+    fast.class = RowTimingClass(1);
+    let cmds = vec![cmd(CommandKind::Refresh, 0, 0, 0, 48_000), fast];
+    assert!(audit_commands(&cmds, &c).is_empty());
+}
+
+#[test]
+fn mode_change_under_fire_attributes_both_violations() {
+    // A guardband MRS racing an in-flight ACT: the mode change lands with
+    // the bank open (warning) and the next fast-class ACT is already past
+    // the retention budget (warning). Both must be attributed, neither
+    // may mask the other.
+    let mut c = cfg();
+    c.classes.push(RowTiming {
+        t_rcd: 6,
+        t_ras: 16,
+    });
+    c.retention_limit = Some(10_000);
+    let mut stale_fast = cmd(CommandKind::Activate, 0, 1, 7, 50_000);
+    stale_fast.class = RowTimingClass(1);
+    let cmds = vec![
+        cmd(CommandKind::Activate, 0, 0, 3, 0),
+        cmd(CommandKind::ModeChange, 0, 0, 0, 40),
+        stale_fast,
+    ];
+    let v = audit_commands(&cmds, &c);
+    assert_eq!(
+        v.len(),
+        2,
+        "expected MRS warning + retention warning: {v:?}"
+    );
+    assert_eq!(v[0].class, ViolationClass::ModeChangeBankOpen);
+    assert_eq!(v[1].class, ViolationClass::RetentionViolation);
+    assert!(v.iter().all(|v| v.severity() == Severity::Warning));
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! The memory controller proper: queues, FR-FCFS scheduling, write drain,
 //! and refresh issue.
 
+use crate::guardband::{GuardbandConfig, GuardbandMonitor, GuardbandTransition};
 use crate::mapping::AddressMapper;
 use crate::policy::{DevicePolicy, RefreshAction};
 use crate::refresh::RefreshScheduler;
@@ -8,9 +9,10 @@ use crate::request::Request;
 use crate::stats::ControllerStats;
 use crate::telemetry::CtlTelemetry;
 use dram_device::{
-    Channel, CloneFrame, Cycle, DeviceError, Geometry, PhysAddr, RefreshWiring, ReqKind, TimingSet,
-    Violation,
+    Channel, CloneFrame, Cycle, DeviceError, Geometry, PhysAddr, RefreshWiring, ReqKind,
+    RetentionConfig, RowTimingClass, TimingError, TimingSet, Violation,
 };
+use mcr_faults::FaultPlan;
 use mcr_telemetry::TraceSink;
 #[cfg(feature = "telemetry")]
 use mcr_telemetry::{TraceEvent, TraceEventKind};
@@ -134,6 +136,14 @@ pub struct MemoryController {
     telemetry: CtlTelemetry,
     /// Optional per-command event sink (`None` = disabled).
     trace: Option<Box<dyn TraceSink>>,
+    /// Installed fault plan (`None` = no fault injection); feeds the
+    /// refresh scheduler's drop/late fault stream.
+    fault_plan: Option<FaultPlan>,
+    /// Guardband monitor (`None` = degradation ladder disabled).
+    guardband: Option<GuardbandMonitor>,
+    /// Ladder moves the monitor decided on, awaiting the owner (the MCR
+    /// policy layer applies them and drains this queue).
+    guardband_events: Vec<(Cycle, GuardbandTransition)>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -216,7 +226,65 @@ impl MemoryController {
             last_tick: None,
             telemetry: CtlTelemetry::default(),
             trace: None,
+            fault_plan: None,
+            guardband: None,
+            guardband_events: Vec::new(),
         })
+    }
+
+    /// Arms retention tracking on every channel and installs the plan's
+    /// refresh-fault stream on the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device's [`DeviceError::InvalidRetentionConfig`] when
+    /// the configuration is structurally invalid.
+    pub fn set_retention(&mut self, cfg: RetentionConfig) -> Result<(), DeviceError> {
+        for ch in &mut self.channels {
+            ch.chan.set_retention(cfg.clone())?;
+        }
+        self.fault_plan = Some(cfg.plan);
+        Ok(())
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Installs (or replaces) the guardband monitor driving the graceful
+    /// timing-degradation ladder.
+    pub fn set_guardband(&mut self, cfg: GuardbandConfig) {
+        self.guardband = Some(GuardbandMonitor::new(cfg));
+    }
+
+    /// The guardband monitor, if one is installed.
+    pub fn guardband(&self) -> Option<&GuardbandMonitor> {
+        self.guardband.as_ref()
+    }
+
+    /// Drains the guardband ladder moves decided since the last call.
+    /// The owner must apply each one (re-map rows onto the degraded or
+    /// restored timing classes via its MRS machinery).
+    pub fn drain_guardband_transitions(&mut self) -> Vec<(Cycle, GuardbandTransition)> {
+        std::mem::take(&mut self.guardband_events)
+    }
+
+    /// Queues a guardband transition and counts it.
+    fn push_guardband_event(&mut self, now: Cycle, t: GuardbandTransition) {
+        match t {
+            GuardbandTransition::Degrade(_) => {
+                self.stats.guardband_degrades += 1;
+                #[cfg(feature = "telemetry")]
+                self.telemetry.guardband_degrades.inc();
+            }
+            GuardbandTransition::Rearm(_) => {
+                self.stats.guardband_rearms += 1;
+                #[cfg(feature = "telemetry")]
+                self.telemetry.guardband_rearms.inc();
+            }
+        }
+        self.guardband_events.push((now, t));
     }
 
     /// The controller's telemetry (all-zero when the `telemetry`
@@ -268,6 +336,11 @@ impl MemoryController {
             s.refresh.normal += r.normal;
             s.refresh.fast += r.fast;
             s.refresh.skipped += r.skipped;
+            s.refresh.dropped += r.dropped;
+            s.refresh.late += r.late;
+        }
+        if let Some(g) = &self.guardband {
+            s.guardband_degraded_cycles = g.degraded_cycles(self.last_tick.unwrap_or(0));
         }
         s
     }
@@ -296,6 +369,9 @@ impl MemoryController {
     pub fn finish(&mut self, now: Cycle) {
         for ch in &mut self.channels {
             ch.chan.finish_counters(now);
+        }
+        if let Some(g) = &mut self.guardband {
+            g.finish(now);
         }
     }
 
@@ -447,6 +523,11 @@ impl MemoryController {
             self.last_tick
         );
         self.last_tick = Some(now);
+        if let Some(g) = &mut self.guardband {
+            if let Some(t) = g.poll(now) {
+                self.push_guardband_event(now, t);
+            }
+        }
         let mut done = Vec::new();
         for ci in 0..self.channels.len() {
             #[cfg(feature = "telemetry")]
@@ -460,7 +541,9 @@ impl MemoryController {
                     .record(ch.write_q.len() as u64);
             }
             if self.config.refresh_enabled {
-                self.channels[ci].refresh.tick(now, self.policy.as_mut());
+                self.channels[ci]
+                    .refresh
+                    .tick(now, self.policy.as_mut(), self.fault_plan.as_ref());
             }
             self.manage_power_down(ci, now);
             self.update_drain_mode(ci);
@@ -758,12 +841,39 @@ impl MemoryController {
         let dram = self.queue(ci, drain)[idx].dram;
         let (class, extra) = self.policy.activate_class(&dram);
         let ch = &mut self.channels[ci];
-        if ch
+        match ch
             .chan
             .activate_mcr(dram.rank, dram.bank, dram.row, now, class, extra)
-            .is_err()
         {
-            return false;
+            Ok(()) => {}
+            Err(TimingError::RetentionViolation { .. }) => {
+                // The retention detector rejected a fast-class restore on a
+                // decayed row. Retry in the same cycle with the full-restore
+                // baseline class (class 0 never runs a margin check), and
+                // feed the violation to the guardband ladder.
+                self.stats.retention_retries += 1;
+                #[cfg(feature = "telemetry")]
+                self.telemetry.retention_retries.inc();
+                let retried = self.channels[ci]
+                    .chan
+                    .activate_mcr(
+                        dram.rank,
+                        dram.bank,
+                        dram.row,
+                        now,
+                        RowTimingClass(0),
+                        extra,
+                    )
+                    .is_ok();
+                let transition = self.guardband.as_mut().and_then(|g| g.note_violation(now));
+                if let Some(t) = transition {
+                    self.push_guardband_event(now, t);
+                }
+                if !retried {
+                    return false;
+                }
+            }
+            Err(_) => return false,
         }
         #[cfg(feature = "telemetry")]
         {
@@ -811,16 +921,19 @@ impl MemoryController {
 
     /// Tries to issue the oldest pending refresh for `rank`.
     fn try_refresh(&mut self, ci: usize, rank: u8, now: Cycle) -> bool {
-        let Some(action) = self.channels[ci].refresh.peek(rank) else {
+        let Some(pending) = self.channels[ci].refresh.peek(rank) else {
             return false;
         };
-        let t_rfc = match action {
+        if pending.not_before > now {
+            return false; // late-refresh fault: slot not released yet
+        }
+        let t_rfc = match pending.action {
             RefreshAction::Fast(t) => Some(t),
             RefreshAction::Normal => None,
             RefreshAction::Skip => unreachable!("skips never enter the backlog"),
         };
         let ch = &mut self.channels[ci];
-        if ch.chan.refresh(rank, now, t_rfc).is_ok() {
+        if ch.chan.refresh_slot(rank, pending.row, now, t_rfc).is_ok() {
             let consumed = ch.refresh.consume(rank).is_some();
             #[cfg(feature = "telemetry")]
             if consumed {
@@ -863,6 +976,43 @@ mod tests {
     use super::*;
     use crate::mapping::PageInterleave;
     use crate::policy::NormalPolicy;
+    use circuit_model::{CircuitParams, LeakageModel};
+
+    /// Policy that always activates with class 1 (a truncated
+    /// Early-Precharge restore), for retention-path tests.
+    struct FastClassPolicy;
+
+    impl DevicePolicy for FastClassPolicy {
+        fn activate_class(&self, _: &dram_device::DramAddress) -> (RowTimingClass, u32) {
+            (RowTimingClass(1), 0)
+        }
+        fn refresh_action(&mut self, _: u8, _: u64) -> RefreshAction {
+            RefreshAction::Normal
+        }
+        fn timing_classes(&self) -> Vec<dram_device::RowTiming> {
+            vec![dram_device::RowTiming {
+                t_rcd: 11,
+                t_ras: 20,
+            }]
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Retention config whose class 1 restores 0.15 V short of full
+    /// charge (survives ~32 ms of nominal leakage).
+    fn retention_cfg(plan: FaultPlan) -> RetentionConfig {
+        let params = CircuitParams::calibrated();
+        RetentionConfig {
+            plan,
+            leakage: LeakageModel::new(params),
+            class_restore_v: vec![params.v_full, params.v_full - 0.15],
+            fast_refresh_restore_v: params.v_full,
+            full_restore_v: params.v_full,
+            t_ck_ns: 1.25,
+        }
+    }
 
     fn controller(refresh: bool) -> MemoryController {
         let g = Geometry::tiny();
@@ -1144,6 +1294,86 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(ctl.stats().row_conflicts, 0);
         assert_eq!(ctl.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn retention_violation_retries_with_baseline_class() {
+        const MS64: Cycle = 51_200_000;
+        let g = Geometry::tiny();
+        let mut cfg = ControllerConfig::msc_default();
+        cfg.refresh_enabled = false;
+        let mut ctl = MemoryController::new(
+            g,
+            TimingSet::default(),
+            cfg,
+            Box::new(PageInterleave::new(g)),
+            Box::new(FastClassPolicy),
+        );
+        ctl.set_retention(retention_cfg(FaultPlan::new(3))).unwrap();
+        ctl.set_guardband(crate::guardband::GuardbandConfig {
+            window: 1_000,
+            threshold: 1,
+            ..Default::default()
+        });
+        // Within the fresh retention window the class-1 ACT is accepted.
+        ctl.enqueue_read(0, PhysAddr(0)).unwrap();
+        let done = run(&mut ctl, 0, 100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(ctl.stats().retention_retries, 0);
+        // A different row of the same bank, a hair past the 64 ms window:
+        // the conflict forces PRE + ACT, the fast-class ACT fails its
+        // margin check, and the controller retries with class 0 in the
+        // same cycle — the read still completes.
+        let m = PageInterleave::new(g);
+        let b = m.encode(&dram_device::DramAddress {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 2,
+            col: 0,
+        });
+        ctl.enqueue_read(0, b).unwrap();
+        let done = run(&mut ctl, MS64 + 1_000, MS64 + 1_200);
+        assert_eq!(done.len(), 1, "read completes via the class-0 retry");
+        let s = ctl.stats();
+        assert_eq!(s.retention_retries, 1);
+        assert_eq!(s.guardband_degrades, 1);
+        let events = ctl.drain_guardband_transitions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].1,
+            GuardbandTransition::Degrade(crate::guardband::DegradeLevel::NoSkip)
+        );
+        assert!(ctl.drain_guardband_transitions().is_empty(), "drained");
+    }
+
+    #[test]
+    fn dropped_refresh_faults_surface_in_stats() {
+        let mut ctl = controller(true);
+        ctl.set_retention(retention_cfg(FaultPlan::new(9).with_refresh_drops(1.0)))
+            .unwrap();
+        run(&mut ctl, 0, 20_000);
+        let s = ctl.stats();
+        // tiny geometry, 1 rank: slots due at 6240, 12480, 18720 — all
+        // consumed by the injected drop fault, none issued.
+        assert_eq!(s.refresh.dropped, 3);
+        assert_eq!(s.refresh.normal, 0);
+    }
+
+    #[test]
+    fn late_refresh_faults_delay_issue_until_release() {
+        let mut ctl = controller(true);
+        ctl.set_retention(retention_cfg(
+            FaultPlan::new(9).with_late_refreshes(1.0, 5_000),
+        ))
+        .unwrap();
+        run(&mut ctl, 0, 11_000);
+        // The slot due at 6240 is held until its release cycle 11_240.
+        let s = ctl.stats();
+        assert_eq!(s.refresh.late, 1);
+        assert_eq!(s.refresh.normal, 0);
+        run(&mut ctl, 11_000, 12_000);
+        assert_eq!(ctl.stats().refresh.normal, 1);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Guardband monitor: sliding-window retention-violation tracking and the
+//! graceful timing-degradation ladder (DESIGN.md §5f).
+//!
+//! Detected retention violations (see `dram_device::RetentionEvent`) feed
+//! a [`GuardbandMonitor`]. When too many land inside one sliding window
+//! the monitor steps the system down a degradation ladder — first
+//! disabling Refresh-Skipping (every slot refreshes again), then
+//! reverting Early-Precharge to the full baseline `tRAS` (full restores)
+//! — instead of letting fast-but-marginal timing keep failing. After a
+//! violation-free hysteresis period (stretched by an exponential backoff
+//! that grows with every degradation) the monitor re-arms one step at a
+//! time.
+//!
+//! The monitor only *decides*; applying a step is the owner's job (the
+//! MCR policy layer re-maps rows onto pre-registered timing classes via
+//! the MRS mode-change machinery). That split keeps this crate
+//! MCR-agnostic, like the rest of the controller.
+
+use dram_device::Cycle;
+use std::collections::VecDeque;
+
+/// Rungs of the degradation ladder, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// All configured MCR mechanisms active (no degradation).
+    Full,
+    /// Refresh-Skipping disabled: every refresh slot issues.
+    NoSkip,
+    /// Additionally, Early-Precharge reverted to the baseline `tRAS`
+    /// so every activation restores cells fully.
+    FullRas,
+}
+
+impl DegradeLevel {
+    /// The next-worse rung, saturating at [`DegradeLevel::FullRas`].
+    fn down(self) -> Self {
+        match self {
+            DegradeLevel::Full => DegradeLevel::NoSkip,
+            _ => DegradeLevel::FullRas,
+        }
+    }
+
+    /// The next-better rung, saturating at [`DegradeLevel::Full`].
+    fn up(self) -> Self {
+        match self {
+            DegradeLevel::FullRas => DegradeLevel::NoSkip,
+            _ => DegradeLevel::Full,
+        }
+    }
+}
+
+/// A ladder move the monitor decided on; the owner must apply it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardbandTransition {
+    /// Step down to the carried level (violations crossed the threshold).
+    Degrade(DegradeLevel),
+    /// Step back up to the carried level (quiet long enough).
+    Rearm(DegradeLevel),
+}
+
+/// Thresholds and pacing of the [`GuardbandMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardbandConfig {
+    /// Sliding-window length in memory cycles.
+    pub window: Cycle,
+    /// Violations inside one window that trigger a degradation step.
+    pub threshold: u32,
+    /// Violation-free cycles required before any re-arm step.
+    pub hysteresis: Cycle,
+    /// Base backoff added to the hysteresis; doubles with every
+    /// degradation (exponential backoff before re-arming).
+    pub backoff_base: Cycle,
+    /// Cap on backoff doublings, bounding the longest re-arm delay.
+    pub backoff_cap: u32,
+}
+
+impl Default for GuardbandConfig {
+    /// Defaults tuned to the DDR3-1600 refresh cadence: a window of a few
+    /// tREFI slots, re-arm pacing in the tens of thousands of cycles.
+    fn default() -> Self {
+        GuardbandConfig {
+            window: 25_000,
+            threshold: 4,
+            hysteresis: 50_000,
+            backoff_base: 25_000,
+            backoff_cap: 6,
+        }
+    }
+}
+
+/// Sliding-window violation counter driving the degradation ladder.
+#[derive(Debug, Clone)]
+pub struct GuardbandMonitor {
+    cfg: GuardbandConfig,
+    /// Cycles of the violations inside the current window.
+    recent: VecDeque<Cycle>,
+    level: DegradeLevel,
+    last_violation: Option<Cycle>,
+    degrades: u64,
+    rearms: u64,
+    /// Backoff doublings accumulated so far (capped).
+    backoff_exp: u32,
+    /// Cycle the system entered a degraded level (`None` at full speed).
+    degraded_since: Option<Cycle>,
+    /// Completed degraded residency (closed intervals only).
+    degraded_cycles: Cycle,
+}
+
+impl GuardbandMonitor {
+    /// A monitor at full speed with the given thresholds.
+    pub fn new(cfg: GuardbandConfig) -> Self {
+        GuardbandMonitor {
+            cfg,
+            recent: VecDeque::new(),
+            level: DegradeLevel::Full,
+            last_violation: None,
+            degrades: 0,
+            rearms: 0,
+            backoff_exp: 0,
+            degraded_since: None,
+            degraded_cycles: 0,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &GuardbandConfig {
+        &self.cfg
+    }
+
+    /// The current ladder rung.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Degradation steps taken so far.
+    pub fn degrades(&self) -> u64 {
+        self.degrades
+    }
+
+    /// Re-arm steps taken so far.
+    pub fn rearms(&self) -> u64 {
+        self.rearms
+    }
+
+    /// Cycles spent at any degraded level up to `now` (open interval
+    /// included).
+    pub fn degraded_cycles(&self, now: Cycle) -> Cycle {
+        self.degraded_cycles
+            + self
+                .degraded_since
+                .map_or(0, |since| now.saturating_sub(since))
+    }
+
+    /// Records one detected retention violation at `now`. Returns the
+    /// degradation step it triggered, if the sliding window crossed the
+    /// threshold.
+    pub fn note_violation(&mut self, now: Cycle) -> Option<GuardbandTransition> {
+        self.last_violation = Some(now);
+        let horizon = now.saturating_sub(self.cfg.window);
+        while self.recent.front().is_some_and(|&c| c < horizon) {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(now);
+        if (self.recent.len() as u64) < u64::from(self.cfg.threshold.max(1)) {
+            return None;
+        }
+        // Window tripped: one step down, counter reset so the next step
+        // needs a fresh window's worth of violations.
+        self.recent.clear();
+        if self.level == DegradeLevel::FullRas {
+            return None; // already at the bottom rung
+        }
+        self.level = self.level.down();
+        self.degrades += 1;
+        self.backoff_exp = (self.backoff_exp + 1).min(self.cfg.backoff_cap);
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(now);
+        }
+        Some(GuardbandTransition::Degrade(self.level))
+    }
+
+    /// Required violation-free cycles before the next re-arm step:
+    /// hysteresis plus the exponential backoff earned by past degrades.
+    fn rearm_quiet(&self) -> Cycle {
+        let doublings = self.backoff_exp.saturating_sub(1).min(self.cfg.backoff_cap);
+        self.cfg
+            .hysteresis
+            .saturating_add(self.cfg.backoff_base.saturating_mul(1 << doublings))
+    }
+
+    /// Checks (once per tick) whether quiet time earned a re-arm step.
+    /// Steps one rung per call; the cycle of full recovery closes the
+    /// degraded-residency interval.
+    pub fn poll(&mut self, now: Cycle) -> Option<GuardbandTransition> {
+        if self.level == DegradeLevel::Full {
+            return None;
+        }
+        let quiet = now.saturating_sub(self.last_violation.unwrap_or(0));
+        if quiet < self.rearm_quiet() {
+            return None;
+        }
+        self.level = self.level.up();
+        self.rearms += 1;
+        if self.level == DegradeLevel::Full {
+            if let Some(since) = self.degraded_since.take() {
+                self.degraded_cycles += now.saturating_sub(since);
+            }
+        }
+        Some(GuardbandTransition::Rearm(self.level))
+    }
+
+    /// Closes the open degraded-residency interval at end of simulation.
+    pub fn finish(&mut self, now: Cycle) {
+        if let Some(since) = self.degraded_since.take() {
+            self.degraded_cycles += now.saturating_sub(since);
+            // Keep accounting stable if the owner calls finish twice.
+            if self.level != DegradeLevel::Full {
+                self.degraded_since = Some(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GuardbandConfig {
+        GuardbandConfig {
+            window: 1_000,
+            threshold: 3,
+            hysteresis: 5_000,
+            backoff_base: 1_000,
+            backoff_cap: 3,
+        }
+    }
+
+    #[test]
+    fn threshold_in_window_degrades_one_step() {
+        let mut g = GuardbandMonitor::new(cfg());
+        assert_eq!(g.note_violation(10), None);
+        assert_eq!(g.note_violation(20), None);
+        assert_eq!(
+            g.note_violation(30),
+            Some(GuardbandTransition::Degrade(DegradeLevel::NoSkip))
+        );
+        assert_eq!(g.level(), DegradeLevel::NoSkip);
+        assert_eq!(g.degrades(), 1);
+    }
+
+    #[test]
+    fn sparse_violations_never_trip() {
+        let mut g = GuardbandMonitor::new(cfg());
+        for i in 0..10u64 {
+            assert_eq!(g.note_violation(i * 2_000), None, "violation {i}");
+        }
+        assert_eq!(g.level(), DegradeLevel::Full);
+    }
+
+    #[test]
+    fn ladder_descends_to_full_ras_and_stops() {
+        let mut g = GuardbandMonitor::new(cfg());
+        for i in 0..3 {
+            g.note_violation(i);
+        }
+        assert_eq!(g.level(), DegradeLevel::NoSkip);
+        for i in 10..13 {
+            g.note_violation(i);
+        }
+        assert_eq!(g.level(), DegradeLevel::FullRas);
+        // Bottom rung: further windows change nothing.
+        for i in 20..26 {
+            g.note_violation(i);
+        }
+        assert_eq!(g.level(), DegradeLevel::FullRas);
+        assert_eq!(g.degrades(), 2);
+    }
+
+    #[test]
+    fn rearm_needs_hysteresis_plus_backoff() {
+        let mut g = GuardbandMonitor::new(cfg());
+        for i in 0..3 {
+            g.note_violation(i);
+        }
+        // First degrade: quiet requirement is hysteresis + base.
+        assert_eq!(g.poll(2 + 5_999), None);
+        assert_eq!(
+            g.poll(2 + 6_000),
+            Some(GuardbandTransition::Rearm(DegradeLevel::Full))
+        );
+        assert_eq!(g.level(), DegradeLevel::Full);
+        assert_eq!(g.rearms(), 1);
+    }
+
+    #[test]
+    fn backoff_grows_with_each_degrade() {
+        let mut g = GuardbandMonitor::new(cfg());
+        for i in 0..3 {
+            g.note_violation(i);
+        }
+        g.poll(10_000); // re-arm (quiet 6_000 needed)
+        for i in 20_000..20_003 {
+            g.note_violation(i);
+        }
+        // Second degrade: backoff doubled, quiet 5_000 + 2_000 needed.
+        assert_eq!(g.poll(20_002 + 6_999), None);
+        assert!(g.poll(20_002 + 7_000).is_some());
+    }
+
+    #[test]
+    fn degraded_residency_is_accounted() {
+        let mut g = GuardbandMonitor::new(cfg());
+        for i in 100..103 {
+            g.note_violation(i);
+        }
+        assert_eq!(g.degraded_cycles(1_102), 1_000);
+        g.poll(102 + 6_000); // back to Full
+        assert_eq!(g.degraded_cycles(50_000), 6_000);
+        g.finish(60_000);
+        assert_eq!(g.degraded_cycles(60_000), 6_000);
+    }
+
+    #[test]
+    fn staged_rearm_steps_one_rung_per_poll() {
+        let mut g = GuardbandMonitor::new(cfg());
+        for i in 0..3 {
+            g.note_violation(i);
+        }
+        for i in 10..13 {
+            g.note_violation(i);
+        }
+        assert_eq!(g.level(), DegradeLevel::FullRas);
+        let t = 12 + 8_000; // past the doubled backoff
+        assert_eq!(
+            g.poll(t),
+            Some(GuardbandTransition::Rearm(DegradeLevel::NoSkip))
+        );
+        assert_eq!(
+            g.poll(t + 1),
+            Some(GuardbandTransition::Rearm(DegradeLevel::Full))
+        );
+        assert_eq!(g.rearms(), 2);
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod controller;
+mod guardband;
 mod mapping;
 mod policy;
 mod refresh;
@@ -52,9 +53,10 @@ mod stats;
 mod telemetry;
 
 pub use controller::{Completion, ControllerConfig, MemoryController, RowPolicy, SchedulerKind};
+pub use guardband::{DegradeLevel, GuardbandConfig, GuardbandMonitor, GuardbandTransition};
 pub use mapping::{AddressMapper, BitReversal, PageInterleave, PermutationInterleave};
 pub use policy::{DevicePolicy, NormalPolicy, RefreshAction};
-pub use refresh::RefreshScheduler;
+pub use refresh::{PendingRefresh, RefreshScheduler};
 pub use request::{Request, ServiceClass};
 pub use stats::ControllerStats;
 pub use telemetry::CtlTelemetry;

@@ -5,20 +5,42 @@
 //! rank, the slots that have come due and the [`RefreshAction`] the device
 //! policy chose for each; the controller issues them opportunistically and
 //! forces them as the backlog approaches the postponement cap.
+//!
+//! When a [`mcr_faults::FaultPlan`] is installed, due slots pass through
+//! its refresh-fault stream first: a *dropped* slot is consumed without
+//! ever issuing a command (the targeted row silently misses its restore),
+//! and a *late* slot enters the backlog with a `not_before` release cycle
+//! the controller must respect.
 
 use crate::policy::{DevicePolicy, RefreshAction};
 use dram_device::{Cycle, RefreshCounter, RefreshWiring};
+use mcr_faults::{FaultPlan, RefreshFault};
 use std::collections::VecDeque;
+
+/// One due-but-unissued refresh slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRefresh {
+    /// Refresh-counter row the slot targets.
+    pub row: u64,
+    /// Device action the policy chose for the slot.
+    pub action: RefreshAction,
+    /// Earliest cycle the controller may issue it (0 normally; pushed
+    /// into the future by a late-refresh fault).
+    pub not_before: Cycle,
+}
 
 /// Per-rank refresh bookkeeping.
 #[derive(Debug)]
 struct RankRefresh {
     /// Shadow of the device-internal refresh row counter.
     counter: RefreshCounter,
-    /// Actions for slots that are due but not yet issued.
-    backlog: VecDeque<RefreshAction>,
+    /// Slots that are due but not yet issued.
+    backlog: VecDeque<PendingRefresh>,
     /// Next slot deadline in memory cycles.
     next_due: Cycle,
+    /// Monotone count of slots that have come due (the fault-plan's
+    /// per-rank refresh-fault stream coordinate).
+    slot_index: u64,
 }
 
 /// Statistics reported by the refresh scheduler.
@@ -30,6 +52,11 @@ pub struct RefreshStats {
     pub fast: u64,
     /// Slots skipped entirely (Refresh-Skipping).
     pub skipped: u64,
+    /// Slots consumed by an injected dropped-refresh fault (no command
+    /// was ever issued for them).
+    pub dropped: u64,
+    /// Slots delayed by an injected late-refresh fault.
+    pub late: u64,
 }
 
 /// Tracks refresh slot deadlines and backlog for every rank of a channel.
@@ -52,6 +79,7 @@ impl RefreshScheduler {
                     backlog: VecDeque::new(),
                     // Stagger ranks so both don't demand the bus at once.
                     next_due: t_refi / ranks as Cycle * i as Cycle + t_refi,
+                    slot_index: 0,
                 })
                 .collect(),
             t_refi,
@@ -61,9 +89,10 @@ impl RefreshScheduler {
     }
 
     /// Advances slot deadlines to `now`, consulting `policy` for each slot
-    /// that comes due. Skip slots are consumed immediately (no command
+    /// that comes due and `faults` (when armed) for injected refresh
+    /// faults. Skip and dropped slots are consumed immediately (no command
     /// needed); others join the backlog.
-    pub fn tick(&mut self, now: Cycle, policy: &mut dyn DevicePolicy) {
+    pub fn tick(&mut self, now: Cycle, policy: &mut dyn DevicePolicy, faults: Option<&FaultPlan>) {
         for (rank_id, r) in self.ranks.iter_mut().enumerate() {
             while now >= r.next_due {
                 r.next_due += self.t_refi;
@@ -71,12 +100,31 @@ impl RefreshScheduler {
                 // slot targets the next row in the sweep even while a
                 // backlog of unissued refreshes exists.
                 let row = r.counter.advance();
+                let slot = r.slot_index;
+                r.slot_index += 1;
                 match policy.refresh_action(rank_id as u8, row) {
                     RefreshAction::Skip => {
                         self.stats.skipped += 1;
                     }
                     action => {
-                        r.backlog.push_back(action);
+                        let fault = faults
+                            .map_or(RefreshFault::None, |p| p.refresh_fault(rank_id as u8, slot));
+                        match fault {
+                            RefreshFault::Dropped => self.stats.dropped += 1,
+                            RefreshFault::Late(delay) => {
+                                self.stats.late += 1;
+                                r.backlog.push_back(PendingRefresh {
+                                    row,
+                                    action,
+                                    not_before: now.saturating_add(delay),
+                                });
+                            }
+                            RefreshFault::None => r.backlog.push_back(PendingRefresh {
+                                row,
+                                action,
+                                not_before: 0,
+                            }),
+                        }
                     }
                 }
             }
@@ -94,23 +142,24 @@ impl RefreshScheduler {
         self.backlog(rank) >= self.postpone_cap - 1
     }
 
-    /// The action for `rank`'s oldest pending refresh, if any.
-    pub fn peek(&self, rank: u8) -> Option<RefreshAction> {
+    /// `rank`'s oldest pending refresh, if any. The caller must honor its
+    /// `not_before` release cycle before issuing.
+    pub fn peek(&self, rank: u8) -> Option<PendingRefresh> {
         self.ranks[rank as usize].backlog.front().copied()
     }
 
     /// Consumes the oldest pending refresh for `rank` after the controller
-    /// has successfully issued it. Returns the action consumed, or `None`
+    /// has successfully issued it. Returns the slot consumed, or `None`
     /// when the backlog was empty (nothing to consume).
-    pub fn consume(&mut self, rank: u8) -> Option<RefreshAction> {
+    pub fn consume(&mut self, rank: u8) -> Option<PendingRefresh> {
         let r = &mut self.ranks[rank as usize];
-        let action = r.backlog.pop_front()?;
-        match action {
+        let pending = r.backlog.pop_front()?;
+        match pending.action {
             RefreshAction::Normal => self.stats.normal += 1,
             RefreshAction::Fast(_) => self.stats.fast += 1,
             RefreshAction::Skip => unreachable!("skips never enter the backlog"),
         }
-        Some(action)
+        Some(pending)
     }
 
     /// Aggregate refresh statistics.
@@ -128,14 +177,14 @@ mod tests {
     fn slots_accumulate_at_trefi() {
         let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Reversed);
         let mut p = NormalPolicy;
-        s.tick(99, &mut p);
+        s.tick(99, &mut p, None);
         assert_eq!(s.backlog(0), 0);
-        s.tick(100, &mut p);
+        s.tick(100, &mut p, None);
         assert_eq!(s.backlog(0), 1);
-        s.tick(450, &mut p);
+        s.tick(450, &mut p, None);
         assert_eq!(s.backlog(0), 4);
         assert!(!s.urgent(0));
-        s.tick(800, &mut p);
+        s.tick(800, &mut p, None);
         assert!(s.urgent(0));
     }
 
@@ -143,13 +192,25 @@ mod tests {
     fn consume_pops_and_counts() {
         let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Reversed);
         let mut p = NormalPolicy;
-        s.tick(300, &mut p);
+        s.tick(300, &mut p, None);
         // Slots due at 100, 200, 300.
         assert_eq!(s.backlog(0), 3);
-        assert_eq!(s.peek(0), Some(RefreshAction::Normal));
+        let front = s.peek(0).expect("backlog non-empty");
+        assert_eq!(front.action, RefreshAction::Normal);
+        assert_eq!(front.not_before, 0);
         s.consume(0);
         assert_eq!(s.backlog(0), 2);
         assert_eq!(s.stats().normal, 1);
+    }
+
+    #[test]
+    fn pending_slots_carry_the_counter_row() {
+        let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Direct);
+        let mut p = NormalPolicy;
+        s.tick(300, &mut p, None);
+        // Direct wiring: the sweep visits rows 0, 1, 2 in order.
+        let rows: Vec<u64> = (0..3).filter_map(|_| s.consume(0).map(|f| f.row)).collect();
+        assert_eq!(rows, vec![0, 1, 2]);
     }
 
     #[test]
@@ -171,7 +232,7 @@ mod tests {
         }
         let mut s = RefreshScheduler::new(2, 6, 100, RefreshWiring::Reversed);
         let mut p = SkipAll;
-        s.tick(1000, &mut p);
+        s.tick(1000, &mut p, None);
         assert_eq!(s.backlog(0), 0);
         assert_eq!(s.backlog(1), 0);
         assert!(s.stats().skipped >= 18);
@@ -181,11 +242,37 @@ mod tests {
     fn ranks_are_staggered() {
         let mut s = RefreshScheduler::new(2, 6, 100, RefreshWiring::Reversed);
         let mut p = NormalPolicy;
-        s.tick(120, &mut p);
+        s.tick(120, &mut p, None);
         // Rank 0 due at 100, rank 1 at 150.
         assert_eq!(s.backlog(0), 1);
         assert_eq!(s.backlog(1), 0);
-        s.tick(160, &mut p);
+        s.tick(160, &mut p, None);
         assert_eq!(s.backlog(1), 1);
+    }
+
+    #[test]
+    fn dropped_faults_consume_slots_without_queuing() {
+        let plan = FaultPlan::new(7).with_refresh_drops(1.0);
+        let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Reversed);
+        let mut p = NormalPolicy;
+        s.tick(1000, &mut p, Some(&plan));
+        assert_eq!(s.backlog(0), 0, "all slots dropped");
+        assert_eq!(s.stats().dropped, 10);
+        assert_eq!(s.stats().normal, 0);
+    }
+
+    #[test]
+    fn late_faults_set_a_release_cycle() {
+        let plan = FaultPlan::new(7).with_late_refreshes(1.0, 500);
+        let mut s = RefreshScheduler::new(1, 6, 100, RefreshWiring::Reversed);
+        let mut p = NormalPolicy;
+        s.tick(100, &mut p, None);
+        s.tick(200, &mut p, Some(&plan));
+        assert_eq!(s.backlog(0), 2);
+        let healthy = s.consume(0).expect("first slot queued without plan");
+        assert_eq!(healthy.not_before, 0);
+        let late = s.peek(0).expect("late slot queued");
+        assert_eq!(late.not_before, 700);
+        assert_eq!(s.stats().late, 1);
     }
 }

@@ -21,6 +21,15 @@ pub struct ControllerStats {
     pub drain_cycles: u64,
     /// Refresh scheduler statistics.
     pub refresh: RefreshStats,
+    /// Fast-class ACTIVATEs rejected by the retention margin detector and
+    /// reissued with the full-restore baseline class.
+    pub retention_retries: u64,
+    /// Guardband degradation steps taken (ladder moves down).
+    pub guardband_degrades: u64,
+    /// Guardband re-arm steps taken (ladder moves back up).
+    pub guardband_rearms: u64,
+    /// Memory cycles spent at any degraded guardband level.
+    pub guardband_degraded_cycles: u64,
 }
 
 impl ControllerStats {

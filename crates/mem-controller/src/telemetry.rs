@@ -31,6 +31,13 @@ pub struct CtlTelemetry {
     pub sched_precharges: Counter,
     /// REFRESH decisions issued (normal and fast).
     pub sched_refreshes: Counter,
+    /// Fast-class ACTIVATEs the retention detector rejected; each was
+    /// retried in the same cycle with the full-restore baseline class.
+    pub retention_retries: Counter,
+    /// Guardband degradation steps (ladder moves down).
+    pub guardband_degrades: Counter,
+    /// Guardband re-arm steps (ladder moves back up).
+    pub guardband_rearms: Counter,
 }
 
 impl CtlTelemetry {
@@ -44,6 +51,9 @@ impl CtlTelemetry {
         self.sched_activates.merge(&other.sched_activates);
         self.sched_precharges.merge(&other.sched_precharges);
         self.sched_refreshes.merge(&other.sched_refreshes);
+        self.retention_retries.merge(&other.retention_retries);
+        self.guardband_degrades.merge(&other.guardband_degrades);
+        self.guardband_rearms.merge(&other.guardband_rearms);
     }
 }
 

@@ -129,3 +129,20 @@ fn snapshot_rendering_is_deterministic() {
     let b = snapshot("x", &System::build(&cfg).run());
     assert_eq!(a, b, "same config must render the same snapshot");
 }
+
+#[test]
+fn zero_rate_fault_plan_does_not_drift_goldens() {
+    // The fault-injection subsystem must be invisible to the golden
+    // surface when its plan injects nothing: arming an all-zero
+    // FaultPlan turns the margin detector on, but every byte of the
+    // rendered snapshot must match the plain run's.
+    for (name, cfg) in golden_cases() {
+        let plain = snapshot(name, &System::build(&cfg).run());
+        let armed_cfg = cfg.with_fault_plan(mcr_dram::FaultPlan::new(2015));
+        let armed = snapshot(name, &System::build(&armed_cfg).run());
+        assert_eq!(
+            plain, armed,
+            "{name}: an inert fault plan changed the golden snapshot"
+        );
+    }
+}

@@ -142,6 +142,40 @@ fn reconfiguration_is_audit_clean_and_preserves_telemetry() {
 }
 
 #[test]
+fn mode_change_under_fire_stays_audit_clean() {
+    // DESIGN.md §5f: an OS-initiated relaxation (MRS) racing an active
+    // fault campaign — margin retries in flight, the guardband ladder
+    // possibly mid-step — must neither corrupt data (no retention
+    // escapes) nor break the command protocol. Detected violations are
+    // warning-severity by design; anything error-severity fails here.
+    use mcr_dram::FaultPlan;
+    let cfg = SystemConfig::single_core("leslie", 8_000)
+        .with_mode(McrMode::headline())
+        .with_fault_plan(FaultPlan::new(0xF1FE).with_sense_glitches(0.5));
+    let mut sys = System::build(&cfg);
+    assert!(sys.audit_enabled(), "auditor must be armed for this test");
+    sys.step(50_000);
+    assert!(!sys.done(), "trace should still be running at 50k cycles");
+    sys.reconfigure(McrMode::new(2, 2, 1.0).unwrap());
+    sys.step(30_000);
+    sys.reconfigure(McrMode::off());
+    while !sys.step(100_000) {
+        assert!(sys.now() < 100_000_000, "wedged");
+    }
+    let r = sys.report(); // panics on any error-severity audit record
+    assert!(r.reads_done > 0);
+    assert!(
+        r.reliability.retention_retries > 0,
+        "the campaign must have been live across the mode changes"
+    );
+    assert_eq!(r.reliability.retention_escapes, 0);
+    assert!(
+        r.telemetry.mode_changes >= 2,
+        "the two OS relaxations must be counted alongside guardband MRS steps"
+    );
+}
+
+#[test]
 #[should_panic(expected = "not a relaxation")]
 fn tightening_reconfiguration_is_rejected() {
     let cfg = SystemConfig::single_core("black", 2_000).with_mode(McrMode::new(2, 2, 1.0).unwrap());
