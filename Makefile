@@ -3,14 +3,14 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit chaos bench-smoke bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit chaos serve-smoke bench-smoke bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
 # (which includes the golden-report snapshots), the mcr-lint static
 # passes (source lint + timing/mode-table/region checks), then a seeded
-# fault-injection chaos campaign.
-check: build build-nodefault clippy fmt-check test golden lint chaos
+# fault-injection chaos campaign and the service loopback smoke test.
+check: build build-nodefault clippy fmt-check test golden lint chaos serve-smoke
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -60,9 +60,15 @@ audit:
 # lost read. CHAOS_SEED replays a specific campaign.
 CHAOS_SEED ?= 2015
 chaos:
-	$(CARGO) run $(OFFLINE) -q -p mcr-dram --bin mcr_sim -- \
+	$(CARGO) run $(OFFLINE) -q -p mcr-serve --bin mcr_sim -- \
 		--workload libq --mode 2/4x/100 --len 8000 \
 		--chaos --fault-seed $(CHAOS_SEED)
+
+# Loopback end-to-end smoke of the simulation service (DESIGN.md §5g):
+# binds an ephemeral port, drives sweeps / deadlines / load shedding /
+# campaigns over real sockets, and exercises the serve+submit CLI.
+serve-smoke:
+	$(CARGO) test $(OFFLINE) -p mcr-serve --test serve_smoke -q
 
 # Quick pass over the figure benches at reduced trace lengths — shape
 # checks, not statistics (a few seconds instead of minutes).

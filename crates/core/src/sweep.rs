@@ -33,8 +33,8 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::mechanisms::Mechanisms;
@@ -42,6 +42,54 @@ use crate::mode::McrMode;
 use crate::system::{ConfigError, RunReport, System, SystemConfig};
 use crate::telemetry::Telemetry;
 use trace_gen::Mix;
+
+/// Cooperative cancellation handle shared between a sweep (or single
+/// [`System`] run) and whoever supervises it — e.g. the `mcr-serve`
+/// worker pool enforcing per-request deadlines.
+///
+/// Cancellation is *cooperative*: the running simulation polls
+/// [`CancelToken::is_cancelled`] between work chunks (every
+/// [`crate::system::CANCEL_CHECK_CYCLES`] memory cycles within a run,
+/// and between grid points), abandons cleanly, and the driver reports
+/// `None` instead of a result. A token can carry an optional deadline,
+/// after which it reads as cancelled without anyone calling
+/// [`CancelToken::cancel`]. Clones share the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels until [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally reads as cancelled from `deadline` on.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The deadline this token carries, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Requests cancellation (visible to every clone of this token).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] was called on any clone or the
+    /// deadline (when set) has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// One labelled grid point: a config plus the human-readable name it is
 /// reported under.
@@ -404,6 +452,25 @@ impl Sweep {
     /// letting several sweeps share results (identical configs are
     /// simulated once, ever).
     pub fn run_with_cache(&self, cache: &ResultCache) -> SweepResults {
+        match self.run_cancellable(cache, &CancelToken::new()) {
+            Some(results) => results,
+            None => unreachable!("an inert CancelToken never cancels"),
+        }
+    }
+
+    /// Like [`Sweep::run_with_cache`], but cooperatively cancellable:
+    /// workers poll `cancel` between points and (via
+    /// [`System::run_cancellable`]) every
+    /// [`crate::system::CANCEL_CHECK_CYCLES`] memory cycles within a
+    /// point, so a deadline-carrying token bounds how long the sweep can
+    /// overshoot. Returns `None` when cancelled — partial results are
+    /// discarded, but completed points already sit in `cache`, so a
+    /// retried request only re-simulates the interrupted tail.
+    pub fn run_cancellable(
+        &self,
+        cache: &ResultCache,
+        cancel: &CancelToken,
+    ) -> Option<SweepResults> {
         let jobs = self.jobs();
         let t0 = Instant::now();
         let next = AtomicUsize::new(0);
@@ -416,6 +483,9 @@ impl Sweep {
         // failures travel out through the slot as a `Result` instead and
         // are re-raised on the driving thread below.
         let work = |_worker: usize| loop {
+            if cancel.is_cancelled() {
+                break;
+            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= self.points.len() {
                 break;
@@ -424,25 +494,34 @@ impl Sweep {
             let key = point.config.config_key();
             let t = Instant::now();
             let (report, cache_hit) = match cache.get(key) {
-                Some(report) => (Ok(report), true),
+                Some(report) => (Ok(Some(report)), true),
                 None => {
-                    // Validated in `build`, so `try_build` cannot fail.
-                    let report = System::try_build(&point.config).map(System::run);
-                    if let Ok(r) = &report {
+                    // Validated in `build`, so `try_build` cannot fail;
+                    // `run_cancellable` yields `None` when the token fires
+                    // mid-simulation (the point is abandoned, not cached).
+                    let report =
+                        System::try_build(&point.config).map(|sys| sys.run_cancellable(cancel));
+                    if let Ok(Some(r)) = &report {
                         cache.insert(key, r.clone());
                     }
                     (report, false)
                 }
             };
-            let result = report.map(|report| PointResult {
-                label: point.label.clone(),
-                key,
-                report,
-                wall: t.elapsed(),
-                cache_hit,
-            });
-            let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
-            *slot = Some(result);
+            let result = match report {
+                Ok(Some(report)) => Some(Ok(PointResult {
+                    label: point.label.clone(),
+                    key,
+                    report,
+                    wall: t.elapsed(),
+                    cache_hit,
+                })),
+                Ok(None) => None, // cancelled mid-point; slot stays empty
+                Err(e) => Some(Err(e)),
+            };
+            if let Some(result) = result {
+                let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+                *slot = Some(result);
+            }
         };
 
         if jobs == 1 {
@@ -457,7 +536,10 @@ impl Sweep {
             });
         }
 
-        SweepResults {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        Some(SweepResults {
             points: slots
                 .into_iter()
                 .map(|slot| {
@@ -473,7 +555,7 @@ impl Sweep {
                 .collect(),
             wall: t0.elapsed(),
             jobs,
-        }
+        })
     }
 }
 
@@ -677,6 +759,39 @@ mod tests {
         assert!(json.contains("\"exec_cpu_cycles\":"));
         assert!(!json.contains("NaN"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_and_inert_token_completes() {
+        let sweep = SweepBuilder::new(LEN).workload("libq").build().unwrap();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(
+            sweep
+                .run_cancellable(&ResultCache::new(), &cancelled)
+                .is_none(),
+            "pre-cancelled token must abort the sweep"
+        );
+        let expired = CancelToken::with_deadline(Instant::now());
+        assert!(expired.is_cancelled(), "past deadline reads as cancelled");
+        assert!(sweep
+            .run_cancellable(&ResultCache::new(), &expired)
+            .is_none());
+        let generous = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!generous.is_cancelled());
+        let r = sweep.run_cancellable(&ResultCache::new(), &generous);
+        assert!(r.is_some(), "a far-future deadline must not cancel");
+    }
+
+    #[test]
+    fn cancellable_and_plain_runs_agree() {
+        let sweep = SweepBuilder::new(LEN).workload("libq").build().unwrap();
+        let plain = sweep.run();
+        let Some(cancellable) = sweep.run_cancellable(&ResultCache::new(), &CancelToken::new())
+        else {
+            panic!("inert token cancelled")
+        };
+        assert_eq!(plain.points[0].report, cancellable.points[0].report);
     }
 
     #[test]

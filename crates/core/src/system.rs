@@ -646,6 +646,12 @@ impl std::fmt::Debug for System {
 /// Core id used for cache-copy traffic; its completions are dropped.
 const COPY_CORE: u32 = u32::MAX;
 
+/// How often [`System::run_cancellable`] polls its
+/// [`crate::sweep::CancelToken`], in memory cycles — the worst-case
+/// cancellation latency is the wall-clock time of one such chunk
+/// (single-digit milliseconds on current hardware).
+pub const CANCEL_CHECK_CYCLES: Cycle = 100_000;
+
 struct CtlSink<'a> {
     ctl: &'a mut MemoryController,
     cache: Option<&'a mut RowCache>,
@@ -974,18 +980,42 @@ impl System {
     ///
     /// Panics if the simulation exceeds a generous cycle bound (indicates
     /// a scheduling deadlock — a simulator bug, not a configuration error).
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        match self.run_cancellable(&crate::sweep::CancelToken::new()) {
+            Some(report) => report,
+            None => unreachable!("an inert CancelToken never cancels"),
+        }
+    }
+
+    /// Runs to completion unless `cancel` fires first, polling the token
+    /// every [`CANCEL_CHECK_CYCLES`] memory cycles. Returns `None` when
+    /// cancelled — the partially-advanced simulation is discarded, which
+    /// is what a deadline-bound service wants (a half-run report would be
+    /// neither reproducible nor comparable).
+    ///
+    /// Stepping in fixed chunks does not perturb results: [`System::step`]
+    /// advances cycle-by-cycle internally, so any chunking produces the
+    /// same [`RunReport`] as [`System::run`] — the determinism guard in
+    /// `tests/sweep_determinism.rs` pins this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same wedge bound as [`System::run`].
+    pub fn run_cancellable(mut self, cancel: &crate::sweep::CancelToken) -> Option<RunReport> {
         // Generous: even a fully serialized run needs < ~tRC cycles per
         // memory op; anything past this is a wedge, not a slow workload.
         let cap: u64 = 500_000_000;
-        while !self.step(100_000) {
+        while !self.step(CANCEL_CHECK_CYCLES) {
+            if cancel.is_cancelled() {
+                return None;
+            }
             assert!(
                 self.mem_now < cap,
                 "simulation wedged at cycle {}",
                 self.mem_now
             );
         }
-        self.report()
+        Some(self.report())
     }
 
     /// True when the command-stream protocol auditor is armed (debug

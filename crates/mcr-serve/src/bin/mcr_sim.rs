@@ -4,21 +4,29 @@
 //! mcr-sim --workload libq --mode 4/4x/100 --len 100000
 //! mcr-sim --mix mix03 --mode 2/4x/75 --alloc 0.1 --len 20000
 //! mcr-sim --workload comm2 --mode 4/4x/50 --row-cache 4 --csv
+//! mcr-sim serve --addr 127.0.0.1:4015 --workers 4 --queue-cap 32
+//! mcr-sim submit request.json --deadline-ms 5000
 //! mcr-sim --list
 //! ```
 //!
 //! Always prints the baseline (conventional DRAM) next to the requested
-//! configuration so the reductions are immediately visible.
+//! configuration so the reductions are immediately visible. The `serve`
+//! and `submit` subcommands expose the same simulations as a concurrent
+//! TCP service (line-delimited JSON; see DESIGN.md §5g).
+//!
+//! Exit codes: 0 success, 1 usage/transport/configuration error, 2 the
+//! service answered with a non-`ok` status (rejected, timeout, error).
 
 use mcr_dram::experiments::Outcome;
-use mcr_dram::{
-    telemetry_to_json, FaultPlan, McrMode, Mechanisms, RowCacheConfig, RunReport, SweepBuilder,
-    System, SystemConfig,
-};
+use mcr_dram::{telemetry_to_json, McrMode, RunReport, System, SystemConfig};
+use mcr_serve::protocol::parse_mode;
+use mcr_serve::{Client, RunSpec, ServeConfig, Server};
 use mcr_telemetry::RingRecorder;
+use sim_json::Json;
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
-use trace_gen::{all_workloads, multi_programmed_mixes, multi_threaded_group, workload};
+use trace_gen::all_workloads;
 
 #[derive(Debug)]
 struct Args {
@@ -34,7 +42,7 @@ struct Args {
     metrics: bool,
     trace_out: Option<String>,
     jobs: Option<usize>,
-    mechanisms: Mechanisms,
+    mechanisms_case: Option<u32>,
     fault_rate: Option<f64>,
     fault_seed: Option<u64>,
     chaos: bool,
@@ -44,9 +52,14 @@ struct Args {
 /// events kept for the dump.
 const TRACE_CAPACITY: usize = 1 << 16;
 
+/// Default service address for `serve` and `submit`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4015";
+
 fn usage() {
     eprintln!(
         "usage: mcr-sim [--workload NAME | --mix NAME] [options]\n\
+         \x20      mcr-sim serve [serve options]\n\
+         \x20      mcr-sim submit <REQUEST.json | - | --ping | --stats | --shutdown> [submit options]\n\
          \n\
          options:\n\
            --mode M/Kx/L     MCR mode, e.g. 4/4x/100 (default: off)\n\
@@ -65,23 +78,24 @@ fn usage() {
            --fault-seed N    fault-plan seed (default: --seed value)\n\
            --chaos           seeded randomized fault campaign across rates;\n\
                              prints the failing seed for replay on failure\n\
-           --list            list workloads and mixes and exit"
+           --list            list workloads and mixes and exit\n\
+         \n\
+         serve options:\n\
+           --addr A          listen address (default {DEFAULT_ADDR})\n\
+           --workers N       worker threads (default: all cores)\n\
+           --queue-cap N     bounded queue capacity (default 64)\n\
+           --max-points N    largest grid a job may expand to (default 512)\n\
+           --max-len N       largest trace length a job may request\n\
+         \n\
+         submit options:\n\
+           --addr A          service address (default {DEFAULT_ADDR})\n\
+           --deadline-ms N   set/override the request deadline\n\
+           --ping | --stats | --shutdown\n\
+                             send a control request instead of a file"
     );
 }
 
-fn parse_mode(text: &str) -> Option<McrMode> {
-    if text == "off" {
-        return Some(McrMode::off());
-    }
-    // M/Kx/L, e.g. "2/4x/75".
-    let mut parts = text.split('/');
-    let m: u32 = parts.next()?.parse().ok()?;
-    let k: u32 = parts.next()?.strip_suffix('x')?.parse().ok()?;
-    let l: f64 = parts.next()?.parse().ok()?;
-    McrMode::new(m, k, l / 100.0).ok()
-}
-
-fn parse_args() -> Result<Option<Args>, String> {
+fn parse_args(argv: Vec<String>) -> Result<Option<Args>, String> {
     let mut args = Args {
         workload: None,
         mix: None,
@@ -95,12 +109,12 @@ fn parse_args() -> Result<Option<Args>, String> {
         metrics: false,
         trace_out: None,
         jobs: None,
-        mechanisms: Mechanisms::all(),
+        mechanisms_case: None,
         fault_rate: None,
         fault_seed: None,
         chaos: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -153,7 +167,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 if !(1..=4).contains(&case) {
                     return Err("mechanisms case must be 1-4".into());
                 }
-                args.mechanisms = Mechanisms::fig17_case(case);
+                args.mechanisms_case = Some(case);
             }
             "--seed" => {
                 args.seed = value("--seed")?
@@ -202,56 +216,6 @@ fn parse_args() -> Result<Option<Args>, String> {
         return Err("--workload and --mix are mutually exclusive".into());
     }
     Ok(Some(args))
-}
-
-/// Fault plan used for `--fault-rate R` and each chaos-campaign point:
-/// weak cells (at half retention), dropped refreshes and late refreshes
-/// all injected at `rate`, plus sense glitches at a tenth of it (droop
-/// from weak cells needs ~64 ms of simulated time to develop; glitches
-/// trip the same margin detector within CLI-scale runs), all driven by
-/// `seed`.
-fn fault_plan(rate: f64, seed: u64) -> FaultPlan {
-    FaultPlan::new(seed)
-        .with_weak_cells(rate, 0.5)
-        .with_refresh_drops(rate)
-        .with_late_refreshes(rate, 1_000)
-        .with_sense_glitches(rate / 10.0)
-}
-
-/// Builds the MCR-point config and its display label from the parsed
-/// flags. No panics: every bad flag combination is a readable `Err`.
-fn build_config(a: &Args) -> Result<(SystemConfig, String), String> {
-    let (mut cfg, target) = match (&a.workload, &a.mix) {
-        (Some(name), None) => {
-            workload(name).ok_or_else(|| format!("unknown workload {name:?} (try --list)"))?;
-            (SystemConfig::single_core(name, a.len), name.clone())
-        }
-        (None, Some(name)) => {
-            let mut pool = multi_programmed_mixes(2015);
-            pool.extend(multi_threaded_group());
-            let mix = pool
-                .iter()
-                .find(|m| m.name == name.as_str())
-                .ok_or_else(|| format!("unknown mix {name:?} (mix01..mix14, MT-*)"))?;
-            (SystemConfig::multi_core_mix(mix, a.len), name.clone())
-        }
-        (Some(_), Some(_)) => return Err("--workload and --mix are mutually exclusive".into()),
-        (None, None) => return Err("need --workload or --mix (or --list)".into()),
-    };
-    cfg = cfg
-        .with_mode(a.mode)
-        .with_mechanisms(a.mechanisms)
-        .with_alloc_ratio(a.alloc)
-        .with_seed(a.seed);
-    if let Some(threshold) = a.row_cache {
-        cfg = cfg.with_row_cache(RowCacheConfig {
-            promote_threshold: threshold,
-        });
-    }
-    if let Some(rate) = a.fault_rate {
-        cfg = cfg.with_fault_plan(fault_plan(rate, a.fault_seed.unwrap_or(a.seed)));
-    }
-    Ok((cfg, target))
 }
 
 /// Re-runs `cfg` with a [`RingRecorder`] installed and writes the trailing
@@ -305,7 +269,9 @@ fn run_chaos(cfg: &SystemConfig, fault_seed: u64) -> Result<(), String> {
         .map_err(|e| format!("invalid configuration: {e}"))?;
     for (i, &rate) in CHAOS_RATES.iter().enumerate() {
         let seed = fault_seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
-        let faulted = cfg.clone().with_fault_plan(fault_plan(rate, seed));
+        let faulted = cfg
+            .clone()
+            .with_fault_plan(mcr_serve::protocol::fault_plan(rate, seed));
         let replay = format!("replay: --fault-rate {rate} --fault-seed {seed}");
         let r = std::panic::catch_unwind(|| System::try_build(&faulted).map(System::run))
             .map_err(|_| format!("chaos run panicked (audit violation?); {replay}"))?
@@ -348,8 +314,171 @@ fn print_report(label: &str, r: &RunReport) {
     );
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+fn parse_serve_args(argv: &[String]) -> Result<Option<(String, ServeConfig)>, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cfg = ServeConfig::default();
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-cap: {e}"))?
+            }
+            "--max-points" => {
+                cfg.max_points = value("--max-points")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-points: {e}"))?
+            }
+            "--max-len" => {
+                cfg.max_trace_len = value("--max-len")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-len: {e}"))?
+            }
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    Ok(Some((addr, cfg)))
+}
+
+fn serve_main(argv: &[String]) -> ExitCode {
+    let (addr, cfg) = match parse_serve_args(argv) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "mcr-serve listening on {} ({} workers, queue capacity {})",
+        server.local_addr(),
+        server.config().workers,
+        server.config().queue_cap
+    );
+    let _ = std::io::stdout().flush();
+    let t = server.run();
+    println!(
+        "mcr-serve drained: {} accepted, {} completed, {} timeouts, {} shed, {} refused draining",
+        t.accepted.get(),
+        t.completed.get(),
+        t.timeouts.get(),
+        t.rejected_queue_full.get(),
+        t.rejected_draining.get()
+    );
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// submit
+// ---------------------------------------------------------------------------
+
+struct SubmitArgs {
+    addr: String,
+    file: Option<String>,
+    deadline_ms: Option<u64>,
+    control: Option<&'static str>,
+}
+
+fn parse_submit_args(argv: &[String]) -> Result<Option<SubmitArgs>, String> {
+    let mut args = SubmitArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        file: None,
+        deadline_ms: None,
+        control: None,
+    };
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
+            "--ping" => args.control = Some("ping"),
+            "--stats" => args.control = Some("stats"),
+            "--shutdown" => args.control = Some("shutdown"),
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => {
+                if args.file.is_some() {
+                    return Err("submit takes exactly one request file".into());
+                }
+                args.file = Some(flag);
+            }
+        }
+    }
+    if args.file.is_none() && args.control.is_none() {
+        return Err(
+            "submit needs a request file ('-' for stdin) or --ping/--stats/--shutdown".into(),
+        );
+    }
+    if args.file.is_some() && args.control.is_some() {
+        return Err("a request file and a control flag are mutually exclusive".into());
+    }
+    Ok(Some(args))
+}
+
+fn load_request(args: &SubmitArgs) -> Result<Json, String> {
+    if let Some(cmd) = args.control {
+        return Ok(Json::obj([("cmd", Json::str(cmd))]));
+    }
+    let Some(path) = &args.file else {
+        return Err("submit needs a request file".into());
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let mut body = Json::parse(&text).map_err(|e| format!("bad request JSON in {path}: {e}"))?;
+    if let Some(ms) = args.deadline_ms {
+        if !body.set("deadline_ms", Json::from(ms)) {
+            return Err("request must be a JSON object".into());
+        }
+    }
+    Ok(body)
+}
+
+fn submit_main(argv: &[String]) -> ExitCode {
+    let args = match parse_submit_args(argv) {
         Ok(Some(a)) => a,
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
@@ -358,8 +487,72 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (cfg, target) = match build_config(&args) {
-        Ok(pair) => pair,
+    let body = match load_request(&args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(args.addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let reply = match client.request_line(&body.to_string()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{reply}");
+    match Json::parse(&reply).ok().as_ref().and_then(|v| {
+        v.get("status")
+            .and_then(Json::as_str)
+            .map(|s| s.to_string())
+    }) {
+        Some(status) if status == "ok" => ExitCode::SUCCESS,
+        Some(_) => ExitCode::from(2),
+        None => {
+            eprintln!("error: unparsable response");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// local (legacy) run
+// ---------------------------------------------------------------------------
+
+fn local_main(argv: Vec<String>) -> ExitCode {
+    let args = match parse_args(argv) {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    // The same spec a `run` request builds server-side, so local and
+    // submitted runs are byte-identical (tests/sweep_determinism.rs).
+    let spec = RunSpec {
+        workload: args.workload.clone(),
+        mix: args.mix.clone(),
+        mode: args.mode,
+        len: args.len,
+        alloc: args.alloc,
+        row_cache: args.row_cache,
+        seed: args.seed,
+        mechanisms_case: args.mechanisms_case,
+        fault_rate: args.fault_rate,
+        fault_seed: args.fault_seed,
+    };
+    let (cfg, target) = match spec.configs() {
+        Ok((_, cfg, target)) => (cfg, target),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -378,34 +571,19 @@ fn main() -> ExitCode {
             }
         };
     }
-    let mut base_cfg = cfg.clone();
-    base_cfg.mode = McrMode::off();
-    base_cfg.region_map = None;
-    base_cfg.mechanisms = Mechanisms::none();
-    base_cfg.alloc_ratio = 0.0;
-    base_cfg.row_cache = None;
-    base_cfg.fault_plan = None;
-
     // One two-point sweep: the engine validates both configs (a proper
     // error instead of a panic on bad flag combinations) and runs them in
     // parallel when --jobs allows.
-    let trace_cfg = cfg.clone();
-    let mut builder = SweepBuilder::new(args.len)
-        .point("baseline [off]", base_cfg)
-        .point(format!("MCR {}", args.mode), cfg);
-    if let Some(jobs) = args.jobs {
-        builder = builder.jobs(jobs);
-    }
-    let sweep = match builder.build() {
+    let sweep = match spec.sweep(args.jobs) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: invalid configuration: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
     let results = sweep.run();
     if let Some(path) = &args.trace_out {
-        if let Err(e) = dump_trace(&trace_cfg, path) {
+        if let Err(e) = dump_trace(&cfg, path) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
@@ -489,4 +667,13 @@ fn main() -> ExitCode {
         print!("{}", telemetry_to_json(&run.telemetry));
     }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => serve_main(&argv[1..]),
+        Some("submit") => submit_main(&argv[1..]),
+        _ => local_main(argv),
+    }
 }

@@ -1,0 +1,98 @@
+//! A minimal blocking client for the line-delimited JSON protocol:
+//! one request line out, one response line back, over a persistent
+//! connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sim_json::{Json, JsonError};
+
+/// What went wrong talking to the service.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, or write).
+    Io(std::io::Error),
+    /// The server's response line was not valid JSON.
+    Json(JsonError),
+    /// The server closed the connection before answering.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Json(e) => write!(f, "bad response JSON: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Json(e) => Some(e),
+            ClientError::Closed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Json(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Closed`]
+    /// when the server hangs up first.
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Closed);
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Sends a request document and parses the response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_line`]; additionally [`ClientError::Json`]
+    /// when the response line does not parse.
+    pub fn request(&mut self, body: &Json) -> Result<Json, ClientError> {
+        let reply = self.request_line(&body.to_string())?;
+        Ok(Json::parse(&reply)?)
+    }
+}

@@ -1,0 +1,966 @@
+//! Request/response schema of the simulation service.
+//!
+//! One request per line, one JSON object per request; one JSON object
+//! per response line. Every request carries a `"cmd"` discriminator:
+//!
+//! * `ping` / `stats` / `shutdown` — control plane, answered out of
+//!   band (never queued).
+//! * `run` — the CLI's two-point comparison (baseline vs one MCR
+//!   configuration), same field vocabulary as the `mcr_sim` flags.
+//! * `sweep` — a full experiment grid (workloads × modes × mechanisms ×
+//!   alloc ratios × seeds), the service face of [`SweepBuilder`].
+//! * `campaign` — a seeded fault-injection campaign: a zero-fault
+//!   control point plus one point per requested rate.
+//!
+//! Parsing is strict: unknown fields and type mismatches are rejected
+//! with a [`ProtocolError`] naming the offending key, so a typo'd
+//! request fails loudly instead of silently running defaults.
+
+use mcr_dram::{
+    telemetry_to_json, ConfigError, FaultPlan, McrMode, Mechanisms, RowCacheConfig, Sweep,
+    SweepBuilder, SweepResults, SystemConfig,
+};
+use sim_json::{Json, JsonError};
+use trace_gen::{multi_programmed_mixes, multi_threaded_group, workload, Mix};
+
+/// Default trace length (memory operations per core) when a request
+/// does not specify `"len"` — matches the CLI default.
+pub const DEFAULT_LEN: usize = 50_000;
+
+/// Default config seed — matches the CLI default.
+pub const DEFAULT_SEED: u64 = 2015;
+
+/// Reject code for a full queue (load shedding).
+pub const CODE_QUEUE_FULL: u64 = 429;
+
+/// Reject code for a request that exceeds the service's size limits.
+pub const CODE_TOO_LARGE: u64 = 413;
+
+/// Reject code for a request arriving while the service drains.
+pub const CODE_DRAINING: u64 = 503;
+
+/// Why a request could not be turned into work.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The line was not valid JSON.
+    Json(JsonError),
+    /// The JSON did not match the request schema.
+    Schema(String),
+    /// The request described an invalid simulator configuration.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Json(e) => write!(f, "bad JSON: {e}"),
+            ProtocolError::Schema(msg) => write!(f, "{msg}"),
+            ProtocolError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Json(e) => Some(e),
+            ProtocolError::Schema(_) => None,
+            ProtocolError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<JsonError> for ProtocolError {
+    fn from(e: JsonError) -> Self {
+        ProtocolError::Json(e)
+    }
+}
+
+impl From<ConfigError> for ProtocolError {
+    fn from(e: ConfigError) -> Self {
+        ProtocolError::Config(e)
+    }
+}
+
+fn schema(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError::Schema(msg.into())
+}
+
+/// Parses the CLI/protocol mode notation: `"off"` or `M/Kx/L` (L in
+/// percent), e.g. `"4/4x/100"` for the paper's headline mode.
+pub fn parse_mode(text: &str) -> Option<McrMode> {
+    if text == "off" {
+        return Some(McrMode::off());
+    }
+    let mut parts = text.split('/');
+    let m: u32 = parts.next()?.parse().ok()?;
+    let k: u32 = parts.next()?.strip_suffix('x')?.parse().ok()?;
+    let l: f64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    McrMode::new(m, k, l / 100.0).ok()
+}
+
+/// Fault plan used for `"fault_rate"` requests and the CLI's
+/// `--fault-rate`: weak cells (at half retention), dropped and late
+/// refreshes all at `rate`, plus sense glitches at a tenth of it, all
+/// driven by `seed`.
+pub fn fault_plan(rate: f64, seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_weak_cells(rate, 0.5)
+        .with_refresh_drops(rate)
+        .with_late_refreshes(rate, 1_000)
+        .with_sense_glitches(rate / 10.0)
+}
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness probe; answered immediately.
+    Ping,
+    /// Service counters and queue state; answered immediately.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, reject new work.
+    Shutdown,
+    /// A simulation job to queue.
+    Job(Box<JobRequest>),
+}
+
+/// A queued simulation job: the spec plus delivery options.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: Option<String>,
+    /// Deadline budget in milliseconds from admission; the job is
+    /// cancelled (and answered with `"status": "timeout"`) once spent.
+    pub deadline_ms: Option<u64>,
+    /// Attach the merged simulator telemetry to the response.
+    pub metrics: bool,
+    /// What to simulate.
+    pub spec: JobSpec,
+}
+
+/// The simulation described by a job request.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Two-point baseline-vs-MCR comparison.
+    Run(RunSpec),
+    /// Full experiment grid.
+    Sweep(SweepSpec),
+    /// Fault-injection campaign.
+    Campaign(CampaignSpec),
+}
+
+impl JobSpec {
+    /// Wire name of the spec kind, echoed in responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Run(_) => "run",
+            JobSpec::Sweep(_) => "sweep",
+            JobSpec::Campaign(_) => "campaign",
+        }
+    }
+
+    /// Number of grid points the job will expand to (admission control
+    /// sizes the work before building it).
+    pub fn point_count(&self) -> usize {
+        match self {
+            JobSpec::Run(_) => 2,
+            JobSpec::Sweep(s) => s.point_count(),
+            JobSpec::Campaign(c) => c.rates.len() + 1,
+        }
+    }
+
+    /// Trace length (memory operations per core) of the job.
+    pub fn trace_len(&self) -> usize {
+        match self {
+            JobSpec::Run(r) => r.len,
+            JobSpec::Sweep(s) => s.len,
+            JobSpec::Campaign(c) => c.base.len,
+        }
+    }
+
+    /// Builds the validated, ready-to-run sweep for this spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Schema`] for unresolvable names or out-of-range
+    /// fields, [`ProtocolError::Config`] when the simulator rejects a
+    /// point.
+    pub fn sweep(&self, jobs: Option<usize>) -> Result<Sweep, ProtocolError> {
+        match self {
+            JobSpec::Run(r) => r.sweep(jobs),
+            JobSpec::Sweep(s) => s.sweep(jobs),
+            JobSpec::Campaign(c) => c.sweep(jobs),
+        }
+    }
+}
+
+/// The CLI's two-point comparison as a request: one target (workload or
+/// mix), one MCR configuration, always run next to the zeroed baseline.
+///
+/// Field-for-field the same vocabulary as the `mcr_sim` flags, so a
+/// request submitted over the wire and a local `--json` run build the
+/// *identical* sweep — the determinism guard in
+/// `tests/sweep_determinism.rs` holds the two byte-equal.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Single-core workload name (mutually exclusive with `mix`).
+    pub workload: Option<String>,
+    /// Multi-core mix name (mutually exclusive with `workload`).
+    pub mix: Option<String>,
+    /// MCR mode of the non-baseline point.
+    pub mode: McrMode,
+    /// Memory operations per core.
+    pub len: usize,
+    /// Profile-based allocation ratio in `[0, 1]`.
+    pub alloc: f64,
+    /// Manage the MCR region as a row cache with this promote
+    /// threshold.
+    pub row_cache: Option<u32>,
+    /// Config seed.
+    pub seed: u64,
+    /// Fig. 17 mechanisms case (1–4); `None` means all mechanisms on.
+    pub mechanisms_case: Option<u32>,
+    /// Arm retention-fault injection at this rate.
+    pub fault_rate: Option<f64>,
+    /// Fault-plan seed; defaults to `seed`.
+    pub fault_seed: Option<u64>,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            workload: None,
+            mix: None,
+            mode: McrMode::off(),
+            len: DEFAULT_LEN,
+            alloc: 0.0,
+            row_cache: None,
+            seed: DEFAULT_SEED,
+            mechanisms_case: None,
+            fault_rate: None,
+            fault_seed: None,
+        }
+    }
+}
+
+/// Resolves a mix name against the trace generator's pools, with the
+/// same error text as the CLI.
+fn resolve_mix(name: &str) -> Result<Mix, ProtocolError> {
+    let mut pool = multi_programmed_mixes(2015);
+    pool.extend(multi_threaded_group());
+    pool.into_iter()
+        .find(|m| m.name == name)
+        .ok_or_else(|| schema(format!("unknown mix {name:?} (mix01..mix14, MT-*)")))
+}
+
+impl RunSpec {
+    /// Resolves the spec into `(baseline config, MCR config, target
+    /// name)`. The baseline is the MCR config with every MCR knob
+    /// zeroed — identical to the CLI's construction.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Schema`] for unknown targets or out-of-range
+    /// fields.
+    pub fn configs(&self) -> Result<(SystemConfig, SystemConfig, String), ProtocolError> {
+        let (mut cfg, target) = match (&self.workload, &self.mix) {
+            (Some(name), None) => {
+                workload(name)
+                    .ok_or_else(|| schema(format!("unknown workload {name:?} (try --list)")))?;
+                (SystemConfig::single_core(name, self.len), name.clone())
+            }
+            (None, Some(name)) => {
+                let mix = resolve_mix(name)?;
+                (SystemConfig::multi_core_mix(&mix, self.len), name.clone())
+            }
+            (Some(_), Some(_)) => {
+                return Err(schema("--workload and --mix are mutually exclusive"))
+            }
+            (None, None) => return Err(schema("need --workload or --mix (or --list)")),
+        };
+        let mechanisms = match self.mechanisms_case {
+            None => Mechanisms::all(),
+            Some(case) if (1..=4).contains(&case) => Mechanisms::fig17_case(case),
+            Some(_) => return Err(schema("mechanisms case must be 1-4")),
+        };
+        cfg = cfg
+            .with_mode(self.mode)
+            .with_mechanisms(mechanisms)
+            .with_alloc_ratio(self.alloc)
+            .with_seed(self.seed);
+        if let Some(threshold) = self.row_cache {
+            cfg = cfg.with_row_cache(RowCacheConfig {
+                promote_threshold: threshold,
+            });
+        }
+        if let Some(rate) = self.fault_rate {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(schema(format!("fault_rate must be in [0, 1], got {rate}")));
+            }
+            cfg = cfg.with_fault_plan(fault_plan(rate, self.fault_seed.unwrap_or(self.seed)));
+        }
+        let mut base = cfg.clone();
+        base.mode = McrMode::off();
+        base.region_map = None;
+        base.mechanisms = Mechanisms::none();
+        base.alloc_ratio = 0.0;
+        base.row_cache = None;
+        base.fault_plan = None;
+        Ok((base, cfg, target))
+    }
+
+    /// The two-point sweep (`"baseline [off]"` then `"MCR <mode>"`) —
+    /// the exact shape the CLI runs locally.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunSpec::configs`]; additionally
+    /// [`ProtocolError::Config`] when either point fails validation.
+    pub fn sweep(&self, jobs: Option<usize>) -> Result<Sweep, ProtocolError> {
+        let (base, cfg, _) = self.configs()?;
+        let mut builder = SweepBuilder::new(self.len)
+            .point("baseline [off]", base)
+            .point(format!("MCR {}", self.mode), cfg);
+        if let Some(jobs) = jobs {
+            builder = builder.jobs(jobs);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+/// A full experiment grid: the service face of [`SweepBuilder`]'s
+/// cartesian axes.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Memory operations per core.
+    pub len: usize,
+    /// Single-core workload names.
+    pub workloads: Vec<String>,
+    /// Multi-core mix names.
+    pub mixes: Vec<String>,
+    /// MCR modes axis (empty means `[off]`).
+    pub modes: Vec<McrMode>,
+    /// Fig. 17 mechanisms cases axis (empty means all-on).
+    pub mechanisms: Vec<u32>,
+    /// Allocation-ratio axis (empty means `[0.0]`).
+    pub allocs: Vec<f64>,
+    /// Seed axis (empty means the config default).
+    pub seeds: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// Expanded grid size (for admission control): targets × every
+    /// non-empty axis.
+    pub fn point_count(&self) -> usize {
+        let axis = |n: usize| n.max(1);
+        (self.workloads.len() + self.mixes.len())
+            * axis(self.modes.len())
+            * axis(self.mechanisms.len())
+            * axis(self.allocs.len())
+            * axis(self.seeds.len())
+    }
+
+    /// Builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Schema`] for unknown names or bad cases,
+    /// [`ProtocolError::Config`] when a point fails validation.
+    pub fn sweep(&self, jobs: Option<usize>) -> Result<Sweep, ProtocolError> {
+        let mut builder = SweepBuilder::new(self.len);
+        for name in &self.workloads {
+            workload(name).ok_or_else(|| schema(format!("unknown workload {name:?}")))?;
+            builder = builder.workload(name);
+        }
+        for name in &self.mixes {
+            builder = builder.mix(&resolve_mix(name)?);
+        }
+        for &mode in &self.modes {
+            builder = builder.mode(mode);
+        }
+        for &case in &self.mechanisms {
+            if !(1..=4).contains(&case) {
+                return Err(schema("mechanisms case must be 1-4"));
+            }
+            builder = builder.mechanisms(Mechanisms::fig17_case(case));
+        }
+        for &ratio in &self.allocs {
+            builder = builder.alloc_ratio(ratio);
+        }
+        if !self.seeds.is_empty() {
+            builder = builder.seeds(self.seeds.iter().copied());
+        }
+        if let Some(jobs) = jobs {
+            builder = builder.jobs(jobs);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+/// A seeded fault-injection campaign: the base configuration run clean
+/// (the control) plus one faulted point per rate.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Target configuration; its `fault_rate` must be unset (the
+    /// campaign arms its own plans).
+    pub base: RunSpec,
+    /// Injection rates, each in `[0, 1]`.
+    pub rates: Vec<f64>,
+    /// Seed driving every fault plan of the campaign.
+    pub fault_seed: u64,
+}
+
+impl CampaignSpec {
+    /// Builds the control + campaign sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Schema`] for empty/out-of-range rates or a base
+    /// spec that arms its own faults; see also [`RunSpec::configs`].
+    pub fn sweep(&self, jobs: Option<usize>) -> Result<Sweep, ProtocolError> {
+        if self.base.fault_rate.is_some() {
+            return Err(schema(
+                "campaign base must not set fault_rate (the campaign arms its own plans)",
+            ));
+        }
+        if self.rates.is_empty() {
+            return Err(schema("campaign needs at least one rate"));
+        }
+        for &rate in &self.rates {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(schema(format!("rate must be in [0, 1], got {rate}")));
+            }
+        }
+        let (_, cfg, target) = self.base.configs()?;
+        let mut builder = SweepBuilder::new(self.base.len)
+            .point(format!("control {target}"), cfg.clone())
+            .fault_campaign(&cfg, &self.rates, self.fault_seed);
+        if let Some(jobs) = jobs {
+            builder = builder.jobs(jobs);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+/// Typed field access with schema-shaped errors.
+struct Fields<'a> {
+    members: &'a [(String, Json)],
+}
+
+impl<'a> Fields<'a> {
+    fn of(v: &'a Json, what: &str) -> Result<Self, ProtocolError> {
+        let members = v
+            .as_object()
+            .ok_or_else(|| schema(format!("{what} must be a JSON object")))?;
+        Ok(Fields { members })
+    }
+
+    /// Rejects any member whose key is not in `allowed`.
+    fn restrict(&self, allowed: &[&str]) -> Result<(), ProtocolError> {
+        for (key, _) in self.members {
+            if !allowed.contains(&key.as_str()) {
+                return Err(schema(format!(
+                    "unknown field {key:?} (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<&'a Json> {
+        self.members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_opt(&self, key: &str) -> Result<Option<String>, ProtocolError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| schema(format!("{key:?} must be a string"))),
+        }
+    }
+
+    fn u64_opt(&self, key: &str) -> Result<Option<u64>, ProtocolError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| schema(format!("{key:?} must be a non-negative integer"))),
+        }
+    }
+
+    fn u32_opt(&self, key: &str) -> Result<Option<u32>, ProtocolError> {
+        match self.u64_opt(key)? {
+            None => Ok(None),
+            Some(n) => u32::try_from(n)
+                .map(Some)
+                .map_err(|_| schema(format!("{key:?} is out of range"))),
+        }
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, ProtocolError> {
+        match self.u64_opt(key)? {
+            None => Ok(default),
+            Some(n) => usize::try_from(n).map_err(|_| schema(format!("{key:?} is out of range"))),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, ProtocolError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| schema(format!("{key:?} must be a number"))),
+        }
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, ProtocolError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| schema(format!("{key:?} must be a number"))),
+        }
+    }
+
+    fn bool_or(&self, key: &str, default: bool) -> Result<bool, ProtocolError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(default),
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| schema(format!("{key:?} must be a boolean"))),
+        }
+    }
+
+    fn arr(&self, key: &str) -> Result<&'a [Json], ProtocolError> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(&[]),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| schema(format!("{key:?} must be an array"))),
+        }
+    }
+
+    fn mode_or_off(&self, key: &str) -> Result<McrMode, ProtocolError> {
+        match self.str_opt(key)? {
+            None => Ok(McrMode::off()),
+            Some(text) => parse_mode(&text)
+                .ok_or_else(|| schema(format!("bad mode {text:?} (want M/Kx/L or off)"))),
+        }
+    }
+}
+
+fn parse_mode_list(items: &[Json]) -> Result<Vec<McrMode>, ProtocolError> {
+    items
+        .iter()
+        .map(|v| {
+            let text = v
+                .as_str()
+                .ok_or_else(|| schema("\"modes\" entries must be strings"))?;
+            parse_mode(text)
+                .ok_or_else(|| schema(format!("bad mode {text:?} (want M/Kx/L or off)")))
+        })
+        .collect()
+}
+
+fn parse_u64_list(items: &[Json], key: &str) -> Result<Vec<u64>, ProtocolError> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| schema(format!("{key:?} entries must be non-negative integers")))
+        })
+        .collect()
+}
+
+fn parse_f64_list(items: &[Json], key: &str) -> Result<Vec<f64>, ProtocolError> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| schema(format!("{key:?} entries must be numbers")))
+        })
+        .collect()
+}
+
+fn parse_str_list(items: &[Json], key: &str) -> Result<Vec<String>, ProtocolError> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| schema(format!("{key:?} entries must be strings")))
+        })
+        .collect()
+}
+
+/// Fields shared by every job request.
+const JOB_COMMON: [&str; 4] = ["cmd", "id", "deadline_ms", "metrics"];
+
+fn run_spec_from(f: &Fields<'_>) -> Result<RunSpec, ProtocolError> {
+    Ok(RunSpec {
+        workload: f.str_opt("workload")?,
+        mix: f.str_opt("mix")?,
+        mode: f.mode_or_off("mode")?,
+        len: f.usize_or("len", DEFAULT_LEN)?,
+        alloc: f.f64_or("alloc", 0.0)?,
+        row_cache: f.u32_opt("row_cache")?,
+        seed: f.u64_opt("seed")?.unwrap_or(DEFAULT_SEED),
+        mechanisms_case: f.u32_opt("mechanisms")?,
+        fault_rate: f.f64_opt("fault_rate")?,
+        fault_seed: f.u64_opt("fault_seed")?,
+    })
+}
+
+/// Field names a `run` spec understands (also the campaign base).
+const RUN_FIELDS: [&str; 10] = [
+    "workload",
+    "mix",
+    "mode",
+    "len",
+    "alloc",
+    "row_cache",
+    "seed",
+    "mechanisms",
+    "fault_rate",
+    "fault_seed",
+];
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ProtocolError::Json`] when the line is not JSON,
+/// [`ProtocolError::Schema`] when it does not match the request schema.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let doc = Json::parse(line)?;
+    let f = Fields::of(&doc, "a request")?;
+    let cmd = f
+        .str_opt("cmd")?
+        .ok_or_else(|| schema("request needs a \"cmd\" field"))?;
+    match cmd.as_str() {
+        "ping" => {
+            f.restrict(&["cmd", "id"])?;
+            Ok(Request::Ping)
+        }
+        "stats" => {
+            f.restrict(&["cmd", "id"])?;
+            Ok(Request::Stats)
+        }
+        "shutdown" => {
+            f.restrict(&["cmd", "id"])?;
+            Ok(Request::Shutdown)
+        }
+        "run" => {
+            let allowed: Vec<&str> = JOB_COMMON
+                .iter()
+                .chain(RUN_FIELDS.iter())
+                .copied()
+                .collect();
+            f.restrict(&allowed)?;
+            Ok(Request::Job(Box::new(JobRequest {
+                id: f.str_opt("id")?,
+                deadline_ms: f.u64_opt("deadline_ms")?,
+                metrics: f.bool_or("metrics", false)?,
+                spec: JobSpec::Run(run_spec_from(&f)?),
+            })))
+        }
+        "sweep" => {
+            let allowed: Vec<&str> = JOB_COMMON
+                .iter()
+                .copied()
+                .chain([
+                    "len",
+                    "workloads",
+                    "mixes",
+                    "modes",
+                    "mechanisms",
+                    "allocs",
+                    "seeds",
+                ])
+                .collect();
+            f.restrict(&allowed)?;
+            let spec = SweepSpec {
+                len: f.usize_or("len", DEFAULT_LEN)?,
+                workloads: parse_str_list(f.arr("workloads")?, "workloads")?,
+                mixes: parse_str_list(f.arr("mixes")?, "mixes")?,
+                modes: parse_mode_list(f.arr("modes")?)?,
+                mechanisms: parse_u64_list(f.arr("mechanisms")?, "mechanisms")?
+                    .into_iter()
+                    .map(|n| u32::try_from(n).unwrap_or(u32::MAX))
+                    .collect(),
+                allocs: parse_f64_list(f.arr("allocs")?, "allocs")?,
+                seeds: parse_u64_list(f.arr("seeds")?, "seeds")?,
+            };
+            if spec.workloads.is_empty() && spec.mixes.is_empty() {
+                return Err(schema("sweep needs at least one workload or mix"));
+            }
+            Ok(Request::Job(Box::new(JobRequest {
+                id: f.str_opt("id")?,
+                deadline_ms: f.u64_opt("deadline_ms")?,
+                metrics: f.bool_or("metrics", false)?,
+                spec: JobSpec::Sweep(spec),
+            })))
+        }
+        "campaign" => {
+            let allowed: Vec<&str> = JOB_COMMON
+                .iter()
+                .chain(RUN_FIELDS.iter())
+                .copied()
+                .chain(["rates"])
+                .collect();
+            f.restrict(&allowed)?;
+            let base = run_spec_from(&f)?;
+            let fault_seed = base.fault_seed.unwrap_or(base.seed);
+            let spec = CampaignSpec {
+                base,
+                rates: parse_f64_list(f.arr("rates")?, "rates")?,
+                fault_seed,
+            };
+            Ok(Request::Job(Box::new(JobRequest {
+                id: f.str_opt("id")?,
+                deadline_ms: f.u64_opt("deadline_ms")?,
+                metrics: f.bool_or("metrics", false)?,
+                spec: JobSpec::Campaign(spec),
+            })))
+        }
+        other => Err(schema(format!(
+            "unknown cmd {other:?} (want ping, stats, shutdown, run, sweep, or campaign)"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+/// `{"status": "ok", "pong": true}` — the ping answer.
+pub fn render_pong() -> String {
+    Json::obj([("status", Json::str("ok")), ("pong", Json::from(true))]).to_string()
+}
+
+/// A typed rejection (load shedding, drain, size limits).
+pub fn render_rejected(code: u64, reason: &str) -> String {
+    Json::obj([
+        ("status", Json::str("rejected")),
+        ("code", Json::from(code)),
+        ("reason", Json::str(reason)),
+    ])
+    .to_string()
+}
+
+/// A deadline-expiry answer.
+pub fn render_timeout(id: Option<&str>, deadline_ms: u64) -> String {
+    Json::obj([
+        ("status", Json::str("timeout")),
+        ("id", id.map(Json::str).unwrap_or(Json::Null)),
+        ("deadline_ms", Json::from(deadline_ms)),
+    ])
+    .to_string()
+}
+
+/// A request-level failure (bad JSON, schema violation, invalid
+/// configuration, internal error).
+pub fn render_error(reason: &str) -> String {
+    Json::obj([
+        ("status", Json::str("error")),
+        ("reason", Json::str(reason)),
+    ])
+    .to_string()
+}
+
+/// Renders a completed job: the sweep results (re-parsed through the
+/// codec, so the response is one compact line), optional per-point
+/// reliability (campaigns), optional merged telemetry.
+pub fn render_job_ok(
+    req: &JobRequest,
+    results: &SweepResults,
+    queue_ms: u64,
+    service_ms: u64,
+) -> String {
+    let result = match Json::parse(&results.to_json()) {
+        Ok(v) => v,
+        Err(e) => {
+            return render_error(&format!("internal: results emitter produced bad JSON: {e}"))
+        }
+    };
+    let mut members: Vec<(String, Json)> = vec![
+        ("status".into(), Json::str("ok")),
+        (
+            "id".into(),
+            req.id.as_deref().map(Json::str).unwrap_or(Json::Null),
+        ),
+        ("kind".into(), Json::str(req.spec.kind())),
+        ("queue_ms".into(), Json::from(queue_ms)),
+        ("service_ms".into(), Json::from(service_ms)),
+        ("result".into(), result),
+    ];
+    if let JobSpec::Campaign(_) = req.spec {
+        members.push(("reliability".into(), reliability_json(results)));
+        let clean = results
+            .points
+            .iter()
+            .all(|p| p.report.reliability.retention_escapes == 0)
+            && results
+                .points
+                .iter()
+                .all(|p| p.report.reads_done == results.points[0].report.reads_done);
+        members.push(("clean".into(), Json::from(clean)));
+    }
+    if req.metrics {
+        match Json::parse(&telemetry_to_json(&results.merged_telemetry())) {
+            Ok(v) => members.push(("telemetry".into(), v)),
+            Err(e) => {
+                return render_error(&format!(
+                    "internal: telemetry emitter produced bad JSON: {e}"
+                ))
+            }
+        }
+    }
+    Json::Obj(members).to_string()
+}
+
+/// Per-point reliability summary for campaign responses.
+fn reliability_json(results: &SweepResults) -> Json {
+    Json::Arr(
+        results
+            .points
+            .iter()
+            .map(|p| {
+                let rel = &p.report.reliability;
+                Json::obj([
+                    ("label", Json::str(p.label.as_str())),
+                    ("escapes", Json::from(rel.retention_escapes)),
+                    ("retries", Json::from(rel.retention_retries)),
+                    ("dropped", Json::from(rel.refresh_dropped)),
+                    ("late", Json::from(rel.refresh_late)),
+                    ("degrades", Json::from(rel.guardband_degrades)),
+                    ("reads_done", Json::from(p.report.reads_done)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run_request_with_defaults() {
+        let req = parse_request(r#"{"cmd": "run", "workload": "libq"}"#).expect("parses");
+        let Request::Job(job) = req else {
+            panic!("expected a job")
+        };
+        assert!(job.id.is_none());
+        assert!(job.deadline_ms.is_none());
+        let JobSpec::Run(spec) = &job.spec else {
+            panic!("expected run spec")
+        };
+        assert_eq!(spec.workload.as_deref(), Some("libq"));
+        assert_eq!(spec.len, DEFAULT_LEN);
+        assert_eq!(spec.seed, DEFAULT_SEED);
+        assert_eq!(spec.mode, McrMode::off());
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_commands() {
+        let e = parse_request(r#"{"cmd": "run", "workload": "libq", "bogus": 1}"#)
+            .expect_err("unknown field");
+        assert!(e.to_string().contains("bogus"), "{e}");
+        let e = parse_request(r#"{"cmd": "explode"}"#).expect_err("unknown cmd");
+        assert!(e.to_string().contains("explode"), "{e}");
+        let e = parse_request("not json").expect_err("bad json");
+        assert!(matches!(e, ProtocolError::Json(_)), "{e}");
+    }
+
+    #[test]
+    fn run_spec_builds_the_cli_shaped_sweep() {
+        let spec = RunSpec {
+            workload: Some("libq".into()),
+            mode: parse_mode("4/4x/100").expect("headline mode"),
+            len: 1_000,
+            ..RunSpec::default()
+        };
+        let sweep = spec.sweep(None).expect("builds");
+        let labels: Vec<&str> = sweep.points().iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["baseline [off]", "MCR [4/4x/100%reg]"]);
+    }
+
+    #[test]
+    fn sweep_spec_counts_points_before_building() {
+        let req = parse_request(
+            r#"{"cmd": "sweep", "len": 800, "workloads": ["libq", "comm1"],
+                "modes": ["off", "4/4x/100"], "seeds": [1, 2, 3]}"#,
+        )
+        .expect("parses");
+        let Request::Job(job) = req else {
+            panic!("expected job")
+        };
+        assert_eq!(job.spec.point_count(), 12);
+        let sweep = job.spec.sweep(Some(1)).expect("builds");
+        assert_eq!(sweep.points().len(), 12);
+    }
+
+    #[test]
+    fn campaign_rejects_armed_base_and_bad_rates() {
+        let e = parse_request(
+            r#"{"cmd": "campaign", "workload": "libq", "rates": [0.1], "fault_rate": 0.5}"#,
+        )
+        .expect("parses")
+        .job_sweep_err();
+        assert!(e.to_string().contains("campaign base"), "{e}");
+        let e = parse_request(r#"{"cmd": "campaign", "workload": "libq", "rates": [1.5]}"#)
+            .expect("parses")
+            .job_sweep_err();
+        assert!(e.to_string().contains("[0, 1]"), "{e}");
+    }
+
+    impl Request {
+        /// Test helper: building the job's sweep must fail.
+        fn job_sweep_err(self) -> ProtocolError {
+            let Request::Job(job) = self else {
+                panic!("expected a job")
+            };
+            job.spec.sweep(None).expect_err("sweep must fail")
+        }
+    }
+
+    #[test]
+    fn mode_strings_round_trip_through_the_parser() {
+        for text in ["off", "4/4x/100", "2/4x/75", "1/2x/50"] {
+            let mode = parse_mode(text).unwrap_or_else(|| panic!("mode {text}"));
+            if text == "off" {
+                assert_eq!(mode, McrMode::off());
+            }
+        }
+        for text in ["", "4/4/100", "5/4x/100", "4/4x/100/extra", "4/3x/100"] {
+            assert!(parse_mode(text).is_none(), "{text:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        for line in [
+            render_pong(),
+            render_rejected(CODE_QUEUE_FULL, "queue-full"),
+            render_timeout(Some("j1"), 25),
+            render_error("nope"),
+        ] {
+            assert!(!line.contains('\n'), "multi-line response: {line}");
+            let v = Json::parse(&line).expect("response parses");
+            assert!(v.get("status").is_some());
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The service loop: a TCP acceptor feeding a bounded job queue that a
+//! fixed worker pool drains.
+//!
+//! Flow control is explicit at every stage:
+//!
+//! * **Admission control** — oversized requests are rejected with code
+//!   413 before any work is built; once the bounded queue is full, new
+//!   jobs are shed with code 429 instead of queueing unboundedly.
+//! * **Deadlines** — a job carrying `deadline_ms` runs under a
+//!   [`CancelToken`] with that deadline; the simulation cooperatively
+//!   aborts (worst case one `CANCEL_CHECK_CYCLES` chunk late) and the
+//!   client receives `"status": "timeout"`.
+//! * **Graceful shutdown** — a `shutdown` request flips the service
+//!   into draining: new jobs are rejected with code 503, queued and
+//!   in-flight jobs complete and deliver their responses, then the
+//!   acceptor and workers exit. No accepted job ever loses its
+//!   response.
+//!
+//! Results are memoized across requests in a shared
+//! [`ResultCache`] keyed by the stable `SystemConfig::config_key`, so
+//! a repeated request is answered without re-simulation.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use mcr_dram::{CancelToken, ResultCache, Sweep};
+use sim_json::Json;
+
+use crate::protocol::{
+    parse_request, render_error, render_job_ok, render_pong, render_rejected, render_timeout,
+    JobRequest, Request, CODE_DRAINING, CODE_QUEUE_FULL, CODE_TOO_LARGE,
+};
+use crate::telemetry::ServeTelemetry;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue; `0` means one per core.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue sheds load (code 429).
+    pub queue_cap: usize,
+    /// Largest grid (in points) a single job may expand to (code 413).
+    pub max_points: usize,
+    /// Largest trace length a single job may request (code 413).
+    pub max_trace_len: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 64,
+            max_points: 512,
+            max_trace_len: 2_000_000,
+        }
+    }
+}
+
+/// An admitted job waiting for (or holding) a worker.
+struct Job {
+    req: JobRequest,
+    sweep: Sweep,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    respond: mpsc::SyncSender<String>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+    draining: bool,
+    stopped: bool,
+    /// The shutdown response left the server (or its client vanished):
+    /// [`Server::run`] may now return and let the process exit.
+    shutdown_acked: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    state: Mutex<QueueState>,
+    /// Signals workers: work available, or drain/stop flags changed.
+    work_cv: Condvar,
+    /// Signals the drain waiter: queue and in-flight both hit zero.
+    idle_cv: Condvar,
+    cache: ResultCache,
+    telemetry: Mutex<ServeTelemetry>,
+}
+
+/// Poison-tolerant lock: a panicking holder must not wedge the
+/// service, and all guarded state stays consistent under the
+/// lock-update-unlock pattern used here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn ms_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The simulation service. [`Server::bind`] reserves the address,
+/// [`Server::run`] serves until a `shutdown` request drains the
+/// service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and resolves the worker count. Port `0`
+    /// picks an ephemeral port; read it back with
+    /// [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let cfg = ServeConfig { workers, ..cfg };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                addr,
+                state: Mutex::default(),
+                work_cv: Condvar::new(),
+                idle_cv: Condvar::new(),
+                cache: ResultCache::new(),
+                telemetry: Mutex::default(),
+            }),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The resolved configuration (worker count filled in).
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Serves until a `shutdown` request drains the service, then
+    /// returns the final telemetry snapshot.
+    pub fn run(self) -> ServeTelemetry {
+        let mut workers = Vec::with_capacity(self.shared.cfg.workers);
+        for _ in 0..self.shared.cfg.workers {
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        for conn in self.listener.incoming() {
+            if lock(&self.shared.state).stopped {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_conn(&shared, stream));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        // Don't exit (and tear down connection threads with the
+        // process) before the shutdown reply has actually been
+        // delivered to its requester.
+        let mut st = lock(&self.shared.state);
+        while !st.shutdown_acked {
+            st = self
+                .shared
+                .idle_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(st);
+        lock(&self.shared.telemetry).clone()
+    }
+}
+
+/// One worker: pop, simulate, respond, repeat; exit once the service
+/// drains.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.in_flight += 1;
+                    break job;
+                }
+                if st.draining || st.stopped {
+                    return;
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_job(shared, job);
+        let mut st = lock(&shared.state);
+        st.in_flight -= 1;
+        if st.queue.is_empty() && st.in_flight == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+/// Runs one admitted job to a response string and delivers it. Every
+/// path answers: expired deadline, cooperative cancellation, a
+/// panicking simulation (contained by `catch_unwind`), or success.
+fn run_job(shared: &Shared, job: Job) {
+    let queue_ms = ms_since(job.submitted);
+    let deadline_ms = job.req.deadline_ms.unwrap_or(0);
+    let reply = if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        lock(&shared.telemetry).timeouts.inc();
+        render_timeout(job.req.id.as_deref(), deadline_ms)
+    } else {
+        let token = job
+            .deadline
+            .map(CancelToken::with_deadline)
+            .unwrap_or_default();
+        let sim_start = Instant::now();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            job.sweep.run_cancellable(&shared.cache, &token)
+        }));
+        let sim_ms = ms_since(sim_start);
+        let service_ms = ms_since(job.submitted);
+        let mut t = lock(&shared.telemetry);
+        match outcome {
+            Ok(Some(results)) => {
+                t.completed.inc();
+                t.sim_ms.record(sim_ms);
+                t.service_ms.record(service_ms);
+                drop(t);
+                render_job_ok(&job.req, &results, queue_ms, service_ms)
+            }
+            Ok(None) => {
+                t.timeouts.inc();
+                render_timeout(job.req.id.as_deref(), deadline_ms)
+            }
+            Err(_) => {
+                t.internal_errors.inc();
+                render_error("internal: simulation panicked")
+            }
+        }
+    };
+    // A vanished client loses its own response, never anyone else's.
+    let _ = job.respond.send(reply);
+}
+
+/// Per-connection loop: read a request line, answer it, repeat until
+/// the peer hangs up.
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    lock(&shared.telemetry).connections.inc();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, was_shutdown) = handle_line(shared, line.trim());
+        let wrote = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+        if was_shutdown {
+            lock(&shared.state).shutdown_acked = true;
+            shared.idle_cv.notify_all();
+        }
+        if wrote.is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(e) => {
+            lock(&shared.telemetry).protocol_errors.inc();
+            (render_error(&e.to_string()), false)
+        }
+        Ok(Request::Ping) => (render_pong(), false),
+        Ok(Request::Stats) => (stats_line(shared), false),
+        Ok(Request::Shutdown) => (shutdown(shared), true),
+        Ok(Request::Job(job)) => (submit_job(shared, *job), false),
+    }
+}
+
+fn stats_line(shared: &Shared) -> String {
+    let (depth, in_flight, draining) = {
+        let st = lock(&shared.state);
+        (st.queue.len() as u64, st.in_flight as u64, st.draining)
+    };
+    let t = lock(&shared.telemetry);
+    Json::obj([
+        ("status", Json::str("ok")),
+        ("stats", t.to_json(depth, in_flight, draining)),
+    ])
+    .to_string()
+}
+
+/// Admission control and queueing; blocks until the job's response is
+/// ready (the per-connection protocol is strictly request/response).
+fn submit_job(shared: &Arc<Shared>, req: JobRequest) -> String {
+    // Size limits first: cheap, and independent of queue state.
+    if req.spec.point_count() > shared.cfg.max_points
+        || req.spec.trace_len() > shared.cfg.max_trace_len
+    {
+        lock(&shared.telemetry).rejected_too_large.inc();
+        return render_rejected(CODE_TOO_LARGE, "too-large");
+    }
+    // Jobs run single-threaded inside a worker; the pool parallelizes
+    // across requests, not within one, keeping throughput fair.
+    let sweep = match req.spec.sweep(Some(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            lock(&shared.telemetry).protocol_errors.inc();
+            return render_error(&e.to_string());
+        }
+    };
+    let submitted = Instant::now();
+    let deadline = req
+        .deadline_ms
+        .and_then(|ms| submitted.checked_add(Duration::from_millis(ms)));
+    let (tx, rx) = mpsc::sync_channel(1);
+    {
+        let mut st = lock(&shared.state);
+        if st.draining || st.stopped {
+            drop(st);
+            lock(&shared.telemetry).rejected_draining.inc();
+            return render_rejected(CODE_DRAINING, "draining");
+        }
+        if st.queue.len() >= shared.cfg.queue_cap {
+            drop(st);
+            lock(&shared.telemetry).rejected_queue_full.inc();
+            return render_rejected(CODE_QUEUE_FULL, "queue-full");
+        }
+        let depth = st.queue.len() as u64;
+        st.queue.push_back(Job {
+            req,
+            sweep,
+            deadline,
+            submitted,
+            respond: tx,
+        });
+        drop(st);
+        let mut t = lock(&shared.telemetry);
+        t.accepted.inc();
+        t.queue_depth.record(depth);
+    }
+    shared.work_cv.notify_one();
+    match rx.recv() {
+        Ok(reply) => reply,
+        // Unreachable with catch_unwind in place, but typed anyway.
+        Err(_) => render_error("internal: worker dropped the job"),
+    }
+}
+
+/// The drain protocol: flip to draining (new jobs now shed with 503),
+/// wait until queue and in-flight hit zero, stop the workers and the
+/// acceptor, then answer. Runs on the requesting connection's thread.
+fn shutdown(shared: &Arc<Shared>) -> String {
+    lock(&shared.state).draining = true;
+    shared.work_cv.notify_all();
+    let mut st = lock(&shared.state);
+    while !(st.queue.is_empty() && st.in_flight == 0) {
+        st = shared
+            .idle_cv
+            .wait(st)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    st.stopped = true;
+    drop(st);
+    shared.work_cv.notify_all();
+    // Unblock the accept loop with a loopback connection; if the
+    // listener is already gone the connect simply fails.
+    let _ = TcpStream::connect(shared.addr);
+    let completed = lock(&shared.telemetry).completed.get();
+    Json::obj([
+        ("status", Json::str("ok")),
+        ("drained", Json::from(true)),
+        ("completed", Json::from(completed)),
+    ])
+    .to_string()
+}

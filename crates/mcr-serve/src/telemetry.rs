@@ -1,0 +1,107 @@
+//! Service-side observability, built from the same primitives
+//! (`mcr-telemetry` counters and power-of-two histograms) as the
+//! simulator's own instrumentation, so the `stats` answer and the
+//! shutdown summary are deterministic integer state.
+
+use mcr_telemetry::{Counter, LatencyHistogram};
+use sim_json::Json;
+
+/// Counters and histograms the server maintains across its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeTelemetry {
+    /// Client connections accepted.
+    pub connections: Counter,
+    /// Jobs admitted into the queue.
+    pub accepted: Counter,
+    /// Jobs that finished with an `ok` response.
+    pub completed: Counter,
+    /// Jobs shed because the queue was full (code 429).
+    pub rejected_queue_full: Counter,
+    /// Jobs refused because the service was draining (code 503).
+    pub rejected_draining: Counter,
+    /// Jobs refused by the size limits (code 413).
+    pub rejected_too_large: Counter,
+    /// Jobs cancelled by their deadline.
+    pub timeouts: Counter,
+    /// Request lines that failed to parse or validate.
+    pub protocol_errors: Counter,
+    /// Jobs whose simulation failed internally.
+    pub internal_errors: Counter,
+    /// Queue depth observed at each admission (before the push).
+    pub queue_depth: LatencyHistogram,
+    /// Admission-to-response service latency, in milliseconds.
+    pub service_ms: LatencyHistogram,
+    /// Pure simulation wall time per job, in milliseconds.
+    pub sim_ms: LatencyHistogram,
+}
+
+/// Renders a histogram the way the simulator's JSON reports do:
+/// count/sum plus resolved percentiles (`null` when empty).
+fn histogram_json(h: &LatencyHistogram) -> Json {
+    let pct = |v: Option<u64>| v.map(Json::from).unwrap_or(Json::Null);
+    Json::obj([
+        ("count", Json::from(h.count())),
+        ("sum", Json::from(h.sum())),
+        ("p50", pct(h.p50())),
+        ("p95", pct(h.p95())),
+        ("max", pct(h.max())),
+    ])
+}
+
+impl ServeTelemetry {
+    /// The `stats` response body: lifetime counters plus the live queue
+    /// state supplied by the server.
+    pub fn to_json(&self, queue_depth_now: u64, in_flight: u64, draining: bool) -> Json {
+        Json::obj([
+            ("connections", Json::from(self.connections.get())),
+            ("accepted", Json::from(self.accepted.get())),
+            ("completed", Json::from(self.completed.get())),
+            (
+                "rejected_queue_full",
+                Json::from(self.rejected_queue_full.get()),
+            ),
+            (
+                "rejected_draining",
+                Json::from(self.rejected_draining.get()),
+            ),
+            (
+                "rejected_too_large",
+                Json::from(self.rejected_too_large.get()),
+            ),
+            ("timeouts", Json::from(self.timeouts.get())),
+            ("protocol_errors", Json::from(self.protocol_errors.get())),
+            ("internal_errors", Json::from(self.internal_errors.get())),
+            ("queue_depth_now", Json::from(queue_depth_now)),
+            ("in_flight", Json::from(in_flight)),
+            ("draining", Json::from(draining)),
+            ("queue_depth", histogram_json(&self.queue_depth)),
+            ("service_ms", histogram_json(&self.service_ms)),
+            ("sim_ms", histogram_json(&self.sim_ms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_carries_counters_and_histograms() {
+        let mut t = ServeTelemetry::default();
+        t.accepted.inc();
+        t.completed.inc();
+        t.service_ms.record(12);
+        t.service_ms.record(40);
+        let v = t.to_json(3, 1, false);
+        assert_eq!(v.get("accepted").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("queue_depth_now").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("draining").and_then(Json::as_bool), Some(false));
+        let svc = v.get("service_ms").expect("histogram present");
+        assert_eq!(svc.get("count").and_then(Json::as_u64), Some(2));
+        assert!(svc.get("p50").and_then(Json::as_u64).is_some());
+        // Single-line, reparsable.
+        let line = v.to_string();
+        assert!(!line.contains('\n'));
+        assert!(Json::parse(&line).is_ok());
+    }
+}

@@ -1,0 +1,115 @@
+//! CLI hardening: every bad flag combination exits with a readable
+//! `error:` line and a non-zero `ExitCode` — no panics, no silent
+//! defaults — across the legacy flags and the `serve`/`submit`
+//! subcommands.
+
+use std::process::Command;
+
+struct Outcome {
+    code: i32,
+    stderr: String,
+}
+
+fn run(args: &[&str]) -> Outcome {
+    let out = Command::new(env!("CARGO_BIN_EXE_mcr_sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    Outcome {
+        code: out.status.code().expect("exit code, not a signal"),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let o = run(args);
+    assert_eq!(o.code, 1, "{args:?} must exit 1, stderr: {}", o.stderr);
+    assert!(
+        o.stderr.contains(needle),
+        "{args:?} stderr must mention {needle:?}, got: {}",
+        o.stderr
+    );
+    assert!(
+        o.stderr.contains("error:"),
+        "{args:?} must print an error line: {}",
+        o.stderr
+    );
+}
+
+#[test]
+fn unknown_flags_fail_with_exit_one() {
+    assert_usage_error(&["--bogus"], "unknown flag");
+    assert_usage_error(&["serve", "--bogus"], "unknown flag");
+    assert_usage_error(&["submit", "--bogus"], "unknown flag");
+}
+
+#[test]
+fn missing_values_name_the_flag() {
+    // Existing flags.
+    assert_usage_error(&["--len"], "--len needs a value");
+    assert_usage_error(&["--workload"], "--workload needs a value");
+    // New subcommand flags.
+    assert_usage_error(&["serve", "--workers"], "--workers needs a value");
+    assert_usage_error(&["serve", "--queue-cap"], "--queue-cap needs a value");
+    assert_usage_error(&["submit", "--deadline-ms"], "--deadline-ms needs a value");
+}
+
+#[test]
+fn malformed_values_are_typed_errors() {
+    assert_usage_error(&["--workload", "libq", "--len", "many"], "bad --len");
+    assert_usage_error(&["--workload", "libq", "--mode", "zzz"], "bad mode");
+    assert_usage_error(
+        &["--workload", "libq", "--mechanisms", "9"],
+        "mechanisms case must be 1-4",
+    );
+    assert_usage_error(&["serve", "--workers", "lots"], "bad --workers");
+    assert_usage_error(
+        &["serve", "--queue-cap", "0"],
+        "--queue-cap must be at least 1",
+    );
+    assert_usage_error(
+        &["submit", "x.json", "--deadline-ms", "soon"],
+        "bad --deadline-ms",
+    );
+}
+
+#[test]
+fn conflicting_or_missing_targets_are_rejected() {
+    assert_usage_error(&[], "need --workload or --mix");
+    assert_usage_error(
+        &["--workload", "libq", "--mix", "mix01"],
+        "mutually exclusive",
+    );
+    assert_usage_error(&["submit"], "needs a request file");
+    assert_usage_error(&["submit", "a.json", "--shutdown"], "mutually exclusive");
+    assert_usage_error(&["submit", "a.json", "b.json"], "exactly one request file");
+}
+
+#[test]
+fn submit_reports_unreachable_server_and_unreadable_files() {
+    let o = run(&["submit", "/no/such/request.json"]);
+    assert_eq!(o.code, 1);
+    assert!(o.stderr.contains("cannot read"), "{}", o.stderr);
+    // A port no service listens on (reserved, never assigned here).
+    let o = run(&["submit", "--ping", "--addr", "127.0.0.1:1"]);
+    assert_eq!(o.code, 1);
+    assert!(o.stderr.contains("cannot reach"), "{}", o.stderr);
+}
+
+#[test]
+fn help_exits_cleanly_for_every_entry_point() {
+    for args in [
+        &["--help"][..],
+        &["serve", "--help"][..],
+        &["submit", "--help"][..],
+    ] {
+        let o = run(args);
+        assert_eq!(o.code, 0, "{args:?} help must exit 0");
+        assert!(o.stderr.contains("usage:"), "{args:?}: {}", o.stderr);
+        assert!(
+            o.stderr.contains("serve options:"),
+            "{args:?}: {}",
+            o.stderr
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Loopback end-to-end tests for the simulation service: a real TCP
+//! server on an ephemeral port, exercised through the protocol client
+//! and through the `mcr_sim serve`/`submit` CLI.
+//!
+//! Covers the full service contract: correct sweep results with
+//! memoization, deadline expiry (`timeout`), queue-overflow load
+//! shedding (429), rejection while draining (503), and a graceful
+//! drain in which every accepted job still delivers its response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mcr_serve::{Client, ServeConfig, ServeTelemetry, Server};
+use sim_json::Json;
+
+fn start(cfg: ServeConfig) -> (SocketAddr, JoinHandle<ServeTelemetry>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn req(client: &mut Client, line: &str) -> Json {
+    client
+        .request(&Json::parse(line).expect("request is valid JSON"))
+        .expect("request round-trips")
+}
+
+fn status(v: &Json) -> &str {
+    v.get("status").and_then(Json::as_str).unwrap_or("?")
+}
+
+/// Polls `stats` until `pred` holds; panics after ~5 s.
+fn wait_for_stats(client: &mut Client, what: &str, pred: impl Fn(&Json) -> bool) {
+    for _ in 0..1_000 {
+        let v = req(client, r#"{"cmd": "stats"}"#);
+        let stats = v.get("stats").expect("stats body");
+        if pred(stats) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn stat_u64(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+#[test]
+fn serves_sweeps_with_memoization_and_drains_cleanly() {
+    let (addr, handle) = start(ServeConfig {
+        workers: 2,
+        queue_cap: 8,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    assert_eq!(status(&req(&mut c, r#"{"cmd": "ping"}"#)), "ok");
+
+    let line = r#"{"cmd": "sweep", "id": "grid-1", "len": 1200,
+                   "workloads": ["libq"], "modes": ["off", "4/4x/100"]}"#;
+    let first = req(&mut c, line);
+    assert_eq!(status(&first), "ok", "response: {first:?}");
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("grid-1"));
+    assert_eq!(first.get("kind").and_then(Json::as_str), Some("sweep"));
+    let points = first
+        .get("result")
+        .and_then(|r| r.get("points"))
+        .and_then(Json::as_array)
+        .expect("result.points array");
+    assert_eq!(points.len(), 2);
+    for p in points {
+        assert!(
+            p.get("reads_done").and_then(Json::as_u64).unwrap_or(0) > 0,
+            "every point simulated reads: {p:?}"
+        );
+    }
+
+    // The identical request again: served entirely from the memo cache.
+    let second = req(&mut c, line);
+    assert_eq!(status(&second), "ok");
+    assert_eq!(
+        second
+            .get("result")
+            .and_then(|r| r.get("cache_hits"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "repeat request must be memoized: {second:?}"
+    );
+
+    let bye = req(&mut c, r#"{"cmd": "shutdown"}"#);
+    assert_eq!(status(&bye), "ok");
+    assert_eq!(bye.get("drained").and_then(Json::as_bool), Some(true));
+
+    let t = handle.join().expect("server thread");
+    assert_eq!(t.accepted.get(), 2);
+    assert_eq!(t.completed.get(), 2);
+    assert_eq!(t.timeouts.get(), 0);
+    // The drain closed the listener: nothing accepts connections now.
+    assert!(
+        Client::connect(addr).is_err(),
+        "listener must be closed after drain"
+    );
+}
+
+#[test]
+fn over_deadline_requests_time_out() {
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+
+    // A deadline no full-length simulation can meet: the cooperative
+    // cancel fires at the first CANCEL_CHECK_CYCLES chunk boundary.
+    let late = req(
+        &mut c,
+        r#"{"cmd": "run", "id": "late", "workload": "libq",
+            "mode": "4/4x/100", "len": 400000, "deadline_ms": 1}"#,
+    );
+    assert_eq!(status(&late), "timeout", "response: {late:?}");
+    assert_eq!(late.get("id").and_then(Json::as_str), Some("late"));
+
+    // An already-expired deadline short-circuits without simulating.
+    let expired = req(
+        &mut c,
+        r#"{"cmd": "run", "workload": "libq", "len": 5000, "deadline_ms": 0}"#,
+    );
+    assert_eq!(status(&expired), "timeout");
+
+    req(&mut c, r#"{"cmd": "shutdown"}"#);
+    let t = handle.join().expect("server thread");
+    assert_eq!(t.timeouts.get(), 2);
+    assert_eq!(t.completed.get(), 0);
+}
+
+#[test]
+fn burst_sheds_load_and_drain_rejects_new_work() {
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+
+    // A occupies the single worker for a while.
+    let slow = std::thread::spawn(move || {
+        let mut ca = Client::connect(addr).expect("connect A");
+        req(
+            &mut ca,
+            r#"{"cmd": "run", "id": "A", "workload": "libq",
+                "mode": "4/4x/100", "len": 80000}"#,
+        )
+    });
+    wait_for_stats(&mut c, "A in flight", |s| stat_u64(s, "in_flight") == 1);
+
+    // B fills the (capacity-1) queue behind A.
+    let queued = std::thread::spawn(move || {
+        let mut cb = Client::connect(addr).expect("connect B");
+        req(
+            &mut cb,
+            r#"{"cmd": "run", "id": "B", "workload": "libq", "len": 12000}"#,
+        )
+    });
+    wait_for_stats(&mut c, "B queued", |s| stat_u64(s, "queue_depth_now") == 1);
+
+    // C finds the queue full and is shed with the typed 429 reject.
+    let shed = req(
+        &mut c,
+        r#"{"cmd": "run", "id": "C", "workload": "libq", "len": 12000}"#,
+    );
+    assert_eq!(status(&shed), "rejected", "response: {shed:?}");
+    assert_eq!(shed.get("code").and_then(Json::as_u64), Some(429));
+    assert_eq!(
+        shed.get("reason").and_then(Json::as_str),
+        Some("queue-full")
+    );
+
+    // Shutdown while A runs and B waits: both must still complete.
+    let drainer = std::thread::spawn(move || {
+        let mut cd = Client::connect(addr).expect("connect drainer");
+        req(&mut cd, r#"{"cmd": "shutdown"}"#)
+    });
+    wait_for_stats(&mut c, "draining", |s| {
+        s.get("draining").and_then(Json::as_bool) == Some(true)
+    });
+
+    // New work during the drain is refused with the typed 503 reject.
+    let refused = req(
+        &mut c,
+        r#"{"cmd": "run", "id": "E", "workload": "libq", "len": 12000}"#,
+    );
+    assert_eq!(status(&refused), "rejected");
+    assert_eq!(refused.get("code").and_then(Json::as_u64), Some(503));
+    assert_eq!(
+        refused.get("reason").and_then(Json::as_str),
+        Some("draining")
+    );
+
+    // Zero lost responses: A and B complete, the drainer sees the drain.
+    let a = slow.join().expect("thread A");
+    assert_eq!(status(&a), "ok", "A must survive the drain: {a:?}");
+    let b = queued.join().expect("thread B");
+    assert_eq!(status(&b), "ok", "B must survive the drain: {b:?}");
+    let d = drainer.join().expect("drainer thread");
+    assert_eq!(d.get("drained").and_then(Json::as_bool), Some(true));
+
+    let t = handle.join().expect("server thread");
+    assert_eq!(t.completed.get(), 2, "A and B completed");
+    assert_eq!(t.rejected_queue_full.get(), 1, "C was shed");
+    assert_eq!(t.rejected_draining.get(), 1, "E was refused");
+    assert_eq!(t.timeouts.get(), 0);
+}
+
+#[test]
+fn campaign_jobs_report_reliability() {
+    let (addr, handle) = start(ServeConfig {
+        workers: 2,
+        queue_cap: 4,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    let reply = req(
+        &mut c,
+        r#"{"cmd": "campaign", "id": "chaos-lite", "workload": "libq",
+            "mode": "2/4x/100", "len": 4000, "rates": [0.0, 0.1],
+            "fault_seed": 2015}"#,
+    );
+    assert_eq!(status(&reply), "ok", "response: {reply:?}");
+    let rel = reply
+        .get("reliability")
+        .and_then(Json::as_array)
+        .expect("reliability array");
+    assert_eq!(rel.len(), 3, "control + one point per rate");
+    for point in rel {
+        assert_eq!(
+            point.get("escapes").and_then(Json::as_u64),
+            Some(0),
+            "no retention escapes with the detector armed: {point:?}"
+        );
+    }
+    assert_eq!(reply.get("clean").and_then(Json::as_bool), Some(true));
+    req(&mut c, r#"{"cmd": "shutdown"}"#);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn oversized_requests_are_rejected_before_any_work() {
+    let (addr, handle) = start(ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        max_points: 8,
+        max_trace_len: 10_000,
+    });
+    let mut c = Client::connect(addr).expect("connect");
+    let too_long = req(
+        &mut c,
+        r#"{"cmd": "run", "workload": "libq", "len": 50000}"#,
+    );
+    assert_eq!(status(&too_long), "rejected");
+    assert_eq!(too_long.get("code").and_then(Json::as_u64), Some(413));
+    let too_wide = req(
+        &mut c,
+        r#"{"cmd": "sweep", "len": 1000, "workloads": ["libq"],
+            "modes": ["off"], "seeds": [1,2,3,4,5,6,7,8,9]}"#,
+    );
+    assert_eq!(status(&too_wide), "rejected");
+    assert_eq!(too_wide.get("code").and_then(Json::as_u64), Some(413));
+    // Typed errors for a bad request line, not a dropped connection.
+    let bad = c
+        .request_line("{\"cmd\": \"run\", \"workload\": \"no-such-workload\", \"len\": 1000}")
+        .expect("connection survives");
+    assert!(bad.contains("unknown workload"), "{bad}");
+    req(&mut c, r#"{"cmd": "shutdown"}"#);
+    let t = handle.join().expect("server thread");
+    assert_eq!(t.rejected_too_large.get(), 2);
+    assert_eq!(t.accepted.get(), 0);
+}
+
+#[test]
+fn cli_serve_and_submit_round_trip() {
+    let bin = env!("CARGO_BIN_EXE_mcr_sim");
+    let mut serve = Command::new(bin)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue-cap",
+            "4",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = serve.stdout.take().expect("serve stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("listening banner");
+    // "mcr-serve listening on 127.0.0.1:PORT (...)"
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .expect("address token in banner")
+        .to_string();
+
+    let mut submit = Command::new(bin)
+        .args(["submit", "-", "--addr", &addr, "--deadline-ms", "60000"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn submit");
+    submit
+        .stdin
+        .take()
+        .expect("submit stdin")
+        .write_all(br#"{"cmd": "run", "workload": "libq", "mode": "4/4x/100", "len": 1500}"#)
+        .expect("write request");
+    let out = submit.wait_with_output().expect("submit finishes");
+    assert!(out.status.success(), "submit failed: {out:?}");
+    let reply = Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("reply parses");
+    assert_eq!(status(&reply), "ok", "reply: {reply:?}");
+
+    let down = Command::new(bin)
+        .args(["submit", "--shutdown", "--addr", &addr])
+        .output()
+        .expect("shutdown submit");
+    assert!(down.status.success(), "shutdown failed: {down:?}");
+    let code = serve.wait().expect("serve exits");
+    assert!(code.success(), "serve must exit cleanly after drain");
+}

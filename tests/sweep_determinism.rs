@@ -1,11 +1,15 @@
 //! The sweep engine's two contracts: worker count never changes results
 //! (jobs = 1 and jobs = N are byte-identical, in the same order), and the
 //! content-addressed cache turns repeated grids into pure lookups. Plus
-//! the `ConfigError` surface of the fallible builder API.
+//! the `ConfigError` surface of the fallible builder API, and the
+//! service-era guard: a request submitted over the wire and the same
+//! run executed locally produce bit-identical sweep results.
 
 use mcr_dram::{
     ConfigError, McrMode, Mechanisms, RowCacheConfig, SweepBuilder, System, SystemConfig,
 };
+use mcr_serve::{protocol, Client, RunSpec, ServeConfig, Server};
+use sim_json::Json;
 
 const LEN: usize = 1_500;
 
@@ -160,6 +164,77 @@ fn try_build_rejects_each_invalid_config() {
         System::try_build(&conflict),
         Err(ConfigError::AllocWithRowCache)
     ));
+}
+
+/// Zeroes the volatile (timing/caching) fields of a serialized sweep
+/// result, leaving only the deterministic simulation payload.
+fn strip_volatile(doc: &mut Json) {
+    doc.set("wall_ns", Json::from(0u64));
+    doc.set("cache_hits", Json::from(0u64));
+    doc.set("jobs", Json::from(0u64));
+    if let Json::Obj(members) = doc {
+        for (key, value) in members.iter_mut() {
+            if key == "points" {
+                if let Json::Arr(points) = value {
+                    for p in points {
+                        p.set("wall_ns", Json::from(0u64));
+                        p.set("cache_hit", Json::from(false));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn submitted_and_local_runs_are_bit_identical() {
+    // The exact request the CLI would send with:
+    //   mcr_sim submit - <<< '{"cmd":"run","workload":"libq",...}'
+    let request = r#"{"cmd": "run", "workload": "libq", "mode": "4/4x/100", "len": 1500}"#;
+    // ... and the RunSpec the CLI builds locally for the same flags.
+    let spec = RunSpec {
+        workload: Some("libq".into()),
+        mode: protocol::parse_mode("4/4x/100").expect("headline mode"),
+        len: 1_500,
+        ..RunSpec::default()
+    };
+    let local_json = spec.sweep(Some(1)).expect("local sweep").run().to_json();
+    let mut local = Json::parse(&local_json).expect("local results parse");
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client
+        .request(&Json::parse(request).expect("request parses"))
+        .expect("request round-trips");
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "reply: {reply:?}"
+    );
+    let mut remote = reply.get("result").cloned().expect("result body");
+    client
+        .request(&Json::parse(r#"{"cmd": "shutdown"}"#).expect("shutdown parses"))
+        .expect("shutdown answered");
+    handle.join().expect("server thread");
+
+    strip_volatile(&mut local);
+    strip_volatile(&mut remote);
+    assert_eq!(
+        local, remote,
+        "a submitted run and a local run must produce identical results"
+    );
+    // Bit-identical all the way down to the serialized bytes.
+    assert_eq!(local.to_string(), remote.to_string());
 }
 
 #[test]
