@@ -3,14 +3,15 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit chaos serve-smoke bench-smoke bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit chaos serve-smoke bench-smoke bench bench-core bless-bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
 # (which includes the golden-report snapshots), the mcr-lint static
 # passes (source lint + timing/mode-table/region checks), then a seeded
-# fault-injection chaos campaign and the service loopback smoke test.
-check: build build-nodefault clippy fmt-check test golden lint chaos serve-smoke
+# fault-injection chaos campaign, the service loopback smoke test, and
+# the event-wheel wall-clock trajectory gate.
+check: build build-nodefault clippy fmt-check test golden lint chaos serve-smoke bench-core
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -81,6 +82,17 @@ bench-smoke:
 
 bench:
 	$(CARGO) bench $(OFFLINE) --workspace
+
+# Event-wheel vs dense-drive wall clock (DESIGN.md §5h): writes
+# BENCH_core.json at the repo root and fails when any case's speedup
+# drops below 85% of the committed BENCH_baseline.json.
+bench-core:
+	MCR_BENCH_GATE=1 $(CARGO) bench $(OFFLINE) -q --bench wallclock_core
+
+# Re-bless the wall-clock baseline after an intentional perf change,
+# then review the BENCH_baseline.json diff like any other code change.
+bless-bench:
+	MCR_BLESS_BENCH=1 $(CARGO) bench $(OFFLINE) -q --bench wallclock_core
 
 clean:
 	$(CARGO) clean

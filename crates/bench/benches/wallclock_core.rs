@@ -1,0 +1,220 @@
+//! Wall-clock trajectory of the event-wheel core (DESIGN.md §5h).
+//!
+//! Each case runs the same seeded config under the event wheel and under
+//! the dense reference drive (`System::set_skip_ahead(false)`), asserts
+//! the two [`mcr_dram::RunReport`]s are bit-identical, and records
+//! best-of-N ns per run plus the wheel-over-dense speedup. Results land in
+//! `BENCH_core.json` at the repo root; the committed `BENCH_baseline.json`
+//! is the tracked trajectory.
+//!
+//! Knobs:
+//! - `MCR_BENCH_CORE_LEN`  — trace length per case (default 20_000).
+//! - `MCR_BLESS_BENCH=1`   — rewrite `BENCH_baseline.json` from this run.
+//! - `MCR_BENCH_GATE=1`    — fail when any case's speedup drops below
+//!   85% of its committed baseline (`make check` sets this).
+
+use mcr_bench::{header, timed};
+use mcr_dram::{McrMode, RunReport, System, SystemConfig};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use trace_gen::{Suite, WorkloadProfile};
+
+/// Timed runs per drive per case (after one warm-up run each).
+const ITERS: u32 = 5;
+
+/// Speedup may drop to this fraction of the committed baseline before
+/// the gate fails (>15% regression).
+const GATE_FLOOR: f64 = 0.85;
+
+fn core_len() -> usize {
+    std::env::var("MCR_BENCH_CORE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+struct CaseResult {
+    name: &'static str,
+    wheel_ns: u64,
+    dense_ns: u64,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        self.dense_ns as f64 / self.wheel_ns as f64
+    }
+}
+
+/// Best-of-`ITERS` ns for a full run of `cfg` under one drive (the
+/// minimum is the least noise-sensitive wall-clock estimator).
+fn time_runs(cfg: &SystemConfig, skip_ahead: bool) -> (u64, RunReport) {
+    let run = || {
+        let mut sys = System::build(cfg);
+        sys.set_skip_ahead(skip_ahead);
+        sys.run()
+    };
+    let report = run(); // warm-up; also the equality witness
+    let mut best = u64::MAX;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        let r = run();
+        best = best.min(t.elapsed().as_nanos() as u64);
+        assert_eq!(r, report, "non-deterministic run");
+    }
+    (best, report)
+}
+
+fn run_case(name: &'static str, cfg: &SystemConfig) -> CaseResult {
+    let (wheel_ns, wheel_report) = time_runs(cfg, true);
+    let (dense_ns, dense_report) = time_runs(cfg, false);
+    assert_eq!(
+        wheel_report, dense_report,
+        "{name}: wheel and dense reports differ"
+    );
+    let out = CaseResult {
+        name,
+        wheel_ns,
+        dense_ns,
+    };
+    println!(
+        "{name:<24} wheel {:>12} ns/run   dense {:>12} ns/run   speedup {:>6.2}x",
+        out.wheel_ns,
+        out.dense_ns,
+        out.speedup()
+    );
+    out
+}
+
+/// One bench entry per line so the baseline parser can stay line-based.
+fn to_json(results: &[CaseResult], len: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"trace_len\": {len},\n  \"benches\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wheel_ns\": {}, \"dense_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.wheel_ns,
+            r.dense_ns,
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(name, speedup)` pairs from the one-entry-per-line JSON
+/// written by [`to_json`]. Unparseable lines are skipped.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let start = line.find(&format!("\"{key}\": "))? + key.len() + 4;
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name = field(line, "name")?;
+            let speedup = field(line, "speedup")?.parse().ok()?;
+            Some((name, speedup))
+        })
+        .collect()
+}
+
+fn gate(results: &[CaseResult], baseline_path: &Path) {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        println!("[gate] no {} — gate skipped", baseline_path.display());
+        return;
+    };
+    let baseline = parse_baseline(&text);
+    let mut failures = Vec::new();
+    for r in results {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
+            println!("[gate] {}: no baseline entry — skipped", r.name);
+            continue;
+        };
+        let floor = base * GATE_FLOOR;
+        let ok = r.speedup() >= floor;
+        println!(
+            "[gate] {:<24} speedup {:>6.2}x vs baseline {:>6.2}x (floor {:>6.2}x) {}",
+            r.name,
+            r.speedup(),
+            base,
+            floor,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(r.name);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "wall-clock regression >15% vs BENCH_baseline.json in: {failures:?} \
+         (re-bless with MCR_BLESS_BENCH=1 `make bench` if intentional)"
+    );
+}
+
+fn main() {
+    timed("wallclock_core", || {
+        header(
+            "wallclock_core",
+            "event wheel vs dense drive, full-run wall clock",
+        );
+        let len = core_len();
+        let mode = |m, k| McrMode::new(m, k, 1.0).expect("valid Table 1 mode");
+
+        // Idle-heavy: a near-idle trace (0.5 memory ops per kilo-instr,
+        // ~2000-instruction gaps) — the rank sits in power-down or
+        // refresh-only spans most of the run, which the wheel skips.
+        // These are the cases the >=3x acceptance targets. Fewer records
+        // than the loaded case: each one covers ~250 memory cycles.
+        let idle = WorkloadProfile {
+            name: "idle",
+            suite: Suite::Commercial,
+            mpki: 0.5,
+            read_fraction: 0.7,
+            row_locality: 0.6,
+            footprint_rows: 4096,
+            zipf_theta: 0.6,
+            multi_threaded: false,
+        };
+        let mut powerdown = SystemConfig::single_core("black", len / 4)
+            .with_mode(mode(1, 2))
+            .with_powerdown(64);
+        powerdown.workloads = vec![idle];
+        let mut refresh_skip = SystemConfig::single_core("black", len / 4).with_mode(mode(4, 4));
+        refresh_skip.workloads = vec![idle];
+        // Gap-heavy but compute-bound: the lightest real trace in the
+        // library; the wheel's win here is the compute-span batch.
+        let gap_black = SystemConfig::single_core("black", len).with_mode(mode(1, 2));
+        // Loaded control: the wheel should be roughly a wash, never a
+        // loss big enough to trip the gate.
+        let loaded = SystemConfig::single_core("libq", len).with_mode(McrMode::headline());
+
+        let results = [
+            run_case("powerdown_idle", &powerdown),
+            run_case("refresh_skip_idle", &refresh_skip),
+            run_case("gap_heavy_black", &gap_black),
+            run_case("loaded_libq_headline", &loaded),
+        ];
+
+        let root = repo_root();
+        let current = root.join("BENCH_core.json");
+        let baseline = root.join("BENCH_baseline.json");
+        let json = to_json(&results, len);
+        std::fs::write(&current, &json).expect("write BENCH_core.json");
+        println!("wrote {}", current.display());
+
+        if std::env::var_os("MCR_BLESS_BENCH").is_some_and(|v| v == "1") {
+            std::fs::write(&baseline, &json).expect("write BENCH_baseline.json");
+            println!("blessed {}", baseline.display());
+        }
+        if std::env::var_os("MCR_BENCH_GATE").is_some_and(|v| v == "1") {
+            gate(&results, &baseline);
+        }
+    });
+}

@@ -82,12 +82,9 @@ pub use mode_change::{ModeChangePlan, OsVisibleMemory};
 pub use policy::McrPolicy;
 pub use report::{telemetry_to_csv, telemetry_to_json, ResultTable};
 pub use sweep::{
-    CancelToken, PointResult, ResultCache, Sweep, SweepBuilder, SweepPoint, SweepResults,
+    CancelToken, PointResult, ResultCache, RunBudget, Sweep, SweepBuilder, SweepPoint, SweepResults,
 };
-pub use system::{
-    ConfigError, MappingKind, ReliabilityReport, RunReport, System, SystemConfig,
-    CANCEL_CHECK_CYCLES,
-};
+pub use system::{ConfigError, MappingKind, ReliabilityReport, RunReport, System, SystemConfig};
 pub use telemetry::{BankCommandCounts, Telemetry};
 // Fault-injection surface, re-exported so experiment drivers need only
 // this crate: the seeded plan and the guardband vocabulary it trips.

@@ -41,19 +41,22 @@ use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
 use crate::system::{ConfigError, RunReport, System, SystemConfig};
 use crate::telemetry::Telemetry;
+use dram_device::Cycle;
 use trace_gen::Mix;
 
 /// Cooperative cancellation handle shared between a sweep (or single
 /// [`System`] run) and whoever supervises it — e.g. the `mcr-serve`
-/// worker pool enforcing per-request deadlines.
+/// worker pool enforcing per-request deadlines. Usually carried inside a
+/// [`RunBudget`] rather than passed around on its own.
 ///
 /// Cancellation is *cooperative*: the running simulation polls
-/// [`CancelToken::is_cancelled`] between work chunks (every
-/// [`crate::system::CANCEL_CHECK_CYCLES`] memory cycles within a run,
-/// and between grid points), abandons cleanly, and the driver reports
-/// `None` instead of a result. A token can carry an optional deadline,
-/// after which it reads as cancelled without anyone calling
-/// [`CancelToken::cancel`]. Clones share the same flag.
+/// [`CancelToken::is_cancelled`] between work chunks (at budget-poll
+/// boundaries within a run — which the event wheel crosses in
+/// microseconds when the simulated system idles — and between grid
+/// points), abandons cleanly, and the driver reports `None` instead of a
+/// result. A token can carry an optional deadline, after which it reads
+/// as cancelled without anyone calling [`CancelToken::cancel`]. Clones
+/// share the same flag.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
@@ -88,6 +91,65 @@ impl CancelToken {
     /// deadline (when set) has passed.
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Typed resource budget for a run or sweep: how far it may simulate and
+/// how long it may take on the wall clock. Replaces the old positional
+/// `CancelToken` argument of `run_cancellable` — every limit is named,
+/// optional, and composable:
+///
+/// * [`RunBudget::max_cycles`] — hard cap on *simulated* memory cycles;
+///   reaching it without finishing expires the run.
+/// * [`RunBudget::deadline`] — wall-clock instant after which the budget
+///   reads as expired (the `mcr-serve` per-request deadline maps here).
+/// * [`RunBudget::cancel`] — cooperative [`CancelToken`] polled alongside
+///   the deadline (supervisor-driven aborts, shutdown).
+///
+/// The default budget is unbounded: [`System::run_budgeted`] then only
+/// enforces its internal wedge cap, exactly like [`System::run`].
+#[derive(Clone, Debug, Default)]
+pub struct RunBudget {
+    /// Hard cap on simulated memory cycles (`None` = no cap; the wedge
+    /// bound still applies).
+    pub max_cycles: Option<Cycle>,
+    /// Wall-clock deadline after which the budget reads as expired.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation handle checked alongside the deadline.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// A budget with no limits — the run goes to completion.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps the simulated length at `max_cycles` memory cycles.
+    pub fn with_max_cycles(mut self, max_cycles: Cycle) -> Self {
+        self.max_cycles = Some(max_cycles);
+        self
+    }
+
+    /// Expires the budget at wall-clock `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// True once the wall-clock deadline passed or the attached token
+    /// fired. The simulated-cycle cap is enforced by the run loop itself
+    /// ([`System::run_budgeted`]), not here — it is a property of the
+    /// simulation position, not of wall time.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -452,25 +514,21 @@ impl Sweep {
     /// letting several sweeps share results (identical configs are
     /// simulated once, ever).
     pub fn run_with_cache(&self, cache: &ResultCache) -> SweepResults {
-        match self.run_cancellable(cache, &CancelToken::new()) {
+        match self.run_budgeted(cache, &RunBudget::unbounded()) {
             Some(results) => results,
-            None => unreachable!("an inert CancelToken never cancels"),
+            None => unreachable!("an unbounded RunBudget never expires"),
         }
     }
 
-    /// Like [`Sweep::run_with_cache`], but cooperatively cancellable:
-    /// workers poll `cancel` between points and (via
-    /// [`System::run_cancellable`]) every
-    /// [`crate::system::CANCEL_CHECK_CYCLES`] memory cycles within a
-    /// point, so a deadline-carrying token bounds how long the sweep can
-    /// overshoot. Returns `None` when cancelled — partial results are
+    /// Like [`Sweep::run_with_cache`], but bounded by a [`RunBudget`]:
+    /// workers re-check the budget between points and (via
+    /// [`System::run_budgeted`]) at poll boundaries within a point, so a
+    /// deadline or cancellation bounds how long the sweep can overshoot,
+    /// and a `max_cycles` cap bounds how far any point may simulate.
+    /// Returns `None` when the budget ran out — partial results are
     /// discarded, but completed points already sit in `cache`, so a
     /// retried request only re-simulates the interrupted tail.
-    pub fn run_cancellable(
-        &self,
-        cache: &ResultCache,
-        cancel: &CancelToken,
-    ) -> Option<SweepResults> {
+    pub fn run_budgeted(&self, cache: &ResultCache, budget: &RunBudget) -> Option<SweepResults> {
         let jobs = self.jobs();
         let t0 = Instant::now();
         let next = AtomicUsize::new(0);
@@ -483,7 +541,7 @@ impl Sweep {
         // failures travel out through the slot as a `Result` instead and
         // are re-raised on the driving thread below.
         let work = |_worker: usize| loop {
-            if cancel.is_cancelled() {
+            if budget.expired() {
                 break;
             }
             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -497,10 +555,11 @@ impl Sweep {
                 Some(report) => (Ok(Some(report)), true),
                 None => {
                     // Validated in `build`, so `try_build` cannot fail;
-                    // `run_cancellable` yields `None` when the token fires
-                    // mid-simulation (the point is abandoned, not cached).
+                    // `run_budgeted` yields `None` when the budget runs
+                    // out mid-simulation (the point is abandoned, not
+                    // cached).
                     let report =
-                        System::try_build(&point.config).map(|sys| sys.run_cancellable(cancel));
+                        System::try_build(&point.config).map(|sys| sys.run_budgeted(budget));
                     if let Ok(Some(r)) = &report {
                         cache.insert(key, r.clone());
                     }
@@ -515,7 +574,7 @@ impl Sweep {
                     wall: t.elapsed(),
                     cache_hit,
                 })),
-                Ok(None) => None, // cancelled mid-point; slot stays empty
+                Ok(None) => None, // budget ran out mid-point; slot stays empty
                 Err(e) => Some(Err(e)),
             };
             if let Some(result) = result {
@@ -536,23 +595,20 @@ impl Sweep {
             });
         }
 
-        if cancel.is_cancelled() {
-            return None;
+        let mut points = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let inner = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+            match inner {
+                Some(Ok(p)) => points.push(p),
+                Some(Err(e)) => panic!("sweep point failed despite pre-validation: {e}"),
+                // An empty slot means the budget ran out (expired mid-run,
+                // or a point exhausted `max_cycles`) before this point
+                // produced a report.
+                None => return None,
+            }
         }
         Some(SweepResults {
-            points: slots
-                .into_iter()
-                .map(|slot| {
-                    let inner = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
-                    match inner {
-                        Some(Ok(p)) => p,
-                        Some(Err(e)) => {
-                            panic!("sweep point failed despite pre-validation: {e}")
-                        }
-                        None => panic!("sweep worker left a slot unfilled"),
-                    }
-                })
-                .collect(),
+            points,
             wall: t0.elapsed(),
             jobs,
         })
@@ -762,36 +818,48 @@ mod tests {
     }
 
     #[test]
-    fn cancelled_token_aborts_and_inert_token_completes() {
+    fn expired_budget_aborts_and_generous_budget_completes() {
         let sweep = SweepBuilder::new(LEN).workload("libq").build().unwrap();
         let cancelled = CancelToken::new();
         cancelled.cancel();
         assert!(
             sweep
-                .run_cancellable(&ResultCache::new(), &cancelled)
+                .run_budgeted(
+                    &ResultCache::new(),
+                    &RunBudget::unbounded().with_cancel(cancelled)
+                )
                 .is_none(),
             "pre-cancelled token must abort the sweep"
         );
-        let expired = CancelToken::with_deadline(Instant::now());
-        assert!(expired.is_cancelled(), "past deadline reads as cancelled");
-        assert!(sweep
-            .run_cancellable(&ResultCache::new(), &expired)
-            .is_none());
-        let generous = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
-        assert!(!generous.is_cancelled());
-        let r = sweep.run_cancellable(&ResultCache::new(), &generous);
-        assert!(r.is_some(), "a far-future deadline must not cancel");
+        let expired = RunBudget::unbounded().with_deadline(Instant::now());
+        assert!(expired.expired(), "past deadline reads as expired");
+        assert!(sweep.run_budgeted(&ResultCache::new(), &expired).is_none());
+        let generous =
+            RunBudget::unbounded().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!generous.expired());
+        let r = sweep.run_budgeted(&ResultCache::new(), &generous);
+        assert!(r.is_some(), "a far-future deadline must not expire");
     }
 
     #[test]
-    fn cancellable_and_plain_runs_agree() {
+    fn exhausted_cycle_cap_aborts_the_sweep() {
+        let sweep = SweepBuilder::new(LEN).workload("libq").build().unwrap();
+        // Two cycles is never enough to retire a 1 500-op trace.
+        let starved = RunBudget::unbounded().with_max_cycles(2);
+        assert!(sweep.run_budgeted(&ResultCache::new(), &starved).is_none());
+        let roomy = RunBudget::unbounded().with_max_cycles(500_000_000);
+        assert!(sweep.run_budgeted(&ResultCache::new(), &roomy).is_some());
+    }
+
+    #[test]
+    fn budgeted_and_plain_runs_agree() {
         let sweep = SweepBuilder::new(LEN).workload("libq").build().unwrap();
         let plain = sweep.run();
-        let Some(cancellable) = sweep.run_cancellable(&ResultCache::new(), &CancelToken::new())
+        let Some(budgeted) = sweep.run_budgeted(&ResultCache::new(), &RunBudget::unbounded())
         else {
-            panic!("inert token cancelled")
+            panic!("unbounded budget expired")
         };
-        assert_eq!(plain.points[0].report, cancellable.points[0].report);
+        assert_eq!(plain.points[0].report, budgeted.points[0].report);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::mode::McrMode;
 use crate::policy::McrPolicy;
 use crate::telemetry::Telemetry;
 use circuit_model::{CircuitParams, LeakageModel, TimingSolver};
-use cpu_model::{Core, CoreParams, RequestSink, TraceRecord, CPU_PER_MEM_CYCLE};
+use cpu_model::{Core, CoreParams, CoreWait, RequestSink, TraceRecord, CPU_PER_MEM_CYCLE};
 use dram_device::{Cycle, Geometry, PhysAddr, RefreshWiring, RetentionConfig, TimingSet, T_CK_NS};
 use dram_power::{edp, EnergyBreakdown, PowerParams};
 use mcr_faults::FaultPlan;
@@ -620,9 +620,23 @@ impl RunReport {
 
 /// A ready-to-run full system.
 ///
-/// Drive it either with [`System::run`] (to completion) or incrementally
-/// with [`System::step`], which allows runtime MCR-mode changes via
-/// [`System::reconfigure`] between steps.
+/// Drive it either with [`System::run`] / [`System::run_budgeted`] (to
+/// completion, optionally under a [`crate::sweep::RunBudget`]) or
+/// incrementally with [`System::run_until`] /
+/// [`System::advance_to_next_event`], which allow runtime MCR-mode
+/// changes via [`System::reconfigure`] between calls.
+///
+/// # Event-wheel core
+///
+/// Internally the simulator is an event wheel (DESIGN.md §5h): after any
+/// fully *quiet* cycle — the controller reported no observable work and
+/// every live core is stalled — the wheel jumps `mem_now` directly to the
+/// earliest timing edge any component exposes (next command-legal cycle,
+/// refresh deadline, completion delivery, power-down expiry, guardband
+/// re-arm, core retire). Skipped cycles are bulk-accounted so reports and
+/// telemetry stay *bit-identical* to cycle-by-cycle execution; the
+/// equivalence suite in `tests/event_wheel_equivalence.rs` pins this, and
+/// [`System::set_skip_ahead`] can force the dense drive for debugging.
 pub struct System {
     cores: Vec<Core<Box<dyn Iterator<Item = TraceRecord>>>>,
     controller: MemoryController,
@@ -632,6 +646,10 @@ pub struct System {
     mapper: Box<dyn AddressMapper>,
     /// Per-core (latency sum, completed reads) for fairness analysis.
     per_core_reads: Vec<(u64, u64)>,
+    /// Event-wheel chicken bit: `false` forces dense cycle-by-cycle
+    /// execution (the reference drive the equivalence suite compares
+    /// against).
+    skip_ahead: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -646,11 +664,18 @@ impl std::fmt::Debug for System {
 /// Core id used for cache-copy traffic; its completions are dropped.
 const COPY_CORE: u32 = u32::MAX;
 
-/// How often [`System::run_cancellable`] polls its
-/// [`crate::sweep::CancelToken`], in memory cycles — the worst-case
-/// cancellation latency is the wall-clock time of one such chunk
-/// (single-digit milliseconds on current hardware).
-pub const CANCEL_CHECK_CYCLES: Cycle = 100_000;
+/// How often [`System::run_budgeted`] re-checks its
+/// [`crate::sweep::RunBudget`], in memory cycles. Purely a budget-poll
+/// granularity: with the event wheel a poll window costs at most a
+/// handful of dense cycles, so the worst-case cancellation latency is
+/// far below a millisecond.
+const BUDGET_POLL_CYCLES: Cycle = 100_000;
+
+/// Cycle bound past which an unbudgeted run is declared wedged. Generous:
+/// even a fully serialized run needs < ~tRC cycles per memory op;
+/// anything past this is a scheduling deadlock (a simulator bug), not a
+/// slow workload.
+const WEDGE_CAP: Cycle = 500_000_000;
 
 struct CtlSink<'a> {
     ctl: &'a mut MemoryController,
@@ -846,6 +871,7 @@ impl System {
             cache,
             mapper: config.make_mapper(),
             per_core_reads: vec![(0, 0); n_cores],
+            skip_ahead: true,
         })
     }
 
@@ -864,41 +890,242 @@ impl System {
         self.mem_now
     }
 
-    /// Advances the simulation by up to `cycles` memory cycles, stopping
-    /// early when everything is done. Returns `true` when done.
-    pub fn step(&mut self, cycles: Cycle) -> bool {
-        let until = self.mem_now + cycles;
-        while self.mem_now < until {
-            if self.done() {
-                return true;
+    /// Disables (or re-enables) the event wheel. With `false` the system
+    /// executes every memory cycle densely — the reference drive that the
+    /// wheel must match bit-for-bit. Meant for equivalence testing and
+    /// debugging; the wheel is on by default.
+    pub fn set_skip_ahead(&mut self, enabled: bool) {
+        self.skip_ahead = enabled;
+    }
+
+    /// Simulates exactly one memory cycle (controller tick, completion
+    /// dispatch, guardband MRS application, four CPU subcycles) and
+    /// advances `mem_now`. Returns `true` when the cycle was fully
+    /// *quiet*: the controller neither did nor queued observable work and
+    /// every live core sat stalled — the precondition for the event wheel
+    /// to jump ahead.
+    fn advance_cycle(&mut self) -> bool {
+        for c in self.controller.tick(self.mem_now) {
+            if c.core_id == COPY_CORE {
+                continue; // cache-copy traffic; nobody waits on it
             }
-            for c in self.controller.tick(self.mem_now) {
-                if c.core_id == COPY_CORE {
-                    continue; // cache-copy traffic; nobody waits on it
+            let slot = &mut self.per_core_reads[c.core_id as usize];
+            slot.0 += c.latency;
+            slot.1 += 1;
+            self.cores[c.core_id as usize].complete_read(c.token, c.ready_at * CPU_PER_MEM_CYCLE);
+        }
+        self.apply_guardband_transitions();
+        for sub in 0..CPU_PER_MEM_CYCLE {
+            let cpu_now = self.mem_now * CPU_PER_MEM_CYCLE + sub;
+            let mut sink = CtlSink {
+                ctl: &mut self.controller,
+                cache: self.cache.as_mut(),
+                mapper: self.mapper.as_ref(),
+            };
+            for core in &mut self.cores {
+                if !core.done() {
+                    core.cycle(cpu_now, &mut sink);
                 }
-                let slot = &mut self.per_core_reads[c.core_id as usize];
-                slot.0 += c.latency;
-                slot.1 += 1;
-                self.cores[c.core_id as usize]
-                    .complete_read(c.token, c.ready_at * CPU_PER_MEM_CYCLE);
             }
-            self.apply_guardband_transitions();
-            for sub in 0..CPU_PER_MEM_CYCLE {
-                let cpu_now = self.mem_now * CPU_PER_MEM_CYCLE + sub;
-                let mut sink = CtlSink {
-                    ctl: &mut self.controller,
-                    cache: self.cache.as_mut(),
-                    mapper: self.mapper.as_ref(),
-                };
-                for core in &mut self.cores {
-                    if !core.done() {
-                        core.cycle(cpu_now, &mut sink);
+        }
+        let quiet = !self.controller.had_activity() && self.cores_quiet();
+        self.mem_now += 1;
+        quiet
+    }
+
+    /// True when every core is either done or parked in a stall the event
+    /// wheel can wake precisely. Two stalls are *not* parked:
+    ///
+    /// * a core whose ROB head is already retirable (`retire_at` due
+    ///   within the next cycle) — a full ROB then churns retire + refill
+    ///   every cycle without touching the controller, which is work, not
+    ///   a stall;
+    /// * a queue-blocked core when a row cache is armed: retried
+    ///   enqueues route through the cache and mutate its LRU/promotion
+    ///   state even when refused, so those retries must keep executing
+    ///   densely.
+    fn cores_quiet(&self) -> bool {
+        self.cores.iter().all(|c| match c.wait_hint() {
+            CoreWait::Done => true,
+            CoreWait::Active => false,
+            CoreWait::Stalled {
+                retire_at,
+                queue_retry,
+            } => {
+                let retire_due =
+                    retire_at.is_some_and(|t| t / CPU_PER_MEM_CYCLE <= self.mem_now + 1);
+                !(retire_due || queue_retry && self.cache.is_some())
+            }
+        })
+    }
+
+    /// Jumps `mem_now` to the earliest pending timing edge (clamped to
+    /// `until`), bulk-accounting the skipped quiet cycles into controller
+    /// and core counters so the result is bit-identical to stepping
+    /// through them. No edge means no jump: the dense loop keeps walking
+    /// (and the wedge cap eventually flags a true deadlock).
+    fn skip_to_next_edge(&mut self, until: Cycle) {
+        // Edges are computed relative to the cycle just executed; only
+        // strictly-future edges count.
+        let now = self.mem_now - 1;
+        let mut edge = self.controller.next_event(now);
+        for core in &self.cores {
+            if let CoreWait::Stalled {
+                retire_at: Some(t), ..
+            } = core.wait_hint()
+            {
+                // The retire fires inside this memory cycle; simulate it
+                // densely.
+                let mem = t / CPU_PER_MEM_CYCLE;
+                if mem > now {
+                    edge = Some(edge.map_or(mem, |e| e.min(mem)));
+                }
+            }
+        }
+        let Some(edge) = edge else { return };
+        let target = edge.max(self.mem_now).min(until);
+        let skipped = target.saturating_sub(self.mem_now);
+        if skipped == 0 {
+            return;
+        }
+        self.controller.note_skipped_cycles(skipped);
+        for core in &mut self.cores {
+            core.note_skipped_cycles(skipped * CPU_PER_MEM_CYCLE);
+        }
+        self.mem_now = target;
+    }
+
+    /// The compute-span counterpart of [`System::skip_to_next_edge`]: the
+    /// controller just had a fully quiet cycle but at least one core is
+    /// busy fetching through a trace gap. Over the span each gap-fetching
+    /// core vouches for ([`cpu_model::Core::compute_quiet_cycles`]) no
+    /// core can touch the memory system, so the controller is frozen and
+    /// bulk-replayed exactly as in a stalled skip while every busy core
+    /// executes its own cycles in a tight batch
+    /// ([`cpu_model::Core::advance_compute`] — the real per-cycle
+    /// fetch/retire logic, so ROB churn and stall counters replay
+    /// bit-identically). The span is clamped at every controller edge
+    /// (read completions included, so no `complete_read` can land inside
+    /// it) and at every stalled core's retire edge.
+    fn skip_compute_span(&mut self, until: Cycle) {
+        let now = self.mem_now - 1;
+        let mut span_cpu = Cycle::MAX;
+        let mut any_compute = false;
+        for core in &self.cores {
+            let safe = core.compute_quiet_cycles();
+            if safe > 0 {
+                any_compute = true;
+                span_cpu = span_cpu.min(safe);
+                continue;
+            }
+            match core.wait_hint() {
+                CoreWait::Done => {}
+                CoreWait::Active => return,
+                CoreWait::Stalled { queue_retry, .. } => {
+                    // Same exclusion as `cores_quiet`: cache-routed
+                    // enqueue retries must keep executing densely. The
+                    // retire edge is folded in below.
+                    if queue_retry && self.cache.is_some() {
+                        return;
                     }
                 }
             }
-            self.mem_now += 1;
+        }
+        let span_mem = span_cpu / CPU_PER_MEM_CYCLE;
+        if !any_compute || span_mem == 0 {
+            return;
+        }
+        let mut target = self.mem_now.saturating_add(span_mem).min(until);
+        if let Some(e) = self.controller.next_event(now) {
+            target = target.min(e);
+        }
+        for core in &self.cores {
+            if core.compute_quiet_cycles() > 0 {
+                continue;
+            }
+            if let CoreWait::Stalled {
+                retire_at: Some(t), ..
+            } = core.wait_hint()
+            {
+                // The retire cycle itself must execute densely (the core
+                // resumes fetching there); a due retire collapses the
+                // span to nothing.
+                target = target.min(t / CPU_PER_MEM_CYCLE);
+            }
+        }
+        let skipped = target.saturating_sub(self.mem_now);
+        if skipped == 0 {
+            return;
+        }
+        self.controller.note_skipped_cycles(skipped);
+        let start_cpu = self.mem_now * CPU_PER_MEM_CYCLE;
+        for core in &mut self.cores {
+            if core.compute_quiet_cycles() > 0 {
+                core.advance_compute(start_cpu, skipped * CPU_PER_MEM_CYCLE);
+            } else {
+                core.note_skipped_cycles(skipped * CPU_PER_MEM_CYCLE);
+            }
+        }
+        self.mem_now = target;
+    }
+
+    /// Advances the simulation to memory cycle `target` (exactly, unless
+    /// everything finishes first). Returns `true` when done — every core
+    /// retired its trace and the controller drained.
+    ///
+    /// This is the one incremental drive: callers that previously looped
+    /// `step(chunk)` land on the same cycle with a single call, and
+    /// [`System::reconfigure`] remains legal between calls (the first
+    /// cycle after any call boundary is always executed densely).
+    pub fn run_until(&mut self, target: Cycle) -> bool {
+        while self.mem_now < target {
+            if self.done() {
+                return true;
+            }
+            let quiet = self.advance_cycle();
+            // Never skip once the run is finished: `now` must land on the
+            // completion cycle, exactly where the dense drive stops.
+            if self.skip_ahead && !self.done() {
+                if quiet {
+                    self.skip_to_next_edge(target);
+                } else if !self.controller.had_activity() {
+                    self.skip_compute_span(target);
+                }
+            }
         }
         self.done()
+    }
+
+    /// Advances until at least one non-quiet memory cycle has executed
+    /// (some component did observable work), or the run finishes.
+    /// Returns `true` when done. The event-wheel analogue of the old
+    /// fixed-chunk `step` polling loop: each call lands just past the
+    /// next interesting edge instead of a hundred thousand cycles later.
+    pub fn advance_to_next_event(&mut self) -> bool {
+        loop {
+            if self.done() {
+                return true;
+            }
+            let quiet = self.advance_cycle();
+            if !quiet || self.done() {
+                return self.done();
+            }
+            if self.skip_ahead {
+                self.skip_to_next_edge(Cycle::MAX);
+            }
+        }
+    }
+
+    /// Advances the simulation by up to `cycles` memory cycles, stopping
+    /// early when everything is done. Returns `true` when done.
+    ///
+    /// Deprecated shim over [`System::run_until`] (`step(n)` ≡
+    /// `run_until(now() + n)`) for drivers written against the old
+    /// chunked-polling surface; new code should call
+    /// [`System::run_until`] or [`System::advance_to_next_event`]
+    /// directly.
+    pub fn step(&mut self, cycles: Cycle) -> bool {
+        self.run_until(self.mem_now.saturating_add(cycles))
     }
 
     /// Applies ladder moves the guardband monitor decided during the last
@@ -937,7 +1164,7 @@ impl System {
     }
 
     /// Runtime MCR-mode change (the MRS command of Sec. 4.1/4.4): swaps
-    /// the active mode between [`System::step`] calls.
+    /// the active mode between [`System::run_until`] calls.
     ///
     /// # Panics
     ///
@@ -981,41 +1208,54 @@ impl System {
     /// Panics if the simulation exceeds a generous cycle bound (indicates
     /// a scheduling deadlock — a simulator bug, not a configuration error).
     pub fn run(self) -> RunReport {
-        match self.run_cancellable(&crate::sweep::CancelToken::new()) {
+        match self.run_budgeted(&crate::sweep::RunBudget::unbounded()) {
             Some(report) => report,
-            None => unreachable!("an inert CancelToken never cancels"),
+            None => unreachable!("an unbounded RunBudget never expires"),
         }
     }
 
-    /// Runs to completion unless `cancel` fires first, polling the token
-    /// every [`CANCEL_CHECK_CYCLES`] memory cycles. Returns `None` when
-    /// cancelled — the partially-advanced simulation is discarded, which
-    /// is what a deadline-bound service wants (a half-run report would be
-    /// neither reproducible nor comparable).
+    /// Runs to completion unless `budget` runs out first — its deadline
+    /// passes, its [`crate::sweep::CancelToken`] fires, or `mem_now`
+    /// reaches its cycle cap. Returns `None` when the budget expired —
+    /// the partially-advanced simulation is discarded, which is what a
+    /// deadline-bound service wants (a half-run report would be neither
+    /// reproducible nor comparable).
     ///
-    /// Stepping in fixed chunks does not perturb results: [`System::step`]
-    /// advances cycle-by-cycle internally, so any chunking produces the
-    /// same [`RunReport`] as [`System::run`] — the determinism guard in
-    /// `tests/sweep_determinism.rs` pins this.
+    /// The budget is re-checked at wheel-friendly poll boundaries (every
+    /// 100k simulated cycles, which the event wheel crosses in
+    /// microseconds when the system idles). Chunked advancing
+    /// does not perturb results: [`System::run_until`] lands on exact
+    /// cycle boundaries, so any chunking produces the same [`RunReport`]
+    /// as [`System::run`] — `tests/sweep_determinism.rs` pins this.
     ///
     /// # Panics
     ///
-    /// Panics on the same wedge bound as [`System::run`].
-    pub fn run_cancellable(mut self, cancel: &crate::sweep::CancelToken) -> Option<RunReport> {
-        // Generous: even a fully serialized run needs < ~tRC cycles per
-        // memory op; anything past this is a wedge, not a slow workload.
-        let cap: u64 = 500_000_000;
-        while !self.step(CANCEL_CHECK_CYCLES) {
-            if cancel.is_cancelled() {
+    /// Panics on the wedge bound when the budget sets no cycle cap.
+    pub fn run_budgeted(mut self, budget: &crate::sweep::RunBudget) -> Option<RunReport> {
+        loop {
+            let target = match budget.max_cycles {
+                Some(cap) => {
+                    if self.mem_now >= cap && !self.done() {
+                        return None;
+                    }
+                    cap.min(self.mem_now.saturating_add(BUDGET_POLL_CYCLES))
+                }
+                None => self.mem_now.saturating_add(BUDGET_POLL_CYCLES),
+            };
+            if self.run_until(target) {
+                return Some(self.report());
+            }
+            if budget.expired() {
                 return None;
             }
-            assert!(
-                self.mem_now < cap,
-                "simulation wedged at cycle {}",
-                self.mem_now
-            );
+            if budget.max_cycles.is_none() {
+                assert!(
+                    self.mem_now < WEDGE_CAP,
+                    "simulation wedged at cycle {}",
+                    self.mem_now
+                );
+            }
         }
-        Some(self.report())
     }
 
     /// True when the command-stream protocol auditor is armed (debug
@@ -1035,8 +1275,9 @@ impl System {
     /// device, scheduler/queue telemetry from the controller, and the
     /// per-core memory-latency histogram (merged across cores).
     ///
-    /// Callable mid-run between [`System::step`] calls; [`System::report`]
-    /// embeds the final snapshot in [`RunReport::telemetry`].
+    /// Callable mid-run between [`System::run_until`] calls;
+    /// [`System::report`] embeds the final snapshot in
+    /// [`RunReport::telemetry`].
     pub fn telemetry_snapshot(&self) -> Telemetry {
         let mut t = Telemetry::default();
         for (ci, chan) in self.controller.channels().enumerate() {
@@ -1072,7 +1313,7 @@ impl System {
     }
 
     /// Finalizes counters and produces the report (for incremental
-    /// drivers that used [`System::step`]; [`System::run`] calls it).
+    /// drivers that used [`System::run_until`]; [`System::run`] calls it).
     ///
     /// # Panics
     ///

@@ -52,6 +52,31 @@ pub trait RequestSink {
     fn try_write(&mut self, core_id: u32, addr: PhysAddr) -> bool;
 }
 
+/// What a core is waiting on, as seen by an event-wheel driver.
+///
+/// Computed by [`Core::wait_hint`] after a cycle: a `Stalled` core is
+/// guaranteed to do no observable work (no fetch, no retire, no memory
+/// request) on any later cycle until either its `retire_at` edge arrives,
+/// a read completes ([`Core::complete_read`]), or — when `queue_retry` is
+/// set — the memory system frees queue space (which only happens on a
+/// cycle the controller itself reports as active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreWait {
+    /// The core will fetch or retire next cycle; it must be ticked.
+    Active,
+    /// The core is blocked and safe to skip.
+    Stalled {
+        /// CPU cycle at which the ROB head retires, if its completion
+        /// time is already known (`None` while the head waits on DRAM).
+        retire_at: Option<u64>,
+        /// The fetch stage is parked on a refused memory request and
+        /// retries every cycle.
+        queue_retry: bool,
+    },
+    /// Trace drained and ROB empty; the core never acts again.
+    Done,
+}
+
 /// What the fetch stage is currently working through.
 #[derive(Debug, Clone, Copy)]
 enum FetchState {
@@ -87,6 +112,9 @@ pub struct Core<T> {
     next_seq: u64,
     /// Sink-minted read tokens → (ROB sequence number, issue CPU cycle).
     inflight: HashMap<u64, (u64, u64)>,
+    /// The last memory request of the fetch stage was refused (the fetch
+    /// stage is parked on [`FetchState::MemOp`] retrying every cycle).
+    queue_blocked: bool,
     stats: CoreStats,
 }
 
@@ -102,6 +130,7 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
             head_seq: 0,
             next_seq: 0,
             inflight: HashMap::new(),
+            queue_blocked: false,
             stats: CoreStats::default(),
         }
     }
@@ -228,11 +257,13 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
                             self.rob.push_back(PENDING);
                             self.next_seq += 1;
                             self.stats.reads_issued += 1;
+                            self.queue_blocked = false;
                             budget -= 1;
                             self.fetch = FetchState::NextRecord;
                         }
                         None => {
                             self.stats.queue_stall_cycles += 1;
+                            self.queue_blocked = true;
                             return;
                         }
                     },
@@ -241,10 +272,12 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
                             self.rob.push_back(complete_at);
                             self.next_seq += 1;
                             self.stats.writes_issued += 1;
+                            self.queue_blocked = false;
                             budget -= 1;
                             self.fetch = FetchState::NextRecord;
                         } else {
                             self.stats.queue_stall_cycles += 1;
+                            self.queue_blocked = true;
                             return;
                         }
                     }
@@ -256,6 +289,215 @@ impl<T: Iterator<Item = TraceRecord>> Core<T> {
     /// Number of reads issued to the memory system and not yet completed.
     pub fn inflight_reads(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// What the core is waiting on after the cycle just simulated — the
+    /// edge this core contributes to an event-wheel driver.
+    ///
+    /// `Stalled` is only reported when the next [`Core::cycle`] call is
+    /// guaranteed to be a no-op apart from the stall counters that
+    /// [`Core::note_skipped_cycles`] replays: the ROB is full, or the
+    /// fetch stage is parked on a refused memory request, or the trace is
+    /// drained — and in every case the ROB head is not yet retirable.
+    pub fn wait_hint(&self) -> CoreWait {
+        if self.done() {
+            return CoreWait::Done;
+        }
+        let rob_full = self.rob.len() >= self.params.rob_size;
+        let fetch_blocked = match self.fetch {
+            FetchState::Drained => true,
+            FetchState::MemOp { .. } => self.queue_blocked,
+            FetchState::NextRecord | FetchState::Gap { .. } => false,
+        };
+        if !rob_full && !fetch_blocked {
+            return CoreWait::Active;
+        }
+        CoreWait::Stalled {
+            retire_at: self.rob.front().copied().filter(|&t| t != PENDING),
+            queue_retry: !rob_full && self.queue_blocked,
+        }
+    }
+
+    /// Number of upcoming CPU cycles this core is guaranteed not to call
+    /// the [`RequestSink`] or pull a trace record, or 0 when no such span
+    /// can be proven.
+    ///
+    /// Only the gap-fetch state qualifies: with `left` gap instructions
+    /// still to fetch and at most `fetch_width` consumed per cycle, the
+    /// memory operation behind the gap cannot issue for the next
+    /// `left / fetch_width` cycles no matter how retire and ROB occupancy
+    /// interleave (a full ROB only slows consumption down). Over such a
+    /// span the core's evolution — fetch, retire, ROB-full churn, stall
+    /// accounting — is a pure function of its own state, so an
+    /// event-wheel driver may execute it in bulk with
+    /// [`Core::advance_compute`] while the rest of the system is frozen,
+    /// provided no [`Core::complete_read`] lands inside the span (the
+    /// driver bounds every span at the controller's completion edges).
+    pub fn compute_quiet_cycles(&self) -> u64 {
+        let FetchState::Gap { left, .. } = self.fetch else {
+            return 0;
+        };
+        let fw = u64::from(self.params.fetch_width);
+        let rw = u64::from(self.params.retire_width);
+        let Some(budget) = u64::from(left).checked_sub(fw) else {
+            return 0; // the memory op may issue this very cycle
+        };
+        // Gap instructions consumed over k cycles are bounded both by the
+        // fetch width and by ROB space: the current headroom plus at most
+        // `retire_width` slots freed per cycle (a pending head only slows
+        // this further). The span is safe while consumption cannot exceed
+        // `budget`, so take the larger of the two guarantees — a full ROB
+        // stretches the provable span from `gap/fetch_width` to nearly
+        // the whole gap.
+        let headroom = (self.params.rob_size - self.rob.len()) as u64;
+        let mut k = budget / fw;
+        if budget >= headroom {
+            k = k.max((budget - headroom) / rw);
+        }
+        k
+    }
+
+    /// Executes `cpu_cycles` consecutive cycles starting at CPU cycle
+    /// `start_cpu`, exactly as that many [`Core::cycle`] calls would —
+    /// same fetch/retire interleaving, same stall counters — but without
+    /// a memory system in reach.
+    ///
+    /// Only valid for a span [`Core::compute_quiet_cycles`] vouched for:
+    /// the core must not touch memory, and the driver must deliver no
+    /// read completion until the span ends.
+    ///
+    /// Two regimes dominate a long gap and are replayed in closed form
+    /// rather than cycle by cycle: a full ROB whose head cannot retire
+    /// inside the span (every cycle is a pure rob-stall no-op), and
+    /// steady churn (a full ROB retiring `retire_width` due entries and
+    /// refilling exactly that many each cycle). Everything else — fill
+    /// transients, partially due heads — falls back to the real
+    /// per-cycle logic, so the end state is bit-identical either way.
+    pub fn advance_compute(&mut self, start_cpu: u64, cpu_cycles: u64) {
+        /// Unreachable by construction over a vouched-for span.
+        struct NoMem;
+        impl RequestSink for NoMem {
+            fn try_read(&mut self, _core_id: u32, _addr: PhysAddr) -> Option<u64> {
+                unreachable!("compute-quiet span touched memory")
+            }
+            fn try_write(&mut self, _core_id: u32, _addr: PhysAddr) -> bool {
+                unreachable!("compute-quiet span touched memory")
+            }
+        }
+        let end = start_cpu + cpu_cycles;
+        let mut now = start_cpu;
+        while now < end {
+            if self.rob.len() >= self.params.rob_size {
+                // Blocked: the head (often a read still waiting on DRAM)
+                // cannot retire before the span ends, so every remaining
+                // cycle only records a rob stall.
+                if self.rob.front().is_some_and(|&t| t >= end) {
+                    self.stats.rob_stall_cycles += end - now;
+                    return;
+                }
+                let k = self.churn_cycles(now).min(end - now);
+                if k > 0 {
+                    self.churn(now, k);
+                    now += k;
+                    continue;
+                }
+            }
+            self.cycle(now, &mut NoMem);
+            now += 1;
+        }
+    }
+
+    /// Number of upcoming cycles (starting at `now`, ROB currently full)
+    /// over which retire is guaranteed to pop exactly `retire_width` due
+    /// entries per cycle — the steady-churn invariant [`Core::churn`]
+    /// replays in closed form. Returns 0 when the invariant cannot be
+    /// proven (e.g. a pending read sits near the head).
+    fn churn_cycles(&self, now: u64) -> u64 {
+        let rw = u64::from(self.params.retire_width);
+        let fw = u64::from(self.params.fetch_width);
+        // Churn holds the ROB full only when fetch can refill every freed
+        // slot, and extends past the original contents only when the ROB
+        // is deep enough that refills (due `pipeline_depth` cycles after
+        // their push, popped `rob_size/retire_width` cycles after it) are
+        // always due by the time they reach the head.
+        if fw < rw
+            || (self.params.rob_size as u64) < rw * (u64::from(self.params.pipeline_depth) + 1)
+        {
+            return 0;
+        }
+        for (j, &t) in self.rob.iter().enumerate() {
+            // The entry at index j is popped in the cycle now + j/rw; a
+            // later completion time (or a pending read) ends the run.
+            if t > now + j as u64 / rw {
+                return j as u64 / rw;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Replays `k` steady-churn cycles starting at `now` in one step:
+    /// per cycle, retire pops `retire_width` due entries and fetch
+    /// refills exactly that many gap instructions (stalling on the
+    /// residual budget when `fetch_width > retire_width`), leaving the
+    /// ROB full throughout. Callers must have proven the span via
+    /// [`Core::churn_cycles`] and bounded it so the gap cannot run out.
+    fn churn(&mut self, now: u64, k: u64) {
+        let rw = u64::from(self.params.retire_width);
+        let fw = u64::from(self.params.fetch_width);
+        let depth = u64::from(self.params.pipeline_depth);
+        let FetchState::Gap { left, kind, addr } = self.fetch else {
+            unreachable!("churn outside a gap span")
+        };
+        let consumed = k * rw;
+        debug_assert!(u64::from(left) >= consumed + fw, "churn overran the gap");
+        self.fetch = FetchState::Gap {
+            left: left - consumed as u32,
+            kind,
+            addr,
+        };
+        self.head_seq += consumed;
+        self.next_seq += consumed;
+        self.stats.committed += consumed;
+        if fw > rw {
+            // After the refill fills the freed slots, the leftover fetch
+            // budget hits the ROB-full check once per cycle.
+            self.stats.rob_stall_cycles += k;
+        }
+        let len = self.rob.len() as u64;
+        if consumed < len {
+            self.rob.drain(..consumed as usize);
+            for i in 0..k {
+                for _ in 0..rw {
+                    self.rob.push_back(now + i + depth);
+                }
+            }
+        } else {
+            // The whole original ROB (and the older refills) retired;
+            // what remains are the last `len` refilled entries, pushed
+            // `retire_width` per cycle.
+            self.rob.clear();
+            for idx in (consumed - len)..consumed {
+                self.rob.push_back(now + idx / rw + depth);
+            }
+        }
+    }
+
+    /// Replays the stall accounting of `cpu_cycles` skipped quiet cycles,
+    /// exactly as per-cycle [`Core::cycle`] calls would have recorded it.
+    /// Only valid for a span over which [`Core::wait_hint`] stayed
+    /// `Stalled` (the event-wheel driver guarantees this by bounding every
+    /// skip at the core's retire edge and at controller activity).
+    pub fn note_skipped_cycles(&mut self, cpu_cycles: u64) {
+        if self.done() {
+            return;
+        }
+        if self.rob.len() >= self.params.rob_size {
+            // The fetch stage hits the ROB-full check first, once per call.
+            self.stats.rob_stall_cycles += cpu_cycles;
+        } else if matches!(self.fetch, FetchState::MemOp { .. }) && self.queue_blocked {
+            self.stats.queue_stall_cycles += cpu_cycles;
+        }
+        // A drained fetch stage with a non-full ROB counts nothing.
     }
 }
 
@@ -358,5 +600,44 @@ mod tests {
             core.cycle(now, &mut mem);
         }
         assert_eq!(core.stats().done_cycle, done);
+    }
+
+    /// `advance_compute` over vouched-for spans must leave the core in
+    /// the exact state per-cycle execution would: same stats, same
+    /// completion cycle, same issue stream. The trace crosses every
+    /// regime — fill transients, steady churn, a pending read blocking
+    /// the ROB inside a gap (the read latency of 400 far exceeds the ROB
+    /// drain time), and short gaps the batch cannot vouch for.
+    #[test]
+    fn advance_compute_matches_per_cycle_execution() {
+        let trace = vec![
+            TraceRecord::new(3_000, ReqKind::Read, PhysAddr(0)),
+            TraceRecord::new(5_000, ReqKind::Read, PhysAddr(64)),
+            TraceRecord::new(7, ReqKind::Write, PhysAddr(128)),
+            TraceRecord::new(2_000, ReqKind::Read, PhysAddr(192)),
+            TraceRecord::new(900, ReqKind::Write, PhysAddr(256)),
+        ];
+        let run = |batch: bool| -> CoreStats {
+            let mut core = Core::new(0, CoreParams::msc_default(), trace.clone().into_iter());
+            let mut mem = InstantMemory::new(400);
+            let mut now = 0u64;
+            while !core.done() {
+                assert!(now < 100_000, "did not finish");
+                mem.deliver(now, &mut core);
+                let safe = core.compute_quiet_cycles();
+                // A span must end before the next completion delivery.
+                let fence = mem.next_ready_at().map_or(u64::MAX, |r| r - now);
+                let span = safe.min(fence);
+                if batch && span > 1 {
+                    core.advance_compute(now, span);
+                    now += span;
+                } else {
+                    core.cycle(now, &mut mem);
+                    now += 1;
+                }
+            }
+            core.stats().clone()
+        };
+        assert_eq!(run(true), run(false));
     }
 }

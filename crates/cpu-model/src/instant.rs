@@ -45,6 +45,12 @@ impl InstantMemory {
     pub fn issued(&self) -> u64 {
         self.next_token
     }
+
+    /// CPU cycle at which the next pending read completes — the edge a
+    /// batching (event-wheel style) driver must bound its spans at.
+    pub fn next_ready_at(&self) -> Option<u64> {
+        self.pending.front().map(|&(ready, _)| ready)
+    }
 }
 
 impl RequestSink for InstantMemory {

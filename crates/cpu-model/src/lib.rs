@@ -42,7 +42,7 @@ mod stats;
 mod trace;
 mod trace_io;
 
-pub use core_model::{Core, CoreParams, RequestSink};
+pub use core_model::{Core, CoreParams, CoreWait, RequestSink};
 pub use instant::InstantMemory;
 pub use stats::CoreStats;
 pub use trace::TraceRecord;

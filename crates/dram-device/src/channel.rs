@@ -64,6 +64,13 @@ impl Rank {
         self.powered_down_since.is_some()
     }
 
+    /// Cycle at which the rank's current refresh (if any) completes; a
+    /// power-down entry is rejected until then, so event-wheel drivers
+    /// treat it as a wake edge for pending power-down transitions.
+    pub fn refresh_busy_until(&self) -> Cycle {
+        self.refresh_until
+    }
+
     /// Immutable view of one bank.
     ///
     /// # Panics
@@ -495,6 +502,26 @@ impl Channel {
             .max()
             .unwrap_or(0);
         bank_ready.max(r.refresh_until)
+    }
+
+    /// Earliest command cycle at which the *data bus* no longer rejects a
+    /// CAS to `rank` — the channel-level constraint [`Channel::read`] and
+    /// [`Channel::write`] check before any per-rank window. Mirrors the
+    /// internal check exactly: a CAS at cycle `c` places its data at
+    /// `c + CL/CWL`, which must not start before the bus frees plus any
+    /// turnaround / rank-switch penalty.
+    pub fn next_bus_cas_cycle(&self, rank: u8, is_read: bool) -> Cycle {
+        let ts = &self.timing;
+        let lat = if is_read { ts.cl } else { ts.cwl } as Cycle;
+        let turnaround = match (self.last_bus_op, is_read) {
+            (BusOp::Read, false) | (BusOp::Write, true) => ts.t_rtrs as Cycle,
+            _ => 0,
+        };
+        let rank_switch = match self.last_bus_rank {
+            Some(r) if r != rank => ts.t_rtrs as Cycle,
+            _ => 0,
+        };
+        (self.bus_free + turnaround.max(rank_switch)).saturating_sub(lat)
     }
 
     // ----- issue API -------------------------------------------------

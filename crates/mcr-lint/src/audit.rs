@@ -195,6 +195,16 @@ pub struct PointAudit {
     pub warnings: usize,
 }
 
+/// Drives an audit replay to completion on the event wheel, bounded by
+/// the same generous wedge cap `System::run` enforces.
+fn run_to_completion(sys: &mut System) {
+    assert!(
+        sys.run_until(500_000_000),
+        "audit replay wedged at cycle {}",
+        sys.now()
+    );
+}
+
 /// Builds and runs one [`SystemConfig`] to completion with the online
 /// protocol auditor armed and collects what the auditor saw, without
 /// panicking the way [`System::report`] does on violations.
@@ -205,7 +215,7 @@ pub struct PointAudit {
 /// rejected.
 pub fn audit_system_point(label: &str, config: &SystemConfig) -> Result<PointAudit, ConfigError> {
     let mut sys = System::try_build(config)?;
-    while !sys.step(100_000) {}
+    run_to_completion(&mut sys);
     sys.audit_finish_now();
     let mut errors = Vec::new();
     let mut warnings = 0usize;
@@ -334,9 +344,9 @@ pub fn audit_suite(trace_len: usize) -> Vec<Diagnostic> {
             return out.finish();
         }
     };
-    sys.step(2_000);
+    sys.run_until(2_000);
     sys.reconfigure(mode(2, 2, 1.0));
-    while !sys.step(100_000) {}
+    run_to_completion(&mut sys);
     sys.audit_finish_now();
     for v in sys.audit_violations() {
         if v.severity() == Severity::Error {

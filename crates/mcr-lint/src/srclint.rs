@@ -1,6 +1,6 @@
 //! Textual source lint over the workspace's library crates.
 //!
-//! Three rules, all error-level:
+//! Four rules, all error-level:
 //!
 //! * `src/no-unwrap` — no `.unwrap()` / `.expect(...)` in library code
 //!   outside `#[cfg(test)]` blocks. Library panics must be typed errors or
@@ -16,6 +16,11 @@
 //!   unwraps inside the sweep engine's worker closure: a panic in a
 //!   scoped worker thread poisons the whole sweep instead of failing the
 //!   one point, so workers must route failures through `Result` slots.
+//! * `src/step-busy-loop` — no `.step(` calls outside the core crate.
+//!   `System::step` is a deprecated chunked-polling shim; drivers that
+//!   loop on it burn a wall-clock cycle per simulated cycle even when
+//!   the machine is idle. Drive the simulator with `System::run_until`
+//!   or `System::advance_to_next_event` instead (DESIGN.md §5h).
 //!
 //! Escape hatch: a `// lint: allow(<rule>)` comment on the offending line
 //! or the line directly above suppresses that rule there. Test modules
@@ -34,6 +39,8 @@ pub const RULE_NO_UNWRAP: &str = "src/no-unwrap";
 pub const RULE_TRUNCATING_CAST: &str = "src/truncating-cast";
 /// Rule id: no panicking paths in sweep worker closures.
 pub const RULE_PANICKING_WORKER: &str = "src/panicking-sweep-worker";
+/// Rule id: no `.step(` polling outside the core crate.
+pub const RULE_STEP_BUSY_LOOP: &str = "src/step-busy-loop";
 
 /// Identifiers that mark a line as timing arithmetic for
 /// [`RULE_TRUNCATING_CAST`] (matched case-insensitively).
@@ -206,6 +213,9 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
     let scrubbed = scrub(text);
     let raw_lines: Vec<&str> = text.lines().collect();
     let is_sweep = path_label.ends_with("sweep.rs");
+    // The core crate owns the deprecated `step` shim (and its wheel-based
+    // implementation); every other crate must use the run_until surface.
+    let is_core_crate = path_label.contains("crates/core/");
     let allowed = |idx: usize, code: &str| {
         line_allows(raw_lines[idx], code) || (idx > 0 && line_allows(raw_lines[idx - 1], code))
     };
@@ -264,6 +274,15 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
                 loc.clone(),
                 "narrowing `as` cast in timing arithmetic; cycle math is u64",
                 "workspace rule (JEDEC counts exceed 32 bits within hours)",
+            ));
+        }
+        if !is_core_crate && line.contains(".step(") && !allowed(idx, RULE_STEP_BUSY_LOOP) {
+            diags.push(Diagnostic::error(
+                RULE_STEP_BUSY_LOOP,
+                loc.clone(),
+                "`.step(` polling outside the core crate; drive the simulator \
+                 with `run_until` or `advance_to_next_event`",
+                "workspace rule (the event wheel replaces chunked step polling)",
             ));
         }
         if is_sweep {
@@ -428,6 +447,22 @@ mod tests {
         assert_eq!(d[0].code, RULE_PANICKING_WORKER);
         assert_eq!(d[0].location, "core/src/sweep.rs:4");
         assert!(lint_file("core/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn step_polling_is_flagged_outside_the_core_crate() {
+        let src = "fn drive(sys: &mut System) { while !sys.step(100_000) {} }\n";
+        let d = lint_file("crates/mcr-serve/src/server.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, RULE_STEP_BUSY_LOOP);
+        // The core crate owns the shim and its implementation.
+        assert!(lint_file("crates/core/src/system.rs", src).is_empty());
+        // `step_by` and friends never trip the rule.
+        let iter = "fn f() { for i in (0..10).step_by(2) { g(i); } }\n";
+        assert!(lint_file("crates/mcr-serve/src/server.rs", iter).is_empty());
+        // The escape hatch works like every other rule.
+        let allowed = "// lint: allow(step-busy-loop)\nfn f(s: &mut System) { s.step(1); }\n";
+        assert!(lint_file("crates/mcr-serve/src/server.rs", allowed).is_empty());
     }
 
     #[test]

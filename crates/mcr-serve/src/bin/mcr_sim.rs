@@ -223,11 +223,11 @@ fn parse_args(argv: Vec<String>) -> Result<Option<Args>, String> {
 fn dump_trace(cfg: &SystemConfig, path: &str) -> Result<(), String> {
     let mut sys = System::try_build(cfg).map_err(|e| format!("invalid configuration: {e}"))?;
     sys.set_trace_sink(Box::new(RingRecorder::new(TRACE_CAPACITY)));
+    // The event wheel jumps between interesting cycles, so one bounded
+    // run_until call replaces the old chunked-step polling loop.
     let cap: u64 = 500_000_000;
-    while !sys.step(100_000) {
-        if sys.now() >= cap {
-            return Err(format!("simulation wedged at cycle {}", sys.now()));
-        }
+    if !sys.run_until(cap) {
+        return Err(format!("simulation wedged at cycle {}", sys.now()));
     }
     let Some(sink) = sys.take_trace_sink() else {
         return Err("trace sink disappeared mid-run".into());

@@ -7,9 +7,10 @@
 //!   413 before any work is built; once the bounded queue is full, new
 //!   jobs are shed with code 429 instead of queueing unboundedly.
 //! * **Deadlines** — a job carrying `deadline_ms` runs under a
-//!   [`CancelToken`] with that deadline; the simulation cooperatively
-//!   aborts (worst case one `CANCEL_CHECK_CYCLES` chunk late) and the
-//!   client receives `"status": "timeout"`.
+//!   [`RunBudget`] with that wall-clock deadline; the simulation
+//!   cooperatively aborts at the next budget-poll boundary (the
+//!   event-wheel core crosses idle stretches in microseconds, so the
+//!   overshoot is small) and the client receives `"status": "timeout"`.
 //! * **Graceful shutdown** — a `shutdown` request flips the service
 //!   into draining: new jobs are rejected with code 503, queued and
 //!   in-flight jobs complete and deliver their responses, then the
@@ -27,7 +28,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use mcr_dram::{CancelToken, ResultCache, Sweep};
+use mcr_dram::{ResultCache, RunBudget, Sweep};
 use sim_json::Json;
 
 use crate::protocol::{
@@ -228,13 +229,13 @@ fn run_job(shared: &Shared, job: Job) {
         lock(&shared.telemetry).timeouts.inc();
         render_timeout(job.req.id.as_deref(), deadline_ms)
     } else {
-        let token = job
+        let budget = job
             .deadline
-            .map(CancelToken::with_deadline)
+            .map(|d| RunBudget::unbounded().with_deadline(d))
             .unwrap_or_default();
         let sim_start = Instant::now();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            job.sweep.run_cancellable(&shared.cache, &token)
+            job.sweep.run_budgeted(&shared.cache, &budget)
         }));
         let sim_ms = ms_since(sim_start);
         let service_ms = ms_since(job.submitted);

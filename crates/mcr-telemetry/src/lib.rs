@@ -126,10 +126,21 @@ impl LatencyHistogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in one step, exactly equivalent to
+    /// calling [`LatencyHistogram::record`] `n` times. Lets the event-wheel
+    /// core account for skipped quiet cycles (whose per-cycle samples are
+    /// all equal) without replaying them. A zero `n` is a no-op.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let i = Self::bucket_index(value);
-        self.buckets[i] = self.buckets[i].saturating_add(1);
-        self.count = self.count.saturating_add(1);
-        self.sum = self.sum.saturating_add(value);
+        self.buckets[i] = self.buckets[i].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -430,6 +441,23 @@ mod tests {
         }
         assert_eq!(k.p50(), Some(7));
         assert_eq!(k.p99(), Some(7));
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = LatencyHistogram::new();
+        let mut looped = LatencyHistogram::new();
+        for (v, n) in [(0u64, 3u64), (7, 1), (7, 0), (300, 5), (u64::MAX, 2)] {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        assert_eq!(bulk, looped);
+        // A zero count never disturbs min/max.
+        let mut empty = LatencyHistogram::new();
+        empty.record_n(42, 0);
+        assert_eq!(empty, LatencyHistogram::new());
     }
 
     #[test]

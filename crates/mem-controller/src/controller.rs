@@ -131,6 +131,14 @@ pub struct MemoryController {
     next_token: u64,
     stats: ControllerStats,
     last_tick: Option<Cycle>,
+    /// Whether the current memory cycle (since the last [`MemoryController::tick`]
+    /// entry) did or queued any observable work. Cleared at the top of
+    /// every tick; set by command issue, refresh-slot arrival, completion
+    /// delivery, power-down transitions, drain-mode flips, guardband
+    /// moves, and request enqueues. Event-wheel drivers read it through
+    /// [`MemoryController::had_activity`] to decide whether the cycle was
+    /// quiet (skippable).
+    activity: bool,
     /// Scheduler-decision counters and queue histograms. Recording is
     /// gated by the `telemetry` feature; the struct always exists.
     telemetry: CtlTelemetry,
@@ -224,6 +232,7 @@ impl MemoryController {
             next_token: 0,
             stats: ControllerStats::default(),
             last_tick: None,
+            activity: true,
             telemetry: CtlTelemetry::default(),
             trace: None,
             fault_plan: None,
@@ -285,6 +294,7 @@ impl MemoryController {
             }
         }
         self.guardband_events.push((now, t));
+        self.activity = true;
     }
 
     /// The controller's telemetry (all-zero when the `telemetry`
@@ -449,6 +459,128 @@ impl MemoryController {
             .all(|c| c.read_q.is_empty() && c.write_q.is_empty() && c.completions.is_empty())
     }
 
+    /// True when the current memory cycle — the span since the last
+    /// [`MemoryController::tick`] entry, including enqueues made after it —
+    /// did or queued observable work. A `false` answer guarantees the
+    /// controller's externally visible state is frozen until one of the
+    /// edges reported by [`MemoryController::next_event`], so an
+    /// event-wheel driver may skip ahead.
+    pub fn had_activity(&self) -> bool {
+        self.activity
+    }
+
+    /// Earliest cycle strictly after `now` at which a quiet controller can
+    /// next do work: command legality for every queued request (including
+    /// the shared data bus), completion delivery, refresh-slot deadlines
+    /// and backlog release, power-down thresholds and pending entries, and
+    /// guardband re-arms. Returns `None` when no such edge exists (e.g. a
+    /// fully idle controller).
+    ///
+    /// Edges may be conservative (a wake where nothing issues is a
+    /// harmless no-op tick) but are never late: every state change a
+    /// quiet controller can undergo happens at or after the reported
+    /// cycle. The per-rank refresh deadline is always included — a
+    /// late-refresh fault stamps its release relative to the cycle the
+    /// slot is observed, so jumping past a deadline would change behavior.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut edge: Option<Cycle> = None;
+        let mut note = |c: Cycle| {
+            if c > now {
+                edge = Some(edge.map_or(c, |e| e.min(c)));
+            }
+        };
+        if let Some(g) = &self.guardband {
+            if let Some(c) = g.next_rearm_cycle() {
+                note(c);
+            }
+        }
+        for ch in &self.channels {
+            if let Some(&Reverse((ready, ..))) = ch.completions.peek() {
+                note(ready);
+            }
+            if self.config.refresh_enabled {
+                for rank in 0..self.geometry.ranks {
+                    note(ch.refresh.next_due(rank));
+                    if ch.refresh.backlog(rank) > 0 {
+                        if let Some(p) = ch.refresh.peek(rank) {
+                            note(p.not_before);
+                        }
+                        note(ch.chan.next_refresh_cycle(rank));
+                        // An urgent rank quiesces by precharging its open
+                        // banks before the REFRESH can issue; each of
+                        // those precharges is an edge of its own.
+                        for bank in 0..self.geometry.banks {
+                            if ch.chan.open_row(rank, bank).is_some() {
+                                note(ch.chan.next_precharge_cycle(rank, bank));
+                            }
+                        }
+                    }
+                }
+            }
+            // Command legality for the queue the scheduler is serving.
+            // Drain mode cannot flip during a quiet span (queue lengths
+            // only change on active cycles), so the selection is stable.
+            let drain = ch.draining || (ch.read_q.is_empty() && !ch.write_q.is_empty());
+            let q = if drain { &ch.write_q } else { &ch.read_q };
+            let is_read = !drain;
+            for r in q {
+                let (rank, bank, row) = (r.dram.rank, r.dram.bank, r.dram.row);
+                match ch.chan.open_row(rank, bank) {
+                    Some(open) if open == row => note(
+                        ch.chan
+                            .next_cas_cycle(rank, bank, is_read)
+                            .max(ch.chan.next_bus_cas_cycle(rank, is_read)),
+                    ),
+                    Some(_) => note(ch.chan.next_precharge_cycle(rank, bank)),
+                    None => note(ch.chan.next_activate_cycle(rank, bank)),
+                }
+            }
+            if let Some(threshold) = self.config.powerdown_idle_threshold {
+                for rank in 0..self.geometry.ranks {
+                    if let Some(since) = ch.rank_idle_since[rank as usize] {
+                        let due = since.saturating_add(threshold as Cycle);
+                        note(due);
+                        if due <= now {
+                            // Entry is pending: it retries as soon as the
+                            // rank finishes refreshing, and open banks
+                            // still need power-down precharges.
+                            note(ch.chan.rank(rank).refresh_busy_until());
+                            for bank in 0..self.geometry.banks {
+                                if ch.chan.open_row(rank, bank).is_some() {
+                                    note(ch.chan.next_precharge_cycle(rank, bank));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        edge
+    }
+
+    /// Replays the per-cycle bookkeeping of `skipped` quiet cycles in one
+    /// step, exactly as that many [`MemoryController::tick`] calls would
+    /// have recorded it on a frozen controller: write-drain residency and
+    /// the per-channel queue-depth telemetry samples. Only valid for a
+    /// span with no activity and no crossed [`MemoryController::next_event`]
+    /// edge (the event-wheel driver guarantees both).
+    pub fn note_skipped_cycles(&mut self, skipped: Cycle) {
+        if skipped == 0 {
+            return;
+        }
+        let draining = self.channels.iter().filter(|c| c.draining).count() as Cycle;
+        self.stats.drain_cycles += draining * skipped;
+        #[cfg(feature = "telemetry")]
+        for ch in &self.channels {
+            self.telemetry
+                .read_queue_depth
+                .record_n(ch.read_q.len() as u64, skipped);
+            self.telemetry
+                .write_queue_depth
+                .record_n(ch.write_q.len() as u64, skipped);
+        }
+    }
+
     /// Attempts to enqueue a read for `core_id` at physical address `phys`.
     ///
     /// Returns the completion token, or `None` when the target channel's
@@ -463,6 +595,7 @@ impl MemoryController {
         }
         let token = self.next_token;
         self.next_token += 1;
+        self.activity = true;
         let now = self.last_tick.map_or(0, |c| c + 1);
         // Store-to-load forwarding from the write queue.
         if ch.write_q.iter().any(|w| w.phys == phys) {
@@ -489,6 +622,7 @@ impl MemoryController {
         let dram = self.mapper.decode(phys);
         let ch = &mut self.channels[dram.channel as usize];
         if ch.write_q.iter().any(|w| w.phys == phys) {
+            self.activity = true;
             return true; // write merging
         }
         if ch.write_q.len() >= self.config.write_queue_cap {
@@ -496,6 +630,7 @@ impl MemoryController {
         }
         let token = self.next_token;
         self.next_token += 1;
+        self.activity = true;
         ch.write_q.push(Request {
             token,
             core_id,
@@ -523,6 +658,7 @@ impl MemoryController {
             self.last_tick
         );
         self.last_tick = Some(now);
+        self.activity = false;
         if let Some(g) = &mut self.guardband {
             if let Some(t) = g.poll(now) {
                 self.push_guardband_event(now, t);
@@ -540,10 +676,14 @@ impl MemoryController {
                     .write_queue_depth
                     .record(ch.write_q.len() as u64);
             }
-            if self.config.refresh_enabled {
-                self.channels[ci]
-                    .refresh
-                    .tick(now, self.policy.as_mut(), self.fault_plan.as_ref());
+            if self.config.refresh_enabled
+                && self.channels[ci].refresh.tick(
+                    now,
+                    self.policy.as_mut(),
+                    self.fault_plan.as_ref(),
+                )
+            {
+                self.activity = true;
             }
             self.manage_power_down(ci, now);
             self.update_drain_mode(ci);
@@ -555,6 +695,7 @@ impl MemoryController {
                     break;
                 }
                 ch.completions.pop();
+                self.activity = true;
                 let latency = ready - enq;
                 self.stats.reads_done += 1;
                 self.stats.read_latency_sum += latency;
@@ -587,6 +728,7 @@ impl MemoryController {
                 if has_work {
                     self.channels[ci].chan.exit_power_down(rank, now);
                     self.channels[ci].rank_idle_since[rank as usize] = None;
+                    self.activity = true;
                 }
                 continue;
             }
@@ -595,14 +737,22 @@ impl MemoryController {
             // reached, see `try_powerdown_precharge`).
             let ch = &mut self.channels[ci];
             match (!has_work, ch.rank_idle_since[rank as usize]) {
-                (false, _) => ch.rank_idle_since[rank as usize] = None,
-                (true, None) => ch.rank_idle_since[rank as usize] = Some(now),
+                (false, _) => {
+                    if ch.rank_idle_since[rank as usize].take().is_some() {
+                        self.activity = true;
+                    }
+                }
+                (true, None) => {
+                    ch.rank_idle_since[rank as usize] = Some(now);
+                    self.activity = true;
+                }
                 (true, Some(since)) => {
                     if now.saturating_sub(since) >= threshold as Cycle
                         && ch.chan.rank(rank).all_idle()
                         && ch.chan.enter_power_down(rank, now).is_ok()
                     {
                         ch.rank_idle_since[rank as usize] = None;
+                        self.activity = true;
                     }
                 }
             }
@@ -611,12 +761,16 @@ impl MemoryController {
 
     fn update_drain_mode(&mut self, ci: usize) {
         let ch = &mut self.channels[ci];
+        let was_draining = ch.draining;
         if ch.draining {
             if ch.write_q.len() <= self.config.wq_low_watermark {
                 ch.draining = false;
             }
         } else if ch.write_q.len() >= self.config.wq_high_watermark {
             ch.draining = true;
+        }
+        if ch.draining != was_draining {
+            self.activity = true;
         }
         if ch.draining {
             self.stats.drain_cycles += 1;
@@ -809,6 +963,7 @@ impl MemoryController {
             }
         };
         let Ok(data_end) = result else { return false };
+        self.activity = true;
         #[cfg(feature = "telemetry")]
         {
             let kind = if drain {
@@ -850,7 +1005,10 @@ impl MemoryController {
                 // The retention detector rejected a fast-class restore on a
                 // decayed row. Retry in the same cycle with the full-restore
                 // baseline class (class 0 never runs a margin check), and
-                // feed the violation to the guardband ladder.
+                // feed the violation to the guardband ladder. Stats and
+                // guardband state change even when the retry fails, so the
+                // cycle counts as active either way.
+                self.activity = true;
                 self.stats.retention_retries += 1;
                 #[cfg(feature = "telemetry")]
                 self.telemetry.retention_retries.inc();
@@ -875,6 +1033,7 @@ impl MemoryController {
             }
             Err(_) => return false,
         }
+        self.activity = true;
         #[cfg(feature = "telemetry")]
         {
             self.telemetry.sched_activates.inc();
@@ -900,6 +1059,7 @@ impl MemoryController {
         if ch.chan.precharge(dram.rank, dram.bank, now).is_err() {
             return false;
         }
+        self.activity = true;
         #[cfg(feature = "telemetry")]
         {
             self.telemetry.sched_precharges.inc();
@@ -935,6 +1095,7 @@ impl MemoryController {
         let ch = &mut self.channels[ci];
         if ch.chan.refresh_slot(rank, pending.row, now, t_rfc).is_ok() {
             let consumed = ch.refresh.consume(rank).is_some();
+            self.activity = true;
             #[cfg(feature = "telemetry")]
             if consumed {
                 self.telemetry.sched_refreshes.inc();
@@ -959,6 +1120,7 @@ impl MemoryController {
                 && ch.chan.next_precharge_cycle(rank, bank) <= now
                 && ch.chan.precharge(rank, bank, now).is_ok()
             {
+                self.activity = true;
                 #[cfg(feature = "telemetry")]
                 {
                     self.telemetry.sched_precharges.inc();

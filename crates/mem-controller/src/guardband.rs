@@ -188,6 +188,18 @@ impl GuardbandMonitor {
             .saturating_add(self.cfg.backoff_base.saturating_mul(1 << doublings))
     }
 
+    /// Cycle at which the next [`GuardbandMonitor::poll`] call can take a
+    /// re-arm step, or `None` at full speed (no pending transition). An
+    /// event-wheel driver must not jump past this edge without polling;
+    /// polling earlier is a harmless no-op.
+    pub fn next_rearm_cycle(&self) -> Option<Cycle> {
+        (self.level != DegradeLevel::Full).then(|| {
+            self.last_violation
+                .unwrap_or(0)
+                .saturating_add(self.rearm_quiet())
+        })
+    }
+
     /// Checks (once per tick) whether quiet time earned a re-arm step.
     /// Steps one rung per call; the cycle of full recovery closes the
     /// degraded-residency interval.

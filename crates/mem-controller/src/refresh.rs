@@ -91,10 +91,18 @@ impl RefreshScheduler {
     /// Advances slot deadlines to `now`, consulting `policy` for each slot
     /// that comes due and `faults` (when armed) for injected refresh
     /// faults. Skip and dropped slots are consumed immediately (no command
-    /// needed); others join the backlog.
-    pub fn tick(&mut self, now: Cycle, policy: &mut dyn DevicePolicy, faults: Option<&FaultPlan>) {
+    /// needed); others join the backlog. Returns `true` when at least one
+    /// slot came due this call (scheduler state changed).
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        policy: &mut dyn DevicePolicy,
+        faults: Option<&FaultPlan>,
+    ) -> bool {
+        let mut any_due = false;
         for (rank_id, r) in self.ranks.iter_mut().enumerate() {
             while now >= r.next_due {
+                any_due = true;
                 r.next_due += self.t_refi;
                 // Advance the shadow counter at decision time: each due
                 // slot targets the next row in the sweep even while a
@@ -129,11 +137,20 @@ impl RefreshScheduler {
                 }
             }
         }
+        any_due
     }
 
     /// Number of pending (due, unissued) refreshes for `rank`.
     pub fn backlog(&self, rank: u8) -> usize {
         self.ranks[rank as usize].backlog.len()
+    }
+
+    /// Cycle the next refresh slot of `rank` comes due. Late-refresh
+    /// faults stamp `not_before` relative to the cycle [`RefreshScheduler::tick`]
+    /// observes the slot, so an event-wheel driver must never jump past
+    /// this deadline without ticking the scheduler on it.
+    pub fn next_due(&self, rank: u8) -> Cycle {
+        self.ranks[rank as usize].next_due
     }
 
     /// True when `rank`'s backlog is close enough to the postponement cap

@@ -19,7 +19,7 @@ fn main() {
         "phase 1: {mode} — OS sees {} GiB",
         plan.os_view(mode).bytes >> 30
     );
-    sys.step(250_000);
+    sys.run_until(250_000);
 
     let relaxed = mode.relaxed().expect("4x relaxes to 2x");
     assert!(plan.change_is_collision_free(mode, relaxed));
@@ -30,7 +30,7 @@ fn main() {
         sys.now(),
         plan.os_view(mode).bytes >> 30
     );
-    sys.step(250_000);
+    sys.run_until(500_000);
 
     let off = mode.relaxed().expect("2x relaxes to off");
     assert!(plan.change_is_collision_free(mode, off));
@@ -40,7 +40,7 @@ fn main() {
         sys.now(),
         plan.os_view(off).bytes >> 30
     );
-    while !sys.step(500_000) {}
+    sys.run_until(u64::MAX);
 
     let r = sys.report();
     println!();

@@ -1,0 +1,131 @@
+//! Event-wheel ⇄ dense-drive equivalence suite.
+//!
+//! The §5h event wheel is a pure wall-clock optimization: skipping a
+//! quiet span must leave every architecturally visible outcome —
+//! [`mcr_dram::RunReport`], telemetry histograms, the completion cycle —
+//! bit-identical to executing the same span one memory cycle at a time.
+//! These tests run the same seeded config under both drives
+//! ([`System::set_skip_ahead`] selects the reference dense drive) and
+//! compare the full reports with `assert_eq!`. Any drift here is a
+//! missing or late wheel edge, never a tolerance question.
+
+use mcr_dram::{FaultPlan, McrMode, RunReport, System, SystemConfig};
+use mem_controller::{RowPolicy, SchedulerKind};
+use trace_gen::multi_programmed_mixes;
+
+const LEN: usize = 8_000;
+
+fn mode(m: u32, k: u32) -> McrMode {
+    McrMode::new(m, k, 1.0).expect("valid Table 1 mode")
+}
+
+/// Runs `cfg` under the event wheel and under the dense reference drive;
+/// returns both reports for comparison.
+fn wheel_and_dense(cfg: &SystemConfig) -> (RunReport, RunReport) {
+    let wheel = System::build(cfg).run();
+    let mut dense = System::build(cfg);
+    dense.set_skip_ahead(false);
+    (wheel, dense.run())
+}
+
+fn assert_identical(label: &str, cfg: &SystemConfig) {
+    let (wheel, dense) = wheel_and_dense(cfg);
+    assert_eq!(wheel, dense, "{label}: wheel and dense reports differ");
+}
+
+#[test]
+fn all_mcr_modes_are_wheel_identical() {
+    let cases = [
+        ("off", McrMode::off()),
+        ("1_2x", mode(1, 2)),
+        ("2_2x", mode(2, 2)),
+        ("1_4x", mode(1, 4)),
+        ("2_4x", mode(2, 4)),
+        ("4_4x", mode(4, 4)),
+    ];
+    for (label, m) in cases {
+        let cfg = SystemConfig::single_core("libq", LEN).with_mode(m);
+        assert_identical(label, &cfg);
+    }
+}
+
+#[test]
+fn combined_region_config_is_wheel_identical() {
+    let cfg = SystemConfig::single_core("libq", LEN)
+        .with_combined_regions(4, 0.25, 2, 0.25)
+        .with_alloc_ratio(0.20);
+    assert_identical("combined_4x25_2x25", &cfg);
+}
+
+#[test]
+fn fault_campaigns_are_wheel_identical() {
+    // Nonzero rates on every fault class: dropped and late refreshes
+    // interact directly with the wheel's refresh-deadline edges.
+    for seed in [7, 2015] {
+        let plan = FaultPlan::chaos(seed, 0.05);
+        let cfg = SystemConfig::single_core("mummer", LEN)
+            .with_mode(mode(2, 2))
+            .with_fault_plan(plan)
+            .with_seed(seed);
+        assert_identical("chaos campaign", &cfg);
+    }
+}
+
+#[test]
+fn powerdown_thresholds_are_wheel_identical() {
+    // Power-down entry/exit is the idle-heaviest path the wheel skips
+    // across; the entry threshold and pending-entry retries are edges.
+    for threshold in [64, 256, 4096] {
+        let cfg = SystemConfig::single_core("libq", LEN)
+            .with_mode(mode(1, 2))
+            .with_powerdown(threshold);
+        assert_identical("powerdown", &cfg);
+    }
+}
+
+#[test]
+fn scheduler_and_row_policy_variants_are_wheel_identical() {
+    let fcfs = SystemConfig::single_core("libq", LEN)
+        .with_mode(mode(2, 2))
+        .with_scheduler(SchedulerKind::Fcfs);
+    assert_identical("fcfs", &fcfs);
+    let closed = SystemConfig::single_core("libq", LEN)
+        .with_mode(mode(2, 2))
+        .with_row_policy(RowPolicy::Closed);
+    assert_identical("closed-row", &closed);
+}
+
+#[test]
+fn multi_core_mix_is_wheel_identical() {
+    let mixes = multi_programmed_mixes(2015);
+    let cfg = SystemConfig::multi_core(mixes[0].cores, 2_000).with_mode(McrMode::headline());
+    assert_identical(mixes[0].name, &cfg);
+}
+
+#[test]
+fn mid_run_mode_change_lands_on_the_same_cycle() {
+    // A reconfigure between run_until calls must observe the exact same
+    // intermediate state under both drives, and both runs must finish on
+    // the same cycle with the same report.
+    let cfg = SystemConfig::single_core("libq", LEN).with_mode(mode(4, 4));
+    let mut wheel = System::build(&cfg);
+    let mut dense = System::build(&cfg);
+    dense.set_skip_ahead(false);
+
+    assert_eq!(wheel.run_until(2_500), dense.run_until(2_500));
+    assert_eq!(wheel.now(), dense.now(), "mid-run cycle differs");
+    assert_eq!(
+        wheel.telemetry_snapshot(),
+        dense.telemetry_snapshot(),
+        "telemetry differs at the reconfigure point"
+    );
+
+    // Relax [4/4x] -> [2/2x]: the only legal mode-change direction.
+    wheel.reconfigure(mode(2, 2));
+    dense.reconfigure(mode(2, 2));
+
+    assert!(wheel.run_until(u64::MAX), "wheel run did not finish");
+    assert!(dense.run_until(u64::MAX), "dense run did not finish");
+    assert_eq!(wheel.now(), dense.now(), "completion cycle differs");
+    assert_eq!(wheel.report(), dense.report(), "post-change reports differ");
+}

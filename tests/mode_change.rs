@@ -74,14 +74,12 @@ fn runtime_reconfiguration_mid_run() {
     // the run must complete, and the relaxation chain must be accepted.
     let cfg = SystemConfig::single_core("leslie", 8_000).with_mode(McrMode::headline());
     let mut sys = System::build(&cfg);
-    sys.step(50_000);
+    sys.run_until(50_000);
     assert!(!sys.done(), "trace should still be running at 50k cycles");
     sys.reconfigure(McrMode::new(2, 2, 1.0).unwrap());
-    sys.step(30_000);
+    sys.run_until(80_000);
     sys.reconfigure(McrMode::off());
-    while !sys.step(100_000) {
-        assert!(sys.now() < 100_000_000, "wedged");
-    }
+    assert!(sys.run_until(100_000_000), "wedged");
     let r = sys.report();
     assert!(r.reads_done > 0);
     assert!(r.exec_cpu_cycles > 0);
@@ -99,7 +97,7 @@ fn reconfiguration_is_audit_clean_and_preserves_telemetry() {
         sys.audit_enabled(),
         "auditor must be armed for this test (debug build / protocol-audit)"
     );
-    sys.step(50_000);
+    sys.run_until(50_000);
     let before = sys.telemetry_snapshot();
     assert!(before.controller.sched_cas_read.get() > 0);
     assert_eq!(before.mode_changes, 0);
@@ -114,11 +112,9 @@ fn reconfiguration_is_audit_clean_and_preserves_telemetry() {
     );
     assert_eq!(after.act_to_data.count(), before.act_to_data.count());
 
-    sys.step(30_000);
+    sys.run_until(80_000);
     sys.reconfigure(McrMode::off());
-    while !sys.step(100_000) {
-        assert!(sys.now() < 100_000_000, "wedged");
-    }
+    assert!(sys.run_until(100_000_000), "wedged");
     let end = sys.telemetry_snapshot();
     assert_eq!(end.mode_changes, 2);
     assert!(
@@ -154,14 +150,12 @@ fn mode_change_under_fire_stays_audit_clean() {
         .with_fault_plan(FaultPlan::new(0xF1FE).with_sense_glitches(0.5));
     let mut sys = System::build(&cfg);
     assert!(sys.audit_enabled(), "auditor must be armed for this test");
-    sys.step(50_000);
+    sys.run_until(50_000);
     assert!(!sys.done(), "trace should still be running at 50k cycles");
     sys.reconfigure(McrMode::new(2, 2, 1.0).unwrap());
-    sys.step(30_000);
+    sys.run_until(80_000);
     sys.reconfigure(McrMode::off());
-    while !sys.step(100_000) {
-        assert!(sys.now() < 100_000_000, "wedged");
-    }
+    assert!(sys.run_until(100_000_000), "wedged");
     let r = sys.report(); // panics on any error-severity audit record
     assert!(r.reads_done > 0);
     assert!(
@@ -180,7 +174,7 @@ fn mode_change_under_fire_stays_audit_clean() {
 fn tightening_reconfiguration_is_rejected() {
     let cfg = SystemConfig::single_core("black", 2_000).with_mode(McrMode::new(2, 2, 1.0).unwrap());
     let mut sys = System::build(&cfg);
-    sys.step(1_000);
+    sys.run_until(1_000);
     sys.reconfigure(McrMode::headline()); // 2x -> 4x would collide
 }
 
@@ -194,9 +188,9 @@ fn reconfigured_run_lands_between_pure_modes() {
     let cfg = SystemConfig::single_core("libq", len).with_mode(McrMode::headline());
     let mut sys = System::build(&cfg);
     // Switch off roughly halfway through the pure-MCR cycle count.
-    sys.step(pure_mcr.total_mem_cycles / 2);
+    sys.run_until(pure_mcr.total_mem_cycles / 2);
     sys.reconfigure(McrMode::off());
-    while !sys.step(100_000) {}
+    assert!(sys.run_until(100_000_000), "wedged");
     let mixed = sys.report();
     let lo = pure_mcr.avg_read_latency.min(pure_off.avg_read_latency);
     let hi = pure_mcr.avg_read_latency.max(pure_off.avg_read_latency);

@@ -62,9 +62,7 @@ fn glitch_storm_degrades_gracefully_with_zero_escapes() {
     let cfg = mcr_config(LEN).with_fault_plan(glitch_storm(2015));
     let mut sys = System::build(&cfg);
     assert_eq!(sys.guardband_level(), DegradeLevel::Full);
-    while !sys.step(200_000) {
-        assert!(sys.now() < 400_000_000, "faulted run wedged");
-    }
+    assert!(sys.run_until(400_000_000), "faulted run wedged");
     let level = sys.guardband_level();
     let r = sys.report();
 
@@ -141,9 +139,7 @@ fn disarmed_detector_escapes_are_audit_errors() {
     );
     let mut sys = System::build(&cfg);
     assert!(sys.audit_enabled(), "auditor must be armed for this test");
-    while !sys.step(200_000) {
-        assert!(sys.now() < 400_000_000, "wedged");
-    }
+    assert!(sys.run_until(400_000_000), "wedged");
     sys.audit_finish_now();
     let escapes = sys
         .audit_violations()

@@ -114,8 +114,8 @@ fn over_deadline_requests_time_out() {
     });
     let mut c = Client::connect(addr).expect("connect");
 
-    // A deadline no full-length simulation can meet: the cooperative
-    // cancel fires at the first CANCEL_CHECK_CYCLES chunk boundary.
+    // A deadline no full-length simulation can meet: the RunBudget
+    // expires at the first budget-poll boundary inside the run.
     let late = req(
         &mut c,
         r#"{"cmd": "run", "id": "late", "workload": "libq",
