@@ -3,15 +3,16 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint audit chaos serve-smoke bench-smoke bench bench-core bless-bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke bench-smoke bench bench-core bless-bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
 # (which includes the golden-report snapshots), the mcr-lint static
-# passes (source lint + timing/mode-table/region checks), then a seeded
+# passes (source lint + timing/mode-table/region checks), the exhaustive
+# protocol model check + wake-soundness certification, then a seeded
 # fault-injection chaos campaign, the service loopback smoke test, and
 # the event-wheel wall-clock trajectory gate.
-check: build build-nodefault clippy fmt-check test golden lint chaos serve-smoke bench-core
+check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke bench-core
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -49,6 +50,14 @@ fmt-check:
 # mode-table / region-map invariant checks (Tables 3-4, Fig. 9).
 lint:
 	$(CARGO) run $(OFFLINE) -q -p mcr-lint -- src config
+
+# Exhaustive protocol model check + event-wheel wake-soundness
+# certification (DESIGN.md §5i): enumerates every reachable abstract
+# state, proves the wheel's edges never overshoot, replays the shipped
+# counterexamples and writes BENCH_model.json at the repo root. Fails
+# past MCR_MODEL_BUDGET_MS (default 120000) of wall clock.
+model:
+	$(CARGO) run $(OFFLINE) --release -q -p mcr-lint -- model
 
 # Protocol audit: Fig. 9 refresh-schedule replays plus a full-system
 # command-stream audit of the fig9/fig11-style configuration suite, with

@@ -5,6 +5,7 @@
 //! live in [`crate::channel`].
 
 use crate::error::TimingError;
+use crate::proto::{self, BankProtoState};
 use crate::timing::{Cycle, RowTiming, TimingSet};
 
 /// Coarse lifecycle phase of a bank, for inspection and debugging.
@@ -17,15 +18,14 @@ pub enum BankPhase {
 }
 
 /// One DRAM bank: the open-row register and same-bank timing windows.
+///
+/// The legality windows and register updates are the pure algebra of
+/// [`crate::proto`]; this type adds the mutable front-end, the typed
+/// rejections, and the open-row timing bookkeeping.
 #[derive(Debug, Clone)]
 pub struct Bank {
-    open_row: Option<u64>,
-    /// Earliest cycle an ACTIVATE may be issued (tRP / tRC / tRFC driven).
-    next_act: Cycle,
-    /// Earliest cycle a READ/WRITE may be issued (tRCD driven).
-    next_cas: Cycle,
-    /// Earliest cycle a PRECHARGE may be issued (tRAS / tRTP / tWR driven).
-    next_pre: Cycle,
+    /// The four protocol registers (shared algebra with [`crate::proto`]).
+    state: BankProtoState,
     /// Cycle of the last ACTIVATE (for tRC bookkeeping and stats).
     last_act: Cycle,
     /// Row-timing the open row was activated with (None when idle).
@@ -36,10 +36,7 @@ impl Bank {
     /// A freshly-precharged bank with no pending constraints.
     pub fn new() -> Self {
         Bank {
-            open_row: None,
-            next_act: 0,
-            next_cas: 0,
-            next_pre: 0,
+            state: BankProtoState::default(),
             last_act: 0,
             open_timing: None,
         }
@@ -47,32 +44,38 @@ impl Bank {
 
     /// The currently-open row, if any.
     pub fn open_row(&self) -> Option<u64> {
-        self.open_row
+        self.state.open_row
     }
 
     /// Current lifecycle phase.
     pub fn phase(&self) -> BankPhase {
-        if self.open_row.is_some() {
+        if self.state.open_row.is_some() {
             BankPhase::Active
         } else {
             BankPhase::Idle
         }
     }
 
+    /// Snapshot of the protocol registers (the [`crate::proto`] state this
+    /// bank currently embodies).
+    pub fn proto_state(&self) -> BankProtoState {
+        self.state
+    }
+
     /// Earliest cycle at which an ACTIVATE is legal (same-bank constraints
     /// only; the rank may impose tRRD/tFAW on top).
     pub fn next_activate_cycle(&self) -> Cycle {
-        self.next_act
+        self.state.next_act
     }
 
     /// Earliest cycle at which a READ/WRITE is legal (tRCD).
     pub fn next_cas_cycle(&self) -> Cycle {
-        self.next_cas
+        self.state.next_cas
     }
 
     /// Earliest cycle at which a PRECHARGE is legal.
     pub fn next_precharge_cycle(&self) -> Cycle {
-        self.next_pre
+        self.state.next_pre
     }
 
     /// Cycle of the most recent ACTIVATE.
@@ -93,24 +96,21 @@ impl Bank {
         rt: RowTiming,
         ts: &TimingSet,
     ) -> Result<(), TimingError> {
-        if let Some(open) = self.open_row {
+        if let Some(open) = self.state.open_row {
             return Err(TimingError::BankOpen(open));
         }
-        if now < self.next_act {
-            return Err(TimingError::TooEarly {
-                constraint: "tRP/tRC",
-                ready_at: self.next_act,
-            });
+        match proto::bank_earliest_activate(self.state) {
+            Some(ready_at) if now < ready_at => {
+                return Err(TimingError::TooEarly {
+                    constraint: "tRP/tRC",
+                    ready_at,
+                })
+            }
+            _ => {}
         }
-        self.open_row = Some(row);
         self.open_timing = Some(rt);
         self.last_act = now;
-        self.next_cas = now + rt.t_rcd as Cycle;
-        self.next_pre = now + rt.t_ras as Cycle;
-        // tRC to the *next* activate is enforced via precharge: the row must
-        // be precharged (>= tRAS) and tRP must elapse, so next_act is set on
-        // precharge. A direct ACT->ACT lower bound guards against bugs:
-        self.next_act = now + (rt.t_ras + ts.t_rp) as Cycle;
+        self.state = proto::bank_apply_activate(self.state, row, now, rt, ts);
         Ok(())
     }
 
@@ -123,8 +123,7 @@ impl Bank {
     /// [`TimingError::TooEarly`] (tRCD).
     pub fn read(&mut self, row: u64, now: Cycle, ts: &TimingSet) -> Result<(), TimingError> {
         self.check_cas(row, now)?;
-        // READ -> PRECHARGE: tRTP.
-        self.next_pre = self.next_pre.max(now + ts.t_rtp as Cycle);
+        self.state = proto::bank_apply_read(self.state, now, ts);
         Ok(())
     }
 
@@ -135,9 +134,7 @@ impl Bank {
     /// Same conditions as [`Bank::read`].
     pub fn write(&mut self, row: u64, now: Cycle, ts: &TimingSet) -> Result<(), TimingError> {
         self.check_cas(row, now)?;
-        // WRITE -> PRECHARGE: data end (CWL + burst) plus write recovery.
-        let write_end = now + (ts.cwl + ts.burst_cycles) as Cycle;
-        self.next_pre = self.next_pre.max(write_end + ts.t_wr as Cycle);
+        self.state = proto::bank_apply_write(self.state, now, ts);
         Ok(())
     }
 
@@ -148,18 +145,17 @@ impl Bank {
     /// [`TimingError::BankClosed`] or [`TimingError::TooEarly`]
     /// (tRAS/tRTP/tWR).
     pub fn precharge(&mut self, now: Cycle, ts: &TimingSet) -> Result<(), TimingError> {
-        if self.open_row.is_none() {
+        let Some(ready_at) = proto::bank_earliest_precharge(self.state) else {
             return Err(TimingError::BankClosed);
-        }
-        if now < self.next_pre {
+        };
+        if now < ready_at {
             return Err(TimingError::TooEarly {
                 constraint: "tRAS/tRTP/tWR",
-                ready_at: self.next_pre,
+                ready_at,
             });
         }
-        self.open_row = None;
         self.open_timing = None;
-        self.next_act = now + ts.t_rp as Cycle;
+        self.state = proto::bank_apply_precharge(self.state, now, ts);
         Ok(())
     }
 
@@ -175,37 +171,36 @@ impl Bank {
     ///
     /// [`TimingError::BankClosed`] when no row is open.
     pub fn auto_precharge(&mut self, now: Cycle, ts: &TimingSet) -> Result<Cycle, TimingError> {
-        if self.open_row.is_none() {
+        let Some(earliest) = proto::bank_earliest_precharge(self.state) else {
             return Err(TimingError::BankClosed);
-        }
-        let pre_at = self.next_pre.max(now);
-        self.open_row = None;
+        };
+        let pre_at = earliest.max(now);
         self.open_timing = None;
-        self.next_act = pre_at + ts.t_rp as Cycle;
+        self.state = proto::bank_apply_precharge(self.state, pre_at, ts);
         Ok(pre_at)
     }
 
     /// Blocks the bank until `until` (used by rank-level REFRESH, which
     /// occupies every bank for tRFC).
     pub fn block_until(&mut self, until: Cycle) {
-        self.next_act = self.next_act.max(until);
+        self.state = proto::bank_apply_block_until(self.state, until);
     }
 
     fn check_cas(&mut self, row: u64, now: Cycle) -> Result<(), TimingError> {
-        let open = self.open_row.ok_or(TimingError::BankClosed)?;
+        let open = self.state.open_row.ok_or(TimingError::BankClosed)?;
         if open != row {
             return Err(TimingError::RowMismatch {
                 open,
                 requested: row,
             });
         }
-        if now < self.next_cas {
-            return Err(TimingError::TooEarly {
+        match proto::bank_earliest_cas(self.state, row) {
+            Some(ready_at) if now < ready_at => Err(TimingError::TooEarly {
                 constraint: "tRCD",
-                ready_at: self.next_cas,
-            });
+                ready_at,
+            }),
+            _ => Ok(()),
         }
-        Ok(())
     }
 }
 

@@ -51,6 +51,7 @@ mod channel;
 mod command;
 mod counters;
 mod error;
+pub mod proto;
 mod refresh;
 mod retention;
 mod telemetry;
@@ -66,6 +67,7 @@ pub use channel::{Channel, Rank};
 pub use command::{Command, CommandKind, ReqKind};
 pub use counters::ActivityCounters;
 pub use error::{DeviceError, TimingError};
+pub use proto::{BankProtoState, RankProtoState};
 pub use refresh::{max_refresh_interval_ms, refresh_schedule, RefreshCounter, RefreshWiring};
 pub use retention::{RetentionConfig, RetentionEvent};
 pub use telemetry::{BankCounters, ChannelTelemetry};

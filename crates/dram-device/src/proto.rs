@@ -1,0 +1,315 @@
+//! Pure protocol legality and transition functions over plain state.
+//!
+//! [`crate::Bank`] (and the replay auditor) are *stateful* front-ends over
+//! one small algebra: a bank is four registers (`open_row`, `next_act`,
+//! `next_cas`, `next_pre`), a rank adds the `tRRD`/`tFAW`/`tRFC` windows,
+//! and every command is a guard (earliest legal cycle) plus a register
+//! update. This module states that algebra once, as side-effect-free
+//! functions on [`Copy`] snapshots, so tools that need to *enumerate*
+//! protocol states — the `mcr-model` exhaustive checker in particular —
+//! can reuse the exact transition rules the device enforces instead of
+//! re-deriving them. [`crate::Bank`] delegates its own transitions to
+//! these functions, so there is a single source of truth.
+//!
+//! Earliest-cycle functions return `None` when the command is structurally
+//! impossible in the state (ACTIVATE on an open bank, CAS on a closed or
+//! mismatched row), and `Some(cycle)` with the first cycle at which every
+//! timing window is satisfied otherwise. `apply_*` functions assume the
+//! command is issued at `now` and return the successor state without
+//! checking legality — callers decide whether to gate on the earliest
+//! cycle (the device does) or to apply unconditionally and audit after
+//! the fact (the model checker does both, on twin snapshots).
+
+use crate::timing::{Cycle, RowTiming, TimingSet};
+
+/// Snapshot of one bank's protocol registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BankProtoState {
+    /// The open row, `None` when precharged.
+    pub open_row: Option<u64>,
+    /// Earliest legal ACTIVATE (tRP / tRC / tRFC driven).
+    pub next_act: Cycle,
+    /// Earliest legal READ/WRITE (tRCD driven).
+    pub next_cas: Cycle,
+    /// Earliest legal PRECHARGE (tRAS / tRTP / tWR driven).
+    pub next_pre: Cycle,
+}
+
+/// Snapshot of one rank's cross-bank protocol windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RankProtoState {
+    /// Issue cycles of the most recent ACTIVATEs, oldest first (the tFAW
+    /// rolling window holds at most four).
+    pub act_window: [Cycle; 4],
+    /// How many of `act_window`'s slots are populated.
+    pub acts: u8,
+    /// Earliest legal ACTIVATE on any bank of the rank (tRRD driven).
+    pub next_act: Cycle,
+    /// The rank is refreshing until this cycle (tRFC window).
+    pub refresh_until: Cycle,
+}
+
+/// Earliest cycle an ACTIVATE is legal under same-bank constraints, or
+/// `None` while a row is open (the bank must precharge first).
+pub fn bank_earliest_activate(bank: BankProtoState) -> Option<Cycle> {
+    match bank.open_row {
+        Some(_) => None,
+        None => Some(bank.next_act),
+    }
+}
+
+/// Earliest cycle a READ/WRITE of `row` is legal, or `None` when the bank
+/// is closed or a different row is open.
+pub fn bank_earliest_cas(bank: BankProtoState, row: u64) -> Option<Cycle> {
+    match bank.open_row {
+        Some(open) if open == row => Some(bank.next_cas),
+        _ => None,
+    }
+}
+
+/// Earliest cycle a PRECHARGE is legal, or `None` when already closed.
+pub fn bank_earliest_precharge(bank: BankProtoState) -> Option<Cycle> {
+    bank.open_row.map(|_| bank.next_pre)
+}
+
+/// Bank registers after an ACTIVATE of `row` at `now` with row timing `rt`.
+pub fn bank_apply_activate(
+    mut bank: BankProtoState,
+    row: u64,
+    now: Cycle,
+    rt: RowTiming,
+    ts: &TimingSet,
+) -> BankProtoState {
+    bank.open_row = Some(row);
+    bank.next_cas = now + rt.t_rcd as Cycle;
+    bank.next_pre = now + rt.t_ras as Cycle;
+    // tRC to the next ACTIVATE is enforced via precharge (>= tRAS, then
+    // tRP); the direct ACT->ACT lower bound guards against bugs.
+    bank.next_act = now + (rt.t_ras + ts.t_rp) as Cycle;
+    bank
+}
+
+/// Bank registers after a column READ at `now` (tRTP pushes the precharge).
+pub fn bank_apply_read(mut bank: BankProtoState, now: Cycle, ts: &TimingSet) -> BankProtoState {
+    bank.next_pre = bank.next_pre.max(now + ts.t_rtp as Cycle);
+    bank
+}
+
+/// Bank registers after a column WRITE at `now` (write recovery pushes the
+/// precharge past the last data beat by tWR).
+pub fn bank_apply_write(mut bank: BankProtoState, now: Cycle, ts: &TimingSet) -> BankProtoState {
+    let write_end = now + (ts.cwl + ts.burst_cycles) as Cycle;
+    bank.next_pre = bank.next_pre.max(write_end + ts.t_wr as Cycle);
+    bank
+}
+
+/// Bank registers after a PRECHARGE at `now` (tRP before the next ACT).
+pub fn bank_apply_precharge(
+    mut bank: BankProtoState,
+    now: Cycle,
+    ts: &TimingSet,
+) -> BankProtoState {
+    bank.open_row = None;
+    bank.next_act = now + ts.t_rp as Cycle;
+    bank
+}
+
+/// Bank registers blocked until `until` (rank-level REFRESH occupancy).
+pub fn bank_apply_block_until(mut bank: BankProtoState, until: Cycle) -> BankProtoState {
+    bank.next_act = bank.next_act.max(until);
+    bank
+}
+
+/// Earliest cycle the *rank* permits an ACTIVATE: the tRRD spacing, the
+/// tFAW four-activate window, and the tRFC refresh occupancy.
+pub fn rank_earliest_activate(rank: RankProtoState, ts: &TimingSet) -> Cycle {
+    let faw_gate = if rank.acts as usize == rank.act_window.len() {
+        rank.act_window[0] + ts.t_faw as Cycle
+    } else {
+        0
+    };
+    rank.next_act.max(faw_gate).max(rank.refresh_until)
+}
+
+/// Earliest cycle the rank permits any non-ACTIVATE command (tRFC only).
+pub fn rank_earliest_command(rank: RankProtoState) -> Cycle {
+    rank.refresh_until
+}
+
+/// Earliest cycle a rank-level REFRESH is legal given its banks, or `None`
+/// while any bank still has an open row (the controller must quiesce
+/// first). Every bank must have completed tRP (`next_act`), and the rank
+/// must be out of any previous tRFC window.
+pub fn earliest_refresh(rank: RankProtoState, banks: &[BankProtoState]) -> Option<Cycle> {
+    if banks.iter().any(|b| b.open_row.is_some()) {
+        return None;
+    }
+    let banks_ready = banks.iter().map(|b| b.next_act).max().unwrap_or(0);
+    Some(banks_ready.max(rank.refresh_until))
+}
+
+/// Rank windows after an ACTIVATE at `now`: tRRD restarts and the tFAW
+/// window slides.
+pub fn rank_apply_activate(mut rank: RankProtoState, now: Cycle, ts: &TimingSet) -> RankProtoState {
+    let len = rank.act_window.len();
+    if (rank.acts as usize) == len {
+        rank.act_window.copy_within(1..len, 0);
+        rank.act_window[len - 1] = now;
+    } else {
+        rank.act_window[rank.acts as usize] = now;
+        rank.acts += 1;
+    }
+    rank.next_act = rank.next_act.max(now + ts.t_rrd as Cycle);
+    rank
+}
+
+/// Rank windows after a REFRESH at `now` occupying the rank for `t_rfc`
+/// cycles. The caller blocks each bank with [`bank_apply_block_until`].
+pub fn rank_apply_refresh(mut rank: RankProtoState, now: Cycle, t_rfc: u32) -> RankProtoState {
+    rank.refresh_until = rank.refresh_until.max(now + t_rfc as Cycle);
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::Bank;
+    use crate::error::TimingError;
+
+    fn ts() -> TimingSet {
+        TimingSet::default()
+    }
+
+    /// The pure algebra and the stateful `Bank` must agree on every
+    /// accept/reject decision and every register value across a mixed
+    /// command sequence (the model checker relies on this equivalence).
+    #[test]
+    fn pure_functions_mirror_bank_exactly() {
+        let mut bank = Bank::new();
+        let mut snap = BankProtoState::default();
+        let rt = RowTiming::baseline();
+        let fast = RowTiming {
+            t_rcd: 6,
+            t_ras: 16,
+        };
+        // (kind, row, cycle, fast?) — a mix of legal and illegal commands.
+        let script: [(u8, u64, Cycle, bool); 12] = [
+            (0, 3, 0, false),  // ACT
+            (1, 3, 5, false),  // RD too early
+            (1, 3, 11, false), // RD
+            (3, 0, 20, false), // PRE too early (tRTP pushed to 17, tRAS 28)
+            (3, 0, 28, false), // PRE
+            (0, 4, 30, false), // ACT too early (tRP)
+            (0, 4, 39, true),  // ACT fast class
+            (2, 4, 45, false), // WR
+            (1, 5, 50, false), // RD wrong row
+            (3, 0, 69, false), // PRE (write recovery: 45+12+12 = 69)
+            (0, 4, 80, false), // ACT
+            (2, 4, 86, false), // WR
+        ];
+        for (kind, row, cycle, use_fast) in script {
+            let timing = if use_fast { fast } else { rt };
+            let (bank_ok, earliest) = match kind {
+                0 => (
+                    bank.activate(row, cycle, timing, &ts()).is_ok(),
+                    bank_earliest_activate(snap),
+                ),
+                1 => (
+                    bank.read(row, cycle, &ts()).is_ok(),
+                    bank_earliest_cas(snap, row),
+                ),
+                2 => (
+                    bank.write(row, cycle, &ts()).is_ok(),
+                    bank_earliest_cas(snap, row),
+                ),
+                _ => (
+                    bank.precharge(cycle, &ts()).is_ok(),
+                    bank_earliest_precharge(snap),
+                ),
+            };
+            let proto_ok = earliest.is_some_and(|e| cycle >= e);
+            assert_eq!(bank_ok, proto_ok, "kind {kind} row {row} @{cycle}");
+            if proto_ok {
+                snap = match kind {
+                    0 => bank_apply_activate(snap, row, cycle, timing, &ts()),
+                    1 => bank_apply_read(snap, cycle, &ts()),
+                    2 => bank_apply_write(snap, cycle, &ts()),
+                    _ => bank_apply_precharge(snap, cycle, &ts()),
+                };
+            }
+            assert_eq!(snap.open_row, bank.open_row());
+            assert_eq!(snap.next_act, bank.next_activate_cycle());
+            assert_eq!(snap.next_cas, bank.next_cas_cycle());
+            assert_eq!(snap.next_pre, bank.next_precharge_cycle());
+        }
+    }
+
+    #[test]
+    fn earliest_activate_requires_precharged_bank() {
+        let snap = bank_apply_activate(
+            BankProtoState::default(),
+            7,
+            10,
+            RowTiming::baseline(),
+            &ts(),
+        );
+        assert_eq!(bank_earliest_activate(snap), None);
+        let closed = bank_apply_precharge(snap, 38, &ts());
+        assert_eq!(bank_earliest_activate(closed), Some(38 + 11));
+    }
+
+    #[test]
+    fn faw_gate_appears_after_four_activates() {
+        let mut rank = RankProtoState::default();
+        for i in 0..4u64 {
+            assert_eq!(
+                rank_earliest_activate(rank, &ts()),
+                if i == 0 { 0 } else { (i - 1) * 5 + 5 }
+            );
+            rank = rank_apply_activate(rank, i * 5, &ts());
+        }
+        // Fifth ACT: the window opened at cycle 0, tFAW = 24.
+        assert_eq!(rank_earliest_activate(rank, &ts()), 24);
+        rank = rank_apply_activate(rank, 24, &ts());
+        // Window slid: now gated by the ACT at cycle 5.
+        assert_eq!(rank_earliest_activate(rank, &ts()), 5 + 24);
+    }
+
+    #[test]
+    fn refresh_needs_all_banks_closed_and_blocks_them() {
+        let open = bank_apply_activate(
+            BankProtoState::default(),
+            1,
+            0,
+            RowTiming::baseline(),
+            &ts(),
+        );
+        let closed = BankProtoState::default();
+        let rank = RankProtoState::default();
+        assert_eq!(earliest_refresh(rank, &[open, closed]), None);
+        let pre = bank_apply_precharge(open, 28, &ts());
+        assert_eq!(earliest_refresh(rank, &[pre, closed]), Some(39));
+        let rank = rank_apply_refresh(rank, 39, ts().t_rfc);
+        assert_eq!(rank.refresh_until, 39 + 88);
+        assert_eq!(rank_earliest_command(rank), 127);
+        let blocked = bank_apply_block_until(pre, rank.refresh_until);
+        assert_eq!(blocked.next_act, 127);
+    }
+
+    #[test]
+    fn bank_rejections_carry_the_proto_earliest_cycle() {
+        let mut bank = Bank::new();
+        bank.activate(2, 0, RowTiming::baseline(), &ts()).ok();
+        let snap = bank_apply_activate(
+            BankProtoState::default(),
+            2,
+            0,
+            RowTiming::baseline(),
+            &ts(),
+        );
+        let Err(TimingError::TooEarly { ready_at, .. }) = bank.read(2, 4, &ts()) else {
+            panic!("early read must be rejected");
+        };
+        assert_eq!(Some(ready_at), bank_earliest_cas(snap, 2));
+    }
+}

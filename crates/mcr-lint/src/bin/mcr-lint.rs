@@ -5,16 +5,23 @@
 //! cargo run -p mcr-lint -- src            # source lint only
 //! cargo run -p mcr-lint -- config         # timing/mode-table/region checks only
 //! cargo run -p mcr-lint -- audit          # refresh replay + full-suite protocol audit
+//! cargo run -p mcr-lint -- model          # exhaustive model check + wake certification
 //! cargo run -p mcr-lint -- all            # everything
+//! cargo run -p mcr-lint -- --json model   # machine-readable diagnostics on stdout
 //! ```
 //!
 //! Exits 0 when no error-level diagnostic was produced, 1 otherwise, 2 on
 //! usage/I-O problems. The `audit` pass needs the online auditor compiled
 //! in (`--features protocol-audit`, or any debug build); the suite run
-//! honors `MCR_LINT_TRACE_LEN` (default 4000 requests per point).
+//! honors `MCR_LINT_TRACE_LEN` (default 4000 requests per point). The
+//! `model` pass honors `MCR_MODEL_BUDGET_MS` and
+//! `MCR_MODEL_CERTIFY_BURSTS` and writes `BENCH_model.json` at the repo
+//! root. With `--json` the human lines are replaced by one JSON object
+//! (`{passes, errors, warnings, diagnostics: [{level, code, location,
+//! message, citation}]}`); exit codes are unchanged.
 
 use mcr_dram::{McrMode, Mechanisms, RegionMap};
-use mcr_lint::{audit, config_check, has_errors, srclint, Diagnostic, Level};
+use mcr_lint::{audit, config_check, has_errors, model, srclint, Diagnostic, Level};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -71,12 +78,24 @@ fn refresh_replays() -> Vec<Diagnostic> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut passes: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut json = false;
+    let mut passes: Vec<&str> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("mcr-lint: unknown flag `{flag}`");
+                eprintln!("usage: mcr-lint [--json] [src|config|audit|model|all]...");
+                return ExitCode::from(2);
+            }
+            pass => passes.push(pass),
+        }
+    }
     if passes.is_empty() {
         passes = vec!["src", "config"];
     }
     if passes == ["all"] {
-        passes = vec!["src", "config", "audit"];
+        passes = vec!["src", "config", "audit", "model"];
     }
     let mut diags: Vec<Diagnostic> = Vec::new();
     for pass in &passes {
@@ -93,23 +112,28 @@ fn main() -> ExitCode {
                 diags.extend(refresh_replays());
                 diags.extend(audit::audit_suite(suite_trace_len()));
             }
+            "model" => diags.extend(model::run(&workspace_root())),
             other => {
                 eprintln!("mcr-lint: unknown pass `{other}`");
-                eprintln!("usage: mcr-lint [src|config|audit|all]...");
+                eprintln!("usage: mcr-lint [--json] [src|config|audit|model|all]...");
                 return ExitCode::from(2);
             }
         }
     }
-    for d in &diags {
-        println!("{d}");
+    if json {
+        println!("{}", model::diagnostics_to_json(&passes, &diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        let errors = diags.iter().filter(|d| d.level == Level::Error).count();
+        let warnings = diags.len() - errors;
+        println!(
+            "mcr-lint: {} pass(es) [{}], {errors} error(s), {warnings} warning(s)",
+            passes.len(),
+            passes.join(", ")
+        );
     }
-    let errors = diags.iter().filter(|d| d.level == Level::Error).count();
-    let warnings = diags.len() - errors;
-    println!(
-        "mcr-lint: {} pass(es) [{}], {errors} error(s), {warnings} warning(s)",
-        passes.len(),
-        passes.join(", ")
-    );
     if has_errors(&diags) {
         ExitCode::FAILURE
     } else {

@@ -1,7 +1,7 @@
 //! # mcr-lint
 //!
 //! Static analysis for the MCR-DRAM reproduction (Choi et al., ISCA 2015):
-//! three passes that check, without running full experiments, that the
+//! four passes that check, without running full experiments, that the
 //! workspace still encodes the paper's timing rules correctly.
 //!
 //! * [`config_check`] — validates every [`dram_device::TimingSet`] and MCR
@@ -15,17 +15,26 @@
 //!   retention gaps.
 //! * [`srclint`] — a textual lint over `crates/*/src`: no
 //!   `unwrap`/`expect` outside test code, no truncating casts in timing
-//!   arithmetic, no panicking paths inside sweep worker closures.
+//!   arithmetic, no panicking paths inside sweep worker closures, no
+//!   `MAX`-sentinel defaults on event-wheel edge math.
+//! * [`model`] — the bounded-exhaustive protocol model checker and
+//!   event-wheel wake-soundness certifier (crate `mcr-model`): every
+//!   reachable abstract state checked against the invariant catalog,
+//!   seeded-bug teeth proofs, dense-twin certification of every quiet
+//!   span, and replay of the shipped counterexample scripts.
 //!
-//! The binary (`cargo run -p mcr-lint -- [src|config|audit|all]`) runs the
-//! passes and exits nonzero when any error-level diagnostic is produced,
-//! which is what `make check` and `make audit` hook into.
+//! The binary (`cargo run -p mcr-lint -- [--json]
+//! [src|config|audit|model|all]`) runs the passes and exits nonzero when
+//! any error-level diagnostic is produced, which is what `make check`,
+//! `make audit` and `make model` hook into. `--json` swaps the human
+//! report for one machine-readable object.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod config_check;
+pub mod model;
 pub mod srclint;
 
 use std::fmt;

@@ -1,6 +1,6 @@
 //! Textual source lint over the workspace's library crates.
 //!
-//! Four rules, all error-level:
+//! Five rules, all error-level:
 //!
 //! * `src/no-unwrap` — no `.unwrap()` / `.expect(...)` in library code
 //!   outside `#[cfg(test)]` blocks. Library panics must be typed errors or
@@ -21,6 +21,14 @@
 //!   loop on it burn a wall-clock cycle per simulated cycle even when
 //!   the machine is idle. Drive the simulator with `System::run_until`
 //!   or `System::advance_to_next_event` instead (DESIGN.md §5h).
+//! * `src/edge-overshoot-guard` — no `u64::MAX`/`Cycle::MAX` sentinel
+//!   defaults (`.unwrap_or(u64::MAX)`, `.map_or(Cycle::MAX, ...)`) on
+//!   lines computing event-wheel edges (`next_event`, `next_due`,
+//!   `wake`, skip spans). An absent edge collapsed to `MAX` becomes
+//!   indistinguishable from a real edge, and any offset added to the
+//!   sentinel wraps — both produce wake edges that overshoot the first
+//!   observable state change (DESIGN.md §5i). Keep edges as
+//!   `Option<Cycle>` and combine them with explicit `min` folds.
 //!
 //! Escape hatch: a `// lint: allow(<rule>)` comment on the offending line
 //! or the line directly above suppresses that rule there. Test modules
@@ -41,6 +49,8 @@ pub const RULE_TRUNCATING_CAST: &str = "src/truncating-cast";
 pub const RULE_PANICKING_WORKER: &str = "src/panicking-sweep-worker";
 /// Rule id: no `.step(` polling outside the core crate.
 pub const RULE_STEP_BUSY_LOOP: &str = "src/step-busy-loop";
+/// Rule id: no `MAX`-sentinel defaults on event-wheel edge math.
+pub const RULE_EDGE_OVERSHOOT: &str = "src/edge-overshoot-guard";
 
 /// Identifiers that mark a line as timing arithmetic for
 /// [`RULE_TRUNCATING_CAST`] (matched case-insensitively).
@@ -52,6 +62,27 @@ const TIMING_KEYWORDS: [&str; 14] = [
 /// Narrowing integer targets (anything narrower than the 64-bit cycle
 /// domain).
 const NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifiers that mark a line as event-wheel edge computation for
+/// [`RULE_EDGE_OVERSHOOT`] (matched case-insensitively).
+const EDGE_KEYWORDS: [&str; 7] = [
+    "next_event",
+    "next_ready",
+    "next_due",
+    "next_rearm",
+    "edge",
+    "wake",
+    "skip_to",
+];
+
+/// Sentinel-default patterns that collapse an absent `Option<Cycle>`
+/// edge into an arithmetic-hostile `MAX` value.
+const SENTINEL_DEFAULTS: [&str; 4] = [
+    ".unwrap_or(u64::MAX)",
+    ".unwrap_or(Cycle::MAX)",
+    ".map_or(u64::MAX",
+    ".map_or(Cycle::MAX",
+];
 
 /// Tokens forbidden inside a sweep worker closure.
 const WORKER_PANIC_TOKENS: [&str; 8] = [
@@ -207,6 +238,15 @@ fn is_timing_line(line: &str) -> bool {
     TIMING_KEYWORDS.iter().any(|k| lower.contains(k))
 }
 
+fn is_edge_line(line: &str) -> bool {
+    let lower = line.to_lowercase();
+    EDGE_KEYWORDS.iter().any(|k| lower.contains(k))
+}
+
+fn has_sentinel_default(line: &str) -> bool {
+    SENTINEL_DEFAULTS.iter().any(|t| line.contains(t))
+}
+
 /// Lints one source file. `path_label` is used in diagnostics and to
 /// decide whether the sweep-worker rule applies (files named `sweep.rs`).
 pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
@@ -274,6 +314,16 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
                 loc.clone(),
                 "narrowing `as` cast in timing arithmetic; cycle math is u64",
                 "workspace rule (JEDEC counts exceed 32 bits within hours)",
+            ));
+        }
+        if is_edge_line(line) && has_sentinel_default(line) && !allowed(idx, RULE_EDGE_OVERSHOOT) {
+            diags.push(Diagnostic::error(
+                RULE_EDGE_OVERSHOOT,
+                loc.clone(),
+                "`MAX`-sentinel default on an event-wheel edge; keep the edge \
+                 as Option<Cycle> and fold with `min` so an absent edge can \
+                 never be mistaken for (or overflow into) a real wake cycle",
+                "workspace rule (sentinel edges overshoot quiet spans, DESIGN.md §5i)",
             ));
         }
         if !is_core_crate && line.contains(".step(") && !allowed(idx, RULE_STEP_BUSY_LOOP) {
@@ -463,6 +513,24 @@ mod tests {
         // The escape hatch works like every other rule.
         let allowed = "// lint: allow(step-busy-loop)\nfn f(s: &mut System) { s.step(1); }\n";
         assert!(lint_file("crates/mcr-serve/src/server.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn sentinel_edge_defaults_are_flagged_only_in_edge_context() {
+        let bad = "let wake = self.next_event(now).unwrap_or(u64::MAX) + 1;\n";
+        let d = lint_file("crates/x/src/lib.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, RULE_EDGE_OVERSHOOT);
+        let map_or = "let due = edges.iter().map(|e| e.cycle).min().map_or(Cycle::MAX, |c| c);\n";
+        assert_eq!(lint_file("x.rs", map_or).len(), 1);
+        // The same sentinel outside edge computation is someone else's
+        // problem, and Option-folded edge math is the endorsed shape.
+        assert!(lint_file("x.rs", "let pages = limit.unwrap_or(u64::MAX);\n").is_empty());
+        let folded = "let wake = [a, b].into_iter().flatten().min();\n";
+        assert!(lint_file("x.rs", folded).is_empty());
+        let allowed =
+            "// lint: allow(edge-overshoot-guard)\nlet wake = edge.unwrap_or(u64::MAX);\n";
+        assert!(lint_file("x.rs", allowed).is_empty());
     }
 
     #[test]

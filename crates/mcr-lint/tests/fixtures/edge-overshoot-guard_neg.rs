@@ -1,0 +1,15 @@
+// Negative fixture: Option-folded edge math (the endorsed shape) and
+// MAX sentinels outside any edge context are both fine.
+fn wake_target(ctl: &Controller, now: u64, until: u64) -> Option<u64> {
+    let wake = ctl.next_event(now);
+    let refresh_due = ctl.next_due(0).map(|c| c + 1);
+    [wake, refresh_due]
+        .into_iter()
+        .flatten()
+        .min()
+        .map(|c| c.min(until))
+}
+
+fn page_limit(limit: Option<u64>) -> u64 {
+    limit.unwrap_or(u64::MAX)
+}

@@ -1,0 +1,21 @@
+// Negative fixture: fallible combinators, test modules and the escape
+// hatch are all fine.
+fn load_mode(table: &Table) -> Mode {
+    let mode = table.lookup(2, 2).unwrap_or_default();
+    let region = table.region().unwrap_or_else(RegionMap::empty);
+    Mode { mode, region }
+}
+
+fn deliberate() -> u32 {
+    // lint: allow(no-unwrap)
+    checked().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = parse("4/4x").unwrap();
+        assert_eq!(v.k, 4);
+    }
+}

@@ -1,0 +1,6 @@
+// Positive fixture: library-code unwrap/expect must be flagged.
+fn load_mode(table: &Table) -> Mode {
+    let mode = table.lookup(2, 2).unwrap();
+    let region = table.region().expect("region map");
+    Mode { mode, region }
+}

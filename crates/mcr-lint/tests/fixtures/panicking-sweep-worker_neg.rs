@@ -1,0 +1,13 @@
+// Negative fixture (linted under a `sweep.rs` label): workers that
+// route failure through Result slots, and panics outside the closure,
+// are both fine.
+fn run(points: &[Point], slots: &mut [Option<Outcome>]) {
+    let work = |i: usize| {
+        let outcome = simulate(&points[i]);
+        slots[i] = Some(outcome);
+    };
+    dispatch(work);
+    if points.is_empty() {
+        panic!("caller error: empty sweep, nothing to dispatch");
+    }
+}

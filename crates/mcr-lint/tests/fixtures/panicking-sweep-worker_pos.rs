@@ -1,0 +1,12 @@
+// Positive fixture (linted under a `sweep.rs` label): panicking inside
+// the worker closure poisons the whole sweep.
+fn run(points: &[Point]) {
+    let work = |i: usize| {
+        let point = &points[i];
+        if point.trace.is_empty() {
+            panic!("empty trace");
+        }
+        assert!(point.mode.k >= point.mode.m);
+    };
+    dispatch(work);
+}

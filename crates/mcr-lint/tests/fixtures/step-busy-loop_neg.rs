@@ -1,0 +1,9 @@
+// Negative fixture (linted under a non-core crate label): the wheel
+// surface and iterator adapters never trip the rule.
+fn drive(sys: &mut System, horizon: u64) {
+    sys.run_until(horizon);
+    while sys.advance_to_next_event() {}
+    for stride in (0..horizon).step_by(4) {
+        observe(stride);
+    }
+}

@@ -1,0 +1,7 @@
+// Positive fixture (linted under a non-core crate label): chunked step
+// polling burns wall-clock on idle cycles; the event wheel replaces it.
+fn drive(sys: &mut System, horizon: u64) {
+    while sys.now() < horizon {
+        sys.step(100_000);
+    }
+}

@@ -1,0 +1,15 @@
+// Negative fixture: widening casts on timing lines and narrowing casts
+// outside any timing context are both fine.
+fn widen(t: &TimingSet) -> u64 {
+    let rcd = t.t_rcd as u64;
+    rcd + u64::from(t.t_rp)
+}
+
+fn unrelated(color: u32) -> u8 {
+    color as u8
+}
+
+fn suppressed(t: &TimingSet) -> u16 {
+    // lint: allow(truncating-cast)
+    t.t_rcd as u16
+}

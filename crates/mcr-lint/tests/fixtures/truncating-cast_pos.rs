@@ -1,0 +1,6 @@
+// Positive fixture: narrowing casts on timing arithmetic wrap silently.
+fn pack(t: &TimingSet) -> (u16, u32) {
+    let rcd = t.t_rcd as u16;
+    let refi_cycles = (t.t_refi * 8) as u32;
+    (rcd, refi_cycles)
+}

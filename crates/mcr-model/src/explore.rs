@@ -1,0 +1,494 @@
+//! Bounded exhaustive enumeration of the abstract machine.
+//!
+//! A breadth-first sweep over the quantized quotient of
+//! [`MachineState`]: two concrete states that agree on every *relative*
+//! protocol distance (next-legal-cycle minus now, bucketed), mode tier,
+//! guardband rung, backlog, and retention bucket are considered the same
+//! abstract state. Absolute cycle numbers never enter the key, so the
+//! sweep converges even though the concrete state space is infinite.
+//!
+//! Nodes live in an arena with parent pointers; when a transition incurs
+//! a reference-view violation the command witness is reconstructed by
+//! walking the ancestry, confirmed against the independent replay auditor
+//! ([`dram_device::audit_commands`]), greedily minimized, and shipped as
+//! a replayable script.
+
+use crate::machine::{Action, Machine, MachineState, ModelSpec, SeededBug, BANKS};
+use crate::script::script_from_commands;
+use crate::Finding;
+use dram_device::{audit_commands, AuditConfig, Command, Cycle, ViolationClass};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Result of one exhaustive sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Deduplicated abstract states reached.
+    pub states: usize,
+    /// Transitions applied (enabled actions across all states).
+    pub transitions: u64,
+    /// Invariant findings, deduplicated per violation class.
+    pub findings: Vec<Finding>,
+    /// True when the sweep stopped at [`ModelSpec::max_states`] instead
+    /// of exhausting the quotient space.
+    pub capped: bool,
+}
+
+/// Quantized relative distance: `(d >> shift)` saturated at `cap`.
+fn quant(d: Cycle, shift: u32, cap: u64) -> u8 {
+    let q = (d >> shift).min(cap);
+    u8::try_from(q).unwrap_or(u8::MAX)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BankAbs {
+    open: u8,
+    class: u8,
+    d_act: u8,
+    d_cas: u8,
+    d_pre: u8,
+}
+
+/// The abstract-state key: everything behaviorally relevant, relative to
+/// `now` and bucketed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AbsKey {
+    tier: u8,
+    degrade: u8,
+    backlog: u8,
+    hits: u8,
+    banks: [BankAbs; BANKS],
+    rank_act: u8,
+    faw_acts: u8,
+    faw_gate: u8,
+    busy: u8,
+    due: u8,
+    ret: u8,
+    rearm: u8,
+    bus: u8,
+    diverged: bool,
+}
+
+fn abs_key(m: &Machine, s: &MachineState) -> AbsKey {
+    let now = s.now;
+    let mut banks = [BankAbs {
+        open: 0,
+        class: 0,
+        d_act: 0,
+        d_cas: 0,
+        d_pre: 0,
+    }; BANKS];
+    for (i, b) in s.sched_banks.iter().enumerate() {
+        banks[i] = BankAbs {
+            open: match b.open_row {
+                None => 0,
+                Some(crate::machine::ROW_FAST) => 2,
+                Some(_) => 1,
+            },
+            class: if b.open_row.is_some() {
+                s.open_class[i]
+            } else {
+                0
+            },
+            d_act: quant(b.next_act.saturating_sub(now), 2, 15),
+            d_cas: quant(b.next_cas.saturating_sub(now), 1, 7),
+            d_pre: quant(b.next_pre.saturating_sub(now), 2, 15),
+        };
+    }
+    let faw_full = s.sched_rank.acts as usize == s.sched_rank.act_window.len();
+    let faw_gate = if faw_full {
+        let t_faw = Cycle::from(m.spec().sched_timing.t_faw);
+        quant(
+            (s.sched_rank.act_window[0] + t_faw).saturating_sub(now),
+            2,
+            7,
+        )
+    } else {
+        0
+    };
+    AbsKey {
+        tier: s.tier,
+        degrade: degrade_idx(s.degrade),
+        backlog: s.backlog,
+        hits: s.hits,
+        banks,
+        rank_act: quant(s.sched_rank.next_act.saturating_sub(now), 1, 7),
+        faw_acts: s.sched_rank.acts,
+        faw_gate,
+        busy: quant(s.sched_rank.refresh_until.saturating_sub(now), 3, 15),
+        due: quant(s.next_due.saturating_sub(now), 4, 15),
+        ret: quant(now.saturating_sub(s.last_restore), 6, 15),
+        rearm: match s.guardband.next_rearm_cycle() {
+            None => u8::MAX,
+            Some(r) => quant(r.saturating_sub(now), 7, 15),
+        },
+        bus: match s.last_cmd {
+            None => 4,
+            Some(c) => quant(now.saturating_sub(c), 0, 3),
+        },
+        diverged: s.sched_banks != s.ref_banks || s.sched_rank != s.ref_rank,
+    }
+}
+
+fn degrade_idx(d: mem_controller::DegradeLevel) -> u8 {
+    match d {
+        mem_controller::DegradeLevel::Full => 0,
+        mem_controller::DegradeLevel::NoSkip => 1,
+        mem_controller::DegradeLevel::FullRas => 2,
+    }
+}
+
+struct Node {
+    parent: Option<u32>,
+    cmd: Option<Command>,
+}
+
+/// Replay audit config matching the machine's reference view.
+fn replay_config(spec: &ModelSpec, expect: ViolationClass) -> AuditConfig {
+    let mut cfg = AuditConfig::new(spec.ref_timing.clone(), 1, BANKS as u8);
+    cfg.classes = spec.ref_classes.clone();
+    if expect == ViolationClass::RetentionViolation {
+        cfg.retention_limit = Some(spec.ref_retention_limit);
+    }
+    cfg
+}
+
+fn confirms(cmds: &[Command], expect: ViolationClass, cfg: &AuditConfig) -> bool {
+    audit_commands(cmds, cfg).iter().any(|v| v.class == expect)
+}
+
+/// True when the candidate still audits to the expected class *without*
+/// introducing violation classes the original witness did not have
+/// (removals must not turn the trace into a different bug).
+fn confirms_faithfully(
+    cmds: &[Command],
+    expect: ViolationClass,
+    allowed: &HashSet<ViolationClass>,
+    cfg: &AuditConfig,
+) -> bool {
+    let violations = audit_commands(cmds, cfg);
+    violations.iter().any(|v| v.class == expect)
+        && violations.iter().all(|v| allowed.contains(&v.class))
+}
+
+/// Greedy 1-minimal shrink: drop any command (except the offender, kept
+/// last) whose removal preserves the audited violation class and adds no
+/// new ones.
+pub fn minimize(mut cmds: Vec<Command>, expect: ViolationClass, cfg: &AuditConfig) -> Vec<Command> {
+    let allowed: HashSet<ViolationClass> =
+        audit_commands(&cmds, cfg).iter().map(|v| v.class).collect();
+    let mut changed = true;
+    while changed && cmds.len() > 1 {
+        changed = false;
+        for i in 0..cmds.len() - 1 {
+            let mut candidate = cmds.clone();
+            candidate.remove(i);
+            if confirms_faithfully(&candidate, expect, &allowed, cfg) {
+                cmds = candidate;
+                changed = true;
+                break;
+            }
+        }
+    }
+    cmds
+}
+
+fn witness(nodes: &[Node], mut idx: u32, last: Option<Command>) -> Vec<Command> {
+    let mut cmds = Vec::new();
+    if let Some(c) = last {
+        cmds.push(c);
+    }
+    loop {
+        let node = &nodes[idx as usize];
+        if let Some(c) = node.cmd {
+            cmds.push(c);
+        }
+        match node.parent {
+            Some(p) => idx = p,
+            None => break,
+        }
+    }
+    cmds.reverse();
+    cmds
+}
+
+fn render_trace(cmds: &[Command]) -> String {
+    cmds.iter()
+        .map(Command::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Exhaustively enumerates the machine over `spec` and checks every
+/// invariant in every reachable abstract state.
+pub fn explore(spec: ModelSpec) -> ExploreReport {
+    let machine = Machine::new(spec);
+    let actions = Action::all();
+    let init = machine.initial();
+    let mut nodes = vec![Node {
+        parent: None,
+        cmd: None,
+    }];
+    let mut seen: HashSet<AbsKey> = HashSet::new();
+    seen.insert(abs_key(&machine, &init));
+    let mut queue: VecDeque<(u32, MachineState)> = VecDeque::new();
+    queue.push_back((0, init));
+    let mut findings: Vec<Finding> = Vec::new();
+    // One minimized witness per violation class; later hits only counted.
+    let mut class_hits: HashMap<ViolationClass, usize> = HashMap::new();
+    let mut class_order: Vec<ViolationClass> = Vec::new();
+    let mut breach_seen: HashSet<String> = HashSet::new();
+    let mut deadline_reported = false;
+    let mut transitions: u64 = 0;
+    let mut capped = false;
+    let max_states = machine.spec().max_states;
+    let max_findings = machine.spec().max_findings;
+
+    while let Some((idx, state)) = queue.pop_front() {
+        let mut any_enabled = false;
+        for &action in &actions {
+            let Some(step) = machine.try_apply(&state, action) else {
+                continue;
+            };
+            any_enabled = true;
+            transitions += 1;
+            for breach in &step.invariant_breaches {
+                if breach_seen.insert(breach.clone()) && findings.len() < max_findings {
+                    let trace = render_trace(&witness(&nodes, idx, step.cmd));
+                    findings.push(Finding::error(
+                        "model/guardband-ladder",
+                        format!("{breach} (after: {trace})"),
+                    ));
+                }
+            }
+            if !step.violations.is_empty() {
+                for v in &step.violations {
+                    *class_hits.entry(v.class).or_insert(0) += 1;
+                    if class_hits[&v.class] > 1 {
+                        continue;
+                    }
+                    class_order.push(v.class);
+                    let cfg = replay_config(machine.spec(), v.class);
+                    let full = witness(&nodes, idx, step.cmd);
+                    if confirms(&full, v.class, &cfg) {
+                        let min = minimize(full, v.class, &cfg);
+                        findings.push(Finding {
+                            code: "model/protocol-violation",
+                            message: format!(
+                                "reachable {:?} @{}: {} ({}-command counterexample)",
+                                v.class,
+                                v.cycle,
+                                v.detail,
+                                min.len()
+                            ),
+                            script: Some(script_from_commands(v.class, &min, machine.spec())),
+                            error: v.class.severity() == dram_device::Severity::Error,
+                        });
+                    } else {
+                        findings.push(Finding::error(
+                            "model/cross-check",
+                            format!(
+                                "model flags {:?} @{} but the replay auditor does not \
+                                 (trace: {})",
+                                v.class,
+                                v.cycle,
+                                render_trace(&full)
+                            ),
+                        ));
+                    }
+                }
+                // Do not expand states past an illegal command: every
+                // downstream violation would be noise from this one.
+                continue;
+            }
+            let next = step.state;
+            if !deadline_reported
+                && machine.earliest_possible_refresh(&next) > machine.deadline(&next)
+            {
+                deadline_reported = true;
+                if findings.len() < max_findings {
+                    let trace = render_trace(&witness(&nodes, idx, step.cmd));
+                    findings.push(Finding::error(
+                        "model/refresh-deadline",
+                        format!(
+                            "state where the earliest possible REFRESH ({}) misses the \
+                             backlog deadline ({}) (after: {trace})",
+                            machine.earliest_possible_refresh(&next),
+                            machine.deadline(&next)
+                        ),
+                    ));
+                }
+            }
+            let key = abs_key(&machine, &next);
+            // Cap check before the dedup insert: `states` then counts only
+            // states actually enumerated (inserted AND queued), never
+            // frontier keys the cap forced the sweep to drop.
+            if nodes.len() >= max_states {
+                if !seen.contains(&key) {
+                    capped = true;
+                }
+                continue;
+            }
+            if seen.insert(key) {
+                let nidx = u32::try_from(nodes.len()).unwrap_or(u32::MAX);
+                nodes.push(Node {
+                    parent: Some(idx),
+                    cmd: step.cmd,
+                });
+                queue.push_back((nidx, next));
+            }
+        }
+        if !any_enabled && findings.len() < max_findings {
+            findings.push(Finding::error(
+                "model/deadlock",
+                format!(
+                    "state with no enabled action (after: {})",
+                    render_trace(&witness(&nodes, idx, None))
+                ),
+            ));
+        }
+    }
+
+    // Fold suppressed per-class occurrence counts into the messages.
+    for class in class_order {
+        let extra = class_hits
+            .get(&class)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(1);
+        if extra == 0 {
+            continue;
+        }
+        for f in &mut findings {
+            if f.code == "model/protocol-violation" && f.message.contains(&format!("{class:?}")) {
+                f.message
+                    .push_str(&format!(" [{extra} further occurrences suppressed]"));
+                break;
+            }
+        }
+    }
+
+    ExploreReport {
+        states: seen.len(),
+        transitions,
+        findings,
+        capped,
+    }
+}
+
+/// Proof that the checker catches a seeded timing-table bug.
+#[derive(Debug, Clone)]
+pub struct TeethProof {
+    /// The violation class the seeded bug produced.
+    pub class: ViolationClass,
+    /// Commands in the minimized counterexample.
+    pub commands: usize,
+    /// The replayable script.
+    pub script: String,
+}
+
+/// Seeds `bug` into an otherwise-correct spec and demands the sweep catch
+/// it with a minimized counterexample of at most `max_commands` commands.
+pub fn teeth(bug: SeededBug, max_commands: usize) -> Result<TeethProof, String> {
+    let mut spec = ModelSpec::paper().with_seeded_bug(bug);
+    // The bug surfaces within a few commands; a small bound keeps the
+    // teeth check fast enough to run on every lint invocation.
+    spec.max_states = 30_000;
+    let report = explore(spec);
+    let expected = match bug {
+        SeededBug::TrpOffByOne => ViolationClass::TrcViolation,
+        SeededBug::TrcdOffByOne => ViolationClass::TrcdViolation,
+    };
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| {
+            f.code == "model/protocol-violation"
+                && f.message.contains(&format!("{expected:?}"))
+                && f.script.is_some()
+        })
+        .ok_or_else(|| {
+            format!(
+                "seeded {bug:?} was NOT caught ({} states, findings: {:?})",
+                report.states,
+                report.findings.iter().map(|f| f.code).collect::<Vec<_>>()
+            )
+        })?;
+    let script = hit.script.clone().unwrap_or_default();
+    let commands = script
+        .lines()
+        .filter(|l| l.trim_start().starts_with("cmd:"))
+        .count();
+    if commands == 0 || commands > max_commands {
+        return Err(format!(
+            "counterexample for {bug:?} has {commands} commands (limit {max_commands})"
+        ));
+    }
+    Ok(TeethProof {
+        class: expected,
+        commands,
+        script,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_spec_has_no_findings_and_a_large_state_space() {
+        let mut spec = ModelSpec::paper();
+        spec.max_states = 60_000;
+        let report = explore(spec);
+        assert!(
+            report.findings.is_empty(),
+            "unexpected findings: {:?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (f.code, f.message.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.states > 1_000,
+            "only {} abstract states reached",
+            report.states
+        );
+        assert!(report.transitions > report.states as u64);
+    }
+
+    #[test]
+    fn seeded_trp_bug_is_caught_with_a_short_counterexample() {
+        let proof = teeth(SeededBug::TrpOffByOne, 6).expect("teeth");
+        assert_eq!(proof.class, ViolationClass::TrcViolation);
+        assert!(proof.commands <= 6, "{} commands", proof.commands);
+        assert!(proof.script.contains("expect: TrcViolation"));
+    }
+
+    #[test]
+    fn seeded_trcd_bug_is_caught_too() {
+        let proof = teeth(SeededBug::TrcdOffByOne, 6).expect("teeth");
+        assert_eq!(proof.class, ViolationClass::TrcdViolation);
+    }
+
+    #[test]
+    fn minimizer_is_one_minimal() {
+        let proof = teeth(SeededBug::TrpOffByOne, 6).expect("teeth");
+        let parsed = crate::parse_script(&proof.script).expect("parse");
+        let cfg = replay_config(&ModelSpec::paper(), parsed.expect);
+        assert!(confirms(&parsed.commands, parsed.expect, &cfg));
+        let allowed: HashSet<ViolationClass> = audit_commands(&parsed.commands, &cfg)
+            .iter()
+            .map(|v| v.class)
+            .collect();
+        // Dropping any single non-final command must break the repro (or
+        // mutate it into a different bug, which the minimizer refuses).
+        for i in 0..parsed.commands.len() - 1 {
+            let mut fewer = parsed.commands.clone();
+            fewer.remove(i);
+            assert!(
+                !confirms_faithfully(&fewer, parsed.expect, &allowed, &cfg),
+                "command {i} was removable"
+            );
+        }
+    }
+}

@@ -1,0 +1,1092 @@
+//! The abstract MCR device/controller machine the checker enumerates.
+//!
+//! One rank, two banks, three rows of interest (a baseline row per bank
+//! plus one clone-row-backed "fast" row on bank 0), the `[M/Kx]` mode
+//! ladder of Table 3, a refresh-slot counter with postponement backlog,
+//! and the guardband degradation ladder. Time is model-scaled (a refresh
+//! slot every [`ModelSpec::T_REFI`] cycles instead of every 6240) so the
+//! reachable quotient space stays small enough to exhaust, while every
+//! *inter-command* constraint keeps its real DDR3-1600 value.
+//!
+//! The machine carries **two** protocol views built from
+//! [`dram_device::proto`] snapshots:
+//!
+//! * the *scheduler* view, driven by [`ModelSpec::sched_timing`] /
+//!   [`ModelSpec::sched_classes`] — this is the machine's own idea of the
+//!   earliest legal cycle for each command, the one a buggy timing table
+//!   would corrupt ([`SeededBug`]);
+//! * the *reference* view, driven by the always-correct tables — every
+//!   issued command is checked against it closed-form, mirroring the
+//!   replay auditor's rules ([`dram_device::audit_commands`]) violation
+//!   class by violation class.
+//!
+//! With an unseeded spec the two views coincide and the checker proves the
+//! absence of reachable protocol violations; with a seeded bug the first
+//! divergence surfaces as a replayable counterexample.
+
+use dram_device::proto::{
+    bank_apply_activate, bank_apply_block_until, bank_apply_precharge, bank_apply_read,
+    bank_apply_write, bank_earliest_activate, bank_earliest_cas, bank_earliest_precharge,
+    earliest_refresh, rank_apply_activate, rank_apply_refresh, rank_earliest_activate,
+    rank_earliest_command, BankProtoState, RankProtoState,
+};
+use dram_device::{
+    Command, CommandKind, Cycle, DramAddress, RowTiming, RowTimingClass, TimingSet, ViolationClass,
+};
+use mcr_dram::{DeviceClass, McrTimingTable};
+use mem_controller::{DegradeLevel, GuardbandConfig, GuardbandMonitor, GuardbandTransition};
+
+/// Banks modeled per rank (enough for `tRRD` and cross-bank refresh
+/// quiescing to be live; `tFAW` needs five banks and is covered by the
+/// device tests and a shipped counterexample script instead).
+pub const BANKS: usize = 2;
+/// Baseline row activated on each bank (`row = bank`).
+pub const ROW_BASE: u64 = 0;
+/// The clone-row-backed fast row, on bank 0 only.
+pub const ROW_FAST: u64 = 8;
+/// Refresh-postponement backlog cap (slots), as in the controller.
+pub const BACKLOG_CAP: u8 = 8;
+/// `[M/Kx]` tiers: index 0 is MCR-off, 1.. are Table 3 modes.
+pub const TIERS: [(u32, u32); 5] = [(1, 2), (2, 2), (1, 4), (2, 4), (4, 4)];
+/// Number of mode tiers including "off".
+pub const TIER_COUNT: u8 = TIERS.len() as u8 + 1;
+
+/// A deliberately wrong entry planted in the *scheduler* view only, to
+/// prove the checker has teeth (the reference view stays correct, so the
+/// resulting too-early command is caught and minimized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// `tRP` shortened by one cycle in the scheduler's timing table: after
+    /// a PRECHARGE the machine re-activates one cycle before the JEDEC
+    /// window closes.
+    TrpOffByOne,
+    /// The Early-Access `tRCD` of one Table 3 mode shortened by one cycle
+    /// in the scheduler's class table.
+    TrcdOffByOne,
+}
+
+/// Static model parameters: both protocol views plus the model-scaled
+/// refresh, retention, and guardband constants.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Scheduler-view timing constants (seedable).
+    pub sched_timing: TimingSet,
+    /// Reference-view timing constants (always correct).
+    pub ref_timing: TimingSet,
+    /// Scheduler-view row-timing classes, index = `RowTimingClass.0`.
+    pub sched_classes: Vec<RowTiming>,
+    /// Reference-view row-timing classes.
+    pub ref_classes: Vec<RowTiming>,
+    /// Fast-Refresh `tRFC` per tier (index 0 = baseline `tRFC`).
+    pub t_rfc_by_tier: [u32; TIER_COUNT as usize],
+    /// Scheduler-side retention budget for fast-class ACTIVATEs, in cycles
+    /// since the last restore of the fast row.
+    pub sched_retention_limit: Cycle,
+    /// Reference-side retention budget (the auditor's `retention_limit`).
+    pub ref_retention_limit: Cycle,
+    /// Guardband ladder thresholds (model-scaled).
+    pub guardband: GuardbandConfig,
+    /// Abstract-state budget for the explorer.
+    pub max_states: usize,
+    /// Finding budget (exploration stops reporting past it).
+    pub max_findings: usize,
+}
+
+impl ModelSpec {
+    /// Model-scaled refresh slot period in cycles.
+    pub const T_REFI: Cycle = 200;
+
+    /// The paper configuration: DDR3-1600 windows, Table 3 classes for the
+    /// small-device column, and model-scaled slot/retention/guardband
+    /// pacing.
+    pub fn paper() -> Self {
+        let mut timing = TimingSet::ddr3_1600(64);
+        // Keep in sync with T_REFI (model-scaled slot period).
+        timing.t_refi = 200;
+        let table = McrTimingTable::paper(DeviceClass::for_rows_per_bank(64));
+        let baseline = RowTiming {
+            t_rcd: timing.t_rcd,
+            t_ras: timing.t_ras,
+        };
+        let mut classes = vec![baseline];
+        // Classes 1..=5: the Table 3 tiers; 6..=10: their FullRas
+        // (guardband-degraded) variants keeping the Early-Access tRCD but
+        // restoring with the baseline tRAS, mirroring `McrPolicy`.
+        for (m, k) in TIERS {
+            classes.push(table.mode(m, k).row);
+        }
+        for (m, k) in TIERS {
+            classes.push(RowTiming {
+                t_rcd: table.mode(m, k).row.t_rcd,
+                t_ras: baseline.t_ras,
+            });
+        }
+        let mut t_rfc_by_tier = [timing.t_rfc; TIER_COUNT as usize];
+        for (i, (m, k)) in TIERS.iter().enumerate() {
+            t_rfc_by_tier[i + 1] = table.mode(*m, *k).t_rfc;
+        }
+        ModelSpec {
+            sched_timing: timing.clone(),
+            ref_timing: timing,
+            sched_classes: classes.clone(),
+            ref_classes: classes,
+            t_rfc_by_tier,
+            sched_retention_limit: 2 * Self::T_REFI,
+            ref_retention_limit: 2 * Self::T_REFI,
+            guardband: GuardbandConfig {
+                window: 300,
+                threshold: 2,
+                hysteresis: 500,
+                backoff_base: 200,
+                backoff_cap: 2,
+            },
+            max_states: 200_000,
+            max_findings: 16,
+        }
+    }
+
+    /// The same spec with `bug` planted in the scheduler view.
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Self {
+        match bug {
+            SeededBug::TrpOffByOne => {
+                self.sched_timing.t_rp -= 1;
+            }
+            SeededBug::TrcdOffByOne => {
+                // Tier 1/2x, the most aggressive Early-Access window.
+                self.sched_classes[1].t_rcd -= 1;
+            }
+        }
+        self
+    }
+
+    /// Refresh-skipping period `K/M` for a tier (1 = no skipping).
+    pub fn skip_period(tier: u8) -> u32 {
+        if tier == 0 {
+            1
+        } else {
+            let (m, k) = TIERS[tier as usize - 1];
+            k / m
+        }
+    }
+
+    /// The row-timing class a fast-row ACTIVATE uses at `tier` under
+    /// guardband `level`.
+    pub fn fast_class(tier: u8, level: DegradeLevel) -> u8 {
+        if level == DegradeLevel::FullRas {
+            tier + TIERS.len() as u8
+        } else {
+            tier
+        }
+    }
+}
+
+/// One concrete machine state (the explorer deduplicates its quantized
+/// abstraction, not this).
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    /// Current cycle.
+    pub now: Cycle,
+    /// Cycle of the last command placed on the one-per-cycle command bus
+    /// (MRS is exempt, as in the auditor).
+    pub last_cmd: Option<Cycle>,
+    /// Scheduler-view bank registers.
+    pub sched_banks: [BankProtoState; BANKS],
+    /// Scheduler-view rank windows.
+    pub sched_rank: RankProtoState,
+    /// Reference-view bank registers.
+    pub ref_banks: [BankProtoState; BANKS],
+    /// Reference-view rank windows.
+    pub ref_rank: RankProtoState,
+    /// Row-timing class of each open row (meaningful while open).
+    pub open_class: [u8; BANKS],
+    /// Current `[M/Kx]` tier (0 = off).
+    pub tier: u8,
+    /// Guardband ladder rung.
+    pub degrade: DegradeLevel,
+    /// Postponed refresh slots.
+    pub backlog: u8,
+    /// Cycle of the next refresh-slot boundary.
+    pub next_due: Cycle,
+    /// Last restore of the fast row (REFRESH or same-row ACTIVATE).
+    pub last_restore: Cycle,
+    /// Retention hits since the last guardband transition (abstraction
+    /// mirror of the monitor's in-window count).
+    pub hits: u8,
+    /// The guardband monitor itself.
+    pub guardband: GuardbandMonitor,
+}
+
+/// One transition label: what the controller chose to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// ACTIVATE a row on `bank` (`fast` = the clone-backed row on bank 0).
+    Act {
+        /// Target bank.
+        bank: u8,
+        /// Use the fast row and the tier's Table 3 class.
+        fast: bool,
+    },
+    /// Column access on the open row of `bank`.
+    Cas {
+        /// Target bank.
+        bank: u8,
+        /// WRITE instead of READ.
+        write: bool,
+    },
+    /// PRECHARGE `bank` at the earliest legal cycle.
+    Pre {
+        /// Target bank.
+        bank: u8,
+    },
+    /// Issue a REFRESH clearing one backlog slot.
+    Refresh,
+    /// Let the next refresh slot come due and postpone it (backlog += 1).
+    WaitSlot,
+    /// Refresh-Skipping: consume the next slot without refreshing.
+    SkipSlot,
+    /// MRS mode change to the given tier.
+    ModeChange(u8),
+    /// A retention-margin violation is detected and fed to the guardband.
+    RetentionHit,
+    /// Advance to the guardband's claimed re-arm edge and poll it.
+    RearmPoll,
+    /// Advance one cycle (explores issue offsets inside open windows).
+    Nudge,
+}
+
+impl Action {
+    /// Every candidate action; the machine filters by enabledness.
+    pub fn all() -> Vec<Action> {
+        let mut v = Vec::with_capacity(24);
+        for bank in 0..BANKS as u8 {
+            v.push(Action::Act { bank, fast: false });
+            if bank == 0 {
+                v.push(Action::Act { bank, fast: true });
+            }
+            v.push(Action::Cas { bank, write: false });
+            v.push(Action::Cas { bank, write: true });
+            v.push(Action::Pre { bank });
+        }
+        v.push(Action::Refresh);
+        v.push(Action::WaitSlot);
+        v.push(Action::SkipSlot);
+        for tier in 0..TIER_COUNT {
+            v.push(Action::ModeChange(tier));
+        }
+        v.push(Action::RetentionHit);
+        v.push(Action::RearmPoll);
+        v.push(Action::Nudge);
+        v
+    }
+}
+
+/// A reference-view disagreement with an issued command.
+#[derive(Debug, Clone)]
+pub struct RefViolation {
+    /// The violated rule, in the auditor's vocabulary.
+    pub class: ViolationClass,
+    /// Issue cycle of the offending command.
+    pub cycle: Cycle,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The successor of one applied action.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Successor state.
+    pub state: MachineState,
+    /// Bus command the action issued, if any.
+    pub cmd: Option<Command>,
+    /// Reference-view violations the command incurred (empty when the
+    /// scheduler view is correct).
+    pub violations: Vec<RefViolation>,
+    /// Internal-invariant findings raised by the transition itself
+    /// (guardband ladder contract breaches).
+    pub invariant_breaches: Vec<String>,
+}
+
+/// The machine: a [`ModelSpec`] plus the transition function.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: ModelSpec,
+}
+
+impl Machine {
+    /// A machine over `spec`.
+    pub fn new(spec: ModelSpec) -> Self {
+        Machine { spec }
+    }
+
+    /// The spec this machine runs.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The initial state: everything precharged, MCR off, first refresh
+    /// slot due at `T_REFI`.
+    pub fn initial(&self) -> MachineState {
+        MachineState {
+            now: 0,
+            last_cmd: None,
+            sched_banks: [BankProtoState::default(); BANKS],
+            sched_rank: RankProtoState::default(),
+            ref_banks: [BankProtoState::default(); BANKS],
+            ref_rank: RankProtoState::default(),
+            open_class: [0; BANKS],
+            tier: 0,
+            degrade: DegradeLevel::Full,
+            backlog: 0,
+            next_due: ModelSpec::T_REFI,
+            last_restore: 0,
+            hits: 0,
+            guardband: GuardbandMonitor::new(self.spec.guardband),
+        }
+    }
+
+    /// Refresh deadline of a state: the cycle by which a REFRESH must have
+    /// become issuable or the backlog overflows. Conserved by
+    /// WaitSlot, extended by REFRESH and by legitimately skipped slots.
+    pub fn deadline(&self, s: &MachineState) -> Cycle {
+        s.next_due + Cycle::from(BACKLOG_CAP - s.backlog) * ModelSpec::T_REFI
+    }
+
+    /// Earliest cycle the *reference* view could complete a quiesce and
+    /// issue a REFRESH from this state.
+    pub fn earliest_possible_refresh(&self, s: &MachineState) -> Cycle {
+        self.earliest_refresh_in(&s.ref_banks, s.ref_rank, &self.spec.ref_timing, s)
+    }
+
+    fn earliest_refresh_in(
+        &self,
+        banks: &[BankProtoState; BANKS],
+        rank: RankProtoState,
+        ts: &TimingSet,
+        s: &MachineState,
+    ) -> Cycle {
+        let bus = self.bus_floor(s);
+        let mut ready = s.now;
+        for b in banks {
+            let bank_ready = match b.open_row {
+                Some(_) => b.next_pre.max(s.now).max(bus) + Cycle::from(ts.t_rp),
+                None => b.next_act,
+            };
+            ready = ready.max(bank_ready);
+        }
+        ready.max(rank.refresh_until)
+    }
+
+    fn bus_floor(&self, s: &MachineState) -> Cycle {
+        match s.last_cmd {
+            Some(c) => c + 1,
+            None => 0,
+        }
+    }
+
+    fn issue_at(&self, s: &MachineState, earliest: Cycle) -> Cycle {
+        earliest.max(s.now).max(self.bus_floor(s))
+    }
+
+    fn sched_class(&self, idx: u8) -> RowTiming {
+        self.spec.sched_classes[idx as usize]
+    }
+
+    fn addr(bank: u8, row: u64) -> DramAddress {
+        DramAddress {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+            col: 0,
+        }
+    }
+
+    /// Applies `action` to `s`, or `None` when it is not enabled there.
+    pub fn try_apply(&self, s: &MachineState, action: Action) -> Option<Step> {
+        match action {
+            Action::Act { bank, fast } => self.apply_act(s, bank, fast),
+            Action::Cas { bank, write } => self.apply_cas(s, bank, write),
+            Action::Pre { bank } => self.apply_pre(s, bank),
+            Action::Refresh => self.apply_refresh(s),
+            Action::WaitSlot => self.apply_wait_slot(s),
+            Action::SkipSlot => self.apply_skip_slot(s),
+            Action::ModeChange(tier) => self.apply_mode_change(s, tier),
+            Action::RetentionHit => self.apply_retention_hit(s),
+            Action::RearmPoll => self.apply_rearm_poll(s),
+            Action::Nudge => self.apply_nudge(s),
+        }
+    }
+
+    fn apply_act(&self, s: &MachineState, bank: u8, fast: bool) -> Option<Step> {
+        let b = bank as usize;
+        if fast && (bank != 0 || s.tier == 0) {
+            return None;
+        }
+        let class = if fast {
+            ModelSpec::fast_class(s.tier, s.degrade)
+        } else {
+            0
+        };
+        let row = if fast {
+            ROW_FAST
+        } else {
+            ROW_BASE + bank as u64
+        };
+        let e_bank = bank_earliest_activate(s.sched_banks[b])?;
+        let e = e_bank.max(rank_earliest_activate(
+            s.sched_rank,
+            &self.spec.sched_timing,
+        ));
+        let t = self.issue_at(s, e);
+        if t > s.next_due {
+            return None;
+        }
+        // Scheduler-side retention gate: never knowingly activate a stale
+        // fast row (the guardband path handles margin escapes instead).
+        if fast && t.saturating_sub(s.last_restore) > self.spec.sched_retention_limit {
+            return None;
+        }
+        let rt = self.sched_class(class);
+        let mut next = s.clone();
+        next.sched_banks[b] =
+            bank_apply_activate(s.sched_banks[b], row, t, rt, &self.spec.sched_timing);
+        next.sched_rank = rank_apply_activate(s.sched_rank, t, &self.spec.sched_timing);
+        let ref_rt = self.spec.ref_classes[class as usize];
+        next.ref_banks[b] =
+            bank_apply_activate(s.ref_banks[b], row, t, ref_rt, &self.spec.ref_timing);
+        next.ref_rank = rank_apply_activate(s.ref_rank, t, &self.spec.ref_timing);
+        next.open_class[b] = class;
+        next.now = t;
+        next.last_cmd = Some(t);
+        if fast {
+            next.last_restore = t;
+        }
+        // Urgent-refresh admission: refuse ACTs whose row residency would
+        // push the quiesce past the refresh deadline.
+        if self.earliest_refresh_in(
+            &next.sched_banks,
+            next.sched_rank,
+            &self.spec.sched_timing,
+            &next,
+        ) > self.deadline(&next)
+        {
+            return None;
+        }
+        let mut violations = Vec::new();
+        let rb = s.ref_banks[b];
+        if rb.open_row.is_some() {
+            push_violation(
+                &mut violations,
+                ViolationClass::ActOnOpenBank,
+                t,
+                "bank open",
+            );
+        }
+        if t < rb.next_act {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrcViolation,
+                t,
+                &format!("bank ready at {}", rb.next_act),
+            );
+        }
+        if t < s.ref_rank.next_act {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrrdViolation,
+                t,
+                &format!("rank tRRD ready at {}", s.ref_rank.next_act),
+            );
+        }
+        if s.ref_rank.acts as usize == s.ref_rank.act_window.len() {
+            let gate = s.ref_rank.act_window[0] + Cycle::from(self.spec.ref_timing.t_faw);
+            if t < gate {
+                push_violation(
+                    &mut violations,
+                    ViolationClass::TfawViolation,
+                    t,
+                    &format!("tFAW window open until {gate}"),
+                );
+            }
+        }
+        if t < s.ref_rank.refresh_until {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrfcViolation,
+                t,
+                &format!("rank refreshing until {}", s.ref_rank.refresh_until),
+            );
+        }
+        if class != 0 && t.saturating_sub(s.last_restore) > self.spec.ref_retention_limit {
+            push_violation(
+                &mut violations,
+                ViolationClass::RetentionViolation,
+                t,
+                &format!(
+                    "fast row stale for {} > {}",
+                    t - s.last_restore,
+                    self.spec.ref_retention_limit
+                ),
+            );
+        }
+        Some(Step {
+            state: next,
+            cmd: Some(Command {
+                kind: CommandKind::Activate,
+                addr: Self::addr(bank, row),
+                cycle: t,
+                class: RowTimingClass(class),
+                auto_pre: false,
+                t_rfc: None,
+            }),
+            violations,
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_cas(&self, s: &MachineState, bank: u8, write: bool) -> Option<Step> {
+        let b = bank as usize;
+        let row = s.sched_banks[b].open_row?;
+        let e_bank = bank_earliest_cas(s.sched_banks[b], row)?;
+        let e = e_bank.max(rank_earliest_command(s.sched_rank));
+        let t = self.issue_at(s, e);
+        if t > s.next_due {
+            return None;
+        }
+        let mut next = s.clone();
+        let (sched_after, ref_after) = if write {
+            (
+                bank_apply_write(s.sched_banks[b], t, &self.spec.sched_timing),
+                bank_apply_write(s.ref_banks[b], t, &self.spec.ref_timing),
+            )
+        } else {
+            (
+                bank_apply_read(s.sched_banks[b], t, &self.spec.sched_timing),
+                bank_apply_read(s.ref_banks[b], t, &self.spec.ref_timing),
+            )
+        };
+        next.sched_banks[b] = sched_after;
+        next.ref_banks[b] = ref_after;
+        next.now = t;
+        next.last_cmd = Some(t);
+        if self.earliest_refresh_in(
+            &next.sched_banks,
+            next.sched_rank,
+            &self.spec.sched_timing,
+            &next,
+        ) > self.deadline(&next)
+        {
+            return None;
+        }
+        let mut violations = Vec::new();
+        match s.ref_banks[b].open_row {
+            Some(open) if open == row => {
+                if t < s.ref_banks[b].next_cas {
+                    push_violation(
+                        &mut violations,
+                        ViolationClass::TrcdViolation,
+                        t,
+                        &format!("tRCD satisfied at {}", s.ref_banks[b].next_cas),
+                    );
+                }
+            }
+            _ => push_violation(
+                &mut violations,
+                ViolationClass::CasBankMismatch,
+                t,
+                "row not open in reference view",
+            ),
+        }
+        if t < s.ref_rank.refresh_until {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrfcViolation,
+                t,
+                &format!("rank refreshing until {}", s.ref_rank.refresh_until),
+            );
+        }
+        Some(Step {
+            state: next,
+            cmd: Some(Command {
+                kind: if write {
+                    CommandKind::Write
+                } else {
+                    CommandKind::Read
+                },
+                addr: Self::addr(bank, row),
+                cycle: t,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: None,
+            }),
+            violations,
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_pre(&self, s: &MachineState, bank: u8) -> Option<Step> {
+        let b = bank as usize;
+        let e_bank = bank_earliest_precharge(s.sched_banks[b])?;
+        let e = e_bank.max(rank_earliest_command(s.sched_rank));
+        let t = self.issue_at(s, e);
+        if t > s.next_due {
+            return None;
+        }
+        let mut next = s.clone();
+        next.sched_banks[b] = bank_apply_precharge(s.sched_banks[b], t, &self.spec.sched_timing);
+        next.ref_banks[b] = bank_apply_precharge(s.ref_banks[b], t, &self.spec.ref_timing);
+        next.now = t;
+        next.last_cmd = Some(t);
+        let mut violations = Vec::new();
+        if t < s.ref_banks[b].next_pre {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrasViolation,
+                t,
+                &format!("tRAS/tRTP/tWR satisfied at {}", s.ref_banks[b].next_pre),
+            );
+        }
+        if t < s.ref_rank.refresh_until {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrfcViolation,
+                t,
+                &format!("rank refreshing until {}", s.ref_rank.refresh_until),
+            );
+        }
+        Some(Step {
+            state: next,
+            cmd: Some(Command {
+                kind: CommandKind::Precharge,
+                addr: Self::addr(bank, 0),
+                cycle: t,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: None,
+            }),
+            violations,
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_refresh(&self, s: &MachineState) -> Option<Step> {
+        if s.backlog == 0 {
+            return None;
+        }
+        let e = earliest_refresh(s.sched_rank, &s.sched_banks)?;
+        let t = self.issue_at(s, e);
+        if t > s.next_due {
+            return None;
+        }
+        let t_rfc = self.spec.t_rfc_by_tier[s.tier as usize];
+        let mut next = s.clone();
+        next.sched_rank = rank_apply_refresh(s.sched_rank, t, t_rfc);
+        next.ref_rank = rank_apply_refresh(s.ref_rank, t, t_rfc);
+        for b in 0..BANKS {
+            next.sched_banks[b] =
+                bank_apply_block_until(next.sched_banks[b], next.sched_rank.refresh_until);
+            next.ref_banks[b] =
+                bank_apply_block_until(next.ref_banks[b], next.ref_rank.refresh_until);
+        }
+        next.backlog -= 1;
+        next.last_restore = t;
+        next.now = t;
+        next.last_cmd = Some(t);
+        let mut violations = Vec::new();
+        if s.ref_banks.iter().any(|b| b.open_row.is_some()) {
+            push_violation(
+                &mut violations,
+                ViolationClass::RefreshBankOpen,
+                t,
+                "a bank still has an open row",
+            );
+        }
+        if t < s.ref_rank.refresh_until {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrfcViolation,
+                t,
+                &format!("previous refresh until {}", s.ref_rank.refresh_until),
+            );
+        }
+        let banks_ready = s.ref_banks.iter().map(|b| b.next_act).max().unwrap_or(0);
+        if t < banks_ready {
+            push_violation(
+                &mut violations,
+                ViolationClass::TrcViolation,
+                t,
+                &format!("bank tRP recovery until {banks_ready}"),
+            );
+        }
+        Some(Step {
+            state: next,
+            cmd: Some(Command {
+                kind: CommandKind::Refresh,
+                addr: Self::addr(0, 0),
+                cycle: t,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: Some(t_rfc),
+            }),
+            violations,
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_wait_slot(&self, s: &MachineState) -> Option<Step> {
+        if s.backlog >= BACKLOG_CAP {
+            return None;
+        }
+        let mut next = s.clone();
+        next.now = s.next_due;
+        next.backlog += 1;
+        next.next_due += ModelSpec::T_REFI;
+        Some(Step {
+            state: next,
+            cmd: None,
+            violations: Vec::new(),
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_skip_slot(&self, s: &MachineState) -> Option<Step> {
+        // Refresh-Skipping: only under an M<K tier with the guardband at
+        // full speed, and only while the fast row stays inside its budget
+        // until at least the following slot.
+        if s.degrade != DegradeLevel::Full || ModelSpec::skip_period(s.tier) <= 1 {
+            return None;
+        }
+        if (s.next_due + ModelSpec::T_REFI).saturating_sub(s.last_restore)
+            > self.spec.sched_retention_limit
+        {
+            return None;
+        }
+        let mut next = s.clone();
+        next.now = s.next_due;
+        next.next_due += ModelSpec::T_REFI;
+        Some(Step {
+            state: next,
+            cmd: None,
+            violations: Vec::new(),
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_mode_change(&self, s: &MachineState, tier: u8) -> Option<Step> {
+        if tier == s.tier || tier >= TIER_COUNT {
+            return None;
+        }
+        // The controller quiesces before MRS (Sec. 4.4).
+        if s.sched_banks.iter().any(|b| b.open_row.is_some()) {
+            return None;
+        }
+        let t = s.now;
+        let mut next = s.clone();
+        next.tier = tier;
+        let mut violations = Vec::new();
+        if s.ref_banks.iter().any(|b| b.open_row.is_some()) {
+            push_violation(
+                &mut violations,
+                ViolationClass::ModeChangeBankOpen,
+                t,
+                "reference view has open banks",
+            );
+        }
+        Some(Step {
+            state: next,
+            cmd: Some(Command {
+                kind: CommandKind::ModeChange,
+                addr: Self::addr(0, 0),
+                cycle: t,
+                class: RowTimingClass(0),
+                auto_pre: false,
+                t_rfc: None,
+            }),
+            violations,
+            invariant_breaches: Vec::new(),
+        })
+    }
+
+    fn apply_retention_hit(&self, s: &MachineState) -> Option<Step> {
+        if s.tier == 0 {
+            return None;
+        }
+        let mut next = s.clone();
+        let before = s.degrade;
+        let outcome = next.guardband.note_violation(s.now);
+        let mut breaches = Vec::new();
+        match outcome {
+            Some(GuardbandTransition::Degrade(level)) => {
+                if before == DegradeLevel::FullRas {
+                    breaches.push("degrade transition from the bottom rung".to_string());
+                }
+                let expected = match before {
+                    DegradeLevel::Full => DegradeLevel::NoSkip,
+                    _ => DegradeLevel::FullRas,
+                };
+                if level != expected {
+                    breaches.push(format!(
+                        "ladder skipped a rung: {before:?} -> {level:?} on a violation"
+                    ));
+                }
+                next.degrade = level;
+                next.hits = 0;
+            }
+            Some(GuardbandTransition::Rearm(level)) => {
+                breaches.push(format!("note_violation re-armed to {level:?}"));
+            }
+            None => {
+                next.hits = (next.hits + 1).min(self.spec.guardband.threshold as u8);
+            }
+        }
+        if next.guardband.level() != next.degrade {
+            breaches.push(format!(
+                "monitor level {:?} diverged from applied level {:?}",
+                next.guardband.level(),
+                next.degrade
+            ));
+        }
+        Some(Step {
+            state: next,
+            cmd: None,
+            violations: Vec::new(),
+            invariant_breaches: breaches,
+        })
+    }
+
+    fn apply_rearm_poll(&self, s: &MachineState) -> Option<Step> {
+        let target = s.guardband.next_rearm_cycle()?;
+        let t = target.max(s.now);
+        if t > s.next_due {
+            // A refresh slot comes due first; process it before idling to
+            // the re-arm edge.
+            return None;
+        }
+        let mut next = s.clone();
+        next.now = t;
+        let before = s.degrade;
+        let outcome = next.guardband.poll(t);
+        let mut breaches = Vec::new();
+        match outcome {
+            Some(GuardbandTransition::Rearm(level)) => {
+                let expected = match before {
+                    DegradeLevel::FullRas => DegradeLevel::NoSkip,
+                    _ => DegradeLevel::Full,
+                };
+                if level != expected {
+                    breaches.push(format!("re-arm skipped a rung: {before:?} -> {level:?}"));
+                }
+                next.degrade = level;
+                next.hits = 0;
+            }
+            Some(GuardbandTransition::Degrade(level)) => {
+                breaches.push(format!("poll degraded to {level:?}"));
+            }
+            None => {
+                // The monitor advertised this edge as actionable: polling
+                // at it must re-arm (wake-soundness of next_rearm_cycle).
+                breaches.push(format!(
+                    "next_rearm_cycle claimed {target} but poll({t}) did not re-arm"
+                ));
+            }
+        }
+        Some(Step {
+            state: next,
+            cmd: None,
+            violations: Vec::new(),
+            invariant_breaches: breaches,
+        })
+    }
+
+    fn apply_nudge(&self, s: &MachineState) -> Option<Step> {
+        if s.now + 1 > s.next_due {
+            return None;
+        }
+        let pending = s.sched_banks.iter().any(|b| {
+            b.open_row.is_some() || b.next_act > s.now || b.next_cas > s.now || b.next_pre > s.now
+        }) || s.sched_rank.refresh_until > s.now
+            || s.sched_rank.next_act > s.now;
+        if !pending {
+            return None;
+        }
+        let mut next = s.clone();
+        next.now += 1;
+        Some(Step {
+            state: next,
+            cmd: None,
+            violations: Vec::new(),
+            invariant_breaches: Vec::new(),
+        })
+    }
+}
+
+fn push_violation(out: &mut Vec<RefViolation>, class: ViolationClass, cycle: Cycle, detail: &str) {
+    out.push(RefViolation {
+        class,
+        cycle,
+        detail: detail.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_tables_are_consistent() {
+        let spec = ModelSpec::paper();
+        assert_eq!(spec.sched_classes.len(), 1 + 2 * TIERS.len());
+        let baseline = spec.sched_classes[0];
+        for (i, (m, k)) in TIERS.iter().enumerate() {
+            assert!(m <= k, "tier {i}: M must not exceed K");
+            let fast = spec.sched_classes[i + 1];
+            assert!(fast.t_rcd <= baseline.t_rcd);
+            // Table 3: tRAS and tRFC shrink below baseline only when M >= 2
+            // (refresh amortization); M = 1 modes pay a restore penalty.
+            if *m >= 2 {
+                assert!(fast.t_ras <= baseline.t_ras);
+                assert!(spec.t_rfc_by_tier[i + 1] <= spec.t_rfc_by_tier[0]);
+            } else {
+                assert!(fast.t_ras >= baseline.t_ras);
+                assert!(spec.t_rfc_by_tier[i + 1] >= spec.t_rfc_by_tier[0]);
+            }
+            let fullras = spec.sched_classes[i + 1 + TIERS.len()];
+            assert_eq!(fullras.t_ras, baseline.t_ras);
+        }
+    }
+
+    #[test]
+    fn initial_state_accepts_a_basic_open_read_close() {
+        let m = Machine::new(ModelSpec::paper());
+        let s0 = m.initial();
+        let s1 = m
+            .try_apply(
+                &s0,
+                Action::Act {
+                    bank: 0,
+                    fast: false,
+                },
+            )
+            .expect("ACT enabled");
+        assert!(s1.violations.is_empty());
+        let s2 = m
+            .try_apply(
+                &s1.state,
+                Action::Cas {
+                    bank: 0,
+                    write: false,
+                },
+            )
+            .expect("RD enabled");
+        assert!(s2.violations.is_empty());
+        let s3 = m
+            .try_apply(&s2.state, Action::Pre { bank: 0 })
+            .expect("PRE");
+        assert!(s3.violations.is_empty());
+        assert_eq!(s3.state.sched_banks[0].open_row, None);
+        assert_eq!(s3.state.sched_banks, s3.state.ref_banks);
+    }
+
+    #[test]
+    fn seeded_trp_bug_produces_a_trc_violation() {
+        let m = Machine::new(ModelSpec::paper().with_seeded_bug(SeededBug::TrpOffByOne));
+        let s0 = m.initial();
+        let s1 = m
+            .try_apply(
+                &s0,
+                Action::Act {
+                    bank: 0,
+                    fast: false,
+                },
+            )
+            .expect("ACT");
+        let s2 = m
+            .try_apply(&s1.state, Action::Pre { bank: 0 })
+            .expect("PRE");
+        let s3 = m
+            .try_apply(
+                &s2.state,
+                Action::Act {
+                    bank: 0,
+                    fast: false,
+                },
+            )
+            .expect("re-ACT");
+        assert!(
+            s3.violations
+                .iter()
+                .any(|v| v.class == ViolationClass::TrcViolation),
+            "scheduler re-activated before the reference tRP window closed"
+        );
+    }
+
+    #[test]
+    fn fast_activate_is_gated_by_the_retention_budget() {
+        let m = Machine::new(ModelSpec::paper());
+        let mut s = m.initial();
+        s.tier = 2; // [2/2x]
+                    // Age the fast row far past the budget.
+        s.now = 10_000;
+        s.next_due = 10_200;
+        s.last_restore = 0;
+        assert!(m
+            .try_apply(
+                &s,
+                Action::Act {
+                    bank: 0,
+                    fast: true
+                }
+            )
+            .is_none());
+        let fresh = MachineState {
+            last_restore: 9_900,
+            ..s
+        };
+        let step = m
+            .try_apply(
+                &fresh,
+                Action::Act {
+                    bank: 0,
+                    fast: true,
+                },
+            )
+            .expect("fresh fast row activates");
+        assert!(step.violations.is_empty());
+    }
+
+    #[test]
+    fn guardband_rearm_edge_is_honored_by_poll() {
+        let m = Machine::new(ModelSpec::paper());
+        let mut s = m.initial();
+        s.tier = 1;
+        // Two hits in one window trip the ladder.
+        let s = m.try_apply(&s, Action::RetentionHit).expect("hit");
+        let s = m.try_apply(&s.state, Action::RetentionHit).expect("hit");
+        assert_eq!(s.state.degrade, DegradeLevel::NoSkip);
+        assert!(s.invariant_breaches.is_empty());
+        // The re-arm edge is far in the future; polls before it are
+        // disabled by the slot gate, so walk slots forward first.
+        let mut cur = s.state;
+        let mut guard = 0;
+        while cur
+            .guardband
+            .next_rearm_cycle()
+            .is_some_and(|c| c > cur.next_due)
+        {
+            let step = match Machine::new(ModelSpec::paper()).try_apply(&cur, Action::WaitSlot) {
+                Some(w) => w,
+                None => m.try_apply(&cur, Action::Refresh).expect("refresh"),
+            };
+            cur = step.state;
+            guard += 1;
+            assert!(guard < 64, "re-arm edge never became reachable");
+        }
+        let step = m.try_apply(&cur, Action::RearmPoll).expect("poll enabled");
+        assert!(
+            step.invariant_breaches.is_empty(),
+            "{:?}",
+            step.invariant_breaches
+        );
+        assert_eq!(step.state.degrade, DegradeLevel::Full);
+    }
+}

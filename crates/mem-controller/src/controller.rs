@@ -103,6 +103,45 @@ pub struct Completion {
     pub latency: Cycle,
 }
 
+/// The edge computation that produced a [`MemoryController::next_event`]
+/// wake-up cycle. Each variant names one term of the fold in
+/// [`MemoryController::next_event_detail`]; the `mcr-model` certifier uses
+/// it to attribute a wake-soundness violation to the source that
+/// under-estimated (overshot) the earliest observable state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeSource {
+    /// Guardband monitor re-arm poll deadline.
+    GuardbandRearm,
+    /// Earliest in-flight read completion delivery.
+    Completion,
+    /// A rank's next refresh-slot deadline (tREFI cadence).
+    RefreshDue,
+    /// A postponed refresh slot becoming issuable (fault release window
+    /// or the rank's tRFC/tRP recovery).
+    RefreshRelease,
+    /// An urgent rank precharging an open bank to quiesce for REFRESH.
+    RefreshQuiesce,
+    /// A queued row-hit request's CAS (or shared data bus) becoming legal.
+    QueueCas,
+    /// A queued row-conflict request's PRECHARGE becoming legal.
+    QueuePrecharge,
+    /// A queued row-miss request's ACTIVATE becoming legal.
+    QueueActivate,
+    /// A rank crossing the power-down idle threshold.
+    PowerdownDue,
+    /// A pending power-down entry retrying after refresh/precharges.
+    PowerdownRetry,
+}
+
+/// One wake-up edge: the cycle and the computation that claimed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeInfo {
+    /// Earliest cycle (strictly after the queried `now`) work can happen.
+    pub cycle: Cycle,
+    /// The edge source that produced `cycle`.
+    pub source: EdgeSource,
+}
+
 /// Per-channel controller state.
 struct ChannelCtl {
     chan: Channel,
@@ -483,35 +522,47 @@ impl MemoryController {
     /// late-refresh fault stamps its release relative to the cycle the
     /// slot is observed, so jumping past a deadline would change behavior.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        let mut edge: Option<Cycle> = None;
-        let mut note = |c: Cycle| {
-            if c > now {
-                edge = Some(edge.map_or(c, |e| e.min(c)));
+        self.next_event_detail(now).map(|e| e.cycle)
+    }
+
+    /// Like [`MemoryController::next_event`], but also reports *which*
+    /// edge source claimed the earliest wake-up (ties keep the first
+    /// source in scan order). This is the introspection surface the
+    /// `mcr-model` wake-soundness certifier uses to attribute an overshoot
+    /// to the edge computation that produced it.
+    pub fn next_event_detail(&self, now: Cycle) -> Option<EdgeInfo> {
+        let mut edge: Option<EdgeInfo> = None;
+        let mut note = |c: Cycle, source: EdgeSource| {
+            if c > now && edge.is_none_or(|e| c < e.cycle) {
+                edge = Some(EdgeInfo { cycle: c, source });
             }
         };
         if let Some(g) = &self.guardband {
             if let Some(c) = g.next_rearm_cycle() {
-                note(c);
+                note(c, EdgeSource::GuardbandRearm);
             }
         }
         for ch in &self.channels {
             if let Some(&Reverse((ready, ..))) = ch.completions.peek() {
-                note(ready);
+                note(ready, EdgeSource::Completion);
             }
             if self.config.refresh_enabled {
                 for rank in 0..self.geometry.ranks {
-                    note(ch.refresh.next_due(rank));
+                    note(ch.refresh.next_due(rank), EdgeSource::RefreshDue);
                     if ch.refresh.backlog(rank) > 0 {
                         if let Some(p) = ch.refresh.peek(rank) {
-                            note(p.not_before);
+                            note(p.not_before, EdgeSource::RefreshRelease);
                         }
-                        note(ch.chan.next_refresh_cycle(rank));
+                        note(ch.chan.next_refresh_cycle(rank), EdgeSource::RefreshRelease);
                         // An urgent rank quiesces by precharging its open
                         // banks before the REFRESH can issue; each of
                         // those precharges is an edge of its own.
                         for bank in 0..self.geometry.banks {
                             if ch.chan.open_row(rank, bank).is_some() {
-                                note(ch.chan.next_precharge_cycle(rank, bank));
+                                note(
+                                    ch.chan.next_precharge_cycle(rank, bank),
+                                    EdgeSource::RefreshQuiesce,
+                                );
                             }
                         }
                     }
@@ -530,24 +581,37 @@ impl MemoryController {
                         ch.chan
                             .next_cas_cycle(rank, bank, is_read)
                             .max(ch.chan.next_bus_cas_cycle(rank, is_read)),
+                        EdgeSource::QueueCas,
                     ),
-                    Some(_) => note(ch.chan.next_precharge_cycle(rank, bank)),
-                    None => note(ch.chan.next_activate_cycle(rank, bank)),
+                    Some(_) => note(
+                        ch.chan.next_precharge_cycle(rank, bank),
+                        EdgeSource::QueuePrecharge,
+                    ),
+                    None => note(
+                        ch.chan.next_activate_cycle(rank, bank),
+                        EdgeSource::QueueActivate,
+                    ),
                 }
             }
             if let Some(threshold) = self.config.powerdown_idle_threshold {
                 for rank in 0..self.geometry.ranks {
                     if let Some(since) = ch.rank_idle_since[rank as usize] {
                         let due = since.saturating_add(threshold as Cycle);
-                        note(due);
+                        note(due, EdgeSource::PowerdownDue);
                         if due <= now {
                             // Entry is pending: it retries as soon as the
                             // rank finishes refreshing, and open banks
                             // still need power-down precharges.
-                            note(ch.chan.rank(rank).refresh_busy_until());
+                            note(
+                                ch.chan.rank(rank).refresh_busy_until(),
+                                EdgeSource::PowerdownRetry,
+                            );
                             for bank in 0..self.geometry.banks {
                                 if ch.chan.open_row(rank, bank).is_some() {
-                                    note(ch.chan.next_precharge_cycle(rank, bank));
+                                    note(
+                                        ch.chan.next_precharge_cycle(rank, bank),
+                                        EdgeSource::PowerdownRetry,
+                                    );
                                 }
                             }
                         }
@@ -556,6 +620,17 @@ impl MemoryController {
             }
         }
         edge
+    }
+
+    /// Pending refresh backlog (postponed slots) of `rank` on channel
+    /// `ch` — introspection for wake certification and diagnostics.
+    pub fn refresh_backlog(&self, ch: usize, rank: u8) -> usize {
+        self.channels[ch].refresh.backlog(rank)
+    }
+
+    /// True while channel `ch` is in write-drain mode.
+    pub fn is_draining(&self, ch: usize) -> bool {
+        self.channels[ch].draining
     }
 
     /// Replays the per-cycle bookkeeping of `skipped` quiet cycles in one

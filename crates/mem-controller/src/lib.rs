@@ -52,7 +52,9 @@ mod request;
 mod stats;
 mod telemetry;
 
-pub use controller::{Completion, ControllerConfig, MemoryController, RowPolicy, SchedulerKind};
+pub use controller::{
+    Completion, ControllerConfig, EdgeInfo, EdgeSource, MemoryController, RowPolicy, SchedulerKind,
+};
 pub use guardband::{DegradeLevel, GuardbandConfig, GuardbandMonitor, GuardbandTransition};
 pub use mapping::{AddressMapper, BitReversal, PageInterleave, PermutationInterleave};
 pub use policy::{DevicePolicy, NormalPolicy, RefreshAction};

@@ -1,0 +1,60 @@
+//! Replays every shipped counterexample script in `tests/counterexamples/`
+//! through the independent protocol auditor. A script that stops
+//! reproducing its violation class — because the auditor, the timing
+//! tables, or the script codec changed — fails here instead of silently
+//! shipping a stale counterexample.
+
+use mcr_model::{parse_script, replay_script};
+use std::path::PathBuf;
+
+fn scripts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/counterexamples")
+}
+
+fn shipped_scripts() -> Vec<PathBuf> {
+    let dir = scripts_dir();
+    let entries = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("counterexamples dir {}: {e}", dir.display()));
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "script"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn every_shipped_counterexample_still_reproduces() {
+    let paths = shipped_scripts();
+    assert!(
+        paths.len() >= 3,
+        "expected at least 3 shipped scripts, found {}",
+        paths.len()
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let parsed =
+            parse_script(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        let violations =
+            replay_script(&parsed).unwrap_or_else(|e| panic!("replay {}: {e}", path.display()));
+        assert!(violations > 0, "{}: empty violation set", path.display());
+    }
+}
+
+#[test]
+fn scripts_state_their_expectation_and_are_minimal_enough() {
+    for path in shipped_scripts() {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let parsed =
+            parse_script(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        assert!(
+            parsed.commands.len() <= 6,
+            "{}: {} commands (shipped counterexamples stay minimized)",
+            path.display(),
+            parsed.commands.len()
+        );
+    }
+}
