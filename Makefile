@@ -3,7 +3,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke bench-smoke bench bench-core bless-bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke bench-smoke bench bench-core bench-sweep bless-bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
@@ -11,8 +11,8 @@ OFFLINE ?= --offline
 # passes (source lint + timing/mode-table/region checks), the exhaustive
 # protocol model check + wake-soundness certification, then a seeded
 # fault-injection chaos campaign, the service loopback smoke test, and
-# the event-wheel wall-clock trajectory gate.
-check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke bench-core
+# the event-wheel and persistent-store wall-clock gates.
+check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke bench-core bench-sweep
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -97,6 +97,12 @@ bench:
 # drops below 85% of the committed BENCH_baseline.json.
 bench-core:
 	MCR_BENCH_GATE=1 $(CARGO) bench $(OFFLINE) -q --bench wallclock_core
+
+# Cold vs warm sweep through the persistent result store (DESIGN.md
+# §5j): writes BENCH_sweep.json at the repo root and fails when the
+# warm-over-cold speedup drops below 5x.
+bench-sweep:
+	MCR_BENCH_GATE=1 $(CARGO) bench $(OFFLINE) -q --bench wallclock_sweep
 
 # Re-bless the wall-clock baseline after an intentional perf change,
 # then review the BENCH_baseline.json diff like any other code change.

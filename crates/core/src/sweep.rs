@@ -8,15 +8,22 @@
 //! * **Parallelism.** [`Sweep::run`] fans the grid across a scoped worker
 //!   pool (`std::thread::scope`; worker count from
 //!   [`std::thread::available_parallelism`], overridable with
-//!   [`SweepBuilder::jobs`]). Workers pull points from a shared atomic
-//!   index and write into pre-allocated, order-preserving result slots, so
-//!   the output order always equals the input order and `jobs = 1` and
-//!   `jobs = N` produce byte-identical [`RunReport`]s.
+//!   [`SweepBuilder::jobs`]). Each worker starts with a contiguous chunk
+//!   of points in its own deque and, once drained, steals half the
+//!   remaining queue of the richest victim — so heterogeneous-cost grids
+//!   (a fault campaign next to zero-rate controls) keep every worker
+//!   busy instead of straggling on one long tail. Results land in
+//!   pre-allocated, order-preserving slots, so the output order always
+//!   equals the input order and `jobs = 1` and `jobs = N` produce
+//!   byte-identical [`RunReport`]s regardless of who stole what.
 //! * **Memoization.** Results are cached content-addressed, keyed by
 //!   [`SystemConfig::config_key`] — a stable (cross-process) hash of every
 //!   field that influences the simulation. Re-running a sweep, or adding
 //!   overlapping points (e.g. the shared baselines of Fig. 11), costs one
-//!   cache lookup per duplicate instead of a simulation.
+//!   cache lookup per duplicate instead of a simulation. Any
+//!   [`ReportStore`] can back the memo: the in-process [`ResultCache`]
+//!   here, or the sharded on-disk store in `mcr-store`, which survives
+//!   the process.
 //!
 //! ```
 //! use mcr_dram::{McrMode, SweepBuilder};
@@ -32,10 +39,12 @@
 //! assert!(results.points[1].report.reads_done > 0);
 //! ```
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+use mcr_telemetry::{Counter, LatencyHistogram};
 
 use crate::mechanisms::Mechanisms;
 use crate::mode::McrMode;
@@ -163,10 +172,33 @@ pub struct SweepPoint {
     pub config: SystemConfig,
 }
 
+/// A content-addressed memo tier for completed runs, keyed by
+/// [`SystemConfig::config_key`]. Implemented by the in-process
+/// [`ResultCache`] and by the sharded, disk-backed store in the
+/// `mcr-store` crate — the sweep engine is agnostic about which tier
+/// backs it.
+///
+/// Contract: a report is a pure function of its config, so `publish`
+/// may race freely (last-writer-wins stores identical bytes), and
+/// `lookup` may miss spuriously (the caller recomputes). A persistent
+/// implementation must make `publish` durable *before returning*, so
+/// every point completed before a budget expiry survives the process —
+/// the sweep engine publishes each point the moment its simulation
+/// finishes, never batched at the end.
+pub trait ReportStore: Send + Sync {
+    /// Returns the memoized report for `key`, if present and intact.
+    fn lookup(&self, key: u64) -> Option<RunReport>;
+
+    /// Publishes a completed report under `key`.
+    fn publish(&self, key: u64, report: &RunReport);
+}
+
 /// Shared, content-addressed memo of completed runs, keyed by
 /// [`SystemConfig::config_key`]. A [`Sweep`] owns one internally; pass
 /// your own to [`Sweep::run_with_cache`] to share results across sweeps
-/// (e.g. a bench that reuses baselines between figures).
+/// (e.g. a bench that reuses baselines between figures). This is the
+/// process-local [`ReportStore`]; `mcr-store` provides the one that
+/// survives restarts.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     map: Mutex<HashMap<u64, RunReport>>,
@@ -192,8 +224,10 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
 
-    fn get(&self, key: u64) -> Option<RunReport> {
+impl ReportStore for ResultCache {
+    fn lookup(&self, key: u64) -> Option<RunReport> {
         self.map
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -201,11 +235,11 @@ impl ResultCache {
             .cloned()
     }
 
-    fn insert(&self, key: u64, report: RunReport) {
+    fn publish(&self, key: u64, report: &RunReport) {
         self.map
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, report);
+            .insert(key, report.clone());
     }
 }
 
@@ -514,64 +548,112 @@ impl Sweep {
     /// letting several sweeps share results (identical configs are
     /// simulated once, ever).
     pub fn run_with_cache(&self, cache: &ResultCache) -> SweepResults {
-        match self.run_budgeted(cache, &RunBudget::unbounded()) {
+        self.run_with_store(cache)
+    }
+
+    /// Runs every point against any [`ReportStore`] tier — e.g. the
+    /// sharded disk-backed store from `mcr-store`, which persists
+    /// results across processes and restarts.
+    pub fn run_with_store(&self, store: &dyn ReportStore) -> SweepResults {
+        match self.run_budgeted(store, &RunBudget::unbounded()) {
             Some(results) => results,
             None => unreachable!("an unbounded RunBudget never expires"),
         }
     }
 
-    /// Like [`Sweep::run_with_cache`], but bounded by a [`RunBudget`]:
+    /// Like [`Sweep::run_with_store`], but bounded by a [`RunBudget`]:
     /// workers re-check the budget between points and (via
     /// [`System::run_budgeted`]) at poll boundaries within a point, so a
     /// deadline or cancellation bounds how long the sweep can overshoot,
     /// and a `max_cycles` cap bounds how far any point may simulate.
     /// Returns `None` when the budget ran out — partial results are
-    /// discarded, but completed points already sit in `cache`, so a
+    /// discarded as a set, but every point that *completed* was already
+    /// published to `store` the moment its simulation finished (never
+    /// batched, regardless of which worker's deque it sat in), so a
     /// retried request only re-simulates the interrupted tail.
-    pub fn run_budgeted(&self, cache: &ResultCache, budget: &RunBudget) -> Option<SweepResults> {
+    ///
+    /// Work distribution is chunked work stealing: each worker starts
+    /// with a contiguous chunk of the grid in a private deque, pops
+    /// points off its front, and when drained steals the back half of
+    /// the richest victim's deque. Execution order therefore varies run
+    /// to run, but results are written to index-addressed slots and
+    /// every report is a pure function of its config, so the returned
+    /// [`SweepResults`] is bit-identical for any jobs count and any
+    /// steal schedule ([`SweepResults::exec`] carries the volatile
+    /// scheduling counters, outside the serialized results).
+    pub fn run_budgeted(
+        &self,
+        store: &dyn ReportStore,
+        budget: &RunBudget,
+    ) -> Option<SweepResults> {
         let jobs = self.jobs();
         let t0 = Instant::now();
-        let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<PointResult, ConfigError>>>> =
             self.points.iter().map(|_| Mutex::new(None)).collect();
+        let deques = chunked_deques(self.points.len(), jobs);
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
+        let stolen_points = AtomicU64::new(0);
+        let point_wall_us = Mutex::new(LatencyHistogram::new());
 
         // The worker closure must stay free of panicking paths (source
         // lint `panicking-sweep-worker`): a panicking worker would poison
         // the slot mutexes and take the whole sweep down with it. Build
         // failures travel out through the slot as a `Result` instead and
         // are re-raised on the driving thread below.
-        let work = |_worker: usize| loop {
+        let work = |worker: usize| loop {
             if budget.expired() {
                 break;
             }
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.points.len() {
-                break;
-            }
+            let i = match pop_local(&deques[worker]) {
+                Some(i) => i,
+                None => match steal_half(&deques, worker) {
+                    Some((i, batch)) => {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        stolen_points.fetch_add(batch, Ordering::Relaxed);
+                        i
+                    }
+                    None => break, // every deque is dry — the grid is done
+                },
+            };
             let point = &self.points[i];
             let key = point.config.config_key();
             let t = Instant::now();
-            let (report, cache_hit) = match cache.get(key) {
+            let (report, cache_hit) = match store.lookup(key) {
                 Some(report) => (Ok(Some(report)), true),
                 None => {
                     // Validated in `build`, so `try_build` cannot fail;
                     // `run_budgeted` yields `None` when the budget runs
                     // out mid-simulation (the point is abandoned, not
-                    // cached).
+                    // published).
                     let report =
                         System::try_build(&point.config).map(|sys| sys.run_budgeted(budget));
                     if let Ok(Some(r)) = &report {
-                        cache.insert(key, r.clone());
+                        // Publish immediately — even if the budget expires
+                        // on the very next poll, this point survives into
+                        // the store (durably, for persistent tiers).
+                        store.publish(key, r);
                     }
                     (report, false)
                 }
             };
+            if cache_hit {
+                hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let wall = t.elapsed();
+            point_wall_us
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(u64::try_from(wall.as_micros()).unwrap_or(u64::MAX));
             let result = match report {
                 Ok(Some(report)) => Some(Ok(PointResult {
                     label: point.label.clone(),
                     key,
                     report,
-                    wall: t.elapsed(),
+                    wall,
                     cache_hit,
                 })),
                 Ok(None) => None, // budget ran out mid-point; slot stays empty
@@ -595,6 +677,15 @@ impl Sweep {
             });
         }
 
+        let exec = SweepExecStats {
+            hits: counter_of(hits.into_inner()),
+            misses: counter_of(misses.into_inner()),
+            steals: counter_of(steals.into_inner()),
+            stolen_points: counter_of(stolen_points.into_inner()),
+            point_wall_us: point_wall_us
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner),
+        };
         let mut points = Vec::with_capacity(slots.len());
         for slot in slots {
             let inner = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
@@ -611,8 +702,81 @@ impl Sweep {
             points,
             wall: t0.elapsed(),
             jobs,
+            exec,
         })
     }
+}
+
+/// One private work deque per worker, seeded with contiguous chunks of
+/// the grid (`0..n` split as evenly as possible, earlier workers taking
+/// the remainder). Contiguous seeding keeps the common "baseline first"
+/// grid order roughly front-to-back under `jobs = 1` and gives thieves
+/// large coherent batches to take.
+fn chunked_deques(n: usize, jobs: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    let jobs = jobs.max(1);
+    let base = n / jobs;
+    let extra = n % jobs;
+    let mut next = 0usize;
+    (0..jobs)
+        .map(|w| {
+            let take = base + usize::from(w < extra);
+            let chunk: VecDeque<usize> = (next..next + take).collect();
+            next += take;
+            Mutex::new(chunk)
+        })
+        .collect()
+}
+
+/// Pops the next point index off the front of a worker's own deque.
+fn pop_local(deque: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    deque
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .pop_front()
+}
+
+/// Steals half (rounded up) of the richest victim's deque, taken from
+/// its back, into the thief's (empty) deque. Returns the first stolen
+/// index — run it now — and how many points moved in total, or `None`
+/// once every victim is dry. Length snapshots race with the owners, so
+/// the pick is re-validated under the victim's lock and the scan
+/// retried until a steal lands or the grid is exhausted.
+fn steal_half(deques: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<(usize, u64)> {
+    loop {
+        let mut victim: Option<(usize, usize)> = None;
+        for (v, d) in deques.iter().enumerate() {
+            if v == thief {
+                continue;
+            }
+            let len = d.lock().unwrap_or_else(PoisonError::into_inner).len();
+            if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                victim = Some((v, len));
+            }
+        }
+        let (v, _) = victim?;
+        let mut batch = {
+            let mut q = deques[v].lock().unwrap_or_else(PoisonError::into_inner);
+            let len = q.len();
+            if len == 0 {
+                continue; // emptied between snapshot and lock; rescan
+            }
+            q.split_off(len - len.div_ceil(2))
+        };
+        let total = batch.len() as u64;
+        let first = batch.pop_front()?; // non-empty: len > 0 above
+        if !batch.is_empty() {
+            // The thief only steals once its own deque is drained, so
+            // installing the batch wholesale cannot clobber anything.
+            *deques[thief].lock().unwrap_or_else(PoisonError::into_inner) = batch;
+        }
+        return Some((first, total));
+    }
+}
+
+fn counter_of(n: u64) -> Counter {
+    let mut c = Counter::new();
+    c.add(n);
+    c
 }
 
 /// Outcome of one grid point.
@@ -632,6 +796,27 @@ pub struct PointResult {
     pub cache_hit: bool,
 }
 
+/// Work-distribution accounting for one sweep run, carried on
+/// [`SweepResults::exec`]. Everything here is *volatile* — wall clock
+/// and the steal schedule vary run to run — which is why it lives
+/// outside [`SweepResults::to_json`] and the bit-identity contract:
+/// the serialized results stay byte-equal across jobs counts while the
+/// scheduling story remains observable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepExecStats {
+    /// Points served from the memo store.
+    pub hits: Counter,
+    /// Points that required a simulation.
+    pub misses: Counter,
+    /// Successful steal operations (one per batch moved).
+    pub steals: Counter,
+    /// Points that migrated to a thief's deque (batch sizes summed).
+    pub stolen_points: Counter,
+    /// Per-point wall clock, in microseconds (hits and misses alike) —
+    /// the cost spread that motivates stealing in the first place.
+    pub point_wall_us: LatencyHistogram,
+}
+
 /// All results of one [`Sweep::run`], in the sweep's input order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResults {
@@ -641,6 +826,9 @@ pub struct SweepResults {
     pub wall: Duration,
     /// Worker count actually used.
     pub jobs: usize,
+    /// Scheduling/memo accounting for this run (volatile; excluded from
+    /// [`SweepResults::to_json`]).
+    pub exec: SweepExecStats,
 }
 
 impl SweepResults {

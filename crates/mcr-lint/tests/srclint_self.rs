@@ -54,7 +54,7 @@ fn service_crates_are_inside_the_lint_walk() {
     // their library sources exist where the walker looks, and a violation
     // seeded under either crate name is caught by the workspace walk.
     let root = workspace_root();
-    for krate in ["mcr-serve", "sim-json"] {
+    for krate in ["mcr-serve", "mcr-store", "sim-json"] {
         let lib = root.join("crates").join(krate).join("src").join("lib.rs");
         assert!(lib.is_file(), "{} must have library sources", krate);
         let text = std::fs::read_to_string(&lib).expect("readable lib.rs");
@@ -67,7 +67,7 @@ fn service_crates_are_inside_the_lint_walk() {
     // A fabricated workspace mirroring the new crate layout: the walk
     // must descend into both crates (and still skip their `src/bin/`).
     let fake = std::env::temp_dir().join(format!("mcr-lint-serve-{}", std::process::id()));
-    for krate in ["mcr-serve", "sim-json"] {
+    for krate in ["mcr-serve", "mcr-store", "sim-json"] {
         let src = fake.join("crates").join(krate).join("src");
         std::fs::create_dir_all(src.join("bin")).expect("mkdir");
         std::fs::write(
@@ -84,8 +84,8 @@ fn service_crates_are_inside_the_lint_walk() {
     }
     let diags = lint_workspace(&fake).expect("walk");
     std::fs::remove_dir_all(&fake).ok();
-    assert_eq!(diags.len(), 2, "{diags:?}");
-    for krate in ["mcr-serve", "sim-json"] {
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    for krate in ["mcr-serve", "mcr-store", "sim-json"] {
         assert!(
             diags
                 .iter()

@@ -21,6 +21,7 @@ use mcr_dram::experiments::Outcome;
 use mcr_dram::{telemetry_to_json, McrMode, RunReport, System, SystemConfig};
 use mcr_serve::protocol::parse_mode;
 use mcr_serve::{Client, RunSpec, ServeConfig, Server};
+use mcr_store::ResultStore;
 use mcr_telemetry::RingRecorder;
 use sim_json::Json;
 use std::fmt::Write as _;
@@ -46,6 +47,7 @@ struct Args {
     fault_rate: Option<f64>,
     fault_seed: Option<u64>,
     chaos: bool,
+    cache_dir: Option<String>,
 }
 
 /// Ring capacity for `--trace-out`: the trailing window of scheduler
@@ -60,6 +62,7 @@ fn usage() {
         "usage: mcr-sim [--workload NAME | --mix NAME] [options]\n\
          \x20      mcr-sim serve [serve options]\n\
          \x20      mcr-sim submit <REQUEST.json | - | --ping | --stats | --shutdown> [submit options]\n\
+         \x20      mcr-sim cache <stats | verify | gc> --cache-dir DIR\n\
          \n\
          options:\n\
            --mode M/Kx/L     MCR mode, e.g. 4/4x/100 (default: off)\n\
@@ -69,6 +72,8 @@ fn usage() {
            --mechanisms CASE fig17 case 1-4 (default: all on)\n\
            --seed N          RNG seed (default 2015)\n\
            --jobs N          sweep worker threads (default: all cores)\n\
+           --cache-dir DIR   persistent result store; known points are\n\
+                             served from disk instead of re-simulated\n\
            --csv             emit one CSV line instead of the report\n\
            --json            emit the sweep results as JSON\n\
            --metrics         append the MCR point's telemetry as JSON\n\
@@ -86,6 +91,14 @@ fn usage() {
            --queue-cap N     bounded queue capacity (default 64)\n\
            --max-points N    largest grid a job may expand to (default 512)\n\
            --max-len N       largest trace length a job may request\n\
+           --cache-dir DIR   persistent result store shared by the\n\
+                             workers; a warm cache survives restarts\n\
+         \n\
+         cache subcommand (against a --cache-dir store):\n\
+           stats             print the store's occupancy and counters\n\
+           verify            full integrity scan; corrupt entries are\n\
+                             quarantined; exit 0 clean, 2 corruption\n\
+           gc                remove stale .tmp files and drain quarantine\n\
          \n\
          submit options:\n\
            --addr A          service address (default {DEFAULT_ADDR})\n\
@@ -113,6 +126,7 @@ fn parse_args(argv: Vec<String>) -> Result<Option<Args>, String> {
         fault_rate: None,
         fault_seed: None,
         chaos: false,
+        cache_dir: None,
     };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
@@ -198,6 +212,7 @@ fn parse_args(argv: Vec<String>) -> Result<Option<Args>, String> {
                 )
             }
             "--chaos" => args.chaos = true,
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
             "--csv" => args.csv = true,
             "--json" => args.json = true,
             "--metrics" => args.metrics = true,
@@ -346,6 +361,7 @@ fn parse_serve_args(argv: &[String]) -> Result<Option<(String, ServeConfig)>, St
                     .parse()
                     .map_err(|e| format!("bad --max-len: {e}"))?
             }
+            "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
             "--help" | "-h" => {
                 usage();
                 return Ok(None);
@@ -376,12 +392,23 @@ fn serve_main(argv: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "mcr-serve listening on {} ({} workers, queue capacity {})",
-        server.local_addr(),
-        server.config().workers,
-        server.config().queue_cap
-    );
+    match &server.config().cache_dir {
+        Some(dir) => println!(
+            "mcr-serve listening on {} ({} workers, queue capacity {}, \
+             cache {} with {} warm entries)",
+            server.local_addr(),
+            server.config().workers,
+            server.config().queue_cap,
+            dir.display(),
+            server.warm_entries()
+        ),
+        None => println!(
+            "mcr-serve listening on {} ({} workers, queue capacity {})",
+            server.local_addr(),
+            server.config().workers,
+            server.config().queue_cap
+        ),
+    }
     let _ = std::io::stdout().flush();
     let t = server.run();
     println!(
@@ -524,6 +551,114 @@ fn submit_main(argv: &[String]) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// cache
+// ---------------------------------------------------------------------------
+
+fn parse_cache_args(argv: &[String]) -> Result<Option<(String, String)>, String> {
+    let mut action: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--cache-dir" => dir = Some(value("--cache-dir")?),
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => {
+                if action.is_some() {
+                    return Err("cache takes exactly one action".into());
+                }
+                action = Some(flag);
+            }
+        }
+    }
+    let Some(action) = action else {
+        return Err("cache needs an action: stats, verify or gc".into());
+    };
+    if !matches!(action.as_str(), "stats" | "verify" | "gc") {
+        return Err(format!(
+            "unknown cache action {action:?} (want stats, verify or gc)"
+        ));
+    }
+    let Some(dir) = dir else {
+        return Err("cache needs --cache-dir DIR".into());
+    };
+    Ok(Some((action, dir)))
+}
+
+/// The `cache` subcommand: operate on a `--cache-dir` store without
+/// running any simulation. `verify` exits 0 when the scan is clean and
+/// 2 when it found (and quarantined) corruption, so scripts can gate
+/// on the store's integrity the same way they gate on a `submit`.
+fn cache_main(argv: &[String]) -> ExitCode {
+    let (action, dir) = match parse_cache_args(argv) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match ResultStore::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot open cache {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action.as_str() {
+        "stats" => {
+            let st = store.stats();
+            let per_shard = st
+                .disk_entries_per_shard
+                .iter()
+                .map(|&n| Json::from(n))
+                .collect();
+            println!(
+                "{}",
+                Json::obj([
+                    ("dir", Json::str(dir)),
+                    ("shards", Json::from(st.shards as u64)),
+                    ("disk_entries", Json::from(st.disk_entries())),
+                    ("disk_entries_per_shard", Json::Arr(per_shard)),
+                    ("quarantined", Json::from(st.quarantined.get())),
+                ])
+            );
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let v = store.verify();
+            for path in &v.corrupt {
+                eprintln!("corrupt (quarantined): {}", path.display());
+            }
+            println!(
+                "verify: {} intact, {} corrupt, {} stale tmp",
+                v.intact,
+                v.corrupt.len(),
+                v.stale_tmp
+            );
+            if v.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        _ => {
+            let g = store.gc();
+            println!(
+                "gc: {} stale tmp removed, {} quarantined removed",
+                g.tmp_removed, g.quarantine_removed
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // local (legacy) run
 // ---------------------------------------------------------------------------
 
@@ -581,7 +716,19 @@ fn local_main(argv: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let results = sweep.run();
+    // With --cache-dir the sweep reads and publishes through the
+    // persistent store, so a repeated invocation (or another process
+    // sharing the directory) skips the simulation entirely.
+    let results = match &args.cache_dir {
+        Some(dir) => match ResultStore::open(dir) {
+            Ok(store) => sweep.run_with_store(&store),
+            Err(e) => {
+                eprintln!("error: cannot open cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => sweep.run(),
+    };
     if let Some(path) = &args.trace_out {
         if let Err(e) = dump_trace(&cfg, path) {
             eprintln!("error: {e}");
@@ -674,6 +821,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => serve_main(&argv[1..]),
         Some("submit") => submit_main(&argv[1..]),
+        Some("cache") => cache_main(&argv[1..]),
         _ => local_main(argv),
     }
 }

@@ -17,18 +17,24 @@
 //!   acceptor and workers exit. No accepted job ever loses its
 //!   response.
 //!
-//! Results are memoized across requests in a shared
-//! [`ResultCache`] keyed by the stable `SystemConfig::config_key`, so
-//! a repeated request is answered without re-simulation.
+//! Results are memoized across requests in a shared [`ReportStore`]
+//! keyed by the stable `SystemConfig::config_key`, so a repeated
+//! request is answered without re-simulation. By default that tier is
+//! the in-process [`ResultCache`]; with [`ServeConfig::cache_dir`] set
+//! it is a persistent `mcr-store` [`ResultStore`], so a warm cache
+//! survives restarts (the `stats` answer reports the tier, including
+//! how many entries were already on disk when the service started).
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use mcr_dram::{ResultCache, RunBudget, Sweep};
+use mcr_dram::{ReportStore, ResultCache, RunBudget, RunReport, Sweep};
+use mcr_store::ResultStore;
 use sim_json::Json;
 
 use crate::protocol::{
@@ -48,6 +54,9 @@ pub struct ServeConfig {
     pub max_points: usize,
     /// Largest trace length a single job may request (code 413).
     pub max_trace_len: usize,
+    /// Directory for the persistent result store; `None` keeps the
+    /// memo in-process only (lost on restart).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +66,32 @@ impl Default for ServeConfig {
             queue_cap: 64,
             max_points: 512,
             max_trace_len: 2_000_000,
+            cache_dir: None,
+        }
+    }
+}
+
+/// The memo tier the workers publish into: in-process only, or the
+/// disk-backed sharded store when a cache directory is configured.
+enum CacheTier {
+    /// In-process [`ResultCache`]; dies with the server.
+    Memory(ResultCache),
+    /// Persistent `mcr-store` [`ResultStore`]; survives restarts.
+    Disk(ResultStore),
+}
+
+impl ReportStore for CacheTier {
+    fn lookup(&self, key: u64) -> Option<RunReport> {
+        match self {
+            CacheTier::Memory(c) => c.lookup(key),
+            CacheTier::Disk(s) => s.lookup(key),
+        }
+    }
+
+    fn publish(&self, key: u64, report: &RunReport) {
+        match self {
+            CacheTier::Memory(c) => c.publish(key, report),
+            CacheTier::Disk(s) => s.publish(key, report),
         }
     }
 }
@@ -89,7 +124,10 @@ struct Shared {
     work_cv: Condvar,
     /// Signals the drain waiter: queue and in-flight both hit zero.
     idle_cv: Condvar,
-    cache: ResultCache,
+    cache: CacheTier,
+    /// Committed on-disk entries found when the store was opened — the
+    /// warm inheritance from previous runs, announced in `stats`.
+    warm_entries: u64,
     telemetry: Mutex<ServeTelemetry>,
 }
 
@@ -119,7 +157,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, or the store-open failure when
+    /// [`ServeConfig::cache_dir`] is set.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -131,6 +170,14 @@ impl Server {
             cfg.workers
         };
         let cfg = ServeConfig { workers, ..cfg };
+        let cache = match &cfg.cache_dir {
+            Some(dir) => CacheTier::Disk(ResultStore::open(dir)?),
+            None => CacheTier::Memory(ResultCache::new()),
+        };
+        let warm_entries = match &cache {
+            CacheTier::Disk(store) => store.len(),
+            CacheTier::Memory(_) => 0,
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -139,7 +186,8 @@ impl Server {
                 state: Mutex::default(),
                 work_cv: Condvar::new(),
                 idle_cv: Condvar::new(),
-                cache: ResultCache::new(),
+                cache,
+                warm_entries,
                 telemetry: Mutex::default(),
             }),
         })
@@ -153,6 +201,12 @@ impl Server {
     /// The resolved configuration (worker count filled in).
     pub fn config(&self) -> &ServeConfig {
         &self.shared.cfg
+    }
+
+    /// Committed entries already on disk when the store was opened.
+    /// Always `0` without a [`ServeConfig::cache_dir`].
+    pub fn warm_entries(&self) -> u64 {
+        self.shared.warm_entries
     }
 
     /// Serves until a `shutdown` request drains the service, then
@@ -315,8 +369,33 @@ fn stats_line(shared: &Shared) -> String {
     Json::obj([
         ("status", Json::str("ok")),
         ("stats", t.to_json(depth, in_flight, draining)),
+        ("store", store_json(shared)),
     ])
     .to_string()
+}
+
+/// The `store` member of a `stats` answer: which memo tier backs the
+/// service, and (for the persistent tier) its occupancy and counters.
+fn store_json(shared: &Shared) -> Json {
+    match &shared.cache {
+        CacheTier::Memory(_) => Json::obj([("backend", Json::str("memory"))]),
+        CacheTier::Disk(store) => {
+            let st = store.stats();
+            Json::obj([
+                ("backend", Json::str("disk")),
+                ("shards", Json::from(st.shards as u64)),
+                ("warm_entries", Json::from(shared.warm_entries)),
+                ("disk_entries", Json::from(st.disk_entries())),
+                ("hot_entries", Json::from(st.hot_entries as u64)),
+                ("hits_hot", Json::from(st.hits_hot.get())),
+                ("hits_disk", Json::from(st.hits_disk.get())),
+                ("misses", Json::from(st.misses.get())),
+                ("inserts", Json::from(st.inserts.get())),
+                ("quarantined", Json::from(st.quarantined.get())),
+                ("io_errors", Json::from(st.io_errors.get())),
+            ])
+        }
+    }
 }
 
 /// Admission control and queueing; blocks until the job's response is

@@ -225,6 +225,38 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The raw integer state — `(buckets, count, sum, min, max)` — with
+    /// the empty-histogram sentinels (`min == u64::MAX`, `max == 0`)
+    /// exposed as-is. Together with
+    /// [`LatencyHistogram::from_raw_parts`] this is the persistence
+    /// contract of the on-disk result store: a histogram rebuilt from a
+    /// snapshot compares equal (`==`) to the original, including the
+    /// empty case, which no replayed `record` stream could reproduce
+    /// (recording anything moves `min`/`max` off their sentinels).
+    pub const fn raw_parts(&self) -> (&[u64; HISTOGRAM_BUCKETS], u64, u64, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds a histogram from a [`LatencyHistogram::raw_parts`]
+    /// snapshot. No invariant between the fields is enforced: the caller
+    /// (a deserializer) is trusted to hand back state that a real
+    /// histogram produced, checksummed at the storage layer.
+    pub const fn from_raw_parts(
+        buckets: [u64; HISTOGRAM_BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Non-empty buckets as `(inclusive upper bound, sample count)`
     /// pairs, in ascending order — the export shape used by the JSON /
     /// CSV dumps.
@@ -475,6 +507,27 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_bit_identical() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 7, 300, u64::MAX] {
+            h.record(v);
+        }
+        let (buckets, count, sum, min, max) = h.raw_parts();
+        let rebuilt = LatencyHistogram::from_raw_parts(*buckets, count, sum, min, max);
+        assert_eq!(rebuilt, h);
+        // The empty histogram round-trips too, sentinels and all — the
+        // case a record-replay reconstruction could never get right.
+        let empty = LatencyHistogram::new();
+        let (b, c, s, mn, mx) = empty.raw_parts();
+        assert_eq!(mn, u64::MAX);
+        assert_eq!(mx, 0);
+        assert_eq!(
+            LatencyHistogram::from_raw_parts(*b, c, s, mn, mx),
+            LatencyHistogram::new()
+        );
     }
 
     #[test]

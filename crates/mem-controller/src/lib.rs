@@ -58,7 +58,7 @@ pub use controller::{
 pub use guardband::{DegradeLevel, GuardbandConfig, GuardbandMonitor, GuardbandTransition};
 pub use mapping::{AddressMapper, BitReversal, PageInterleave, PermutationInterleave};
 pub use policy::{DevicePolicy, NormalPolicy, RefreshAction};
-pub use refresh::{PendingRefresh, RefreshScheduler};
+pub use refresh::{PendingRefresh, RefreshScheduler, RefreshStats};
 pub use request::{Request, ServiceClass};
 pub use stats::ControllerStats;
 pub use telemetry::CtlTelemetry;

@@ -224,6 +224,36 @@ impl Json {
         }
     }
 
+    /// Encodes any `u64` losslessly: values an `f64` can hold exactly
+    /// (≤ 2^53) become a plain [`Json::Num`]; anything larger becomes a
+    /// decimal [`Json::Str`]. [`Json::as_u64_lossless`] reverses both
+    /// encodings. This is how the result store persists full-range
+    /// counters (e.g. the `u64::MAX` empty-histogram min sentinel)
+    /// through a codec whose only number type is `f64`.
+    pub fn from_u64_lossless(n: u64) -> Json {
+        if n <= 9_007_199_254_740_992 {
+            Json::Num(n as f64)
+        } else {
+            Json::Str(n.to_string())
+        }
+    }
+
+    /// Decodes either [`Json::from_u64_lossless`] encoding: a whole
+    /// in-range number (per [`Json::as_u64`]) or an all-digit decimal
+    /// string. Signs, blanks and non-canonical strings return `None`.
+    pub fn as_u64_lossless(&self) -> Option<u64> {
+        match self {
+            Json::Num(_) => self.as_u64(),
+            Json::Str(s) => {
+                if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+                    return None;
+                }
+                s.parse().ok()
+            }
+            _ => None,
+        }
+    }
+
     /// The boolean payload, when this is a [`Json::Bool`].
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -620,6 +650,32 @@ mod tests {
 
     fn fails(s: &str) -> JsonErrorKind {
         Json::parse(s).expect_err(s).kind
+    }
+
+    #[test]
+    fn u64_lossless_round_trips_the_full_range() {
+        for v in [
+            0u64,
+            1,
+            9_007_199_254_740_992, // 2^53 — last exactly-held Num
+            9_007_199_254_740_993, // 2^53 + 1 — first Str fallback
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let j = Json::from_u64_lossless(v);
+            assert_eq!(j.as_u64_lossless(), Some(v), "value {v}");
+            // Survives a serialize → parse cycle too.
+            let reparsed = Json::parse(&j.to_string()).expect("well-formed");
+            assert_eq!(reparsed.as_u64_lossless(), Some(v), "reparsed {v}");
+        }
+        assert!(matches!(Json::from_u64_lossless(u64::MAX), Json::Str(_)));
+        assert!(matches!(Json::from_u64_lossless(42), Json::Num(_)));
+        // Non-canonical strings are rejected.
+        assert_eq!(Json::str("").as_u64_lossless(), None);
+        assert_eq!(Json::str("+5").as_u64_lossless(), None);
+        assert_eq!(Json::str("12a").as_u64_lossless(), None);
+        assert_eq!(Json::Num(1.5).as_u64_lossless(), None);
+        assert_eq!(Json::Null.as_u64_lossless(), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::process::{Command, Stdio};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use mcr_serve::{Client, ServeConfig, ServeTelemetry, Server};
+use mcr_serve::{Client, RunSpec, ServeConfig, ServeTelemetry, Server};
 use sim_json::Json;
 
 fn start(cfg: ServeConfig) -> (SocketAddr, JoinHandle<ServeTelemetry>) {
@@ -254,6 +254,7 @@ fn oversized_requests_are_rejected_before_any_work() {
         queue_cap: 4,
         max_points: 8,
         max_trace_len: 10_000,
+        ..ServeConfig::default()
     });
     let mut c = Client::connect(addr).expect("connect");
     let too_long = req(
@@ -278,6 +279,182 @@ fn oversized_requests_are_rejected_before_any_work() {
     let t = handle.join().expect("server thread");
     assert_eq!(t.rejected_too_large.get(), 2);
     assert_eq!(t.accepted.get(), 0);
+}
+
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mcr-serve-smoke-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_cache_survives_server_restart() {
+    let dir = cache_dir("restart");
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 8,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let line = r#"{"cmd": "run", "id": "warm-1", "workload": "libq",
+                   "mode": "4/4x/100", "len": 1500}"#;
+
+    // First server generation: compute and persist both points.
+    let (addr, handle) = start(cfg.clone());
+    let mut c = Client::connect(addr).expect("connect gen 1");
+    let first = req(&mut c, line);
+    assert_eq!(status(&first), "ok", "response: {first:?}");
+    assert_eq!(
+        first
+            .get("result")
+            .and_then(|r| r.get("cache_hits"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "generation 1 starts cold"
+    );
+    let stats = req(&mut c, r#"{"cmd": "stats"}"#);
+    let store = stats.get("store").expect("store member in stats");
+    assert_eq!(store.get("backend").and_then(Json::as_str), Some("disk"));
+    assert_eq!(store.get("warm_entries").and_then(Json::as_u64), Some(0));
+    assert_eq!(store.get("inserts").and_then(Json::as_u64), Some(2));
+    req(&mut c, r#"{"cmd": "shutdown"}"#);
+    handle.join().expect("server gen 1");
+
+    // Second generation on the same directory: the cache is announced
+    // warm, and resubmitting the identical request is 100% hits.
+    let (addr, handle) = start(cfg);
+    let mut c = Client::connect(addr).expect("connect gen 2");
+    let stats = req(&mut c, r#"{"cmd": "stats"}"#);
+    let store = stats.get("store").expect("store member in stats");
+    assert_eq!(
+        store.get("warm_entries").and_then(Json::as_u64),
+        Some(2),
+        "restart must announce the inherited entries: {stats:?}"
+    );
+    let second = req(&mut c, line);
+    assert_eq!(status(&second), "ok");
+    assert_eq!(
+        second
+            .get("result")
+            .and_then(|r| r.get("cache_hits"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "warm restart must serve every point from the store: {second:?}"
+    );
+    let stats = req(&mut c, r#"{"cmd": "stats"}"#);
+    let store = stats.get("store").expect("store member in stats");
+    assert_eq!(
+        store.get("hits_disk").and_then(Json::as_u64),
+        Some(2),
+        "the hits came off disk, not a same-process hot tier: {stats:?}"
+    );
+    req(&mut c, r#"{"cmd": "shutdown"}"#);
+    handle.join().expect("server gen 2");
+
+    // Submitted-vs-local bit-identity is unchanged by the warm store.
+    let spec = RunSpec {
+        workload: Some("libq".into()),
+        mode: mcr_serve::protocol::parse_mode("4/4x/100").expect("mode"),
+        len: 1_500,
+        ..RunSpec::default()
+    };
+    let mut local =
+        Json::parse(&spec.sweep(Some(1)).expect("local sweep").run().to_json()).expect("parses");
+    let mut remote = second.get("result").cloned().expect("result body");
+    strip_volatile(&mut local);
+    strip_volatile(&mut remote);
+    assert_eq!(
+        local.to_string(),
+        remote.to_string(),
+        "warm submitted run diverged from a cold local run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Zeroes the volatile (timing/caching) fields of a serialized sweep
+/// result (mirrors `sweep_determinism.rs`).
+fn strip_volatile(doc: &mut Json) {
+    doc.set("wall_ns", Json::from(0u64));
+    doc.set("cache_hits", Json::from(0u64));
+    doc.set("jobs", Json::from(0u64));
+    if let Json::Obj(members) = doc {
+        for (key, value) in members.iter_mut() {
+            if key == "points" {
+                if let Json::Arr(points) = value {
+                    for p in points {
+                        p.set("wall_ns", Json::from(0u64));
+                        p.set("cache_hit", Json::from(false));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_server_is_restartable_on_its_warm_cache() {
+    // The ungraceful path: SIGKILL the serving process outright, then
+    // restart on the same --cache-dir. Publishes are durable at point
+    // completion, so the second generation still inherits the work.
+    let bin = env!("CARGO_BIN_EXE_mcr_sim");
+    let dir = cache_dir("kill");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let spawn_server = || {
+        let mut serve = Command::new(bin)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--cache-dir",
+                &dir_s,
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve");
+        let mut reader = BufReader::new(serve.stdout.take().expect("serve stdout"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("listening banner");
+        let addr = line
+            .split_whitespace()
+            .nth(3)
+            .expect("address token in banner")
+            .to_string();
+        // Keep the pipe reader alive: dropping it would make the
+        // server's final drain message fail with EPIPE.
+        (serve, addr, reader)
+    };
+    let request = r#"{"cmd": "run", "workload": "libq", "mode": "4/4x/100", "len": 1500}"#;
+
+    let (mut serve, addr, _reader1) = spawn_server();
+    let mut c = Client::connect(addr.as_str()).expect("connect gen 1");
+    let first = req(&mut c, request);
+    assert_eq!(status(&first), "ok", "response: {first:?}");
+    serve.kill().expect("kill serve");
+    let _ = serve.wait();
+
+    let (mut serve, addr, _reader2) = spawn_server();
+    let mut c = Client::connect(addr.as_str()).expect("connect gen 2");
+    let second = req(&mut c, request);
+    assert_eq!(status(&second), "ok");
+    assert_eq!(
+        second
+            .get("result")
+            .and_then(|r| r.get("cache_hits"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "killed server's publishes must survive: {second:?}"
+    );
+    req(&mut c, r#"{"cmd": "shutdown"}"#);
+    let code = serve.wait().expect("serve exits");
+    assert!(code.success(), "gen 2 must drain cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Crash-safety battery for the persistent result store: every way a
+//! shard file can be damaged mid-publish — truncation, garbage bytes,
+//! a zero-length file, a crash between the tmp write and the rename —
+//! must degrade to quarantine-plus-recompute, with the recomputed
+//! results bit-identical to a cold run. Plus the `mcr_sim cache verify`
+//! exit-code contract scripts rely on (0 clean, 2 corruption found,
+//! 1 usage error).
+
+use mcr_dram::{McrMode, SweepBuilder, SweepResults};
+use mcr_store::ResultStore;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const LEN: usize = 1_500;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mcr-store-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sweep() -> mcr_dram::Sweep {
+    SweepBuilder::new(LEN)
+        .workload("libq")
+        .mode(McrMode::off())
+        .mode(McrMode::headline())
+        .jobs(1)
+        .build()
+        .expect("valid sweep")
+}
+
+/// Committed entry files (`shard-*/<16 hex>.json`) under a store dir.
+fn entry_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for shard in fs::read_dir(dir).expect("store dir").flatten() {
+        if !shard.file_name().to_string_lossy().starts_with("shard-") {
+            continue;
+        }
+        for entry in fs::read_dir(shard.path()).expect("shard dir").flatten() {
+            if entry.file_name().to_string_lossy().ends_with(".json") {
+                out.push(entry.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn assert_reports_equal(cold: &SweepResults, warm: &SweepResults, context: &str) {
+    assert_eq!(cold.points.len(), warm.points.len(), "{context}");
+    for (c, w) in cold.points.iter().zip(&warm.points) {
+        assert_eq!(c.label, w.label, "{context}");
+        assert_eq!(c.key, w.key, "{context}");
+        assert_eq!(
+            c.report, w.report,
+            "{context}: recomputed report diverged at {}",
+            c.label
+        );
+    }
+}
+
+#[test]
+fn corruption_battery_recomputes_bit_identically() {
+    let cold = sweep().run();
+    assert_eq!(cold.points.len(), 2);
+
+    // Each corruption mode mangles every committed entry of a freshly
+    // populated store; the sweep must silently recompute the lot.
+    type Corruptor = fn(&PathBuf);
+    let battery: [(&str, Corruptor); 4] = [
+        ("truncated", |p| {
+            let text = fs::read(p).expect("read entry");
+            fs::write(p, &text[..text.len() / 2]).expect("truncate");
+        }),
+        ("garbage", |p| {
+            fs::write(p, b"\x00\xffnot json at all\x07").expect("garbage");
+        }),
+        ("zero-length", |p| {
+            fs::write(p, b"").expect("zero");
+        }),
+        ("partially-renamed", |p| {
+            // A crash between the tmp write and the rename: the full
+            // entry exists only under its private tmp name.
+            let name = p.file_name().expect("name").to_string_lossy().into_owned();
+            let stem = name.strip_suffix(".json").expect("entry name");
+            let tmp = p.with_file_name(format!(".{stem}.999-0.tmp"));
+            fs::rename(p, tmp).expect("de-rename");
+        }),
+    ];
+
+    for (mode, corrupt) in battery {
+        let dir = tmp_dir(mode);
+        {
+            let store = ResultStore::open(&dir).expect("open");
+            let first = sweep().run_with_store(&store);
+            assert_eq!(first.cache_hits(), 0, "{mode}: cold store");
+            assert_reports_equal(&cold, &first, mode);
+        }
+        let entries = entry_files(&dir);
+        assert_eq!(entries.len(), 2, "{mode}: both points committed");
+        for path in &entries {
+            corrupt(path);
+        }
+
+        // A fresh process (fresh store, cold hot tier) on the damaged
+        // directory: every lookup fails validation, the sweep
+        // recomputes, and the results match the cold run bit for bit.
+        let store = ResultStore::open(&dir).expect("reopen");
+        let again = sweep().run_with_store(&store);
+        assert_eq!(again.cache_hits(), 0, "{mode}: damage must not hit");
+        assert_reports_equal(&cold, &again, mode);
+
+        let stats = store.stats();
+        if mode == "partially-renamed" {
+            // Nothing committed was corrupt — the entry simply never
+            // landed. The stale tmp is invisible to lookups and
+            // reclaimed by gc.
+            assert_eq!(stats.quarantined.get(), 0, "{mode}");
+            let v = store.verify();
+            assert_eq!(v.stale_tmp, 2, "{mode}");
+            assert!(store.gc().tmp_removed >= 2, "{mode}");
+        } else {
+            assert_eq!(stats.quarantined.get(), 2, "{mode}: both quarantined");
+        }
+        // The recompute re-published; the store is whole again.
+        assert!(store.verify().is_clean(), "{mode}: healed after recompute");
+        assert_eq!(store.len(), 2, "{mode}");
+        let third = sweep().run_with_store(&store);
+        assert_eq!(third.cache_hits(), 2, "{mode}: healed store serves hits");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn cache_verify_exit_codes_gate_on_integrity() {
+    let bin = env!("CARGO_BIN_EXE_mcr_sim");
+    let dir = tmp_dir("verify-cli");
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    // Populate the store through the CLI itself.
+    let run = Command::new(bin)
+        .args([
+            "--workload",
+            "libq",
+            "--len",
+            "1200",
+            "--cache-dir",
+            &dir_s,
+            "--json",
+        ])
+        .output()
+        .expect("run mcr_sim");
+    assert!(run.status.success(), "populate failed: {run:?}");
+
+    let verify = |expect: i32, context: &str| {
+        let out = Command::new(bin)
+            .args(["cache", "verify", "--cache-dir", &dir_s])
+            .output()
+            .expect("cache verify");
+        assert_eq!(out.status.code(), Some(expect), "{context}: {out:?}");
+    };
+
+    verify(0, "clean store");
+    let entries = entry_files(&dir);
+    assert_eq!(entries.len(), 2);
+    fs::write(&entries[0], b"definitely not an entry").expect("corrupt");
+    verify(2, "corruption present");
+    // The corrupt entry was quarantined by the scan: a second scan is
+    // clean again (one entry short, which is recompute's problem).
+    verify(0, "after quarantine");
+
+    let gc = Command::new(bin)
+        .args(["cache", "gc", "--cache-dir", &dir_s])
+        .output()
+        .expect("cache gc");
+    assert!(gc.status.success(), "gc failed: {gc:?}");
+
+    // Usage errors exit 1, distinct from the corruption signal.
+    for bad in [
+        vec!["cache", "--cache-dir", dir_s.as_str()],
+        vec!["cache", "defragment", "--cache-dir", dir_s.as_str()],
+        vec!["cache", "verify"],
+    ] {
+        let out = Command::new(bin).args(&bad).output().expect("bad usage");
+        assert_eq!(out.status.code(), Some(1), "usage error for {bad:?}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -6,10 +6,13 @@
 //! run executed locally produce bit-identical sweep results.
 
 use mcr_dram::{
-    ConfigError, McrMode, Mechanisms, RowCacheConfig, SweepBuilder, System, SystemConfig,
+    CancelToken, ConfigError, McrMode, Mechanisms, RowCacheConfig, RunBudget, SweepBuilder, System,
+    SystemConfig,
 };
 use mcr_serve::{protocol, Client, RunSpec, ServeConfig, Server};
+use mcr_store::ResultStore;
 use sim_json::Json;
+use std::path::PathBuf;
 
 const LEN: usize = 1_500;
 
@@ -235,6 +238,184 @@ fn submitted_and_local_runs_are_bit_identical() {
     );
     // Bit-identical all the way down to the serialized bytes.
     assert_eq!(local.to_string(), remote.to_string());
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mcr-sweep-determinism-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A second, smaller grid whose keyset is a strict subset of [`grid`]'s
+/// (same workloads and modes, fewer of each), so concurrent sweeps
+/// genuinely contend for the same store entries.
+fn small_grid(jobs: usize) -> mcr_dram::Sweep {
+    SweepBuilder::new(LEN)
+        .workloads(["libq", "comm1"])
+        .mode(McrMode::off())
+        .mode(McrMode::headline())
+        .mechanisms(Mechanisms::access_only())
+        .jobs(jobs)
+        .build()
+        .expect("valid grid")
+}
+
+#[test]
+fn concurrent_sweeps_share_one_persistent_store() {
+    // Eight threads hammer one disk-backed store with two different
+    // sweeps (overlapping keysets, work-stealing workers inside each).
+    // Every thread must come back bit-identical to the jobs=1 cold
+    // reference of its sweep, no matter who computed or who hit.
+    let cold_big = grid(1).run();
+    let cold_small = small_grid(1).run();
+    let dir = store_dir("threads");
+    let store = ResultStore::open(&dir).expect("open store");
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let store = &store;
+            let (cold, mine): (_, fn(usize) -> mcr_dram::Sweep) = if t % 2 == 0 {
+                (&cold_big, grid)
+            } else {
+                (&cold_small, small_grid)
+            };
+            scope.spawn(move || {
+                let results = mine(2).run_with_store(store);
+                assert_eq!(results.points.len(), cold.points.len());
+                for (c, r) in cold.points.iter().zip(&results.points) {
+                    assert_eq!(c.label, r.label, "thread {t}: order preserved");
+                    assert_eq!(
+                        c.report, r.report,
+                        "thread {t}: shared-store run diverged at {}",
+                        c.label
+                    );
+                }
+            });
+        }
+    });
+    // Exactly the union of both keysets was committed (the small grid
+    // is a subset of the big one), and a final cold-process pass is
+    // served entirely from disk.
+    assert_eq!(store.len(), 12, "the union of both keysets, exactly once");
+    let fresh = ResultStore::open(&dir).expect("reopen");
+    let warm = grid(1).run_with_store(&fresh);
+    assert_eq!(warm.cache_hits(), warm.points.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spawned_processes_share_one_cache_dir() {
+    // Two real `mcr_sim` processes race on one --cache-dir; each must
+    // emit results bit-identical to an in-process jobs=1 cold run.
+    let spec = RunSpec {
+        workload: Some("libq".into()),
+        mode: protocol::parse_mode("4/4x/100").expect("headline mode"),
+        len: LEN,
+        ..RunSpec::default()
+    };
+    let mut local = Json::parse(&spec.sweep(Some(1)).expect("local sweep").run().to_json())
+        .expect("local results parse");
+    strip_volatile(&mut local);
+
+    let bin = env!("CARGO_BIN_EXE_mcr_sim");
+    let dir = store_dir("procs");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let spawn = || {
+        std::process::Command::new(bin)
+            .args([
+                "--workload",
+                "libq",
+                "--mode",
+                "4/4x/100",
+                "--len",
+                &LEN.to_string(),
+                "--jobs",
+                "2",
+                "--cache-dir",
+                &dir_s,
+                "--json",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn mcr_sim")
+    };
+    let (a, b) = (spawn(), spawn());
+    for (tag, child) in [("first", a), ("second", b)] {
+        let out = child.wait_with_output().expect("mcr_sim exits");
+        assert!(out.status.success(), "{tag} process failed: {out:?}");
+        let mut doc =
+            Json::parse(String::from_utf8_lossy(&out.stdout).trim()).expect("output parses");
+        strip_volatile(&mut doc);
+        assert_eq!(
+            doc.to_string(),
+            local.to_string(),
+            "{tag} process diverged from the local cold run"
+        );
+    }
+    let store = ResultStore::open(&dir).expect("open store");
+    assert_eq!(store.len(), 2, "baseline + MCR point committed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_expiry_still_publishes_completed_points() {
+    // Regression: points that finish before the budget expires must
+    // already be in the store when `run_budgeted` gives up — a cancelled
+    // sweep may cost the un-run tail, never completed work.
+    let dir = store_dir("budget");
+    let store = ResultStore::open(&dir).expect("open store");
+    let cancel = CancelToken::new();
+    let budget = RunBudget::unbounded().with_cancel(cancel.clone());
+    let published_at_cancel = std::thread::scope(|scope| {
+        let watcher = {
+            let store = &store;
+            let cancel = cancel.clone();
+            scope.spawn(move || {
+                // Cancel as soon as the first point is durably on disk.
+                for _ in 0..4_000 {
+                    let n = store.len();
+                    if n >= 1 {
+                        cancel.cancel();
+                        return n;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                cancel.cancel();
+                0
+            })
+        };
+        let outcome = grid(2).run_budgeted(&store, &budget);
+        let seen = watcher.join().expect("watcher thread");
+        assert!(seen >= 1, "a point must have been published before cancel");
+        if let Some(results) = &outcome {
+            // The cancel raced the final point: then ALL points must be
+            // in the store, not just the one the watcher saw.
+            assert_eq!(results.points.len(), 12);
+        }
+        seen
+    });
+    let published = store.len();
+    assert!(
+        published >= published_at_cancel,
+        "publishes never roll back"
+    );
+    // Whatever was published is bit-identical to a cold run, and a
+    // warm retry serves it straight from disk.
+    let cold = grid(1).run();
+    let retry = grid(1).run_with_store(&store);
+    assert!(retry.cache_hits() >= usize::try_from(published).unwrap_or(usize::MAX));
+    for (c, r) in cold.points.iter().zip(&retry.points) {
+        assert_eq!(
+            c.report, r.report,
+            "published point diverged at {}",
+            c.label
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
