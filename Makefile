@@ -3,16 +3,17 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke bench-smoke bench bench-core bench-sweep bless-bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke loadtest-smoke bench-smoke bench bench-core bench-sweep bless-bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
 # (which includes the golden-report snapshots), the mcr-lint static
 # passes (source lint + timing/mode-table/region checks), the exhaustive
 # protocol model check + wake-soundness certification, then a seeded
-# fault-injection chaos campaign, the service loopback smoke test, and
-# the event-wheel and persistent-store wall-clock gates.
-check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke bench-core bench-sweep
+# fault-injection chaos campaign, the service loopback smoke test, the
+# fault-injected loadtest smoke, and the event-wheel and
+# persistent-store wall-clock gates.
+check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke loadtest-smoke bench-core bench-sweep
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -79,6 +80,16 @@ chaos:
 # campaigns over real sockets, and exercises the serve+submit CLI.
 serve-smoke:
 	$(CARGO) test $(OFFLINE) -p mcr-serve --test serve_smoke -q
+
+# Seeded loadtest against a self-hosted loopback server (DESIGN.md §5k):
+# a clean phase, then the same volume through a NetChaos proxy injecting
+# faults at 10%; --check fails the target unless the shed/served/retried
+# accounting balances exactly and no submission is lost. Writes
+# BENCH_serve.json at the repo root.
+loadtest-smoke:
+	$(CARGO) run $(OFFLINE) -q -p mcr-serve --bin mcr_sim -- \
+		loadtest --loopback --submissions 16 --concurrency 4 \
+		--len 1200 --seed 7 --chaos-rate 0.1 --check --out BENCH_serve.json
 
 # Quick pass over the figure benches at reduced trace lengths — shape
 # checks, not statistics (a few seconds instead of minutes).

@@ -82,8 +82,8 @@ pub use mode_change::{ModeChangePlan, OsVisibleMemory};
 pub use policy::McrPolicy;
 pub use report::{telemetry_to_csv, telemetry_to_json, ResultTable};
 pub use sweep::{
-    CancelToken, PointResult, ReportStore, ResultCache, RunBudget, Sweep, SweepBuilder,
-    SweepExecStats, SweepPoint, SweepResults,
+    shard_of_key, CancelToken, PointResult, ReportStore, ResultCache, RunBudget, Sweep,
+    SweepBuilder, SweepExecStats, SweepPoint, SweepResults,
 };
 pub use system::{ConfigError, MappingKind, ReliabilityReport, RunReport, System, SystemConfig};
 pub use telemetry::{BankCommandCounts, Telemetry};

@@ -520,10 +520,39 @@ pub struct Sweep {
     cache: ResultCache,
 }
 
+/// Stable shard assignment for a config key: `key % count`. Dispatchers
+/// and servers both route points through this function, so a grid
+/// splits the same way on every host — the dispatcher can predict
+/// exactly which keys each backend's shard must return.
+pub fn shard_of_key(key: u64, count: usize) -> usize {
+    let count = count.max(1) as u64;
+    usize::try_from(key % count).unwrap_or(0)
+}
+
 impl Sweep {
     /// The grid points in the order results will be reported.
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
+    }
+
+    /// The subset of this grid owned by shard `index` of `count`,
+    /// assigned by [`shard_of_key`] over each point's config key.
+    /// Points keep their relative grid order; the shard gets a fresh
+    /// memo cache (the parent's is not shared). An empty shard is legal
+    /// — a small grid split many ways simply leaves some shards with
+    /// nothing to do.
+    pub fn shard(&self, index: usize, count: usize) -> Sweep {
+        let points = self
+            .points
+            .iter()
+            .filter(|p| shard_of_key(p.config.config_key(), count) == index)
+            .cloned()
+            .collect();
+        Sweep {
+            points,
+            jobs: self.jobs,
+            cache: ResultCache::new(),
+        }
     }
 
     /// Resolved worker count: the explicit [`SweepBuilder::jobs`]
@@ -586,6 +615,22 @@ impl Sweep {
         store: &dyn ReportStore,
         budget: &RunBudget,
     ) -> Option<SweepResults> {
+        self.run_budgeted_traced(store, budget, &|_| {})
+    }
+
+    /// Like [`Sweep::run_budgeted`], but calls `on_start` with each
+    /// point's config key just before that point is looked up or
+    /// simulated. Supervisors (e.g. the `mcr-serve` worker pool) use
+    /// the hook to record which point a worker was running, so a
+    /// contained panic can name the offending config key in its error
+    /// response. The hook runs inside the worker closure and must not
+    /// panic (source lint `panicking-sweep-worker`).
+    pub fn run_budgeted_traced(
+        &self,
+        store: &dyn ReportStore,
+        budget: &RunBudget,
+        on_start: &(dyn Fn(u64) + Sync),
+    ) -> Option<SweepResults> {
         let jobs = self.jobs();
         let t0 = Instant::now();
         let slots: Vec<Mutex<Option<Result<PointResult, ConfigError>>>> =
@@ -619,6 +664,7 @@ impl Sweep {
             };
             let point = &self.points[i];
             let key = point.config.config_key();
+            on_start(key);
             let t = Instant::now();
             let (report, cache_hit) = match store.lookup(key) {
                 Some(report) => (Ok(Some(report)), true),
@@ -940,6 +986,56 @@ mod tests {
         assert!(labels[0].starts_with("libq") && labels[1].starts_with("libq"));
         assert!(labels[2].starts_with("comm1") && labels[3].starts_with("comm1"));
         assert!(sweep.points()[0].config.mode.is_off());
+    }
+
+    #[test]
+    fn shards_partition_the_grid_exactly() {
+        let sweep = SweepBuilder::new(LEN)
+            .workloads(["libq", "comm1"])
+            .mode(McrMode::off())
+            .mode(McrMode::headline())
+            .build()
+            .unwrap();
+        for count in 1..=5 {
+            let mut total = 0usize;
+            for index in 0..count {
+                let shard = sweep.shard(index, count);
+                for p in shard.points() {
+                    assert_eq!(shard_of_key(p.config.config_key(), count), index);
+                }
+                total += shard.points().len();
+            }
+            assert_eq!(total, sweep.points().len(), "count {count}");
+        }
+        // count = 1 is the identity partition, in grid order.
+        let whole = sweep.shard(0, 1);
+        assert_eq!(whole.points().len(), sweep.points().len());
+        for (a, b) in whole.points().iter().zip(sweep.points()) {
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn traced_run_reports_every_started_key() {
+        use std::sync::Mutex as StdMutex;
+        let sweep = SweepBuilder::new(LEN)
+            .workload("libq")
+            .mode(McrMode::off())
+            .mode(McrMode::headline())
+            .jobs(1)
+            .build()
+            .unwrap();
+        let started: StdMutex<Vec<u64>> = StdMutex::new(Vec::new());
+        let results = sweep
+            .run_budgeted_traced(&ResultCache::new(), &RunBudget::unbounded(), &|key| {
+                started.lock().unwrap().push(key);
+            })
+            .expect("unbounded budget completes");
+        let mut started = started.into_inner().unwrap();
+        started.sort_unstable();
+        let mut keys: Vec<u64> = results.points.iter().map(|p| p.key).collect();
+        keys.sort_unstable();
+        assert_eq!(started, keys);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Textual source lint over the workspace's library crates.
 //!
-//! Five rules, all error-level:
+//! Six rules, all error-level:
 //!
 //! * `src/no-unwrap` — no `.unwrap()` / `.expect(...)` in library code
 //!   outside `#[cfg(test)]` blocks. Library panics must be typed errors or
@@ -29,6 +29,14 @@
 //!   sentinel wraps — both produce wake edges that overshoot the first
 //!   observable state change (DESIGN.md §5i). Keep edges as
 //!   `Option<Cycle>` and combine them with explicit `min` folds.
+//! * `src/unbounded-net-read` — no buffered read-until-delimiter calls
+//!   (`.read_line(`, `.read_to_string(`, `.read_until(`) in a file that
+//!   touches `TcpStream` without ever arming `set_read_timeout` or
+//!   `set_nonblocking`. An unbounded read on a socket blocks the thread
+//!   for as long as the peer cares to stall it — a slow or malicious
+//!   client pins a server thread (or an OOM via an endless line)
+//!   forever. Bound every socket read with a deadline and a length
+//!   guard (DESIGN.md §5k).
 //!
 //! Escape hatch: a `// lint: allow(<rule>)` comment on the offending line
 //! or the line directly above suppresses that rule there. Test modules
@@ -51,6 +59,8 @@ pub const RULE_PANICKING_WORKER: &str = "src/panicking-sweep-worker";
 pub const RULE_STEP_BUSY_LOOP: &str = "src/step-busy-loop";
 /// Rule id: no `MAX`-sentinel defaults on event-wheel edge math.
 pub const RULE_EDGE_OVERSHOOT: &str = "src/edge-overshoot-guard";
+/// Rule id: no unbounded blocking reads in socket-handling files.
+pub const RULE_UNBOUNDED_NET_READ: &str = "src/unbounded-net-read";
 
 /// Identifiers that mark a line as timing arithmetic for
 /// [`RULE_TRUNCATING_CAST`] (matched case-insensitively).
@@ -83,6 +93,10 @@ const SENTINEL_DEFAULTS: [&str; 4] = [
     ".map_or(u64::MAX",
     ".map_or(Cycle::MAX",
 ];
+
+/// Read calls that block until the peer supplies a delimiter (or EOF) —
+/// unbounded on a socket unless the stream carries a read deadline.
+const NET_READ_CALLS: [&str; 3] = [".read_line(", ".read_to_string(", ".read_until("];
 
 /// Tokens forbidden inside a sweep worker closure.
 const WORKER_PANIC_TOKENS: [&str; 8] = [
@@ -253,6 +267,12 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
     let scrubbed = scrub(text);
     let raw_lines: Vec<&str> = text.lines().collect();
     let is_sweep = path_label.ends_with("sweep.rs");
+    // Files that touch sockets must bound their reads somewhere: either a
+    // read deadline or non-blocking polling. Both are file-level
+    // properties — the guard is usually armed once at accept/connect
+    // time, far from the read call itself.
+    let is_net_file = scrubbed.contains("TcpStream");
+    let net_guarded = scrubbed.contains("set_read_timeout") || scrubbed.contains("set_nonblocking");
     // The core crate owns the deprecated `step` shim (and its wheel-based
     // implementation); every other crate must use the run_until surface.
     let is_core_crate = path_label.contains("crates/core/");
@@ -325,6 +345,23 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
                  never be mistaken for (or overflow into) a real wake cycle",
                 "workspace rule (sentinel edges overshoot quiet spans, DESIGN.md §5i)",
             ));
+        }
+        if is_net_file && !net_guarded && !allowed(idx, RULE_UNBOUNDED_NET_READ) {
+            for call in NET_READ_CALLS {
+                if line.contains(call) {
+                    diags.push(Diagnostic::error(
+                        RULE_UNBOUNDED_NET_READ,
+                        loc.clone(),
+                        format!(
+                            "`{call}` in a socket-handling file with no \
+                             `set_read_timeout`/`set_nonblocking` anywhere; a \
+                             stalling peer pins this thread forever"
+                        ),
+                        "workspace rule (bound every socket read, DESIGN.md §5k)",
+                    ));
+                    break;
+                }
+            }
         }
         if !is_core_crate && line.contains(".step(") && !allowed(idx, RULE_STEP_BUSY_LOOP) {
             diags.push(Diagnostic::error(
@@ -531,6 +568,35 @@ mod tests {
         let allowed =
             "// lint: allow(edge-overshoot-guard)\nlet wake = edge.unwrap_or(u64::MAX);\n";
         assert!(lint_file("x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn unbounded_net_reads_need_a_guard_in_socket_files() {
+        let bad = "use std::net::TcpStream;\nfn f(r: &mut impl std::io::BufRead) {\n    let mut line = String::new();\n    r.read_line(&mut line);\n}\n";
+        let d = lint_file("crates/x/src/client.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, RULE_UNBOUNDED_NET_READ);
+        assert_eq!(d[0].location, "crates/x/src/client.rs:4");
+        // A file-level read deadline (or non-blocking mode) is the guard.
+        let timed = bad.replace(
+            "fn f",
+            "fn g(s: &TcpStream) { s.set_read_timeout(None); }\nfn f",
+        );
+        assert!(lint_file("crates/x/src/client.rs", &timed).is_empty());
+        let nb = bad.replace(
+            "fn f",
+            "fn g(s: &TcpStream) { s.set_nonblocking(true); }\nfn f",
+        );
+        assert!(lint_file("crates/x/src/client.rs", &nb).is_empty());
+        // Without sockets, buffered line reads are not this rule's business.
+        let file_io = "fn f(r: &mut impl std::io::BufRead) {\n    let mut text = String::new();\n    r.read_to_string(&mut text);\n}\n";
+        assert!(lint_file("crates/x/src/config.rs", file_io).is_empty());
+        // The escape hatch works like every other rule.
+        let allowed = bad.replace(
+            "    r.read_line(",
+            "    // lint: allow(unbounded-net-read)\n    r.read_line(",
+        );
+        assert!(lint_file("crates/x/src/client.rs", &allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,14 @@
+// Negative fixture for src/unbounded-net-read: the same buffered line
+// read is fine once the stream carries a read deadline — the read can
+// block for at most the timeout, not forever.
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn recv_line(stream: TcpStream) -> std::io::Result<String> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line)
+}

@@ -1,0 +1,12 @@
+// Positive fixture for src/unbounded-net-read: a socket-handling file
+// whose buffered line read has no deadline anywhere — a stalling peer
+// pins this thread for as long as it likes.
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+
+fn recv_line(stream: TcpStream) -> std::io::Result<String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line)
+}

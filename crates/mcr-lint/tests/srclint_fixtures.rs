@@ -5,14 +5,14 @@
 
 use mcr_lint::srclint::{
     self, RULE_EDGE_OVERSHOOT, RULE_NO_UNWRAP, RULE_PANICKING_WORKER, RULE_STEP_BUSY_LOOP,
-    RULE_TRUNCATING_CAST,
+    RULE_TRUNCATING_CAST, RULE_UNBOUNDED_NET_READ,
 };
 use std::path::PathBuf;
 
 /// Every rule, with the short fixture stem and the path label the rule
 /// cares about (the sweep rule only fires in `sweep.rs`; the step rule
 /// only fires outside `crates/core/`).
-const RULES: [(&str, &str, &str); 5] = [
+const RULES: [(&str, &str, &str); 6] = [
     (RULE_NO_UNWRAP, "no-unwrap", "crates/demo/src/lib.rs"),
     (
         RULE_TRUNCATING_CAST,
@@ -32,6 +32,11 @@ const RULES: [(&str, &str, &str); 5] = [
     (
         RULE_EDGE_OVERSHOOT,
         "edge-overshoot-guard",
+        "crates/demo/src/lib.rs",
+    ),
+    (
+        RULE_UNBOUNDED_NET_READ,
+        "unbounded-net-read",
         "crates/demo/src/lib.rs",
     ),
 ];
@@ -91,6 +96,7 @@ fn every_rule_constant_has_fixtures() {
         RULE_PANICKING_WORKER,
         RULE_STEP_BUSY_LOOP,
         RULE_EDGE_OVERSHOOT,
+        RULE_UNBOUNDED_NET_READ,
     ] {
         assert!(covered.contains(&code), "rule {code} has no fixtures");
         let stem = code.strip_prefix("src/").unwrap_or(code);

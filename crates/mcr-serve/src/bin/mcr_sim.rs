@@ -20,7 +20,7 @@
 use mcr_dram::experiments::Outcome;
 use mcr_dram::{telemetry_to_json, McrMode, RunReport, System, SystemConfig};
 use mcr_serve::protocol::parse_mode;
-use mcr_serve::{Client, RunSpec, ServeConfig, Server};
+use mcr_serve::{Client, DispatchConfig, Dispatcher, LoadtestConfig, RunSpec, ServeConfig, Server};
 use mcr_store::ResultStore;
 use mcr_telemetry::RingRecorder;
 use sim_json::Json;
@@ -62,6 +62,8 @@ fn usage() {
         "usage: mcr-sim [--workload NAME | --mix NAME] [options]\n\
          \x20      mcr-sim serve [serve options]\n\
          \x20      mcr-sim submit <REQUEST.json | - | --ping | --stats | --shutdown> [submit options]\n\
+         \x20      mcr-sim dispatch <REQUEST.json | -> --backends A,B,C [dispatch options]\n\
+         \x20      mcr-sim loadtest <--addr A | --backends A,B,C | --loopback> [loadtest options]\n\
          \x20      mcr-sim cache <stats | verify | gc> --cache-dir DIR\n\
          \n\
          options:\n\
@@ -93,6 +95,37 @@ fn usage() {
            --max-len N       largest trace length a job may request\n\
            --cache-dir DIR   persistent result store shared by the\n\
                              workers; a warm cache survives restarts\n\
+           --read-deadline-ms N\n\
+                             drop a connection whose partial request\n\
+                             line stalls this long (default 10000)\n\
+           --max-line N      largest request line in bytes (default 1 MiB)\n\
+         \n\
+         dispatch options (split one job across a backend fleet):\n\
+           --backends A,B,C  comma-separated backend addresses (required)\n\
+           --deadline-ms N   campaign deadline (also sent to backends)\n\
+           --retries N       extra attempts per shard (default 4)\n\
+           --backoff-ms N    base backoff; attempt k waits base<<(k-1)\n\
+                             plus seeded jitter (default 25)\n\
+           --hedge-ms N      duplicate a still-silent shard on another\n\
+                             backend after N ms (default: never)\n\
+           --seed N          backoff-jitter seed (default 0)\n\
+         \n\
+         loadtest options (seeded replay of mixed submissions):\n\
+           --addr A | --backends A,B,C | --loopback\n\
+                             target: one server, a dispatched fleet, or\n\
+                             a self-hosted in-process server\n\
+           --submissions N   total submissions per phase (default 40)\n\
+           --concurrency N   submitter threads (default 4)\n\
+           --len N           trace length of generated jobs (default 2000)\n\
+           --seed N          generator/jitter/chaos seed (default 7)\n\
+           --chaos-rate F    add a second phase through a NetChaos proxy\n\
+                             injecting faults at rate F (default 0: off)\n\
+           --jitter-ms N     max seeded arrival jitter (default 5)\n\
+           --retries N       transport retries per submission (default 6)\n\
+           --deadline-ms N   deadline attached to every submission\n\
+           --out FILE        write the JSON report (default BENCH_serve.json)\n\
+           --check           exit 2 unless the shed/served/retried\n\
+                             accounting balances exactly\n\
          \n\
          cache subcommand (against a --cache-dir store):\n\
            stats             print the store's occupancy and counters\n\
@@ -362,6 +395,16 @@ fn parse_serve_args(argv: &[String]) -> Result<Option<(String, ServeConfig)>, St
                     .map_err(|e| format!("bad --max-len: {e}"))?
             }
             "--cache-dir" => cfg.cache_dir = Some(value("--cache-dir")?.into()),
+            "--read-deadline-ms" => {
+                cfg.read_deadline_ms = value("--read-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --read-deadline-ms: {e}"))?
+            }
+            "--max-line" => {
+                cfg.max_line_len = value("--max-line")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-line: {e}"))?
+            }
             "--help" | "-h" => {
                 usage();
                 return Ok(None);
@@ -371,6 +414,9 @@ fn parse_serve_args(argv: &[String]) -> Result<Option<(String, ServeConfig)>, St
     }
     if cfg.queue_cap == 0 {
         return Err("--queue-cap must be at least 1".into());
+    }
+    if cfg.max_line_len == 0 {
+        return Err("--max-line must be at least 1".into());
     }
     Ok(Some((addr, cfg)))
 }
@@ -548,6 +594,329 @@ fn submit_main(argv: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+// ---------------------------------------------------------------------------
+
+struct DispatchArgs {
+    file: String,
+    cfg: DispatchConfig,
+}
+
+fn parse_backend_list(v: &str) -> Result<Vec<String>, String> {
+    let list: Vec<String> = v
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if list.is_empty() {
+        return Err("--backends needs at least one address".into());
+    }
+    Ok(list)
+}
+
+fn parse_dispatch_args(argv: &[String]) -> Result<Option<DispatchArgs>, String> {
+    let mut file: Option<String> = None;
+    let mut cfg = DispatchConfig::default();
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--backends" => cfg.backends = parse_backend_list(&value("--backends")?)?,
+            "--deadline-ms" => {
+                cfg.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
+            "--retries" => {
+                cfg.max_retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?
+            }
+            "--backoff-ms" => {
+                cfg.backoff_base_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --backoff-ms: {e}"))?
+            }
+            "--hedge-ms" => {
+                cfg.hedge_after_ms = Some(
+                    value("--hedge-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --hedge-ms: {e}"))?,
+                )
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            _ => {
+                if file.is_some() {
+                    return Err("dispatch takes exactly one request file".into());
+                }
+                file = Some(flag);
+            }
+        }
+    }
+    let Some(file) = file else {
+        return Err("dispatch needs a request file ('-' for stdin)".into());
+    };
+    if cfg.backends.is_empty() {
+        return Err("dispatch needs --backends A,B,C".into());
+    }
+    Ok(Some(DispatchArgs { file, cfg }))
+}
+
+/// The `dispatch` subcommand: split one run/sweep/campaign across a
+/// backend fleet by config-key hash and print the merged reply a
+/// single server would have produced. Same exit-code contract as
+/// `submit`: 0 ok, 2 non-`ok` status, 1 usage/transport error.
+fn dispatch_main(argv: &[String]) -> ExitCode {
+    let args = match parse_dispatch_args(argv) {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = if args.file == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error: cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&args.file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", args.file);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let d = match Dispatcher::new(args.cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match d.dispatch_line(text.trim()) {
+        Ok(out) => {
+            println!("{}", out.line);
+            eprintln!("dispatch: {}", out.telemetry.to_json());
+            if out.timed_out {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// loadtest
+// ---------------------------------------------------------------------------
+
+enum LoadtestTarget {
+    Addr(String),
+    Backends(Vec<String>),
+    Loopback,
+}
+
+struct LoadtestArgs {
+    target: LoadtestTarget,
+    cfg: LoadtestConfig,
+    out: String,
+    check: bool,
+}
+
+fn parse_loadtest_args(argv: &[String]) -> Result<Option<LoadtestArgs>, String> {
+    let mut target: Option<LoadtestTarget> = None;
+    let mut cfg = LoadtestConfig::default();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut check = false;
+    let set_target = |t: LoadtestTarget, slot: &mut Option<LoadtestTarget>| {
+        if slot.is_some() {
+            return Err("pick exactly one of --addr, --backends, --loopback".to_string());
+        }
+        *slot = Some(t);
+        Ok(())
+    };
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => set_target(LoadtestTarget::Addr(value("--addr")?), &mut target)?,
+            "--backends" => set_target(
+                LoadtestTarget::Backends(parse_backend_list(&value("--backends")?)?),
+                &mut target,
+            )?,
+            "--loopback" => set_target(LoadtestTarget::Loopback, &mut target)?,
+            "--submissions" => {
+                cfg.submissions = value("--submissions")?
+                    .parse()
+                    .map_err(|e| format!("bad --submissions: {e}"))?
+            }
+            "--concurrency" => {
+                cfg.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("bad --concurrency: {e}"))?
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--len" => {
+                cfg.len = value("--len")?
+                    .parse()
+                    .map_err(|e| format!("bad --len: {e}"))?
+            }
+            "--chaos-rate" => {
+                let rate: f64 = value("--chaos-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --chaos-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("--chaos-rate must be in [0, 1], got {rate}"));
+                }
+                cfg.chaos_rate = rate;
+            }
+            "--jitter-ms" => {
+                cfg.arrival_jitter_ms = value("--jitter-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --jitter-ms: {e}"))?
+            }
+            "--retries" => {
+                cfg.max_retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
+            "--out" => out = value("--out")?,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(target) = target else {
+        return Err("loadtest needs a target: --addr, --backends or --loopback".into());
+    };
+    if cfg.submissions == 0 {
+        return Err("--submissions must be at least 1".into());
+    }
+    Ok(Some(LoadtestArgs {
+        target,
+        cfg,
+        out,
+        check,
+    }))
+}
+
+fn phase_summary(name: &str, p: &mcr_serve::PhaseReport) {
+    println!(
+        "{name}: {} ok, {} shed (429 {}, 503 {}, 413 {}), {} timeouts, {} errors, \
+         {} failed | {} retries | p50 {} ms, p95 {} ms | wall {} ms",
+        p.ok,
+        p.shed_queue_full + p.shed_draining + p.shed_too_large,
+        p.shed_queue_full,
+        p.shed_draining,
+        p.shed_too_large,
+        p.timeouts,
+        p.errors,
+        p.failed,
+        p.retries,
+        p.latency_ms.p50().unwrap_or(0),
+        p.latency_ms.p95().unwrap_or(0),
+        p.wall_ms
+    );
+}
+
+/// The `loadtest` subcommand: replay a seeded submission volume and
+/// write the shed/latency ledger as JSON. With `--check`, exit 2
+/// unless every submission is accounted for exactly once and nothing
+/// was lost.
+fn loadtest_main(argv: &[String]) -> ExitCode {
+    let args = match parse_loadtest_args(argv) {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match &args.target {
+        LoadtestTarget::Addr(addr) => mcr_serve::loadtest::run_addr(&args.cfg, addr),
+        LoadtestTarget::Backends(list) => mcr_serve::loadtest::run_backends(&args.cfg, list),
+        LoadtestTarget::Loopback => {
+            mcr_serve::loadtest::run_loopback(&args.cfg, ServeConfig::default())
+        }
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    phase_summary("clean", &report.clean);
+    if let Some(chaos) = &report.chaos {
+        phase_summary("chaos", chaos);
+    }
+    if let Some(st) = report.chaos_stats {
+        println!(
+            "proxy: {} connections, {} faults injected ({} refused, {} truncated, \
+             {} delayed, {} blackholed, {} garbage)",
+            st.connections,
+            st.faults(),
+            st.refused,
+            st.truncated,
+            st.delayed,
+            st.blackholed,
+            st.garbage
+        );
+    }
+    let doc = report.to_json(&args.cfg);
+    if let Err(e) = std::fs::write(&args.out, format!("{doc}\n")) {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", args.out);
+    if args.check {
+        if let Err(e) = report.check(&args.cfg) {
+            eprintln!("error: accounting check failed: {e}");
+            return ExitCode::from(2);
+        }
+        println!("accounting balanced: every submission classified, none lost");
+    }
+    ExitCode::SUCCESS
 }
 
 // ---------------------------------------------------------------------------
@@ -821,6 +1190,8 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => serve_main(&argv[1..]),
         Some("submit") => submit_main(&argv[1..]),
+        Some("dispatch") => dispatch_main(&argv[1..]),
+        Some("loadtest") => loadtest_main(&argv[1..]),
         Some("cache") => cache_main(&argv[1..]),
         _ => local_main(argv),
     }

@@ -137,6 +137,15 @@ pub struct JobRequest {
     pub deadline_ms: Option<u64>,
     /// Attach the merged simulator telemetry to the response.
     pub metrics: bool,
+    /// Restrict the job to one shard of its grid: `(index, count)`
+    /// under [`mcr_dram::shard_of_key`]. Set by the shard dispatcher,
+    /// not by end users; the server builds the full grid, then keeps
+    /// only the points this shard owns.
+    pub shard: Option<(usize, usize)>,
+    /// Attach each point's full lossless report (`"report"` member,
+    /// `mcr-store` codec) to the response, so a dispatcher can merge
+    /// shards bit-identically with a single-instance run.
+    pub full_reports: bool,
     /// What to simulate.
     pub spec: JobSpec,
 }
@@ -606,7 +615,38 @@ fn parse_str_list(items: &[Json], key: &str) -> Result<Vec<String>, ProtocolErro
 }
 
 /// Fields shared by every job request.
-const JOB_COMMON: [&str; 4] = ["cmd", "id", "deadline_ms", "metrics"];
+const JOB_COMMON: [&str; 6] = [
+    "cmd",
+    "id",
+    "deadline_ms",
+    "metrics",
+    "shard",
+    "full_reports",
+];
+
+/// Parses the optional `"shard": {"index": I, "count": N}` member.
+fn shard_opt(f: &Fields<'_>) -> Result<Option<(usize, usize)>, ProtocolError> {
+    let v = match f.get("shard") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(v) => v,
+    };
+    let sf = Fields::of(v, "\"shard\"")?;
+    sf.restrict(&["index", "count"])?;
+    let index = sf
+        .u64_opt("index")?
+        .ok_or_else(|| schema("\"shard\" needs an \"index\""))?;
+    let count = sf
+        .u64_opt("count")?
+        .ok_or_else(|| schema("\"shard\" needs a \"count\""))?;
+    if count == 0 || index >= count {
+        return Err(schema(format!(
+            "shard index {index} out of range for count {count}"
+        )));
+    }
+    let index = usize::try_from(index).map_err(|_| schema("\"index\" is out of range"))?;
+    let count = usize::try_from(count).map_err(|_| schema("\"count\" is out of range"))?;
+    Ok(Some((index, count)))
+}
 
 fn run_spec_from(f: &Fields<'_>) -> Result<RunSpec, ProtocolError> {
     Ok(RunSpec {
@@ -673,6 +713,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 id: f.str_opt("id")?,
                 deadline_ms: f.u64_opt("deadline_ms")?,
                 metrics: f.bool_or("metrics", false)?,
+                shard: shard_opt(&f)?,
+                full_reports: f.bool_or("full_reports", false)?,
                 spec: JobSpec::Run(run_spec_from(&f)?),
             })))
         }
@@ -710,6 +752,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 id: f.str_opt("id")?,
                 deadline_ms: f.u64_opt("deadline_ms")?,
                 metrics: f.bool_or("metrics", false)?,
+                shard: shard_opt(&f)?,
+                full_reports: f.bool_or("full_reports", false)?,
                 spec: JobSpec::Sweep(spec),
             })))
         }
@@ -732,6 +776,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 id: f.str_opt("id")?,
                 deadline_ms: f.u64_opt("deadline_ms")?,
                 metrics: f.bool_or("metrics", false)?,
+                shard: shard_opt(&f)?,
+                full_reports: f.bool_or("full_reports", false)?,
                 spec: JobSpec::Campaign(spec),
             })))
         }
@@ -780,6 +826,30 @@ pub fn render_error(reason: &str) -> String {
     .to_string()
 }
 
+/// The answer for a job whose simulation panicked inside a worker
+/// (contained by `catch_unwind`). Names the config key of the point
+/// that was running when the panic fired — both in the reason text and
+/// as a structured member — so the failing point is diagnosable and
+/// replayable from the client side.
+pub fn render_panic(id: Option<&str>, config_key: Option<u64>) -> String {
+    let reason = match config_key {
+        Some(key) => format!("internal: simulation panicked at config_key {key:016x}"),
+        None => "internal: simulation panicked".to_string(),
+    };
+    Json::obj([
+        ("status", Json::str("error")),
+        ("id", id.map(Json::str).unwrap_or(Json::Null)),
+        ("reason", Json::str(reason)),
+        (
+            "config_key",
+            config_key
+                .map(|key| Json::str(format!("{key:016x}")))
+                .unwrap_or(Json::Null),
+        ),
+    ])
+    .to_string()
+}
+
 /// Renders a completed job: the sweep results (re-parsed through the
 /// codec, so the response is one compact line), optional per-point
 /// reliability (campaigns), optional merged telemetry.
@@ -789,12 +859,17 @@ pub fn render_job_ok(
     queue_ms: u64,
     service_ms: u64,
 ) -> String {
-    let result = match Json::parse(&results.to_json()) {
+    let mut result = match Json::parse(&results.to_json()) {
         Ok(v) => v,
         Err(e) => {
             return render_error(&format!("internal: results emitter produced bad JSON: {e}"))
         }
     };
+    if req.full_reports {
+        if let Err(e) = attach_full_reports(&mut result, results) {
+            return render_error(&e);
+        }
+    }
     let mut members: Vec<(String, Json)> = vec![
         ("status".into(), Json::str("ok")),
         (
@@ -808,14 +883,12 @@ pub fn render_job_ok(
     ];
     if let JobSpec::Campaign(_) = req.spec {
         members.push(("reliability".into(), reliability_json(results)));
-        let clean = results
-            .points
-            .iter()
-            .all(|p| p.report.reliability.retention_escapes == 0)
-            && results
-                .points
-                .iter()
-                .all(|p| p.report.reads_done == results.points[0].report.reads_done);
+        // An empty shard of a campaign has nothing to compare; it is
+        // vacuously clean (the dispatcher judges the merged whole).
+        let reads0 = results.points.first().map(|p| p.report.reads_done);
+        let clean = results.points.iter().all(|p| {
+            p.report.reliability.retention_escapes == 0 && Some(p.report.reads_done) == reads0
+        });
         members.push(("clean".into(), Json::from(clean)));
     }
     if req.metrics {
@@ -829,6 +902,27 @@ pub fn render_job_ok(
         }
     }
     Json::Obj(members).to_string()
+}
+
+/// Adds each point's full lossless report (the `mcr-store` codec
+/// object) as a `"report"` member of the corresponding entry of the
+/// response's `result.points` array.
+fn attach_full_reports(result: &mut Json, results: &SweepResults) -> Result<(), String> {
+    let Json::Obj(members) = result else {
+        return Err("internal: results document is not an object".into());
+    };
+    let Some((_, Json::Arr(items))) = members.iter_mut().find(|(k, _)| k == "points") else {
+        return Err("internal: results document has no points array".into());
+    };
+    if items.len() != results.points.len() {
+        return Err("internal: results document points mismatch".into());
+    }
+    for (item, p) in items.iter_mut().zip(&results.points) {
+        if !item.set("report", mcr_store::report_to_json(&p.report)) {
+            return Err("internal: results point is not an object".into());
+        }
+    }
+    Ok(())
 }
 
 /// Per-point reliability summary for campaign responses.

@@ -1,11 +1,22 @@
-//! The service loop: a TCP acceptor feeding a bounded job queue that a
-//! fixed worker pool drains.
+//! The service loop: a readiness-polled TCP acceptor feeding a bounded
+//! job queue that a fixed worker pool drains.
+//!
+//! Connections are **not** thread-per-client: one poller thread owns
+//! every socket in non-blocking mode, accumulates request bytes into
+//! per-connection buffers, and dispatches complete lines. Thousands of
+//! idle clients therefore cost a few buffers, not a few thousand
+//! blocked threads, and a half-written request line cannot pin any
+//! thread — it merely ages until the per-connection read deadline
+//! ([`ServeConfig::read_deadline_ms`]) drops the connection.
 //!
 //! Flow control is explicit at every stage:
 //!
 //! * **Admission control** — oversized requests are rejected with code
-//!   413 before any work is built; once the bounded queue is full, new
-//!   jobs are shed with code 429 instead of queueing unboundedly.
+//!   413 before any work is built (the point limit scales with the
+//!   request's shard count, since a shard keeps only `1/count` of the
+//!   grid); once the bounded queue is full, new jobs are shed with
+//!   code 429 instead of queueing unboundedly. Request lines longer
+//!   than [`ServeConfig::max_line_len`] drop the connection.
 //! * **Deadlines** — a job carrying `deadline_ms` runs under a
 //!   [`RunBudget`] with that wall-clock deadline; the simulation
 //!   cooperatively aborts at the next budget-poll boundary (the
@@ -26,11 +37,12 @@
 //! how many entries were already on disk when the service started).
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use mcr_dram::{ReportStore, ResultCache, RunBudget, RunReport, Sweep};
@@ -38,8 +50,8 @@ use mcr_store::ResultStore;
 use sim_json::Json;
 
 use crate::protocol::{
-    parse_request, render_error, render_job_ok, render_pong, render_rejected, render_timeout,
-    JobRequest, Request, CODE_DRAINING, CODE_QUEUE_FULL, CODE_TOO_LARGE,
+    parse_request, render_error, render_job_ok, render_panic, render_pong, render_rejected,
+    render_timeout, JobRequest, Request, CODE_DRAINING, CODE_QUEUE_FULL, CODE_TOO_LARGE,
 };
 use crate::telemetry::ServeTelemetry;
 
@@ -51,12 +63,21 @@ pub struct ServeConfig {
     /// Bounded queue capacity; a full queue sheds load (code 429).
     pub queue_cap: usize,
     /// Largest grid (in points) a single job may expand to (code 413).
+    /// Scaled by the shard count for sharded jobs, which keep only
+    /// `1/count` of the grid.
     pub max_points: usize,
     /// Largest trace length a single job may request (code 413).
     pub max_trace_len: usize,
     /// Directory for the persistent result store; `None` keeps the
     /// memo in-process only (lost on restart).
     pub cache_dir: Option<PathBuf>,
+    /// How long a *partial* request line may stall before the
+    /// connection is dropped. Idle connections with no buffered bytes
+    /// never expire.
+    pub read_deadline_ms: u64,
+    /// Longest request line accepted before the connection is dropped
+    /// with a protocol error.
+    pub max_line_len: usize,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +88,8 @@ impl Default for ServeConfig {
             max_points: 512,
             max_trace_len: 2_000_000,
             cache_dir: None,
+            read_deadline_ms: 10_000,
+            max_line_len: 1 << 20,
         }
     }
 }
@@ -96,13 +119,56 @@ impl ReportStore for CacheTier {
     }
 }
 
+/// The half of a connection shared between the poller (reads) and
+/// whoever owes it a reply (a worker thread, or the drain waiter).
+///
+/// Exactly one writer exists at a time: the poller writes only while
+/// `busy` is clear, and a worker writes only while `busy` is set — the
+/// flag is the hand-off. Writers temporarily flip the socket to
+/// blocking mode; that is safe because the poller never touches a
+/// `busy` connection.
+struct ConnShared {
+    stream: TcpStream,
+    /// A job (or the shutdown drain) owns this connection; the poller
+    /// must neither read nor write it until the reply lands.
+    busy: AtomicBool,
+    /// A write failed; the poller reaps the connection next pass.
+    dead: AtomicBool,
+}
+
+/// Sends one reply line, restoring non-blocking mode afterwards. Any
+/// failure marks the connection dead instead of panicking: a vanished
+/// client loses its own response, never anyone else's.
+fn write_line(conn: &ConnShared, line: &str) {
+    let mut w = &conn.stream;
+    let sent = conn.stream.set_nonblocking(false).is_ok()
+        && writeln!(w, "{line}").and_then(|()| w.flush()).is_ok();
+    let restored = conn.stream.set_nonblocking(true).is_ok();
+    if !(sent && restored) {
+        conn.dead.store(true, Ordering::Release);
+    }
+}
+
+/// Poller-side connection state: the receive buffer and its freshness.
+struct Conn {
+    shared: Arc<ConnShared>,
+    /// Received bytes not yet consumed as complete lines.
+    buf: Vec<u8>,
+    /// Last time the socket yielded bytes; ages partial lines toward
+    /// the read deadline.
+    last_data: Instant,
+    /// The peer half-closed; reap once nothing is in flight.
+    eof: bool,
+}
+
 /// An admitted job waiting for (or holding) a worker.
 struct Job {
     req: JobRequest,
     sweep: Sweep,
     deadline: Option<Instant>,
     submitted: Instant,
-    respond: mpsc::SyncSender<String>,
+    /// The connection owed the reply; `busy` is already set.
+    conn: Arc<ConnShared>,
 }
 
 #[derive(Default)]
@@ -210,27 +276,45 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request drains the service, then
-    /// returns the final telemetry snapshot.
+    /// returns the final telemetry snapshot. The calling thread is the
+    /// connection poller.
     pub fn run(self) -> ServeTelemetry {
         let mut workers = Vec::with_capacity(self.shared.cfg.workers);
         for _ in 0..self.shared.cfg.workers {
             let shared = Arc::clone(&self.shared);
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
         }
-        for conn in self.listener.incoming() {
+        let accepting = self.listener.set_nonblocking(true).is_ok();
+        let mut conns: Vec<Conn> = Vec::new();
+        loop {
             if lock(&self.shared.state).stopped {
                 break;
             }
-            let Ok(stream) = conn else { continue };
-            let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || handle_conn(&shared, stream));
+            let mut progressed = false;
+            if accepting {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            progressed = true;
+                            if let Some(conn) = register_conn(&self.shared, stream) {
+                                conns.push(conn);
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => break, // WouldBlock: nothing pending
+                    }
+                }
+            }
+            conns.retain_mut(|c| service_conn(&self.shared, c, &mut progressed));
+            if !progressed {
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
         for w in workers {
             let _ = w.join();
         }
-        // Don't exit (and tear down connection threads with the
-        // process) before the shutdown reply has actually been
-        // delivered to its requester.
+        // Don't exit (and tear down the process) before the shutdown
+        // reply has actually been delivered to its requester.
         let mut st = lock(&self.shared.state);
         while !st.shutdown_acked {
             st = self
@@ -242,6 +326,103 @@ impl Server {
         drop(st);
         lock(&self.shared.telemetry).clone()
     }
+}
+
+/// Counts and configures a freshly accepted socket for polling. A
+/// socket that refuses non-blocking mode is dropped on the floor — it
+/// cannot be serviced safely.
+fn register_conn(shared: &Shared, stream: TcpStream) -> Option<Conn> {
+    lock(&shared.telemetry).connections.inc();
+    stream.set_nonblocking(true).ok()?;
+    // Bound worker-side reply writes so a stuck client cannot wedge a
+    // worker thread in the blocking write window.
+    stream
+        .set_write_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    Some(Conn {
+        shared: Arc::new(ConnShared {
+            stream,
+            busy: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+        }),
+        buf: Vec::new(),
+        last_data: Instant::now(),
+        eof: false,
+    })
+}
+
+/// One poller pass over a connection: drain the socket, dispatch any
+/// complete lines, apply the line-length and read-deadline guards.
+/// Returns `false` to reap the connection.
+fn service_conn(shared: &Arc<Shared>, conn: &mut Conn, progressed: &mut bool) -> bool {
+    if conn.shared.dead.load(Ordering::Acquire) {
+        return false;
+    }
+    if conn.shared.busy.load(Ordering::Acquire) {
+        return true; // a worker owns the socket until the reply lands
+    }
+    let mut chunk = [0u8; 4096];
+    loop {
+        match (&conn.shared.stream).read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                *progressed = true;
+                conn.last_data = Instant::now();
+                conn.buf.extend_from_slice(&chunk[..n]);
+                if conn.buf.len() > shared.cfg.max_line_len {
+                    break; // guard below reaps; stop buffering
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => return false,
+        }
+    }
+    while !conn.shared.busy.load(Ordering::Acquire) {
+        let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let rest = conn.buf.split_off(pos + 1);
+        let line_bytes = std::mem::replace(&mut conn.buf, rest);
+        let text = String::from_utf8_lossy(&line_bytes);
+        let line = text.trim();
+        if line.is_empty() {
+            continue;
+        }
+        *progressed = true;
+        handle_line(shared, &conn.shared, line);
+        if conn.shared.dead.load(Ordering::Acquire) {
+            return false;
+        }
+    }
+    if conn.buf.len() > shared.cfg.max_line_len {
+        let mut t = lock(&shared.telemetry);
+        t.oversized_lines.inc();
+        t.protocol_errors.inc();
+        drop(t);
+        write_line(
+            &conn.shared,
+            &render_error(&format!(
+                "request line exceeded {} bytes",
+                shared.cfg.max_line_len
+            )),
+        );
+        return false;
+    }
+    if !conn.buf.is_empty() && ms_since(conn.last_data) > shared.cfg.read_deadline_ms {
+        lock(&shared.telemetry).read_deadline_drops.inc();
+        return false;
+    }
+    // A half-closed peer with no complete line left will never send
+    // one; reap. (With `busy` set we never reach here, so a job's
+    // reply still goes out before the reap.)
+    if conn.eof {
+        return false;
+    }
+    true
 }
 
 /// One worker: pop, simulate, respond, repeat; exit once the service
@@ -275,7 +456,8 @@ fn worker_loop(shared: &Shared) {
 
 /// Runs one admitted job to a response string and delivers it. Every
 /// path answers: expired deadline, cooperative cancellation, a
-/// panicking simulation (contained by `catch_unwind`), or success.
+/// panicking simulation (contained by `catch_unwind`, diagnosed by the
+/// config_key it was holding), or success.
 fn run_job(shared: &Shared, job: Job) {
     let queue_ms = ms_since(job.submitted);
     let deadline_ms = job.req.deadline_ms.unwrap_or(0);
@@ -288,8 +470,14 @@ fn run_job(shared: &Shared, job: Job) {
             .map(|d| RunBudget::unbounded().with_deadline(d))
             .unwrap_or_default();
         let sim_start = Instant::now();
+        // Tracks the config_key the worker was simulating, so a panic
+        // is attributable from the client side. `MAX` = none started.
+        let active_key = AtomicU64::new(u64::MAX);
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            job.sweep.run_budgeted(&shared.cache, &budget)
+            job.sweep
+                .run_budgeted_traced(&shared.cache, &budget, &|key| {
+                    active_key.store(key, Ordering::Relaxed)
+                })
         }));
         let sim_ms = ms_since(sim_start);
         let service_ms = ms_since(job.submitted);
@@ -308,55 +496,31 @@ fn run_job(shared: &Shared, job: Job) {
             }
             Err(_) => {
                 t.internal_errors.inc();
-                render_error("internal: simulation panicked")
+                t.worker_panics.inc();
+                let key = active_key.load(Ordering::Relaxed);
+                render_panic(job.req.id.as_deref(), (key != u64::MAX).then_some(key))
             }
         }
     };
-    // A vanished client loses its own response, never anyone else's.
-    let _ = job.respond.send(reply);
+    write_line(&job.conn, &reply);
+    job.conn.busy.store(false, Ordering::Release);
 }
 
-/// Per-connection loop: read a request line, answer it, repeat until
-/// the peer hangs up.
-fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
-    lock(&shared.telemetry).connections.inc();
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (reply, was_shutdown) = handle_line(shared, line.trim());
-        let wrote = writeln!(writer, "{reply}").and_then(|()| writer.flush());
-        if was_shutdown {
-            lock(&shared.state).shutdown_acked = true;
-            shared.idle_cv.notify_all();
-        }
-        if wrote.is_err() {
-            return;
-        }
-    }
-}
-
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+/// Dispatches one parsed request line. Replies for everything except
+/// jobs (and shutdown) are written inline from the poller thread.
+fn handle_line(shared: &Arc<Shared>, conn: &Arc<ConnShared>, line: &str) {
     match parse_request(line) {
         Err(e) => {
             lock(&shared.telemetry).protocol_errors.inc();
-            (render_error(&e.to_string()), false)
+            write_line(conn, &render_error(&e.to_string()));
         }
-        Ok(Request::Ping) => (render_pong(), false),
-        Ok(Request::Stats) => (stats_line(shared), false),
-        Ok(Request::Shutdown) => (shutdown(shared), true),
-        Ok(Request::Job(job)) => (submit_job(shared, *job), false),
+        Ok(Request::Ping) => write_line(conn, &render_pong()),
+        Ok(Request::Stats) => write_line(conn, &stats_line(shared)),
+        Ok(Request::Shutdown) => {
+            conn.busy.store(true, Ordering::Release);
+            spawn_drain_waiter(shared, Arc::clone(conn));
+        }
+        Ok(Request::Job(job)) => submit_job(shared, conn, *job),
     }
 }
 
@@ -398,15 +562,21 @@ fn store_json(shared: &Shared) -> Json {
     }
 }
 
-/// Admission control and queueing; blocks until the job's response is
-/// ready (the per-connection protocol is strictly request/response).
-fn submit_job(shared: &Arc<Shared>, req: JobRequest) -> String {
-    // Size limits first: cheap, and independent of queue state.
-    if req.spec.point_count() > shared.cfg.max_points
+/// Admission control and queueing. A rejected job is answered inline
+/// from the poller; an admitted job marks the connection busy and the
+/// worker that runs it writes the reply.
+fn submit_job(shared: &Arc<Shared>, conn: &Arc<ConnShared>, req: JobRequest) {
+    // Size limits first: cheap, and independent of queue state. A
+    // sharded job keeps only 1/count of the grid, so the point limit
+    // scales with the shard count (each shard is admitted separately
+    // by the backend it lands on).
+    let shard_count = req.shard.map_or(1, |(_, count)| count);
+    if req.spec.point_count() > shared.cfg.max_points.saturating_mul(shard_count)
         || req.spec.trace_len() > shared.cfg.max_trace_len
     {
         lock(&shared.telemetry).rejected_too_large.inc();
-        return render_rejected(CODE_TOO_LARGE, "too-large");
+        write_line(conn, &render_rejected(CODE_TOO_LARGE, "too-large"));
+        return;
     }
     // Jobs run single-threaded inside a worker; the pool parallelizes
     // across requests, not within one, keeping throughput fair.
@@ -414,33 +584,40 @@ fn submit_job(shared: &Arc<Shared>, req: JobRequest) -> String {
         Ok(s) => s,
         Err(e) => {
             lock(&shared.telemetry).protocol_errors.inc();
-            return render_error(&e.to_string());
+            write_line(conn, &render_error(&e.to_string()));
+            return;
         }
+    };
+    let sweep = match req.shard {
+        Some((index, count)) => sweep.shard(index, count),
+        None => sweep,
     };
     let submitted = Instant::now();
     let deadline = req
         .deadline_ms
         .and_then(|ms| submitted.checked_add(Duration::from_millis(ms)));
-    let (tx, rx) = mpsc::sync_channel(1);
     {
         let mut st = lock(&shared.state);
         if st.draining || st.stopped {
             drop(st);
             lock(&shared.telemetry).rejected_draining.inc();
-            return render_rejected(CODE_DRAINING, "draining");
+            write_line(conn, &render_rejected(CODE_DRAINING, "draining"));
+            return;
         }
         if st.queue.len() >= shared.cfg.queue_cap {
             drop(st);
             lock(&shared.telemetry).rejected_queue_full.inc();
-            return render_rejected(CODE_QUEUE_FULL, "queue-full");
+            write_line(conn, &render_rejected(CODE_QUEUE_FULL, "queue-full"));
+            return;
         }
         let depth = st.queue.len() as u64;
+        conn.busy.store(true, Ordering::Release);
         st.queue.push_back(Job {
             req,
             sweep,
             deadline,
             submitted,
-            respond: tx,
+            conn: Arc::clone(conn),
         });
         drop(st);
         let mut t = lock(&shared.telemetry);
@@ -448,37 +625,37 @@ fn submit_job(shared: &Arc<Shared>, req: JobRequest) -> String {
         t.queue_depth.record(depth);
     }
     shared.work_cv.notify_one();
-    match rx.recv() {
-        Ok(reply) => reply,
-        // Unreachable with catch_unwind in place, but typed anyway.
-        Err(_) => render_error("internal: worker dropped the job"),
-    }
 }
 
-/// The drain protocol: flip to draining (new jobs now shed with 503),
-/// wait until queue and in-flight hit zero, stop the workers and the
-/// acceptor, then answer. Runs on the requesting connection's thread.
-fn shutdown(shared: &Arc<Shared>) -> String {
-    lock(&shared.state).draining = true;
-    shared.work_cv.notify_all();
-    let mut st = lock(&shared.state);
-    while !(st.queue.is_empty() && st.in_flight == 0) {
-        st = shared
-            .idle_cv
-            .wait(st)
-            .unwrap_or_else(PoisonError::into_inner);
-    }
-    st.stopped = true;
-    drop(st);
-    shared.work_cv.notify_all();
-    // Unblock the accept loop with a loopback connection; if the
-    // listener is already gone the connect simply fails.
-    let _ = TcpStream::connect(shared.addr);
-    let completed = lock(&shared.telemetry).completed.get();
-    Json::obj([
-        ("status", Json::str("ok")),
-        ("drained", Json::from(true)),
-        ("completed", Json::from(completed)),
-    ])
-    .to_string()
+/// The drain protocol, off the poller thread so the poller keeps
+/// answering `stats` while the drain progresses: flip to draining (new
+/// jobs now shed with 503), wait until queue and in-flight hit zero,
+/// stop the workers and the poller, then answer the requester.
+fn spawn_drain_waiter(shared: &Arc<Shared>, conn: Arc<ConnShared>) {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        lock(&shared.state).draining = true;
+        shared.work_cv.notify_all();
+        let mut st = lock(&shared.state);
+        while !(st.queue.is_empty() && st.in_flight == 0) {
+            st = shared
+                .idle_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.stopped = true;
+        drop(st);
+        shared.work_cv.notify_all();
+        let completed = lock(&shared.telemetry).completed.get();
+        let reply = Json::obj([
+            ("status", Json::str("ok")),
+            ("drained", Json::from(true)),
+            ("completed", Json::from(completed)),
+        ])
+        .to_string();
+        write_line(&conn, &reply);
+        conn.busy.store(false, Ordering::Release);
+        lock(&shared.state).shutdown_acked = true;
+        shared.idle_cv.notify_all();
+    });
 }

@@ -27,6 +27,15 @@ pub struct ServeTelemetry {
     pub protocol_errors: Counter,
     /// Jobs whose simulation failed internally.
     pub internal_errors: Counter,
+    /// Jobs whose worker panicked inside `catch_unwind` (a subset of
+    /// `internal_errors`, kept separate so panics are diagnosable).
+    pub worker_panics: Counter,
+    /// Connections dropped because a partial request line stalled past
+    /// the per-connection read deadline.
+    pub read_deadline_drops: Counter,
+    /// Connections dropped because a request line exceeded the
+    /// configured maximum length.
+    pub oversized_lines: Counter,
     /// Queue depth observed at each admission (before the push).
     pub queue_depth: LatencyHistogram,
     /// Admission-to-response service latency, in milliseconds.
@@ -71,6 +80,12 @@ impl ServeTelemetry {
             ("timeouts", Json::from(self.timeouts.get())),
             ("protocol_errors", Json::from(self.protocol_errors.get())),
             ("internal_errors", Json::from(self.internal_errors.get())),
+            ("worker_panics", Json::from(self.worker_panics.get())),
+            (
+                "read_deadline_drops",
+                Json::from(self.read_deadline_drops.get()),
+            ),
+            ("oversized_lines", Json::from(self.oversized_lines.get())),
             ("queue_depth_now", Json::from(queue_depth_now)),
             ("in_flight", Json::from(in_flight)),
             ("draining", Json::from(draining)),
