@@ -3,7 +3,7 @@
 CARGO ?= cargo
 OFFLINE ?= --offline
 
-.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke loadtest-smoke bench-smoke bench bench-core bench-sweep bless-bench clean
+.PHONY: check build build-nodefault test golden bless clippy fmt-check lint model audit chaos serve-smoke loadtest-smoke compare bench-smoke bench bench-core bench-sweep bench-compare bless-bench clean
 
 # Full gate: build everything (with and without the default `telemetry`
 # feature), lint with warnings denied, enforce formatting, run the suite
@@ -11,9 +11,9 @@ OFFLINE ?= --offline
 # passes (source lint + timing/mode-table/region checks), the exhaustive
 # protocol model check + wake-soundness certification, then a seeded
 # fault-injection chaos campaign, the service loopback smoke test, the
-# fault-injected loadtest smoke, and the event-wheel and
-# persistent-store wall-clock gates.
-check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke loadtest-smoke bench-core bench-sweep
+# fault-injected loadtest smoke, the cross-backend compare smoke, and
+# the event-wheel, persistent-store and per-backend wall-clock gates.
+check: build build-nodefault clippy fmt-check test golden lint model chaos serve-smoke loadtest-smoke compare bench-core bench-sweep bench-compare
 
 build:
 	$(CARGO) build $(OFFLINE) --workspace --all-targets
@@ -91,6 +91,14 @@ loadtest-smoke:
 		loadtest --loopback --submissions 16 --concurrency 4 \
 		--len 1200 --seed 7 --chaos-rate 0.1 --check --out BENCH_serve.json
 
+# Head-to-head smoke of the pluggable-backend campaign (DESIGN.md §5l):
+# the same trace under every registered architecture, printed as the
+# comparison table.
+compare:
+	$(CARGO) run $(OFFLINE) -q -p mcr-serve --bin mcr_sim -- \
+		compare --workload libq --len 4000 \
+		--backends baseline,mcr,tldram,clrdram
+
 # Quick pass over the figure benches at reduced trace lengths — shape
 # checks, not statistics (a few seconds instead of minutes).
 bench-smoke:
@@ -114,6 +122,12 @@ bench-core:
 # warm-over-cold speedup drops below 5x.
 bench-sweep:
 	MCR_BENCH_GATE=1 $(CARGO) bench $(OFFLINE) -q --bench wallclock_sweep
+
+# Per-backend simulation throughput of the compare campaign (DESIGN.md
+# §5l): writes BENCH_compare.json at the repo root and fails unless
+# every registered backend is timed.
+bench-compare:
+	MCR_BENCH_GATE=1 $(CARGO) bench $(OFFLINE) -q --bench wallclock_compare
 
 # Re-bless the wall-clock baseline after an intentional perf change,
 # then review the BENCH_baseline.json diff like any other code change.

@@ -20,11 +20,17 @@
 //!   1 Gb and 4 Gb-class devices), in both nanoseconds and DDR3-1600
 //!   cycles, plus the option to derive the table from the analytical
 //!   circuit model instead of the published constants.
-//! * [`McrPolicy`] — plugs the three latency mechanisms into the baseline
-//!   memory controller: **Early-Access**/**Early-Precharge** (relaxed
-//!   `tRCD`/`tRAS` classes for MCR rows), **Fast-Refresh** (shorter `tRFC`
-//!   for refresh slots that target MCR rows), and **Refresh-Skipping**
-//!   (mode `M/Kx` issues only M of each MCR's K refresh slots, Fig. 9).
+//! * [`McrPolicy`] — the MCR architecture backend: plugs the three latency
+//!   mechanisms into the baseline memory controller — **Early-Access**/
+//!   **Early-Precharge** (relaxed `tRCD`/`tRAS` classes for MCR rows),
+//!   **Fast-Refresh** (shorter `tRFC` for refresh slots that target MCR
+//!   rows), and **Refresh-Skipping** (mode `M/Kx` issues only M of each
+//!   MCR's K refresh slots, Fig. 9).
+//! * [`backend`] — the pluggable DRAM-architecture registry: the same
+//!   controller and trace replay under MCR, plain DDR3 ([`BaselinePolicy`]),
+//!   TL-DRAM ([`TlDramPolicy`]) or CLR-DRAM ([`ClrDramPolicy`]), and
+//!   [`CompareSpec`] — the head-to-head `compare` campaign over a backend
+//!   list, rendered as a [`CompareTable`].
 //! * [`Mechanisms`] — individual on/off switches for the ablation of
 //!   Fig. 17.
 //! * [`RowRemapper`] — pseudo profile-based page allocation (Sec. 4.4):
@@ -58,7 +64,9 @@
 #![warn(missing_docs)]
 
 mod alloc;
+pub mod backend;
 mod cache;
+mod compare;
 pub mod experiments;
 mod generator;
 mod layout;
@@ -73,7 +81,12 @@ mod telemetry;
 mod timing;
 
 pub use alloc::RowRemapper;
+pub use backend::{
+    registered_backends, ArchBackend, BackendKind, BackendSpec, BaselinePolicy, ClrDramPolicy,
+    TlDramPolicy,
+};
 pub use cache::{CacheOutcome, RowCache, RowCacheConfig, RowCacheStats, RowCopy};
+pub use compare::{CompareSpec, CompareTable};
 pub use generator::{McrAddress, McrGenerator};
 pub use layout::{McrLayout, Region, RegionMap, SUBARRAY_ROWS};
 pub use mechanisms::Mechanisms;

@@ -1,5 +1,8 @@
-//! [`McrPolicy`]: the glue that injects MCR mechanisms into the baseline
-//! memory controller through the `DevicePolicy` extension point.
+//! [`McrPolicy`]: the MCR-DRAM architecture backend — injects the
+//! paper's mechanisms into the baseline memory controller through the
+//! `DevicePolicy` extension point. One of several registered backends
+//! (see [`crate::backend`]); the others model competing low-latency
+//! DRAM proposals for head-to-head comparison.
 
 use crate::layout::{McrLayout, RegionMap};
 use crate::mechanisms::Mechanisms;
@@ -325,6 +328,10 @@ impl DevicePolicy for McrPolicy {
                 t_ras: self.baseline.t_ras,
             }))
             .collect()
+    }
+
+    fn apply_degrade_level(&mut self, level: mem_controller::DegradeLevel) {
+        McrPolicy::apply_degrade_level(self, level);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

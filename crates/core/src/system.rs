@@ -1,6 +1,7 @@
 //! Full-system simulation: cores + controller + MCR-DRAM + power.
 
 use crate::alloc::RowRemapper;
+use crate::backend::{BackendKind, BackendSpec};
 use crate::cache::{CacheOutcome, RowCache, RowCacheConfig, RowCacheStats};
 use crate::layout::RegionMap;
 use crate::mechanisms::Mechanisms;
@@ -14,9 +15,9 @@ use dram_power::{edp, EnergyBreakdown, PowerParams};
 use mcr_faults::FaultPlan;
 use mcr_telemetry::TraceSink;
 use mem_controller::{
-    AddressMapper, BitReversal, ControllerConfig, ControllerStats, DegradeLevel, GuardbandConfig,
-    GuardbandTransition, MemoryController, PageInterleave, PermutationInterleave, RowPolicy,
-    SchedulerKind,
+    AddressMapper, BitReversal, ControllerConfig, ControllerStats, DegradeLevel, DevicePolicy,
+    GuardbandConfig, GuardbandTransition, MemoryController, PageInterleave, PermutationInterleave,
+    RowPolicy, SchedulerKind,
 };
 use trace_gen::{hot_rows, workload, TraceGenerator, WorkloadProfile, ROW_BYTES};
 
@@ -62,6 +63,13 @@ pub enum ConfigError {
         /// The underlying mode error.
         crate::mode::ModeError,
     ),
+    /// The selected DRAM-architecture backend rejected its configuration:
+    /// a knob out of range, or an MCR-only option (mode, region map,
+    /// allocation, row cache) set while a non-MCR backend is selected.
+    Backend(
+        /// Human-readable reason naming the offending knob or option.
+        String,
+    ),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -83,6 +91,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyTrace => write!(f, "trace_len must be at least 1"),
             ConfigError::Device(e) => write!(f, "device rejected the configuration: {e}"),
             ConfigError::Mode(e) => write!(f, "invalid MCR mode: {e}"),
+            ConfigError::Backend(msg) => write!(f, "invalid backend configuration: {msg}"),
         }
     }
 }
@@ -164,6 +173,12 @@ pub struct SystemConfig {
     pub guardband: Option<GuardbandConfig>,
     /// Master RNG seed.
     pub seed: u64,
+    /// DRAM-architecture backend (default: MCR). Non-MCR backends run
+    /// the same trace and controller under a competing architecture's
+    /// timing/refresh model; MCR-only options (mode, region map,
+    /// allocation, row cache) must stay unset for them
+    /// ([`ConfigError::Backend`]).
+    pub backend: BackendSpec,
 }
 
 /// Address-mapping policy selector for [`SystemConfig`].
@@ -204,6 +219,7 @@ impl SystemConfig {
             fault_plan: None,
             guardband: None,
             seed: 2015,
+            backend: BackendSpec::default(),
         }
     }
 
@@ -237,6 +253,7 @@ impl SystemConfig {
             fault_plan: None,
             guardband: None,
             seed: 2015,
+            backend: BackendSpec::default(),
         }
     }
 
@@ -344,6 +361,15 @@ impl SystemConfig {
         self
     }
 
+    /// Selects the DRAM-architecture backend (see [`crate::backend`]).
+    /// Non-MCR backends must leave the MCR-only knobs — mode, region
+    /// map, allocation ratio, row cache — at their defaults
+    /// ([`ConfigError::Backend`] at build time otherwise).
+    pub fn with_backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Checks the cross-field invariants [`System::try_build`] enforces
     /// without paying for a build.
     ///
@@ -367,6 +393,31 @@ impl SystemConfig {
         }
         if self.region_map.is_some() && !self.mode.is_off() {
             return Err(ConfigError::ModeWithRegionMap { mode: self.mode });
+        }
+        self.backend.validate().map_err(ConfigError::Backend)?;
+        if self.backend.kind != BackendKind::Mcr {
+            let kind = self.backend.kind;
+            if !self.mode.is_off() {
+                return Err(ConfigError::Backend(format!(
+                    "backend {kind} cannot use MCR mode {}",
+                    self.mode
+                )));
+            }
+            if self.region_map.is_some() {
+                return Err(ConfigError::Backend(format!(
+                    "backend {kind} cannot use an MCR region map"
+                )));
+            }
+            if self.alloc_ratio > 0.0 {
+                return Err(ConfigError::Backend(format!(
+                    "backend {kind} has no MCR frames for profile-based allocation"
+                )));
+            }
+            if self.row_cache.is_some() {
+                return Err(ConfigError::Backend(format!(
+                    "backend {kind} has no MCR region to manage as a row cache"
+                )));
+            }
         }
         Ok(())
     }
@@ -469,6 +520,16 @@ impl SystemConfig {
             }
         }
         h.u64(self.seed);
+        // Backend fold — appended *after* every pre-existing field and
+        // only for non-MCR kinds, so every key minted before the backend
+        // registry existed (all of them MCR) is unchanged and persistent
+        // result stores stay warm across the upgrade.
+        if self.backend.kind != BackendKind::Mcr {
+            h.u64(self.backend.kind.key_discriminant())
+                .u64(self.backend.near_rows)
+                .u64(self.backend.couple_threshold as u64)
+                .u64(self.backend.couple_cap as u64);
+        }
         h.finish()
     }
 
@@ -759,13 +820,37 @@ impl System {
         let table = crate::timing::McrTimingTable::paper(
             crate::timing::DeviceClass::for_rows_per_bank(geometry.rows_per_bank),
         );
-        let policy = McrPolicy::from_regions(
-            regions.clone(),
-            config.mechanisms,
-            &table,
-            geometry.ranks,
-            geometry.row_bits(),
-        );
+        // Architecture backend: the MCR policy needs region/mechanism/
+        // timing-table inputs the generic registry does not know about,
+        // so it is built here; every other backend comes from its spec.
+        // `class_modes` (restore classes) and `max_skip` (the auditor's
+        // refresh-starvation allowance) are captured before the policy
+        // moves into the controller.
+        let (policy, class_modes, max_skip): (Box<dyn DevicePolicy>, Vec<(u32, u32)>, u32) =
+            match config.backend.build() {
+                Some(backend) => {
+                    let class_modes = backend.restore_classes();
+                    let max_skip = backend.max_refresh_skip();
+                    (backend, class_modes, max_skip)
+                }
+                None => {
+                    let policy = McrPolicy::from_regions(
+                        regions.clone(),
+                        config.mechanisms,
+                        &table,
+                        geometry.ranks,
+                        geometry.row_bits(),
+                    );
+                    let class_modes = policy.class_modes();
+                    let max_skip = regions
+                        .regions()
+                        .iter()
+                        .map(|r| (r.mode().k() / r.mode().m().max(1)).max(1))
+                        .max()
+                        .unwrap_or(1);
+                    (Box::new(policy), class_modes, max_skip)
+                }
+            };
         let ctl_config = ControllerConfig {
             scheduler: config.scheduler,
             row_policy: config.row_policy,
@@ -774,16 +859,8 @@ impl System {
             ..ControllerConfig::msc_default()
         };
         let t_refi = timing.t_refi;
-        // (M, K) per Table-3 class, captured before the policy moves into
-        // the controller — fault injection derives restore voltages from it.
-        let class_modes = policy.class_modes();
-        let mut controller = MemoryController::try_new(
-            geometry,
-            timing,
-            ctl_config,
-            config.make_mapper(),
-            Box::new(policy),
-        )?;
+        let mut controller =
+            MemoryController::try_new(geometry, timing, ctl_config, config.make_mapper(), policy)?;
         if let Some(plan) = config.fault_plan {
             let params = CircuitParams::calibrated();
             let solver = TimingSolver::new(params);
@@ -814,13 +891,9 @@ impl System {
             // Refresh-Skipping, a group legally goes up to one skip period
             // of tREFI slots without a REFRESH; add the JEDEC postponement
             // cap and a wide margin so the check only fires on streams
-            // that stopped refreshing altogether.
-            let max_skip = regions
-                .regions()
-                .iter()
-                .map(|r| (r.mode().k() / r.mode().m().max(1)).max(1))
-                .max()
-                .unwrap_or(1);
+            // that stopped refreshing altogether. `max_skip` is the
+            // backend's legality view — 1 for every backend that keeps
+            // the JEDEC every-slot contract.
             let budget = Cycle::from(max_skip) * 10 * Cycle::from(t_refi);
             controller.set_audit_refresh_budget(Some(budget));
         }
@@ -1140,17 +1213,11 @@ impl System {
                 GuardbandTransition::Degrade(l) | GuardbandTransition::Rearm(l) => l,
             };
             // Surface the MRS in the audited command stream, mirroring
-            // reconfigure().
+            // reconfigure(). Ladder moves go through the backend-agnostic
+            // DevicePolicy hook: non-MCR backends with no relaxed timing
+            // to give back treat it as a no-op.
             self.controller.note_mode_change(self.mem_now);
-            let Some(policy) = self
-                .controller
-                .policy_mut()
-                .as_any_mut()
-                .downcast_mut::<McrPolicy>()
-            else {
-                unreachable!("System always installs an McrPolicy")
-            };
-            policy.apply_degrade_level(level);
+            self.controller.policy_mut().apply_degrade_level(level);
         }
     }
 
@@ -1171,7 +1238,9 @@ impl System {
     /// Panics if the change could collide with live data — the new mode
     /// must be a *relaxation* (K not growing, per Table 2) of the current
     /// hottest tier. Tightening changes require page migration, which the
-    /// paper (and this simulator) leaves to the OS.
+    /// paper (and this simulator) leaves to the OS. Also panics when the
+    /// system was built with a non-MCR backend: only MCR defines an
+    /// MRS-driven mode change.
     pub fn reconfigure(&mut self, mode: McrMode) {
         let new = RegionMap::single(mode);
         let old_k = self
@@ -1195,7 +1264,7 @@ impl System {
             .as_any_mut()
             .downcast_mut::<McrPolicy>()
         else {
-            unreachable!("System always installs an McrPolicy")
+            panic!("reconfigure() needs the MCR backend: no other registered backend defines an MRS mode change")
         };
         policy.reprogram(new.clone());
         self.active_regions = new;

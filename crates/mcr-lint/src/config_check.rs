@@ -7,7 +7,9 @@
 
 use crate::Diagnostic;
 use dram_device::TimingSet;
-use mcr_dram::{McrMode, McrTimingTable, RegionMap, SUBARRAY_ROWS};
+use mcr_dram::{
+    registered_backends, BackendSpec, McrMode, McrTimingTable, RegionMap, SUBARRAY_ROWS,
+};
 
 /// Checks the JEDEC cross-field inequalities of one [`TimingSet`].
 ///
@@ -250,6 +252,72 @@ pub fn check_mode_table(
     diags
 }
 
+/// Checks one registered architecture backend's legality view against
+/// the baseline [`TimingSet`] it will be paired with.
+///
+/// The invariants mirror [`check_mode_table`], re-pointed at the
+/// pluggable-backend seam: whatever per-class `tRCD`/`tRAS` overrides a
+/// backend registers via `DevicePolicy::timing_classes`, every class
+/// must still serve one burst per activation, and no class may be
+/// *slower* than twice baseline — a faster-DRAM proposal whose override
+/// lands there is a typo'd constant, not a mechanism. The MCR backend
+/// itself builds no standalone policy here; its view is the Table 3
+/// mode table, checked by [`check_mode_table`].
+pub fn check_backend(name: &str, spec: &BackendSpec, baseline: &TimingSet) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if let Err(msg) = spec.validate() {
+        diags.push(Diagnostic::error(
+            "backend/bad-spec",
+            name,
+            msg,
+            "backend registry (DESIGN.md §5l)",
+        ));
+        return diags;
+    }
+    let Some(backend) = spec.build() else {
+        return diags;
+    };
+    for (i, t) in backend.timing_classes().iter().enumerate() {
+        // Class indices start at 1; class 0 is always the baseline set.
+        let loc = format!("{name} class {}", i + 1);
+        if t.t_rcd == 0 || t.t_ras == 0 {
+            diags.push(Diagnostic::error(
+                "backend/zero-timing",
+                loc.clone(),
+                format!(
+                    "tRCD {} / tRAS {}: a zero-cycle window is a typo",
+                    t.t_rcd, t.t_ras
+                ),
+                "JEDEC DDR3 (every window spans at least one cycle)",
+            ));
+        }
+        if t.t_ras < t.t_rcd + baseline.burst_cycles {
+            diags.push(Diagnostic::error(
+                "backend/tras-window",
+                loc.clone(),
+                format!(
+                    "tRAS {} < tRCD {} + burst {}: a row closes before one access completes",
+                    t.t_ras, t.t_rcd, baseline.burst_cycles
+                ),
+                "JEDEC DDR3; backend registry (DESIGN.md §5l)",
+            ));
+        }
+        if t.t_rcd > 2 * baseline.t_rcd || t.t_ras > 2 * baseline.t_ras {
+            diags.push(Diagnostic::error(
+                "backend/timing-outlier",
+                loc,
+                format!(
+                    "class timing (tRCD {}, tRAS {}) exceeds twice the baseline \
+                     (tRCD {}, tRAS {})",
+                    t.t_rcd, t.t_ras, baseline.t_rcd, baseline.t_ras
+                ),
+                "backend registry (DESIGN.md §5l)",
+            ));
+        }
+    }
+    diags
+}
+
 /// Checks that a [`RegionMap`] is collision-free: regions stay inside one
 /// 512-row sub-array, are K-aligned (no clone group straddles a region
 /// boundary), and do not overlap.
@@ -368,6 +436,15 @@ pub fn check_builtin() -> Vec<Diagnostic> {
             }
         }
     }
+    // Every registered architecture backend's legality view, against
+    // the 1 Gb baseline the comparison harness pairs it with.
+    for spec in registered_backends() {
+        diags.extend(check_backend(
+            &format!("backend/{}", spec.kind),
+            &spec,
+            &ts_1gb,
+        ));
+    }
     // The Sec. 4.4 combined 2x + 4x configurations.
     for (m4, f4, m2, f2) in [(4, 0.25, 2, 0.25), (4, 0.25, 2, 0.5), (2, 0.25, 1, 0.25)] {
         let name = format!("combined[{m4}/4x/{f4} + {m2}/2x/{f2}]");
@@ -453,6 +530,54 @@ mod tests {
         assert!(has_errors(&check_mode_params("bad-k", 1, 3, 1.0)));
         assert!(has_errors(&check_mode_params("bad-region", 1, 2, 0.0)));
         assert!(check_mode_params("ok", 2, 4, 0.5).is_empty());
+    }
+
+    #[test]
+    fn registered_backends_pass_their_legality_views() {
+        let ts = TimingSet::ddr3_1600(32_768);
+        for spec in registered_backends() {
+            let diags = check_backend(&format!("backend/{}", spec.kind), &spec, &ts);
+            assert!(diags.is_empty(), "{}: {diags:?}", spec.kind);
+        }
+    }
+
+    #[test]
+    fn broken_backend_specs_and_windows_are_flagged() {
+        let ts = TimingSet::ddr3_1600(32_768);
+        let mut bad = BackendSpec::new(mcr_dram::BackendKind::TlDram);
+        bad.near_rows = 0;
+        let diags = check_backend("backend/tldram", &bad, &ts);
+        assert!(
+            diags.iter().any(|d| d.code == "backend/bad-spec"),
+            "{diags:?}"
+        );
+
+        // A baseline with a huge burst makes every near-segment class
+        // close its row before one access completes.
+        let tight = TimingSet {
+            burst_cycles: 100,
+            ..ts.clone()
+        };
+        let spec = BackendSpec::new(mcr_dram::BackendKind::TlDram);
+        let diags = check_backend("backend/tldram", &spec, &tight);
+        assert!(
+            diags.iter().any(|d| d.code == "backend/tras-window"),
+            "{diags:?}"
+        );
+
+        // Against a much faster baseline the far-segment override reads
+        // as an outlier, not a mechanism.
+        let fast = TimingSet {
+            t_rcd: 2,
+            t_ras: 8,
+            burst_cycles: 2,
+            ..ts
+        };
+        let diags = check_backend("backend/tldram", &spec, &fast);
+        assert!(
+            diags.iter().any(|d| d.code == "backend/timing-outlier"),
+            "{diags:?}"
+        );
     }
 
     #[test]

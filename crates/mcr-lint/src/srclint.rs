@@ -1,6 +1,6 @@
 //! Textual source lint over the workspace's library crates.
 //!
-//! Six rules, all error-level:
+//! Seven rules, all error-level:
 //!
 //! * `src/no-unwrap` — no `.unwrap()` / `.expect(...)` in library code
 //!   outside `#[cfg(test)]` blocks. Library panics must be typed errors or
@@ -37,6 +37,13 @@
 //!   client pins a server thread (or an OOM via an endless line)
 //!   forever. Bound every socket read with a deadline and a length
 //!   guard (DESIGN.md §5k).
+//! * `src/backend-timing-leak` — no references to backend-specific
+//!   timing constants (`TLDRAM_*`, `CLRDRAM_*`) outside the owning
+//!   backend module (files whose path names `backend`). Those numbers
+//!   are one architecture's private mechanism parameters; code that
+//!   reads them elsewhere hard-codes a backend and silently breaks the
+//!   pluggable-`ArchBackend` seam (DESIGN.md §5l). Go through
+//!   `DevicePolicy::timing_classes` instead.
 //!
 //! Escape hatch: a `// lint: allow(<rule>)` comment on the offending line
 //! or the line directly above suppresses that rule there. Test modules
@@ -61,6 +68,13 @@ pub const RULE_STEP_BUSY_LOOP: &str = "src/step-busy-loop";
 pub const RULE_EDGE_OVERSHOOT: &str = "src/edge-overshoot-guard";
 /// Rule id: no unbounded blocking reads in socket-handling files.
 pub const RULE_UNBOUNDED_NET_READ: &str = "src/unbounded-net-read";
+/// Rule id: no backend-specific timing constants outside their backend.
+pub const RULE_BACKEND_TIMING_LEAK: &str = "src/backend-timing-leak";
+
+/// Constant-name prefixes owned by individual architecture backends;
+/// outside the backend module they mark a leaked mechanism parameter
+/// for [`RULE_BACKEND_TIMING_LEAK`].
+const BACKEND_TIMING_PREFIXES: [&str; 2] = ["TLDRAM_", "CLRDRAM_"];
 
 /// Identifiers that mark a line as timing arithmetic for
 /// [`RULE_TRUNCATING_CAST`] (matched case-insensitively).
@@ -276,6 +290,9 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
     // The core crate owns the deprecated `step` shim (and its wheel-based
     // implementation); every other crate must use the run_until surface.
     let is_core_crate = path_label.contains("crates/core/");
+    // The backend module owns its architectures' timing constants; any
+    // other file naming them has hard-coded one backend.
+    let is_backend_file = path_label.contains("backend");
     let allowed = |idx: usize, code: &str| {
         line_allows(raw_lines[idx], code) || (idx > 0 && line_allows(raw_lines[idx - 1], code))
     };
@@ -362,6 +379,20 @@ pub fn lint_file(path_label: &str, text: &str) -> Vec<Diagnostic> {
                     break;
                 }
             }
+        }
+        if !is_backend_file
+            && BACKEND_TIMING_PREFIXES.iter().any(|p| line.contains(p))
+            && !allowed(idx, RULE_BACKEND_TIMING_LEAK)
+        {
+            diags.push(Diagnostic::error(
+                RULE_BACKEND_TIMING_LEAK,
+                loc.clone(),
+                "backend-specific timing constant referenced outside its \
+                 backend module; consume the numbers through \
+                 `DevicePolicy::timing_classes` so the code stays \
+                 backend-agnostic",
+                "workspace rule (pluggable backends, DESIGN.md §5l)",
+            ));
         }
         if !is_core_crate && line.contains(".step(") && !allowed(idx, RULE_STEP_BUSY_LOOP) {
             diags.push(Diagnostic::error(
@@ -597,6 +628,24 @@ mod tests {
             "    // lint: allow(unbounded-net-read)\n    r.read_line(",
         );
         assert!(lint_file("crates/x/src/client.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn backend_timing_constants_stay_in_the_backend_module() {
+        let bad = "fn f() -> u32 { TLDRAM_NEAR_TRCD + 1 }\n";
+        let d = lint_file("crates/mem-controller/src/scheduler.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, RULE_BACKEND_TIMING_LEAK);
+        let clr = "fn g() -> u32 { CLRDRAM_COUPLED_TRAS }\n";
+        assert_eq!(lint_file("crates/x/src/lib.rs", clr).len(), 1);
+        // The owning module may use its own numbers freely.
+        assert!(lint_file("crates/core/src/backend.rs", bad).is_empty());
+        // Comments and strings never trip the rule.
+        let doc = "// mirrors TLDRAM_NEAR_TRCD\nlet msg = \"CLRDRAM_COUPLED_TRCD\";\n";
+        assert!(lint_file("crates/x/src/lib.rs", doc).is_empty());
+        // The escape hatch works like every other rule.
+        let allowed = "// lint: allow(backend-timing-leak)\nfn f() -> u32 { TLDRAM_FAR_TRAS }\n";
+        assert!(lint_file("crates/x/src/lib.rs", allowed).is_empty());
     }
 
     #[test]

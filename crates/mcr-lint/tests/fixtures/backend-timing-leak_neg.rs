@@ -1,0 +1,14 @@
+// Negative fixture (linted under a non-backend path label): consuming
+// the per-class timings through the policy seam keeps the scheduler
+// backend-agnostic, and prose mentions never count.
+fn activate_window(policy: &dyn DevicePolicy, class: u32) -> u32 {
+    // The class table already carries e.g. TLDRAM_NEAR_TRCD's value.
+    policy
+        .timing_classes()
+        .get(class as usize)
+        .map_or(0, |t| t.t_ras)
+}
+
+fn describe() -> &'static str {
+    "clrdram couples rows after repeated activates (CLRDRAM_COUPLED_TRCD)"
+}

@@ -1,0 +1,9 @@
+// Positive fixture (linted under a non-backend path label): scheduler
+// code special-casing one architecture's private timing numbers.
+fn far_segment_penalty(base_trcd: u32) -> u32 {
+    TLDRAM_FAR_TRCD - base_trcd
+}
+
+fn coupled_activate_window() -> u32 {
+    CLRDRAM_COUPLED_TRAS
+}

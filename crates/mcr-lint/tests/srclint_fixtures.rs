@@ -4,15 +4,15 @@
 //! without fixtures fails the completeness test at the bottom.
 
 use mcr_lint::srclint::{
-    self, RULE_EDGE_OVERSHOOT, RULE_NO_UNWRAP, RULE_PANICKING_WORKER, RULE_STEP_BUSY_LOOP,
-    RULE_TRUNCATING_CAST, RULE_UNBOUNDED_NET_READ,
+    self, RULE_BACKEND_TIMING_LEAK, RULE_EDGE_OVERSHOOT, RULE_NO_UNWRAP, RULE_PANICKING_WORKER,
+    RULE_STEP_BUSY_LOOP, RULE_TRUNCATING_CAST, RULE_UNBOUNDED_NET_READ,
 };
 use std::path::PathBuf;
 
 /// Every rule, with the short fixture stem and the path label the rule
 /// cares about (the sweep rule only fires in `sweep.rs`; the step rule
 /// only fires outside `crates/core/`).
-const RULES: [(&str, &str, &str); 6] = [
+const RULES: [(&str, &str, &str); 7] = [
     (RULE_NO_UNWRAP, "no-unwrap", "crates/demo/src/lib.rs"),
     (
         RULE_TRUNCATING_CAST,
@@ -37,6 +37,11 @@ const RULES: [(&str, &str, &str); 6] = [
     (
         RULE_UNBOUNDED_NET_READ,
         "unbounded-net-read",
+        "crates/demo/src/lib.rs",
+    ),
+    (
+        RULE_BACKEND_TIMING_LEAK,
+        "backend-timing-leak",
         "crates/demo/src/lib.rs",
     ),
 ];
@@ -83,6 +88,10 @@ fn context_gated_rules_need_their_context() {
     // The step-polling positive snippet is the core crate's own shim.
     let step = fixture("step-busy-loop_pos.rs");
     assert!(srclint::lint_file("crates/core/src/system.rs", &step).is_empty());
+    // The backend-timing positive snippet is legal inside the backend
+    // module that owns the constants.
+    let leak = fixture("backend-timing-leak_pos.rs");
+    assert!(srclint::lint_file("crates/core/src/backend.rs", &leak).is_empty());
 }
 
 #[test]
@@ -97,6 +106,7 @@ fn every_rule_constant_has_fixtures() {
         RULE_STEP_BUSY_LOOP,
         RULE_EDGE_OVERSHOOT,
         RULE_UNBOUNDED_NET_READ,
+        RULE_BACKEND_TIMING_LEAK,
     ] {
         assert!(covered.contains(&code), "rule {code} has no fixtures");
         let stem = code.strip_prefix("src/").unwrap_or(code);

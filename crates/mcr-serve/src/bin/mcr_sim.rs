@@ -18,7 +18,10 @@
 //! service answered with a non-`ok` status (rejected, timeout, error).
 
 use mcr_dram::experiments::Outcome;
-use mcr_dram::{telemetry_to_json, McrMode, RunReport, System, SystemConfig};
+use mcr_dram::{
+    telemetry_to_json, BackendKind, BackendSpec, CompareSpec, McrMode, RunReport, System,
+    SystemConfig,
+};
 use mcr_serve::protocol::parse_mode;
 use mcr_serve::{Client, DispatchConfig, Dispatcher, LoadtestConfig, RunSpec, ServeConfig, Server};
 use mcr_store::ResultStore;
@@ -65,6 +68,7 @@ fn usage() {
          \x20      mcr-sim dispatch <REQUEST.json | -> --backends A,B,C [dispatch options]\n\
          \x20      mcr-sim loadtest <--addr A | --backends A,B,C | --loopback> [loadtest options]\n\
          \x20      mcr-sim cache <stats | verify | gc> --cache-dir DIR\n\
+         \x20      mcr-sim compare [--workload NAME | --mix NAME] [compare options]\n\
          \n\
          options:\n\
            --mode M/Kx/L     MCR mode, e.g. 4/4x/100 (default: off)\n\
@@ -132,6 +136,17 @@ fn usage() {
            verify            full integrity scan; corrupt entries are\n\
                              quarantined; exit 0 clean, 2 corruption\n\
            gc                remove stale .tmp files and drain quarantine\n\
+         \n\
+         compare options (head-to-head across DRAM architectures):\n\
+           --backends A,B,C  comma-separated backend names from\n\
+                             mcr, baseline, tldram, clrdram\n\
+                             (default: all four)\n\
+           --mode M/Kx/L     MCR mode of the mcr row (default 4/4x/100)\n\
+           --len N           memory operations per core (default 50000)\n\
+           --seed N          trace seed shared by every row (default 2015)\n\
+           --jobs N          sweep worker threads (default: all cores)\n\
+           --cache-dir DIR   persistent result store for the rows\n\
+           --csv | --json    table format (default: aligned text)\n\
          \n\
          submit options:\n\
            --addr A          service address (default {DEFAULT_ADDR})\n\
@@ -1028,6 +1043,138 @@ fn cache_main(argv: &[String]) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// compare subcommand
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CompareArgs {
+    spec: CompareSpec,
+    jobs: Option<usize>,
+    cache_dir: Option<String>,
+    csv: bool,
+    json: bool,
+}
+
+/// Parses a comma-separated list of backend *names* (`mcr,tldram,...`)
+/// into backend specs — not to be confused with the dispatch
+/// subcommand's `--backends`, which takes service addresses.
+fn parse_compare_backends(list: &str) -> Result<Vec<BackendSpec>, String> {
+    let specs: Vec<BackendSpec> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            BackendKind::parse(name)
+                .map(BackendSpec::new)
+                .ok_or_else(|| {
+                    format!("unknown backend {name:?} (want mcr, baseline, tldram, or clrdram)")
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if specs.is_empty() {
+        return Err("--backends needs at least one backend".into());
+    }
+    Ok(specs)
+}
+
+fn parse_compare_args(argv: &[String]) -> Result<Option<CompareArgs>, String> {
+    let mut args = CompareArgs {
+        spec: CompareSpec::default(),
+        jobs: None,
+        cache_dir: None,
+        csv: false,
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => args.spec.workload = Some(value("--workload")?),
+            "--mix" => args.spec.mix = Some(value("--mix")?),
+            "--backends" => args.spec.backends = parse_compare_backends(&value("--backends")?)?,
+            "--mode" => {
+                let v = value("--mode")?;
+                args.spec.mode =
+                    parse_mode(&v).ok_or_else(|| format!("bad mode {v:?} (want M/Kx/L or off)"))?;
+            }
+            "--len" => {
+                args.spec.len = value("--len")?
+                    .parse()
+                    .map_err(|e| format!("bad --len: {e}"))?
+            }
+            "--seed" => {
+                args.spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--jobs" => {
+                args.jobs = Some(
+                    value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("bad --jobs: {e}"))?,
+                )
+            }
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--csv" => args.csv = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                usage();
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.spec.workload.is_none() && args.spec.mix.is_none() {
+        return Err("compare needs --workload or --mix".into());
+    }
+    Ok(Some(args))
+}
+
+fn compare_main(argv: &[String]) -> ExitCode {
+    let args = match parse_compare_args(argv) {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    // The same spec a `compare` request builds server-side, so a local
+    // table and a submitted one come from identical sweeps
+    // (tests/compare_suite.rs pins the round trip).
+    let sweep = match args.spec.sweep(args.jobs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = match &args.cache_dir {
+        Some(dir) => match ResultStore::open(dir) {
+            Ok(store) => sweep.run_with_store(&store),
+            Err(e) => {
+                eprintln!("error: cannot open cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => sweep.run(),
+    };
+    let table = args.spec.table(&results);
+    if args.json {
+        print!("{}", table.to_json());
+    } else if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
 // local (legacy) run
 // ---------------------------------------------------------------------------
 
@@ -1193,6 +1340,7 @@ fn main() -> ExitCode {
         Some("dispatch") => dispatch_main(&argv[1..]),
         Some("loadtest") => loadtest_main(&argv[1..]),
         Some("cache") => cache_main(&argv[1..]),
+        Some("compare") => compare_main(&argv[1..]),
         _ => local_main(argv),
     }
 }

@@ -11,14 +11,18 @@
 //!   alloc ratios × seeds), the service face of [`SweepBuilder`].
 //! * `campaign` — a seeded fault-injection campaign: a zero-fault
 //!   control point plus one point per requested rate.
+//! * `compare` — the cross-architecture head-to-head: one trace
+//!   replayed once per requested backend (see
+//!   [`mcr_dram::CompareSpec`]).
 //!
 //! Parsing is strict: unknown fields and type mismatches are rejected
 //! with a [`ProtocolError`] naming the offending key, so a typo'd
 //! request fails loudly instead of silently running defaults.
 
 use mcr_dram::{
-    telemetry_to_json, ConfigError, FaultPlan, McrMode, Mechanisms, RowCacheConfig, Sweep,
-    SweepBuilder, SweepResults, SystemConfig,
+    registered_backends, telemetry_to_json, BackendKind, BackendSpec, CompareSpec, ConfigError,
+    FaultPlan, McrMode, Mechanisms, RowCacheConfig, Sweep, SweepBuilder, SweepResults,
+    SystemConfig,
 };
 use sim_json::{Json, JsonError};
 use trace_gen::{multi_programmed_mixes, multi_threaded_group, workload, Mix};
@@ -159,6 +163,8 @@ pub enum JobSpec {
     Sweep(SweepSpec),
     /// Fault-injection campaign.
     Campaign(CampaignSpec),
+    /// Cross-architecture head-to-head over one trace.
+    Compare(CompareSpec),
 }
 
 impl JobSpec {
@@ -168,6 +174,7 @@ impl JobSpec {
             JobSpec::Run(_) => "run",
             JobSpec::Sweep(_) => "sweep",
             JobSpec::Campaign(_) => "campaign",
+            JobSpec::Compare(_) => "compare",
         }
     }
 
@@ -178,6 +185,7 @@ impl JobSpec {
             JobSpec::Run(_) => 2,
             JobSpec::Sweep(s) => s.point_count(),
             JobSpec::Campaign(c) => c.rates.len() + 1,
+            JobSpec::Compare(c) => c.backends.len(),
         }
     }
 
@@ -187,6 +195,7 @@ impl JobSpec {
             JobSpec::Run(r) => r.len,
             JobSpec::Sweep(s) => s.len,
             JobSpec::Campaign(c) => c.base.len,
+            JobSpec::Compare(c) => c.len,
         }
     }
 
@@ -202,6 +211,7 @@ impl JobSpec {
             JobSpec::Run(r) => r.sweep(jobs),
             JobSpec::Sweep(s) => s.sweep(jobs),
             JobSpec::Campaign(c) => c.sweep(jobs),
+            JobSpec::Compare(c) => c.sweep(jobs).map_err(schema),
         }
     }
 }
@@ -614,6 +624,27 @@ fn parse_str_list(items: &[Json], key: &str) -> Result<Vec<String>, ProtocolErro
         .collect()
 }
 
+/// Resolves the `"backends"` name list of a `compare` request into
+/// backend specs; an empty (or absent) list means every registered
+/// backend, in canonical order.
+fn parse_backend_kinds(names: Vec<String>) -> Result<Vec<BackendSpec>, ProtocolError> {
+    if names.is_empty() {
+        return Ok(registered_backends());
+    }
+    names
+        .iter()
+        .map(|name| {
+            BackendKind::parse(name)
+                .map(BackendSpec::new)
+                .ok_or_else(|| {
+                    schema(format!(
+                        "unknown backend {name:?} (want mcr, baseline, tldram, or clrdram)"
+                    ))
+                })
+        })
+        .collect()
+}
+
 /// Fields shared by every job request.
 const JOB_COMMON: [&str; 6] = [
     "cmd",
@@ -781,8 +812,36 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 spec: JobSpec::Campaign(spec),
             })))
         }
+        "compare" => {
+            let allowed: Vec<&str> = JOB_COMMON
+                .iter()
+                .copied()
+                .chain(["workload", "mix", "mode", "len", "seed", "backends"])
+                .collect();
+            f.restrict(&allowed)?;
+            let spec = CompareSpec {
+                workload: f.str_opt("workload")?,
+                mix: f.str_opt("mix")?,
+                mode: match f.str_opt("mode")? {
+                    None => McrMode::headline(),
+                    Some(text) => parse_mode(&text)
+                        .ok_or_else(|| schema(format!("bad mode {text:?} (want M/Kx/L or off)")))?,
+                },
+                len: f.usize_or("len", DEFAULT_LEN)?,
+                seed: f.u64_opt("seed")?.unwrap_or(DEFAULT_SEED),
+                backends: parse_backend_kinds(parse_str_list(f.arr("backends")?, "backends")?)?,
+            };
+            Ok(Request::Job(Box::new(JobRequest {
+                id: f.str_opt("id")?,
+                deadline_ms: f.u64_opt("deadline_ms")?,
+                metrics: f.bool_or("metrics", false)?,
+                shard: shard_opt(&f)?,
+                full_reports: f.bool_or("full_reports", false)?,
+                spec: JobSpec::Compare(spec),
+            })))
+        }
         other => Err(schema(format!(
-            "unknown cmd {other:?} (want ping, stats, shutdown, run, sweep, or campaign)"
+            "unknown cmd {other:?} (want ping, stats, shutdown, run, sweep, campaign, or compare)"
         ))),
     }
 }

@@ -1108,6 +1108,9 @@ impl MemoryController {
             }
             Err(_) => return false,
         }
+        // The ACT was issued (directly or via the full-restore retry):
+        // let the policy update any per-row dynamic state.
+        self.policy.on_activate(&dram);
         self.activity = true;
         #[cfg(feature = "telemetry")]
         {

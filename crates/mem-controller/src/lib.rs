@@ -5,14 +5,19 @@
 //! FR-FCFS scheduling, page-interleaved address mapping, and JEDEC refresh
 //! with postponement.
 //!
-//! Two extension points let the MCR-DRAM layer (crate `mcr-dram`) plug in
-//! without this crate knowing anything about Multiple Clone Rows:
+//! Two extension points let DRAM-architecture backends (MCR in crate
+//! `mcr-dram`, plus the TL-DRAM / CLR-DRAM / plain-DDR3 backends of its
+//! `backend` module) plug in without this crate knowing anything about
+//! any particular architecture:
 //!
-//! * [`DevicePolicy`] — chooses the row-timing class (Early-Access /
-//!   Early-Precharge) for every ACTIVATE and decides, per refresh slot,
-//!   whether to issue a normal REFRESH, a Fast-Refresh (shorter `tRFC`), or
-//!   to skip the slot entirely (Refresh-Skipping). The baseline policy
-//!   ([`NormalPolicy`]) always picks class 0 and normal refreshes.
+//! * [`DevicePolicy`] — chooses the row-timing class for every ACTIVATE
+//!   (MCR's Early-Access / Early-Precharge, TL-DRAM's near/far segments,
+//!   CLR-DRAM's coupled rows), observes each issued ACT
+//!   (`on_activate`, for stateful backends), and decides, per refresh
+//!   slot, whether to issue a normal REFRESH, a Fast-Refresh (shorter
+//!   `tRFC`), or to skip the slot entirely (Refresh-Skipping). The
+//!   baseline policy ([`NormalPolicy`]) always picks class 0 and normal
+//!   refreshes.
 //! * [`AddressMapper`] — translates physical addresses to DRAM coordinates;
 //!   [`PageInterleave`] is the paper's policy, with permutation-based and
 //!   bit-reversal variants for ablation.

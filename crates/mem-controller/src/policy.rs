@@ -50,6 +50,20 @@ pub trait DevicePolicy: Send + Any {
         Vec::new()
     }
 
+    /// Hook called once per issued ACTIVATE, after legality checks pass.
+    ///
+    /// Policies with per-row dynamic state (e.g. a CLR-DRAM-style
+    /// coupling table) update it here; `activate_class` itself must stay
+    /// `&self` because the scheduler probes candidate commands
+    /// speculatively before committing to one.
+    fn on_activate(&mut self, _addr: &DramAddress) {}
+
+    /// Applies one guardband ladder rung (graceful timing degradation).
+    ///
+    /// The default is a no-op: a policy with no relaxed timing to give
+    /// back simply ignores the ladder.
+    fn apply_degrade_level(&mut self, _level: crate::guardband::DegradeLevel) {}
+
     /// Downcast hook so owners can reach policy-specific reconfiguration
     /// entry points (e.g. the MCR layer's MRS reprogramming) through the
     /// `Box<dyn DevicePolicy>` the controller holds.
